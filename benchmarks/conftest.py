@@ -1,0 +1,29 @@
+"""Benchmark fixtures shared across experiment benches."""
+
+import pytest
+
+from repro.bench.workloads import build_calendar_population
+from repro.device.resource import ResourceObject
+from repro.world import SyDWorld
+
+
+def resource_world(n_users: int, seed: int = 1):
+    """World with n resource-service users, entity 'slot' free."""
+    world = SyDWorld(seed=seed)
+    users = [f"u{i:03d}" for i in range(n_users)]
+    for user in users:
+        node = world.add_node(user)
+        obj = ResourceObject(f"{user}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=user, service="res")
+        obj.add("slot")
+    return world, users
+
+
+@pytest.fixture
+def small_world():
+    return resource_world(6)
+
+
+@pytest.fixture
+def calendar_app():
+    return build_calendar_population(6, seed=3, occupancy=0.2)

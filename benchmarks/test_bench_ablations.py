@@ -1,0 +1,160 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* store kind (relational / flat-file / list) under the calendar workload
+  — quantifies what the heterogeneity abstraction costs;
+* secondary indexes on vs off for link-table lookups;
+* network latency model on vs off — splits protocol cost into network
+  and compute.
+"""
+
+import pytest
+
+from repro.bench.metrics import measure
+from repro.bench.workloads import build_calendar_population
+from repro.datastore.predicate import where
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import RelationalStore
+from repro.world import SyDWorld
+
+
+# --------------------------------------------------------------- store kinds
+
+@pytest.mark.parametrize("kind", ["relational", "flatfile", "list"])
+def test_bench_store_kind_calendar_workload(benchmark, kind):
+    """Same meeting workload, different store engines underneath."""
+    app = build_calendar_population(4, seed=12, store_kind=kind)
+    users = sorted(app.users)
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        m = app.manager(users[0]).schedule_meeting(f"m{counter['n']}", users[1:3])
+        app.manager(users[0]).cancel_meeting(m.meeting_id)
+
+    benchmark(run)
+
+
+def test_store_kind_relative_costs():
+    """The relational engine must not lose to the naive stores on point
+    queries once data is non-trivial (it has a primary-key index)."""
+    import time
+
+    def build(cls):
+        s = cls("x")
+        s.create_table(
+            "t", schema("id", id=ColumnType.INT, v=Column("", ColumnType.STR))
+        )
+        for i in range(500):
+            s.insert("t", {"id": i, "v": f"value-{i}"})
+        return s
+
+    from repro.datastore.flatfile import FlatFileStore
+
+    rel, flat = build(RelationalStore), build(FlatFileStore)
+    n = 300
+
+    t0 = time.perf_counter()
+    for i in range(n):
+        rel.select("t", where("id") == i % 500)
+    rel_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for i in range(n):
+        flat.select("t", where("id") == i % 500)
+    flat_time = time.perf_counter() - t0
+
+    assert rel_time < flat_time, (
+        f"relational pk lookup ({rel_time:.4f}s) should beat flat-file "
+        f"full scan ({flat_time:.4f}s)"
+    )
+
+
+# --------------------------------------------------------------- indexes
+
+def _link_table_store(n_rows: int, indexed: bool) -> RelationalStore:
+    s = RelationalStore("links")
+    s.create_table(
+        "SyD_Links",
+        schema(
+            "link_id",
+            link_id=ColumnType.STR,
+            owner=ColumnType.STR,
+            meeting=ColumnType.STR,
+        ),
+    )
+    for i in range(n_rows):
+        s.insert(
+            "SyD_Links",
+            {"link_id": f"l{i}", "owner": f"u{i % 20}", "meeting": f"m{i % 50}"},
+        )
+    if indexed:
+        s.create_index("SyD_Links", "meeting")
+    return s
+
+
+@pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "scan"])
+def test_bench_link_lookup_index_ablation(benchmark, indexed):
+    store = _link_table_store(2000, indexed)
+    result = benchmark(store.select, "SyD_Links", where("meeting") == "m7")
+    assert len(result) == 40
+
+
+def test_index_ablation_speedup():
+    import time
+
+    scan = _link_table_store(3000, indexed=False)
+    indexed = _link_table_store(3000, indexed=True)
+    n = 200
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        scan.select("SyD_Links", where("meeting") == "m7")
+    scan_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        indexed.select("SyD_Links", where("meeting") == "m7")
+    index_time = time.perf_counter() - t0
+
+    assert index_time * 2 < scan_time, (
+        f"index should be >=2x faster: scan={scan_time:.4f}s, "
+        f"indexed={index_time:.4f}s"
+    )
+
+
+# --------------------------------------------------------------- latency model
+
+@pytest.mark.parametrize("latency", ["campus", "zero"], ids=["campus-net", "zero-net"])
+def test_bench_latency_model_ablation(benchmark, latency):
+    """Wall time is compute-only; the latency model only moves the
+    virtual clock — this pair quantifies the bookkeeping overhead."""
+    world = SyDWorld(seed=14, latency=latency)
+    from repro.device.resource import ResourceObject
+
+    users = ["a", "b", "c"]
+    for u in users:
+        node = world.add_node(u)
+        obj = ResourceObject(f"{u}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=u, service="res")
+        obj.add("slot")
+    node = world.node("a")
+    benchmark(node.engine.execute_group, users, "res", "read", "slot")
+
+
+def test_latency_model_only_affects_virtual_time():
+    from repro.device.resource import ResourceObject
+
+    sim_latency = {}
+    for name in ["campus", "zero"]:
+        world = SyDWorld(seed=14, latency=name)
+        for u in ["a", "b"]:
+            node = world.add_node(u)
+            obj = ResourceObject(f"{u}_res", node.store, node.locks)
+            node.listener.publish_object(obj, user_id=u, service="res")
+            obj.add("slot")
+        with measure(world) as m:
+            world.node("a").engine.execute("b", "res", "read", "slot")
+        sim_latency[name] = m.sim_latency
+        assert m.messages == 6  # identical protocol either way
+    assert sim_latency["zero"] == 0.0
+    assert sim_latency["campus"] > 0.0

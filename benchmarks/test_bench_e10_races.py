@@ -1,0 +1,79 @@
+"""E10 — the §5 race: query-then-write vs negotiation links."""
+
+from repro.bench.harness import exp_e10_contention
+from repro.bench.metrics import format_table
+from repro.bench.workloads import build_calendar_population
+from repro.baselines.naive import (
+    NaiveScheduler,
+    run_interleaved_naive,
+    run_interleaved_syd,
+)
+
+
+def test_bench_naive_schedule(benchmark):
+    app = build_calendar_population(4, seed=10)
+    users = sorted(app.users)
+    scheduler = NaiveScheduler(app, users[0])
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        plan = scheduler.schedule(f"m{counter['n']}", users[1:3], day_from=0, day_to=4)
+        # Free the written slots so repeated timing runs never exhaust
+        # the calendar (naive writes are never released otherwise).
+        from repro.calendar.model import entity_to_id
+
+        for user in plan.participants:
+            app.calendar(user).release_slot(entity_to_id(plan.slot))
+        return plan
+
+    plan = benchmark(run)
+    assert plan.written
+
+
+def test_bench_contended_syd(benchmark):
+    def run():
+        app = build_calendar_population(5, seed=10)
+        users = sorted(app.users)
+        return run_interleaved_syd(
+            app, [(users[i], [users[-1]]) for i in range(4)], day_from=0, day_to=0
+        )
+
+    report = benchmark.pedantic(run, rounds=5)
+    assert report.double_booked_slots == 0
+
+
+def test_e10_shapes():
+    table = exp_e10_contention(contenders=(2, 6))
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rows = {(r[0], r[1]): r for r in table["rows"]}
+    for n in (2, 6):
+        naive, syd = rows[("naive", n)], rows[("syd", n)]
+        # Everyone *believes* they succeeded in both modes...
+        assert naive[2] == n and syd[2] == n
+        # ...but only the naive path corrupted calendars.
+        assert naive[3] >= 1
+        assert naive[4] == n          # every meeting conflicts at the popular user
+        assert syd[3] == 0 and syd[4] == 0
+
+
+def test_e10_naive_damage_grows_with_contention():
+    a = exp_e10_contention(contenders=(2,))
+    b = exp_e10_contention(contenders=(8,))
+    naive_2 = next(r for r in a["rows"] if r[0] == "naive")
+    naive_8 = next(r for r in b["rows"] if r[0] == "naive")
+    assert naive_8[4] > naive_2[4]
+
+
+def test_interleaved_naive_details():
+    app = build_calendar_population(4, seed=11)
+    users = sorted(app.users)
+    report = run_interleaved_naive(
+        app, [(users[0], [users[3]]), (users[1], [users[3]])], day_from=0, day_to=0
+    )
+    assert report.believed_successes == 2
+    # Both initiators claimed the same earliest slot of the popular user.
+    assert report.plans[0].slot == report.plans[1].slot
+    # The popular user's slot physically holds only the LAST write.
+    row = app.calendar(users[3]).slot_of(report.plans[0].slot)
+    assert row["meeting_id"] == report.plans[1].meeting_id

@@ -1,0 +1,43 @@
+"""E1 — SyD Kernel primitive costs (Figures 1–3).
+
+Wall-clock benchmarks of the kernel primitives plus shape assertions on
+the simulated-network costs reported by the harness.
+"""
+
+from repro.bench.harness import exp_e1_kernel_ops
+from repro.bench.metrics import format_table
+
+from benchmarks.conftest import resource_world
+
+
+def test_bench_directory_lookup(benchmark):
+    world, users = resource_world(4)
+    node = world.node(users[0])
+    benchmark(node.directory.lookup_user, users[1])
+
+
+def test_bench_single_invocation(benchmark):
+    world, users = resource_world(4)
+    node = world.node(users[0])
+    benchmark(node.engine.execute, users[1], "res", "read", "slot")
+
+
+def test_bench_group_invocation_8(benchmark):
+    world, users = resource_world(9)
+    node = world.node(users[0])
+    members = users[1:]
+    benchmark(node.engine.execute_group, members, "res", "read", "slot")
+
+
+def test_e1_shapes():
+    """Group-invocation cost grows linearly with group size."""
+    table = exp_e1_kernel_ops(group_sizes=(2, 4, 8, 16))
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    group_rows = [r for r in table["rows"] if r[0] == "group invocation"]
+    messages = {r[1]: r[2] for r in group_rows}
+    # 6 messages per member (dir lookup x2 legs, service lookup x2, invoke x2).
+    assert messages[4] == 2 * messages[2]
+    assert messages[16] == 2 * messages[8]
+    # Single invocation beats any group invocation.
+    single = next(r for r in table["rows"] if r[0] == "single invocation")
+    assert single[2] < messages[2]

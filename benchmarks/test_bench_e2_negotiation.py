@@ -1,0 +1,63 @@
+"""E2 — negotiation-link execution (Figure 4).
+
+Benchmarks the §4.3 protocol and asserts the success-rate shapes: AND
+decays ~p^n with group size, OR/k-of-n degrade gracefully, XOR needs
+exactly one available target.
+"""
+
+from repro.bench.harness import exp_e2_negotiation
+from repro.bench.metrics import format_table
+from repro.txn.coordinator import AND, OR, Participant
+
+from benchmarks.conftest import resource_world
+
+
+def _reset(world, users):
+    for u in users:
+        world.node(u).store.update("resources", None, {"status": "free", "holder": None})
+
+
+def test_bench_negotiation_and_3(benchmark):
+    world, users = resource_world(4)
+    node = world.node(users[0])
+    initiator = Participant(users[0], "slot", "res")
+    targets = [Participant(u, "slot", "res") for u in users[1:]]
+
+    def run():
+        _reset(world, users)
+        return node.coordinator.execute(initiator, targets, AND)
+
+    result = benchmark(run)
+    assert result.ok
+
+
+def test_bench_negotiation_or_8(benchmark):
+    world, users = resource_world(9)
+    node = world.node(users[0])
+    initiator = Participant(users[0], "slot", "res")
+    targets = [Participant(u, "slot", "res") for u in users[1:]]
+
+    def run():
+        _reset(world, users)
+        return node.coordinator.execute(initiator, targets, OR)
+
+    result = benchmark(run)
+    assert result.ok
+
+
+def test_e2_shapes():
+    table = exp_e2_negotiation(
+        sizes=(2, 8), availabilities=(1.0, 0.5), trials=10
+    )
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rates = {(r[0], r[1], r[2]): r[3] for r in table["rows"]}
+    # Full availability: AND and OR always succeed; XOR fails (>1 lockable).
+    assert rates[("and", 2, 1.0)] == 1.0
+    assert rates[("or", 8, 1.0)] == 1.0
+    assert rates[("xor", 2, 1.0)] == 0.0
+    # AND success decays sharply with group size at p=0.5 ...
+    assert rates[("and", 8, 0.5)] < rates[("and", 2, 0.5)]
+    assert rates[("and", 8, 0.5)] <= 0.2
+    # ... while OR stays robust (1 - (1-p)^n grows with n).
+    assert rates[("or", 8, 0.5)] >= rates[("or", 2, 0.5)]
+    assert rates[("or", 8, 0.5)] >= 0.9

@@ -1,0 +1,65 @@
+"""E3 — cancel-meeting cascade and waiting-link promotion (§4.4)."""
+
+from repro.bench.harness import exp_e3_cancel_cascade
+from repro.bench.metrics import format_table
+from repro.kernel.linktypes import LinkRef, LinkSubtype, LinkType
+from repro.txn.coordinator import AND
+
+from benchmarks.conftest import resource_world
+
+
+def test_bench_delete_with_8_waiters(benchmark):
+    world, users = resource_world(10)
+    a = world.node(users[0])
+
+    def setup():
+        blocking = a.links.create_link(
+            LinkType.NEGOTIATION, [LinkRef(users[1], "slot", "res")], constraint=AND
+        )
+        for i in range(8):
+            owner = users[i + 1]
+            remote = world.node(owner).links.create_link(
+                LinkType.NEGOTIATION,
+                [LinkRef(users[0], "slot", "res")],
+                constraint=AND,
+                subtype=LinkSubtype.TENTATIVE,
+            )
+            a.links.register_waiting(
+                blocking.link_id, owner, remote.link_id, priority=5, group_id="g"
+            )
+        return (blocking.link_id,), {}
+
+    def run(link_id):
+        return a.links.delete_link(link_id)
+
+    promoted = benchmark.pedantic(run, setup=setup, rounds=20)
+    assert len(promoted) == 8
+
+
+def test_bench_calendar_cancel(benchmark, calendar_app):
+    app = calendar_app
+    users = sorted(app.users)
+
+    def setup():
+        m = app.manager(users[0]).schedule_meeting(
+            "bench", users[1:4], allow_tentative=False
+        )
+        return (m.meeting_id,), {}
+
+    def run(meeting_id):
+        return app.manager(users[0]).cancel_meeting(meeting_id)
+
+    result = benchmark.pedantic(run, setup=setup, rounds=10)
+    assert result.status.value == "cancelled"
+
+
+def test_e3_shapes():
+    table = exp_e3_cancel_cascade(depths=(1, 4, 16))
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rows = {r[0]: r for r in table["rows"]}
+    # Every waiter in the top-priority group is promoted.
+    for depth in (1, 4, 16):
+        assert rows[depth][1] == depth
+    # Promotion cost scales linearly in the number of waiters.
+    assert rows[16][2] > 3 * rows[4][2] / 4 * 2  # roughly linear growth
+    assert rows[4][2] > rows[1][2]

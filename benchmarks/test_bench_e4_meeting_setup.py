@@ -1,0 +1,49 @@
+"""E4 — end-to-end meeting scheduling (§5 scenario)."""
+
+from repro.bench.harness import exp_e4_meeting_setup
+from repro.bench.metrics import format_table
+from repro.bench.workloads import build_calendar_population
+
+
+def test_bench_schedule_meeting_3(benchmark):
+    app = build_calendar_population(6, seed=5)
+    users = sorted(app.users)
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        m = app.manager(users[0]).schedule_meeting(
+            f"bench-{counter['n']}", users[1:3]
+        )
+        app.manager(users[0]).cancel_meeting(m.meeting_id)
+        return m
+
+    m = benchmark(run)
+    assert m is not None
+
+
+def test_bench_find_common_slots(benchmark):
+    from repro.calendar.scheduler import find_common_free_slots
+
+    app = build_calendar_population(8, seed=5, occupancy=0.4)
+    users = sorted(app.users)
+    engine = app.node(users[0]).engine
+    slots = benchmark(find_common_free_slots, engine, users, 0, 4)
+    assert isinstance(slots, list)
+
+
+def test_e4_shapes():
+    table = exp_e4_meeting_setup(
+        occupancies=(0.1, 0.7), participants=(2, 4), requests=8
+    )
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    by_key = {(r[0], r[1]): r for r in table["rows"]}
+    # Low occupancy: almost everything confirms outright.
+    assert by_key[(2, 0.1)][2] >= 0.8
+    # Higher occupancy and bigger groups push meetings tentative/failed,
+    # never silently lost: fractions always sum to 1.
+    for row in table["rows"]:
+        assert abs(row[2] + row[3] + row[4] - 1.0) < 1e-9
+    assert by_key[(4, 0.7)][2] <= by_key[(4, 0.1)][2]
+    # Message cost grows with the participant count.
+    assert by_key[(4, 0.1)][5] > by_key[(2, 0.1)][5]

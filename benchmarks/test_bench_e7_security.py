@@ -1,0 +1,52 @@
+"""E7 — TEA authentication overhead (§5.4)."""
+
+from repro.bench.harness import exp_e7_security
+from repro.bench.metrics import format_table
+from repro.security import tea
+from repro.security.envelope import Credentials, seal, unseal
+
+
+def test_bench_tea_encrypt_256(benchmark):
+    data = bytes(256)
+    blob = benchmark(tea.encrypt, data, "key", bytes(8))
+    assert tea.decrypt(blob, "key") == data
+
+
+def test_bench_tea_decrypt_256(benchmark):
+    blob = tea.encrypt(bytes(256), "key", iv=bytes(8))
+    assert benchmark(tea.decrypt, blob, "key") == bytes(256)
+
+
+def test_bench_envelope_roundtrip(benchmark):
+    creds = Credentials("phil", "secret-password")
+
+    def run():
+        return unseal(seal(creds, "net"), "net")
+
+    assert benchmark(run) == creds
+
+
+def test_bench_authenticated_invocation(benchmark):
+    from repro.device.resource import ResourceObject
+    from repro.world import SyDWorld
+
+    world = SyDWorld(seed=7, auth_passphrase="net")
+    a = world.add_node("a", password="pa")
+    b = world.add_node("b", password="pb")
+    obj = ResourceObject("b_res", b.store, b.locks)
+    b.listener.publish_object(obj, user_id="b", service="res")
+    obj.add("slot")
+    b.auth_table.grant("a", "pa")
+    result = benchmark(a.engine.execute, "b", "res", "read", "slot")
+    assert result["status"] == "free"
+
+
+def test_e7_shapes():
+    table = exp_e7_security(sizes=(16, 256))
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rows = {r[0]: r for r in table["rows"]}
+    # CBC overhead is constant (IV + padding), independent of size.
+    assert rows["tea 16B"][3] == rows["tea 256B"][3]
+    # Authentication adds a bounded per-request byte overhead.
+    overhead = rows["request bytes (auth vs plain)"][3]
+    assert 0 < overhead < 200

@@ -1,0 +1,64 @@
+"""E8 — SyD vs existing calendar designs, quantified (§6)."""
+
+from repro.bench.harness import exp_e8_comparison, exp_e8b_storage_scaling
+from repro.bench.metrics import format_table
+from repro.baselines.replicated import ReplicatedCalendarBaseline
+from repro.bench.workloads import build_calendar_population
+
+
+def test_bench_syd_schedule(benchmark):
+    app = build_calendar_population(6, seed=8)
+    users = sorted(app.users)
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        m = app.manager(users[0]).schedule_meeting(f"m{counter['n']}", users[1:4])
+        app.manager(users[0]).cancel_meeting(m.meeting_id)
+
+    benchmark(run)
+
+
+def test_bench_replicated_schedule(benchmark):
+    system = ReplicatedCalendarBaseline()
+    users = [f"u{i}" for i in range(6)]
+    for u in users:
+        system.add_user(u)
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        mid, _ = system.schedule_meeting_full_cycle(
+            users[0], f"m{counter['n']}", users[1:4]
+        )
+        if mid:
+            system.cancel_meeting(users[0], mid)
+            for u in users[1:4]:
+                system.process_cancellation(u)
+
+    benchmark(run)
+
+
+def test_e8_shapes():
+    table = exp_e8_comparison(n_users=8, n_meetings=8, n_cancels=2)
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rows = {r[0]: r for r in table["rows"]}
+    # SyD needs zero manual interventions; the e-mail flow needs many.
+    assert rows["SyD"][3] == 0
+    assert rows["replicated+email"][3] > 0
+    # Only SyD promotes/reschedules automatically.
+    assert rows["SyD"][5] == "yes"
+    assert rows["replicated+email"][5] == "no"
+    assert rows["centralized"][5] == "no"
+
+
+def test_e8b_storage_shapes():
+    table = exp_e8b_storage_scaling(populations=(2, 8, 32))
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rows = {r[0]: r for r in table["rows"]}
+    # SyD per-user storage is flat in the population size ...
+    assert rows[2][1] == rows[32][1]
+    # ... the replicated design grows linearly and overtakes SyD.
+    assert rows[32][2] > 10 * rows[2][2]
+    assert rows[32][3] > rows[2][3]
+    assert rows[32][2] > rows[32][1]  # crossover reached by U=32

@@ -1,0 +1,41 @@
+"""E9 — quorum / OR-group scheduling (§5 second example)."""
+
+from repro.bench.harness import exp_e9_quorum
+from repro.bench.metrics import format_table
+from repro.bench.workloads import build_calendar_population, quorum_request
+
+
+def test_bench_quorum_schedule(benchmark):
+    app = build_calendar_population(12, seed=9)
+    users = sorted(app.users)
+    initiator, participants, must, groups = quorum_request(
+        users, must=2, group_sizes=(4, 3), ks=(2, 2)
+    )
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        m = app.manager(initiator).schedule_meeting(
+            f"faculty-{counter['n']}", participants,
+            must_attend=must, or_groups=groups,
+        )
+        app.manager(initiator).cancel_meeting(m.meeting_id)
+        return m
+
+    m = benchmark(run)
+    assert m is not None
+
+
+def test_e9_shapes():
+    table = exp_e9_quorum(bio_sizes=(4, 8), quorums=(0.5,))
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    for row in table["rows"]:
+        n_bio, quorum, status, committed, messages, _latency = row
+        # The meeting lands (confirmed or tentative — never lost).
+        assert status in ("confirmed", "tentative")
+        if status == "confirmed":
+            k = int(quorum.split("/")[0])
+            # At least musts + initiator + k biologists + 2 physicists.
+            assert committed >= 3 + k + 2
+    # Messages grow with the biology pool size.
+    assert table["rows"][1][4] > table["rows"][0][4]

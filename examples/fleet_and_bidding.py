@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The other two SyD applications of Figure 2: SyDFleet and the
+price-is-right bidding game.
+
+Both reuse the same kernel the calendar runs on — group invocation with
+aggregation, subscription links, and negotiation transactions — which is
+the paper's rapid-application-development claim in action.
+
+Run: ``python examples/fleet_and_bidding.py``
+"""
+
+from repro import SyDWorld
+from repro.apps.bidding import build_game
+from repro.apps.fleet import build_fleet
+
+
+def fleet_demo() -> None:
+    print("=== SyDFleet ===")
+    world = SyDWorld(seed=31)
+    dispatcher, trucks = build_fleet(world, ["truck-a", "truck-b", "truck-c"])
+
+    trucks["truck-a"].move_to(2, 3)
+    trucks["truck-b"].move_to(9, 9)
+    trucks["truck-c"].move_to(1, 1)
+
+    positions = dispatcher.fleet_positions()
+    print(f"fleet positions (one group invocation): "
+          f"{ {t: (p['x'], p['y']) for t, p in positions.items()} }")
+    print(f"nearest free truck to depot (0,0): {dispatcher.nearest_free(0, 0)}")
+
+    ok = dispatcher.assign_convoy(["truck-a", "truck-c"], "route-66", cargo="steel")
+    print(f"convoy assignment (atomic negotiation-and): {ok}")
+    print(f"  truck-a: {trucks['truck-a'].position()['route']}, "
+          f"truck-b: {trucks['truck-b'].position()['route']}")
+
+    # Atomicity: one busy truck vetoes the whole convoy.
+    ok = dispatcher.assign_convoy(["truck-a", "truck-b"], "route-1")
+    print(f"second convoy with busy truck-a: {ok} "
+          f"(truck-b untouched: {trucks['truck-b'].position()['status']})")
+
+
+def bidding_demo() -> None:
+    print("\n=== Price-is-right bidding ===")
+    world = SyDWorld(seed=32)
+    referee, players = build_game(world, ["ann", "ben", "cy"])
+
+    players["ann"].place_bid("round-1", 45)
+    players["ben"].place_bid("round-1", 72)
+    players["cy"].place_bid("round-1", 130)   # over the price
+
+    outcome = referee.run_round("round-1", secret_price=100.0, item="toaster")
+    print(f"round 1 (price 100): winner={outcome['winner']} "
+          f"at {outcome['bid']} ({outcome['reason']})")
+    print(f"  ben's wins: {players['ben'].wins()}")
+
+    # A tie makes the XOR award abort: nobody wins, re-bid.
+    players["ann"].place_bid("round-2", 60)
+    players["ben"].place_bid("round-2", 60)
+    outcome = referee.run_round("round-2", secret_price=100.0, item="tv")
+    print(f"round 2 tie at 60: {outcome['reason']} (winner={outcome['winner']})")
+
+
+if __name__ == "__main__":
+    fleet_demo()
+    bidding_demo()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The full §5 meeting lifecycle, step by step.
+
+Reproduces the paper's running scenario:
+
+1. A (phil) calls a meeting with B, C, D — but C is unavailable, so the
+   meeting is set up *tentatively*: available folks hold their slots, C
+   gets a tentative back link queued at their slot, the others get
+   subscription back links to A.
+2. C's slot frees → the tentative link fires → A re-negotiates → the
+   meeting converts to confirmed automatically.
+3. A higher-priority meeting bumps one participant → the meeting is
+   bumped and automatically rescheduled (§6).
+
+Run: ``python examples/meeting_lifecycle.py``
+"""
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+
+
+def show(app, label, meeting_id):
+    m = app.meeting_view("phil", meeting_id)
+    print(f"[{label}] {meeting_id}: status={m.status.value}, "
+          f"committed={m.committed}, missing={m.missing}")
+
+
+def main() -> None:
+    world = SyDWorld(seed=7)
+    app = SyDCalendarApp(world)
+    for user in ["phil", "andy", "suzy", "raj", "boss"]:
+        app.add_user(user)
+
+    # --- Step 1: C (suzy) is fully booked; scheduling goes tentative ------
+    for row in app.calendar("suzy").free_slots(0, 4):
+        app.service("suzy").block({"day": row["day"], "hour": row["hour"]})
+
+    meeting = app.manager("phil").schedule_meeting(
+        "Design sync", ["andy", "suzy", "raj"]
+    )
+    show(app, "after schedule", meeting.meeting_id)
+    links_at_suzy = app.node("suzy").links.all_links()
+    print(f"  suzy's queued link: {links_at_suzy[0].subtype.value} "
+          f"{links_at_suzy[0].context['role']}")
+
+    # --- Step 2: C frees the slot; the link machinery does the rest ------
+    app.service("suzy").unblock(meeting.slot)
+    show(app, "after suzy frees the slot", meeting.meeting_id)
+    print(f"  suzy's slot: {app.calendar('suzy').slot_of(meeting.slot)['status']}")
+
+    # Suzy also frees the next hour — the landing zone for step 3's
+    # automatic reschedule.
+    app.service("suzy").unblock({"day": 0, "hour": meeting.slot["hour"] + 1})
+
+    # --- Step 3: the boss bumps the meeting with higher priority ---------
+    exec_meeting = app.manager("boss").schedule_meeting(
+        "Emergency exec", ["andy"], priority=10, preferred_slot=meeting.slot
+    )
+    print(f"[boss] {exec_meeting.meeting_id}: {exec_meeting.status.value} "
+          f"at {exec_meeting.slot}")
+    show(app, "after bump", meeting.meeting_id)
+    replacement_id = app.manager("phil").reschedule_map.get(meeting.meeting_id)
+    if replacement_id:
+        show(app, "auto-rescheduled as", replacement_id)
+
+    print(f"\nmail inboxes: "
+          f"{ {u: len(app.mail.inbox(u)) for u in ['andy', 'suzy', 'raj']} }")
+    print(f"manual interventions needed: {app.mail.action_required}")
+
+
+if __name__ == "__main__":
+    main()

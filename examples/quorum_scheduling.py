@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quorum scheduling — the paper's second §5 example.
+
+"Suppose A wants to schedule a meeting with a quorum of 50% among the
+faculty of Biology and at least two faculties from Physics and, in
+addition, B and C are must attendees."
+
+Composes one atomic multi-group negotiation: AND over the must-attendees,
+at-least-k over each department. Also demonstrates the §5 drop-out rule:
+a Biology member may only leave if the quorum survives or a replacement
+commits.
+
+Run: ``python examples/quorum_scheduling.py``
+"""
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import OrGroup
+
+
+def main() -> None:
+    world = SyDWorld(seed=13)
+    app = SyDCalendarApp(world)
+
+    biology = [f"bio{i}" for i in range(1, 7)]      # 6 biologists
+    physics = [f"phy{i}" for i in range(1, 5)]      # 4 physicists
+    for user in ["alice", "bob", "carol", *biology, *physics]:
+        app.add_user(user)
+
+    # Half of Biology is busy on day 0 morning; the constraint solver
+    # must still find a quorum.
+    for user in biology[:3]:
+        app.service(user).block({"day": 0, "hour": 9})
+
+    meeting = app.manager("alice").schedule_meeting(
+        "Faculty senate",
+        ["bob", "carol", *biology, *physics],
+        must_attend=["bob", "carol"],
+        or_groups=[
+            OrGroup(tuple(biology), k=3),   # 50% of 6 biologists
+            OrGroup(tuple(physics), k=2),   # at least two physicists
+        ],
+    )
+    print(f"meeting: {meeting.status.value} at day {meeting.slot['day']} "
+          f"{meeting.slot['hour']}:00")
+    bio_in = [u for u in meeting.committed if u.startswith("bio")]
+    phy_in = [u for u in meeting.committed if u.startswith("phy")]
+    print(f"  biologists committed : {len(bio_in)}/{len(biology)} {bio_in}")
+    print(f"  physicists committed : {len(phy_in)}/{len(physics)} {phy_in}")
+    print(f"  must-attendees       : bob={'bob' in meeting.committed}, "
+          f"carol={'carol' in meeting.committed}")
+
+    # --- drop-out governance (§5's cancellation rule) ---------------------
+    leaver = bio_in[0]
+    granted = app.manager(leaver).drop_out(meeting.meeting_id)
+    after = app.meeting_view("alice", meeting.meeting_id)
+    print(f"\n{leaver} asks to leave: granted={granted} "
+          f"(quorum {'holds' if granted else 'would break'})")
+    print(f"  biologists now: {[u for u in after.committed if u.startswith('bio')]}")
+
+    # Keep pulling biologists out until the quorum would break.
+    for candidate in [u for u in after.committed if u.startswith("bio")]:
+        granted = app.manager(candidate).drop_out(meeting.meeting_id)
+        print(f"{candidate} asks to leave: granted={granted}")
+        if not granted:
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml. This file exists so that editable
+installs also work in offline environments where pip cannot fetch the
+isolated PEP 517 build requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Reproduction of *Implementation of a Calendar Application Based on SyD
+Coordination Links* (Prasad et al., IPDPS 2003).
+
+The package implements, from scratch and in pure Python:
+
+* the **SyD Kernel** (SyDDirectory, SyDListener, SyDEngine,
+  SyDEventHandler, SyDLinks) over a deterministic simulated network,
+* **coordination links** -- subscription and negotiation (and/or/xor/
+  k-of-n) links with tentative/permanent subtypes, priorities, expiry,
+  waiting-link promotion and cascading deletion,
+* the **calendar-of-meetings application** built on them, plus the
+  fleet and bidding demo apps and the "current practice" baselines,
+* the substrates the prototype relied on: per-device relational /
+  flat-file / list data stores with row triggers, proxies + name server,
+  and TEA-based authentication.
+
+Quick start::
+
+    from repro import SyDWorld
+    from repro.calendar.app import SyDCalendarApp
+
+    world = SyDWorld(seed=1)
+    app = SyDCalendarApp(world)
+    app.add_user("phil"); app.add_user("andy"); app.add_user("suzy")
+
+See DESIGN.md for the architecture map and EXPERIMENTS.md for the
+reproduced experiments.
+"""
+
+from repro.world import SyDWorld
+
+__version__ = "1.0.0"
+
+__all__ = ["SyDWorld", "__version__"]

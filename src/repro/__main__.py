@@ -1,0 +1,71 @@
+"""``python -m repro`` — a guided tour of the reproduction.
+
+Runs a compact version of every headline scenario and prints what
+happened; handy as a smoke test of an installation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.appobject import CommitteeCalendars
+from repro.calendar.model import OrGroup
+
+
+def main() -> int:
+    print(__doc__)
+    world = SyDWorld(seed=2003)
+    app = SyDCalendarApp(world)
+    users = ["phil", "andy", "suzy", "raj", "boss"]
+    for user in users:
+        app.add_user(user)
+    print(f"world: {len(users)} PDA users + directory on a simulated campus LAN\n")
+
+    # 1. Plain scheduling.
+    m = app.manager("phil").schedule_meeting("Budget", ["andy", "suzy"])
+    print(f"1. schedule            -> {m.status.value} at day {m.slot['day']} "
+          f"{m.slot['hour']}:00 for {m.committed}")
+
+    # 2. Tentative + automatic promotion.
+    for row in app.calendar("raj").free_slots(0, 4):
+        app.service("raj").block({"day": row["day"], "hour": row["hour"]})
+    t = app.manager("andy").schedule_meeting("Thesis talk", ["raj"])
+    print(f"2. tentative           -> {t.status.value}, waiting on {t.missing}")
+    app.service("raj").unblock(t.slot)
+    t_now = app.meeting_view("andy", t.meeting_id)
+    print(f"   raj frees the slot  -> {t_now.status.value} (automatic promotion)")
+
+    # 3. Priority bump + auto-reschedule.
+    high = app.manager("boss").schedule_meeting(
+        "Exec", ["andy"], priority=9, preferred_slot=m.slot
+    )
+    bumped = app.meeting_view("phil", m.meeting_id)
+    new_id = app.manager("phil").reschedule_map.get(m.meeting_id)
+    print(f"3. bump by priority 9  -> old meeting {bumped.status.value}; "
+          f"auto-rescheduled as {new_id}")
+
+    # 4. Quorum scheduling via the SyDAppO.
+    committee = CommitteeCalendars(app.manager("phil"), ["phil", "andy", "suzy"])
+    earliest = committee.find_earliest_meeting_time()
+    print(f"4. SyDAppO             -> earliest committee time: {earliest}")
+
+    # 5. Quorum (or-group) meeting.
+    q = app.manager("suzy").schedule_meeting(
+        "Faculty", ["phil", "andy", "raj"],
+        must_attend=["phil"],
+        or_groups=[OrGroup(("andy", "raj"), 1)],
+    )
+    print(f"5. quorum scheduling   -> {q.status.value}, committed {q.committed}")
+
+    print(f"\ntotals: {world.stats.messages} messages, "
+          f"{app.mail.sent} e-mails, {app.mail.action_required} manual steps, "
+          f"virtual time {world.now:.2f}s")
+    print("\nSee examples/ for deeper scenarios and "
+          "`python -m repro.bench.harness` for the experiment tables.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

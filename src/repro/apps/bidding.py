@@ -1,0 +1,176 @@
+"""The price-is-right bidding game.
+
+Figure 2's third sample SyD application: "a price-is-right bidding game
+suitable to be played at an airport or a mall". Players on PDAs submit
+bids into their own stores; a referee runs rounds: collect bids via a
+group invocation, pick the winner closest to the secret price without
+going over, and award the item via a negotiation-xor transaction —
+exactly one player may win (the kernel's XOR constraint doing real work).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.predicate import where
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import DataStore
+from repro.device.object import SyDDeviceObject, exported
+from repro.kernel.aggregate import collect_all
+from repro.kernel.node import SyDNode
+from repro.txn.coordinator import XOR, Participant
+from repro.txn.locks import LockManager
+from repro.util.errors import LockNotHeldError
+from repro.world import SyDWorld
+
+BIDS_TABLE = "bids"
+GAME_SERVICE = "bidding"
+
+
+def bids_schema():
+    return schema(
+        "round_id",
+        round_id=ColumnType.STR,
+        bid=Column("", ColumnType.FLOAT, nullable=True),
+        won=Column("", ColumnType.BOOL, default=False),
+        item=Column("", ColumnType.STR, nullable=True),
+    )
+
+
+class PlayerService(SyDDeviceObject):
+    """A player's device object: their bids live in their own store."""
+
+    def __init__(self, user: str, store: DataStore, locks: LockManager | None = None):
+        super().__init__(f"{user}_bidding_SyD", store)
+        self.user = user
+        self.locks = locks or LockManager()
+        if not store.has_table(BIDS_TABLE):
+            store.create_table(BIDS_TABLE, bids_schema())
+
+    @exported
+    def place_bid(self, round_id: str, amount: float) -> dict[str, Any]:
+        """Record this player's bid for a round."""
+        if self.store.get(BIDS_TABLE, round_id) is None:
+            return self.store.insert(
+                BIDS_TABLE, {"round_id": round_id, "bid": float(amount)}
+            )
+        self.store.update(
+            BIDS_TABLE, where("round_id") == round_id, {"bid": float(amount)}
+        )
+        return self.store.get(BIDS_TABLE, round_id)
+
+    @exported
+    def my_bid(self, round_id: str) -> float | None:
+        row = self.store.get(BIDS_TABLE, round_id)
+        return row["bid"] if row else None
+
+    @exported
+    def wins(self) -> list[dict[str, Any]]:
+        """Rounds this player has won."""
+        return self.store.select(BIDS_TABLE, where("won") == True)  # noqa: E712
+
+    # -- negotiation verbs: awarding is a XOR transaction -----------------------
+
+    @exported
+    def mark(self, entity: str, txn_id: str, winner_bid: float | None = None) -> bool:
+        """Lockable only when this player's bid equals the winning bid —
+        which is how 'exactly one' selection composes with XOR."""
+        row = self.store.get(BIDS_TABLE, entity)
+        if row is None or row["won"] or row["bid"] is None:
+            return False
+        if winner_bid is not None and row["bid"] != winner_bid:
+            return False
+        return self.locks.try_lock(("round", entity), txn_id)
+
+    @exported
+    def change(self, entity: str, txn_id: str, change: dict[str, Any]) -> dict[str, Any]:
+        if self.locks.holder(("round", entity)) != txn_id:
+            raise LockNotHeldError(f"txn {txn_id} does not hold round {entity}")
+        self.store.update(
+            BIDS_TABLE,
+            where("round_id") == entity,
+            {"won": True, "item": (change or {}).get("value", {}).get("item")},
+        )
+        return self.store.get(BIDS_TABLE, entity)
+
+    @exported
+    def unmark(self, entity: str, txn_id: str) -> bool:
+        if self.locks.holder(("round", entity)) == txn_id:
+            self.locks.unlock(("round", entity), txn_id)
+            return True
+        return False
+
+
+class Referee:
+    """Runs rounds over the players via the SyD kernel.
+
+    The referee publishes a :class:`ResourceObject` ("the house") whose
+    per-round *prize* entity is the activating object of the award
+    negotiation: the prize changes hands only if **exactly one** player
+    can take it (negotiation-xor).
+    """
+
+    HOUSE_SERVICE = "bidding_house"
+
+    def __init__(self, node: SyDNode, players: list[str]):
+        from repro.device.resource import ResourceObject
+
+        self.node = node
+        self.players = list(players)
+        self.results: dict[str, dict[str, Any]] = {}
+        self.house = ResourceObject(f"{node.user}_house", node.store, node.locks)
+        node.listener.publish_object(
+            self.house, user_id=node.user, service=self.HOUSE_SERVICE
+        )
+
+    def collect_bids(self, round_id: str) -> dict[str, float | None]:
+        """Group invocation: everyone's bid for the round."""
+        return self.node.engine.execute_group(
+            self.players, GAME_SERVICE, "my_bid", round_id, aggregator=collect_all
+        )
+
+    def run_round(self, round_id: str, secret_price: float, item: str) -> dict[str, Any]:
+        """Pick the winner (highest bid not over the price), award atomically.
+
+        The award is a negotiation-xor over *all* players: only players
+        holding the winning bid can be marked, so exactly one lock means a
+        unique winner. A tie (two players at the winning bid) aborts the
+        XOR and the round is void — "new bids please".
+        """
+        bids = self.collect_bids(round_id)
+        valid = {u: b for u, b in bids.items() if b is not None and b <= secret_price}
+        if not valid:
+            self.results[round_id] = {"winner": None, "bid": None, "reason": "no valid bid"}
+            return self.results[round_id]
+        winner_bid = max(valid.values())
+
+        prize_key = f"prize-{round_id}"
+        if self.house.read(prize_key) is None:
+            self.house.add(prize_key, value={"item": item})
+        initiator = Participant(self.node.user, prize_key, self.HOUSE_SERVICE)
+        targets = [
+            Participant(u, round_id, GAME_SERVICE, mark_args=(winner_bid,))
+            for u in self.players
+        ]
+        result = self.node.coordinator.execute(
+            initiator, targets, XOR, change={"value": {"item": item}}
+        )
+        outcome = {
+            "winner": result.changed[1] if result.ok else None,
+            "bid": winner_bid,
+            "reason": "awarded" if result.ok else "tie",
+        }
+        self.results[round_id] = outcome
+        return outcome
+
+
+def build_game(world: SyDWorld, player_names: list[str], referee: str = "referee"):
+    """Wire a bidding world; returns (referee, {player: service})."""
+    services = {}
+    for name in player_names:
+        node = world.add_node(name)
+        svc = PlayerService(name, node.store, node.locks)
+        node.listener.publish_object(svc, user_id=name, service=GAME_SERVICE)
+        services[name] = svc
+    ref_node = world.add_node(referee)
+    return Referee(ref_node, player_names), services

@@ -1,0 +1,193 @@
+"""SyDFleet — the fleet-tracking demo application.
+
+Figure 2 lists three SyD applications; besides the calendar there is "a
+fleet application" (elaborated in the authors' companion paper, ref [1]:
+trucks carry data stores, a dispatcher queries and retasks them as a
+group). This mini-app exercises the kernel differently from the
+calendar: periodic position updates via *subscription links*, group
+reads with aggregation, and an atomic group retasking via a
+negotiation-and transaction.
+
+Per-truck store: one ``trucks`` row (position, route, status) exported
+through :class:`TruckService`. The dispatcher holds no copies — it
+queries the fleet through the SyDEngine, the §6 storage story again.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.predicate import where
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import DataStore
+from repro.device.object import SyDDeviceObject, exported
+from repro.kernel.aggregate import collect_all
+from repro.kernel.linktypes import LinkRef, LinkType
+from repro.kernel.node import SyDNode
+from repro.txn.coordinator import AND, Participant
+from repro.txn.locks import LockManager
+from repro.util.errors import LockNotHeldError
+from repro.world import SyDWorld
+
+TRUCK_TABLE = "trucks"
+FLEET_SERVICE = "fleet"
+
+
+def truck_schema():
+    return schema(
+        "truck_id",
+        truck_id=ColumnType.STR,
+        x=ColumnType.FLOAT,
+        y=ColumnType.FLOAT,
+        route=Column("", ColumnType.STR, default="idle"),
+        status=Column("", ColumnType.STR, default="free"),
+        cargo=Column("", ColumnType.JSON, nullable=True),
+    )
+
+
+class TruckService(SyDDeviceObject):
+    """Device object on each truck's on-board store."""
+
+    def __init__(self, user: str, store: DataStore, locks: LockManager | None = None):
+        super().__init__(f"{user}_truck_SyD", store)
+        self.user = user
+        self.locks = locks or LockManager()
+        if not store.has_table(TRUCK_TABLE):
+            store.create_table(TRUCK_TABLE, truck_schema())
+            store.insert(TRUCK_TABLE, {"truck_id": user, "x": 0.0, "y": 0.0})
+
+    # -- telemetry ----------------------------------------------------------
+
+    @exported
+    def position(self) -> dict[str, Any]:
+        """Current row: position, route, status."""
+        return self.store.get(TRUCK_TABLE, self.user)
+
+    @exported
+    def move_to(self, x: float, y: float) -> dict[str, Any]:
+        """Truck reports a new position."""
+        self.store.update(
+            TRUCK_TABLE, where("truck_id") == self.user, {"x": float(x), "y": float(y)}
+        )
+        return self.position()
+
+    # -- negotiation verbs (retasking is an atomic group transaction) ----------
+
+    @exported
+    def mark(self, entity: Any, txn_id: str) -> bool:
+        """A truck can be retasked when its route slot is free."""
+        row = self.position()
+        if row["status"] != "free":
+            return False
+        return self.locks.try_lock(("route", self.user), txn_id)
+
+    @exported
+    def change(self, entity: Any, txn_id: str, change: dict[str, Any]) -> dict[str, Any]:
+        """Assign the negotiated route."""
+        if self.locks.holder(("route", self.user)) != txn_id:
+            raise LockNotHeldError(f"txn {txn_id} does not hold {self.user}'s route")
+        self.store.update(
+            TRUCK_TABLE,
+            where("truck_id") == self.user,
+            {"route": change["route"], "status": "assigned", "cargo": change.get("cargo")},
+        )
+        return self.position()
+
+    @exported
+    def unmark(self, entity: Any, txn_id: str) -> bool:
+        if self.locks.holder(("route", self.user)) == txn_id:
+            self.locks.unlock(("route", self.user), txn_id)
+            return True
+        return False
+
+    @exported
+    def complete_route(self) -> dict[str, Any]:
+        """Truck finished its assignment."""
+        self.store.update(
+            TRUCK_TABLE,
+            where("truck_id") == self.user,
+            {"route": "idle", "status": "free", "cargo": None},
+        )
+        return self.position()
+
+    @exported
+    def on_position_update(self, entity: Any, payload: dict[str, Any]) -> None:
+        """Subscription-link sink for peers following this truck."""
+        updates = getattr(self, "position_feed", None)
+        if updates is None:
+            self.position_feed = []
+        self.position_feed.append(payload)
+
+
+class FleetDispatcher:
+    """The dispatcher workstation: group queries and atomic retasking."""
+
+    def __init__(self, node: SyDNode, trucks: list[str]):
+        self.node = node
+        self.trucks = list(trucks)
+        self.assignments: dict[str, list[str]] = {}
+
+    def fleet_positions(self) -> dict[str, dict[str, Any]]:
+        """One group invocation: every truck's position."""
+        return self.node.engine.execute_group(
+            self.trucks, FLEET_SERVICE, "position", aggregator=collect_all
+        )
+
+    def nearest_free(self, x: float, y: float) -> str | None:
+        """Truck id of the closest free truck (None when none free)."""
+        best, best_d2 = None, None
+        for truck, row in self.fleet_positions().items():
+            if row["status"] != "free":
+                continue
+            d2 = (row["x"] - x) ** 2 + (row["y"] - y) ** 2
+            if best_d2 is None or d2 < best_d2:
+                best, best_d2 = truck, d2
+        return best
+
+    def assign_convoy(self, trucks: list[str], route: str, cargo: Any = None) -> bool:
+        """Atomically retask several trucks (all or none) via
+        negotiation-and — the paper's group-transaction claim."""
+        if not trucks:
+            return False
+        initiator = Participant(trucks[0], "route", FLEET_SERVICE)
+        targets = [Participant(t, "route", FLEET_SERVICE) for t in trucks[1:]]
+        result = self.node.coordinator.execute(
+            initiator, targets, AND, change={"route": route, "cargo": cargo}
+        )
+        if result.ok:
+            self.assignments[route] = trucks
+        return result.ok
+
+    def follow_truck(self, truck: str, follower: str) -> None:
+        """Create a subscription link so ``follower`` receives ``truck``'s
+        position updates automatically."""
+        self.node.engine.execute(
+            truck,
+            "_syd_links",
+            "create_link_row",
+            {
+                "ltype": LinkType.SUBSCRIPTION.value,
+                "source_entity": "position",
+                "refs": [
+                    LinkRef(
+                        follower, "position", FLEET_SERVICE, on_change="on_position_update"
+                    ).to_dict()
+                ],
+                "context": {"role": "position-feed"},
+            },
+        )
+
+
+def build_fleet(world: SyDWorld, truck_names: list[str], dispatcher: str = "dispatch"):
+    """Wire a fleet world: one node per truck + a dispatcher node.
+
+    Returns (dispatcher, {truck: service}).
+    """
+    services = {}
+    for name in truck_names:
+        node = world.add_node(name)
+        svc = TruckService(name, node.store, node.locks)
+        node.listener.publish_object(svc, user_id=name, service=FLEET_SERVICE)
+        services[name] = svc
+    dispatch_node = world.add_node(dispatcher)
+    return FleetDispatcher(dispatch_node, truck_names), services

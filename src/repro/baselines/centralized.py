@@ -1,0 +1,150 @@
+"""Centralized-server calendar baseline.
+
+The other obvious pre-SyD design: one server owns every calendar and
+clients call it for everything. Scheduling is trivially consistent (the
+server sees all calendars), but:
+
+* the server is a single point of failure — devices keep working in SyD
+  (peer-to-peer + proxies), while here everything stops;
+* every operation crosses the network to the server (2 messages per
+  call), even queries a SyD device would answer locally;
+* per-user device storage is zero but the server holds O(U).
+
+Used by E5/E8 to quantify the availability and traffic trade-offs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.message import estimate_size
+from repro.util.clock import VirtualClock
+from repro.util.errors import CalendarError, NotInitiatorError, UnreachableError
+
+
+class CentralizedCalendarBaseline:
+    """All calendars live on one server; clients RPC it."""
+
+    def __init__(
+        self,
+        *,
+        days: int = 5,
+        day_start: int = 9,
+        day_end: int = 17,
+        clock: VirtualClock | None = None,
+        rpc_latency: float = 0.004,
+    ):
+        self.days = days
+        self.day_start = day_start
+        self.day_end = day_end
+        self.clock = clock or VirtualClock()
+        self.rpc_latency = rpc_latency
+        self.server_up = True
+        self._calendars: dict[str, dict[tuple[int, int], str | None]] = {}
+        self._meetings: dict[str, dict[str, Any]] = {}
+        self._counter = 0
+        self.messages = 0
+
+    # -- transport model ---------------------------------------------------------
+
+    def _call(self) -> None:
+        """Account one client→server round trip; fail when the server is down."""
+        if not self.server_up:
+            raise UnreachableError("calendar server is down")
+        self.messages += 2
+        self.clock.advance(2 * self.rpc_latency)
+
+    # -- API ----------------------------------------------------------------------
+
+    def add_user(self, user: str) -> None:
+        self._call()
+        if user in self._calendars:
+            raise CalendarError(f"user {user!r} already exists")
+        self._calendars[user] = {
+            (d, h): None
+            for d in range(self.days)
+            for h in range(self.day_start, self.day_end)
+        }
+
+    def users(self) -> list[str]:
+        self._call()
+        return sorted(self._calendars)
+
+    def block(self, user: str, day: int, hour: int, note: str = "busy") -> None:
+        self._call()
+        self._cal(user)[(day, hour)] = note
+
+    def free(self, user: str, day: int, hour: int) -> None:
+        self._call()
+        self._cal(user)[(day, hour)] = None
+
+    def slot_of(self, user: str, day: int, hour: int) -> str | None:
+        self._call()
+        return self._cal(user)[(day, hour)]
+
+    def schedule_meeting(
+        self,
+        initiator: str,
+        title: str,
+        participants: list[str],
+        day_from: int = 0,
+        day_to: int | None = None,
+    ) -> str | None:
+        """Server-side scheduling: consistent but fully centralized."""
+        self._call()
+        day_to = self.days - 1 if day_to is None else day_to
+        users = list(dict.fromkeys([initiator, *participants]))
+        for day in range(day_from, day_to + 1):
+            for hour in range(self.day_start, self.day_end):
+                if all(self._cal(u)[(day, hour)] is None for u in users):
+                    self._counter += 1
+                    meeting_id = f"cen-{self._counter}"
+                    for u in users:
+                        self._cal(u)[(day, hour)] = meeting_id
+                    self._meetings[meeting_id] = {
+                        "meeting_id": meeting_id,
+                        "initiator": initiator,
+                        "title": title,
+                        "slot": (day, hour),
+                        "participants": users,
+                        "status": "confirmed",
+                    }
+                    return meeting_id
+        return None
+
+    def cancel_meeting(self, user: str, meeting_id: str) -> None:
+        self._call()
+        meeting = self._meetings[meeting_id]
+        if meeting["initiator"] != user:
+            raise NotInitiatorError("only the initiator can cancel")
+        meeting["status"] = "cancelled"
+        for u in meeting["participants"]:
+            if self._cal(u)[meeting["slot"]] == meeting_id:
+                self._cal(u)[meeting["slot"]] = None
+
+    def meeting(self, meeting_id: str) -> dict[str, Any]:
+        self._call()
+        return dict(self._meetings[meeting_id])
+
+    # -- metrics -----------------------------------------------------------------
+
+    def server_storage_bytes(self) -> int:
+        """Everything is on the server."""
+        return estimate_size(
+            {
+                u: {f"{d}:{h}": v for (d, h), v in cal.items()}
+                for u, cal in self._calendars.items()
+            }
+        )
+
+    def device_storage_bytes(self, user: str) -> int:
+        """Thin clients store nothing."""
+        return 0
+
+    # -- internals ------------------------------------------------------------------
+
+    def _cal(self, user: str) -> dict[tuple[int, int], str | None]:
+        try:
+            return self._calendars[user]
+        except KeyError:
+            raise CalendarError(f"unknown user {user!r}") from None

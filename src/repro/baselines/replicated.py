@@ -1,0 +1,300 @@
+"""The "current practice" calendar baseline (paper §3.3 / §6).
+
+The paper contrasts SyD against existing calendar applications
+(Outlook / GroupWise / Lotus Notes style):
+
+* "each user stores a copy of every member's folder on his local
+  machine" — full replication, O(U) storage per user;
+* "each time a meeting needs to be set up, the initiator sends an email
+  to the required participants. The recipients then manually have to
+  accept this meeting" — human-in-the-loop accept rounds;
+* "there is no concept of priority ..., only the initiator of a meeting
+  can cancel", "no option of automatic rescheduling", "no
+  authentication of users".
+
+This module implements that system faithfully so experiment E8 can put
+numbers on the comparison: storage per user, e-mails exchanged, manual
+interventions, scheduling rounds, and staleness-induced failures
+(replicas only refresh on explicit ``sync_replicas()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.calendar.notifications import MailSystem
+from repro.net.message import estimate_size
+from repro.util.clock import VirtualClock
+from repro.util.errors import CalendarError, NotInitiatorError
+
+
+@dataclass
+class _ReplicatedMeeting:
+    meeting_id: str
+    initiator: str
+    title: str
+    slot: tuple[int, int]
+    participants: list[str]
+    status: str = "pending"              # pending / confirmed / failed / cancelled
+    accepted: list[str] = field(default_factory=list)
+    declined: list[str] = field(default_factory=list)
+    rounds: int = 0
+
+
+class ReplicatedCalendarBaseline:
+    """Full-replication, e-mail-driven calendar system."""
+
+    def __init__(
+        self,
+        *,
+        days: int = 5,
+        day_start: int = 9,
+        day_end: int = 17,
+        clock: VirtualClock | None = None,
+    ):
+        self.days = days
+        self.day_start = day_start
+        self.day_end = day_end
+        self.clock = clock or VirtualClock()
+        self.mail = MailSystem(self.clock)
+        # user -> their *own* calendar: (day, hour) -> entry | None
+        self._calendars: dict[str, dict[tuple[int, int], str | None]] = {}
+        # user -> their replica of everyone's calendars (possibly stale)
+        self._replicas: dict[str, dict[str, dict[tuple[int, int], str | None]]] = {}
+        self._meetings: dict[str, _ReplicatedMeeting] = {}
+        self._counter = 0
+        self.replication_messages = 0
+        self.manual_interventions = 0
+        self.staleness_failures = 0
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_user(self, user: str) -> None:
+        """Register a user; everyone replicates everyone's folder."""
+        if user in self._calendars:
+            raise CalendarError(f"user {user!r} already exists")
+        empty = {
+            (d, h): None
+            for d in range(self.days)
+            for h in range(self.day_start, self.day_end)
+        }
+        self._calendars[user] = dict(empty)
+        self._replicas[user] = {}
+        self.sync_replicas()
+
+    def users(self) -> list[str]:
+        return sorted(self._calendars)
+
+    def block(self, user: str, day: int, hour: int, note: str = "busy") -> None:
+        """User blocks their own slot (replicas go stale until sync)."""
+        self._own(user)[(day, hour)] = note
+
+    def free(self, user: str, day: int, hour: int) -> None:
+        self._own(user)[(day, hour)] = None
+
+    # -- replication -----------------------------------------------------------
+
+    def sync_replicas(self) -> int:
+        """Every user ships their folder to every other user.
+
+        Returns the number of replication messages (U×(U-1)); this is
+        the periodic background traffic the replicated design needs.
+        """
+        users = self.users()
+        for owner in users:
+            for holder in users:
+                if holder == owner:
+                    continue
+                self._replicas[holder][owner] = dict(self._calendars[owner])
+                self.replication_messages += 1
+        return len(users) * (len(users) - 1)
+
+    def storage_bytes(self, user: str) -> int:
+        """Own calendar + all replicas (the §6 storage penalty)."""
+        own = estimate_size(
+            {f"{d}:{h}": v for (d, h), v in self._calendars[user].items()}
+        )
+        replicas = sum(
+            estimate_size({f"{d}:{h}": v for (d, h), v in cal.items()})
+            for cal in self._replicas[user].values()
+        )
+        return own + replicas
+
+    # -- scheduling (manual accept workflow) -----------------------------------------
+
+    def request_meeting(
+        self, initiator: str, title: str, participants: list[str],
+        day_from: int = 0, day_to: int | None = None,
+    ) -> str | None:
+        """Initiator picks a slot *from their replicas* and e-mails
+        invitations requiring manual accepts.
+
+        Returns the meeting id, or None when the (stale) replicas show
+        no common slot. One human intervention: composing the request.
+        """
+        day_to = self.days - 1 if day_to is None else day_to
+        participants = [u for u in dict.fromkeys([initiator, *participants])]
+        slot = self._pick_slot_from_replicas(initiator, participants, day_from, day_to)
+        self.manual_interventions += 1  # the initiator fills the GUI form
+        if slot is None:
+            return None
+        self._counter += 1
+        meeting_id = f"rep-{self._counter}"
+        meeting = _ReplicatedMeeting(meeting_id, initiator, title, slot, participants)
+        self._meetings[meeting_id] = meeting
+        for user in participants:
+            if user != initiator:
+                self.mail.send(
+                    initiator,
+                    user,
+                    f"Invitation: {title}",
+                    f"please accept/decline for day {slot[0]} hour {slot[1]}",
+                    requires_action=True,
+                    meeting_id=meeting_id,
+                )
+        return meeting_id
+
+    def process_inbox(self, user: str) -> int:
+        """The human reads their inbox and accepts/declines invitations
+        against their *real* calendar. Returns invitations handled."""
+        handled = 0
+        for mail in self.mail.unread_actions(user):
+            meeting_id = mail.meta.get("meeting_id")
+            meeting = self._meetings.get(meeting_id)
+            if meeting is None or meeting.status != "pending":
+                continue
+            if user in meeting.accepted or user in meeting.declined:
+                continue
+            self.manual_interventions += 1
+            free = self._own(user)[meeting.slot] is None
+            (meeting.accepted if free else meeting.declined).append(user)
+            self.mail.send(
+                user,
+                meeting.initiator,
+                f"{'Accept' if free else 'Decline'}: {meeting.title}",
+                meeting_id=meeting_id,
+            )
+            handled += 1
+        return handled
+
+    def finalize(self, initiator: str, meeting_id: str) -> str:
+        """The initiator tallies responses (another manual step).
+
+        All accepted → confirmed (everyone writes the entry and a
+        confirmation mail goes out); any decline → failed (a staleness
+        failure when the replica said the slot was free).
+        """
+        meeting = self._meetings[meeting_id]
+        if meeting.initiator != initiator:
+            raise NotInitiatorError(f"{initiator} did not initiate {meeting_id}")
+        self.manual_interventions += 1
+        meeting.rounds += 1
+        others = [u for u in meeting.participants if u != initiator]
+        if all(u in meeting.accepted for u in others):
+            meeting.status = "confirmed"
+            for user in meeting.participants:
+                self._own(user)[meeting.slot] = meeting_id
+            self.mail.broadcast(
+                initiator, others, f"Confirmed: {meeting.title}", meeting_id=meeting_id
+            )
+        else:
+            meeting.status = "failed"
+            self.staleness_failures += 1
+            self.mail.broadcast(
+                initiator, others, f"Failed: {meeting.title}", meeting_id=meeting_id
+            )
+        return meeting.status
+
+    def schedule_meeting_full_cycle(
+        self, initiator: str, title: str, participants: list[str],
+        day_from: int = 0, day_to: int | None = None, max_rounds: int = 5,
+    ) -> tuple[str | None, int]:
+        """Drive request → accepts → finalize, retrying on failure.
+
+        Returns (meeting_id or None, rounds used). Each retry is a fresh
+        e-mail round with everything that entails.
+        """
+        for round_no in range(1, max_rounds + 1):
+            meeting_id = self.request_meeting(initiator, title, participants, day_from, day_to)
+            if meeting_id is None:
+                return None, round_no
+            for user in participants:
+                if user != initiator:
+                    self.process_inbox(user)
+            if self.finalize(initiator, meeting_id) == "confirmed":
+                return meeting_id, round_no
+            # The initiator refreshes everyone's free/busy before retrying
+            # — a full replication round, at full replication cost.
+            self.sync_replicas()
+        return None, max_rounds
+
+    # -- cancellation (manual, initiator-only, no auto-reschedule) ----------------------
+
+    def cancel_meeting(self, user: str, meeting_id: str) -> None:
+        """Only the initiator cancels; participants must manually delete
+        the entry (one intervention each); nothing is rescheduled."""
+        meeting = self._meetings[meeting_id]
+        if meeting.initiator != user:
+            raise NotInitiatorError("only the initiator of a meeting can cancel it")
+        meeting.status = "cancelled"
+        self._own(user)[meeting.slot] = None
+        for participant in meeting.participants:
+            if participant == user:
+                continue
+            self.mail.send(
+                user,
+                participant,
+                f"Cancelled: {meeting.title}",
+                "please delete the entry from your calendar",
+                requires_action=True,
+                meeting_id=meeting_id,
+            )
+
+    def process_cancellation(self, user: str) -> int:
+        """The human deletes cancelled entries from their calendar."""
+        handled = 0
+        for mail in self.mail.unread_actions(user):
+            meeting = self._meetings.get(mail.meta.get("meeting_id"))
+            if meeting is None or meeting.status != "cancelled":
+                continue
+            if self._own(user).get(meeting.slot) == meeting.meeting_id:
+                self._own(user)[meeting.slot] = None
+                self.manual_interventions += 1
+                handled += 1
+        return handled
+
+    # -- inspection ------------------------------------------------------------------
+
+    def meeting(self, meeting_id: str) -> _ReplicatedMeeting:
+        return self._meetings[meeting_id]
+
+    def slot_of(self, user: str, day: int, hour: int) -> str | None:
+        return self._own(user)[(day, hour)]
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _own(self, user: str) -> dict[tuple[int, int], str | None]:
+        try:
+            return self._calendars[user]
+        except KeyError:
+            raise CalendarError(f"unknown user {user!r}") from None
+
+    def _pick_slot_from_replicas(
+        self, initiator: str, participants: list[str], day_from: int, day_to: int
+    ) -> tuple[int, int] | None:
+        """Earliest slot the initiator's (stale) replicas show free."""
+        replicas = self._replicas[initiator]
+        for day in range(day_from, day_to + 1):
+            for hour in range(self.day_start, self.day_end):
+                key = (day, hour)
+                if self._own(initiator)[key] is not None:
+                    continue
+                views = [
+                    replicas.get(u, {}).get(key)
+                    for u in participants
+                    if u != initiator
+                ]
+                if all(v is None for v in views):
+                    return key
+        return None

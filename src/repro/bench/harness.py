@@ -1,0 +1,713 @@
+"""Experiment harness: one function per experiment of EXPERIMENTS.md.
+
+Each ``exp_*`` function returns ``{"title", "columns", "rows"}``; the
+module's ``main()`` prints every table. The pytest-benchmark files under
+``benchmarks/`` call the same functions (smaller parameters) and assert
+the *shape* claims recorded in EXPERIMENTS.md.
+
+Run everything::
+
+    python -m repro.bench.harness            # all experiments
+    python -m repro.bench.harness --exp E4   # one experiment
+    python -m repro.bench.harness --fast     # reduced sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any
+
+from repro.bench.metrics import format_table, measure
+from repro.bench.workloads import (
+    build_calendar_population,
+    meeting_request_stream,
+    quorum_request,
+)
+from repro.calendar.model import MeetingStatus, OrGroup
+from repro.device.resource import ResourceObject
+from repro.kernel.linktypes import LinkRef, LinkSubtype, LinkType
+from repro.txn.coordinator import AND, OR, XOR, Participant, at_least
+from repro.util.errors import SchedulingError, UnreachableError
+from repro.world import SyDWorld
+
+
+# --------------------------------------------------------------------------- helpers
+
+def _resource_world(n_users: int, seed: int = 1) -> tuple[SyDWorld, list[str]]:
+    """World with n resource-service users, one free entity 'slot'."""
+    world = SyDWorld(seed=seed)
+    users = [f"u{i:03d}" for i in range(n_users)]
+    for user in users:
+        node = world.add_node(user)
+        obj = ResourceObject(f"{user}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=user, service="res")
+        obj.add("slot")
+    return world, users
+
+
+# --------------------------------------------------------------------------- E1
+
+def exp_e1_kernel_ops(group_sizes=(2, 4, 8, 16, 32), seed: int = 1) -> dict[str, Any]:
+    """E1 (Figures 1-3): cost of the SyD Kernel primitives."""
+    world, users = _resource_world(max(group_sizes) + 1, seed)
+    node = world.node(users[0])
+    rows: list[list[Any]] = []
+
+    with measure(world) as m:
+        node.directory.lookup_user(users[1])
+    rows.append(["directory lookup", 1, m.messages, m.sim_latency * 1e3])
+
+    with measure(world) as m:
+        node.directory.form_group("g-e1", users[0], users[1:5])
+    rows.append(["group formation (4)", 4, m.messages, m.sim_latency * 1e3])
+
+    with measure(world) as m:
+        node.engine.execute(users[1], "res", "read", "slot")
+    rows.append(["single invocation", 1, m.messages, m.sim_latency * 1e3])
+
+    for n in group_sizes:
+        members = users[1 : n + 1]
+        with measure(world) as m:
+            node.engine.execute_group(members, "res", "read", "slot")
+        rows.append([f"group invocation", n, m.messages, m.sim_latency * 1e3])
+
+    return {
+        "id": "E1",
+        "title": "E1 — SyD Kernel primitive costs (Figures 1-3)",
+        "columns": ["operation", "targets", "messages", "sim latency (ms)"],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E2
+
+def exp_e2_negotiation(
+    sizes=(2, 4, 8, 16),
+    availabilities=(1.0, 0.75, 0.5, 0.25),
+    trials: int = 20,
+    seed: int = 2,
+) -> dict[str, Any]:
+    """E2 (Figure 4): negotiation links across constraints, sizes, availability."""
+    import random
+
+    rows: list[list[Any]] = []
+    constraints = [("and", AND), ("or", OR), ("xor", XOR), ("at_least_half", None)]
+    for n in sizes:
+        for p in availabilities:
+            for name, constraint in constraints:
+                if constraint is None:
+                    constraint = at_least(max(1, n // 2))
+                rng = random.Random(seed * 1000 + n * 10 + int(p * 100))
+                successes, messages, latency = 0, 0, 0.0
+                for trial in range(trials):
+                    world, users = _resource_world(n + 1, seed=seed + trial)
+                    initiator_node = world.node(users[0])
+                    # Each target is available with probability p.
+                    for u in users[1:]:
+                        if rng.random() > p:
+                            world.node(u).store.update(
+                                "resources", None, {"status": "busy"}
+                            )
+                    targets = [Participant(u, "slot", "res") for u in users[1:]]
+                    with measure(world) as m:
+                        result = initiator_node.coordinator.execute(
+                            Participant(users[0], "slot", "res"), targets, constraint
+                        )
+                    successes += int(result.ok)
+                    messages += m.messages
+                    latency += m.sim_latency
+                rows.append(
+                    [
+                        name,
+                        n,
+                        p,
+                        successes / trials,
+                        messages / trials,
+                        latency / trials * 1e3,
+                    ]
+                )
+    return {
+        "id": "E2",
+        "title": "E2 — negotiation links: success rate and cost (Figure 4)",
+        "columns": [
+            "constraint",
+            "targets",
+            "availability",
+            "success rate",
+            "messages",
+            "sim latency (ms)",
+        ],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E3
+
+def exp_e3_cancel_cascade(depths=(1, 2, 4, 8, 16, 32), seed: int = 3) -> dict[str, Any]:
+    """E3 (§4.4): waiting-link promotion + cascade deletion vs chain depth."""
+    rows: list[list[Any]] = []
+    for depth in depths:
+        world, users = _resource_world(depth + 2, seed)
+        a = world.node(users[0])
+        blocking = a.links.create_link(
+            LinkType.NEGOTIATION,
+            [LinkRef(users[1], "slot", "res")],
+            constraint=AND,
+            context={"cascade_id": "root"},
+        )
+        # `depth` remote tentative links waiting on the blocking link.
+        for i in range(depth):
+            owner = users[i + 1]
+            remote = world.node(owner).links.create_link(
+                LinkType.NEGOTIATION,
+                [LinkRef(users[0], "slot", "res")],
+                constraint=AND,
+                subtype=LinkSubtype.TENTATIVE,
+            )
+            a.links.register_waiting(
+                blocking.link_id, owner, remote.link_id, priority=5, group_id="grp"
+            )
+        with measure(world) as m:
+            promoted = a.links.delete_link(blocking.link_id)
+        rows.append([depth, len(promoted), m.messages, m.sim_latency * 1e3])
+    return {
+        "id": "E3",
+        "title": "E3 — cancel: waiting-link promotion and cascade cost (§4.4)",
+        "columns": ["waiting links", "promoted", "messages", "sim latency (ms)"],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E4
+
+def exp_e4_meeting_setup(
+    occupancies=(0.1, 0.3, 0.5, 0.7, 0.9),
+    participants=(2, 4, 8),
+    requests: int = 15,
+    seed: int = 4,
+) -> dict[str, Any]:
+    """E4 (§5): end-to-end meeting scheduling vs calendar occupancy."""
+    rows: list[list[Any]] = []
+    for n in participants:
+        for rho in occupancies:
+            app = build_calendar_population(
+                max(n + 2, 6), seed=seed, occupancy=rho
+            )
+            users = sorted(app.users)
+            confirmed = tentative = failed = 0
+            messages = latency = 0.0
+            for req in meeting_request_stream(
+                users, requests, seed=seed, group_size=n
+            ):
+                manager = app.manager(req.initiator)
+                with measure(app.world) as m:
+                    try:
+                        meeting = manager.schedule_meeting(
+                            req.title, list(req.participants)
+                        )
+                        if meeting.status is MeetingStatus.CONFIRMED:
+                            confirmed += 1
+                        else:
+                            tentative += 1
+                    except SchedulingError:
+                        failed += 1
+                messages += m.messages
+                latency += m.sim_latency
+            rows.append(
+                [
+                    n,
+                    rho,
+                    confirmed / requests,
+                    tentative / requests,
+                    failed / requests,
+                    messages / requests,
+                    latency / requests * 1e3,
+                ]
+            )
+    return {
+        "id": "E4",
+        "title": "E4 — meeting setup vs occupancy and group size (§5)",
+        "columns": [
+            "participants",
+            "occupancy",
+            "confirmed",
+            "tentative",
+            "failed",
+            "messages/req",
+            "sim latency (ms)",
+        ],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E5
+
+def exp_e5_proxy(journal_sizes=(0, 10, 50, 200), seed: int = 5) -> dict[str, Any]:
+    """E5 (§5.2): proxy failover — availability and cost."""
+    from repro.kernel.listener import SyDListener
+    from repro.net.address import DeviceClass, NodeAddress
+    from repro.proxy.device import ProxiedDevice
+    from repro.proxy.nameserver import NameServerService
+    from repro.proxy.proxy import ProxyHost
+
+    rows: list[list[Any]] = []
+    for journal in journal_sizes:
+        world = SyDWorld(seed=seed)
+        ns = NameServerService()
+        ns_listener = SyDListener("syd-nameserver")
+        ns_listener.publish_object(ns)
+        world.transport.register(
+            NodeAddress("syd-nameserver", DeviceClass.SERVER),
+            lambda msg, lst=ns_listener: lst.handle_invoke(msg),
+        )
+        host = ProxyHost("proxy-1", world.transport, nameserver_node="syd-nameserver")
+        host.register_factory(
+            "resource", lambda user, store: ResourceObject(f"{user}_res", store)
+        )
+        phil = world.add_node("phil")
+        obj = ResourceObject("phil_res", phil.store, phil.locks)
+        phil.listener.publish_object(obj, user_id="phil", service="res")
+        obj.add("slot")
+        device = ProxiedDevice(phil, "syd-nameserver")
+        device.export_service("res", "phil_res", "resource")
+        device.attach()
+        caller = world.add_node("caller")
+
+        with measure(world) as m_up:
+            caller.engine.execute("phil", "res", "read", "slot")
+
+        world.take_down("phil")
+        with measure(world) as m_down:
+            caller.engine.execute("phil", "res", "read", "slot")
+
+        # Proxy accepts `journal` writes while the device is down.
+        for i in range(journal):
+            caller.engine.execute("phil", "res", "set_status", "slot", f"s{i}")
+
+        world.bring_up("phil")
+        with measure(world) as m_back:
+            applied = device.reconnect()
+
+        # Availability without a proxy, for contrast.
+        phil.directory.set_proxy("phil", None)
+        world.take_down("phil")
+        try:
+            caller.engine.execute("phil", "res", "read", "slot")
+            no_proxy = "served"
+        except UnreachableError:
+            no_proxy = "FAILS"
+        rows.append(
+            [
+                journal,
+                m_up.sim_latency * 1e3,
+                m_down.sim_latency * 1e3,
+                applied,
+                m_back.sim_latency * 1e3,
+                no_proxy,
+            ]
+        )
+    return {
+        "id": "E5",
+        "title": "E5 — proxy failover and handback (§5.2)",
+        "columns": [
+            "proxy writes",
+            "direct (ms)",
+            "via proxy (ms)",
+            "replayed",
+            "handback (ms)",
+            "down w/o proxy",
+        ],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E6
+
+def exp_e6_triggers(fanouts=(1, 2, 4, 8, 16, 32), seed: int = 6) -> dict[str, Any]:
+    """E6 (§5.3): DB-resident triggers vs middleware triggers (ablation)."""
+    from repro.datastore.predicate import where
+    from repro.datastore.triggers import RowTrigger, TriggerEvent
+
+    rows: list[list[Any]] = []
+    for fanout in fanouts:
+        for mode in ("db-trigger", "middleware"):
+            world, users = _resource_world(fanout + 2, seed)
+            src = world.node(users[0])
+            dests = users[1 : fanout + 1]
+
+            if mode == "db-trigger":
+                # Oracle-style: a row trigger inside the store calls out.
+                def action(ctx, node=src, targets=tuple(dests)):
+                    for d in targets:
+                        node.engine.execute(
+                            d, "res", "on_peer_change", "slot",
+                            {"new": ctx.new},
+                        )
+
+                src.store.add_trigger(
+                    RowTrigger(
+                        f"propagate-{fanout}",
+                        "resources",
+                        frozenset({TriggerEvent.UPDATE}),
+                        action,
+                    )
+                )
+            else:
+                # §5.3's proposal: the middleware fires after the method.
+                src.enable_middleware_triggers()
+                for d in dests:
+                    src.links.add_link_method(
+                        f"{users[0]}_res", "set_status", d, "res", "on_peer_change"
+                    )
+
+            caller = world.node(users[-1])
+            with measure(world) as m:
+                caller.engine.execute(users[0], "res", "set_status", "slot", "busy")
+            rows.append([mode, fanout, m.messages, m.sim_latency * 1e3])
+    return {
+        "id": "E6",
+        "title": "E6 — DB triggers vs middleware triggers (§5.3 ablation)",
+        "columns": ["mode", "fan-out", "messages", "sim latency (ms)"],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E7
+
+def exp_e7_security(sizes=(16, 64, 256, 1024), seed: int = 7) -> dict[str, Any]:
+    """E7 (§5.4): TEA authentication overhead."""
+    import time
+
+    from repro.security import tea
+    from repro.security.envelope import Credentials, seal, unseal
+
+    rows: list[list[Any]] = []
+    for size in sizes:
+        data = bytes(range(256)) * (size // 256 + 1)
+        data = data[:size]
+        t0 = time.perf_counter()
+        n = 200
+        for _ in range(n):
+            blob = tea.encrypt(data, "key", iv=bytes(8))
+        enc_us = (time.perf_counter() - t0) / n * 1e6
+        t0 = time.perf_counter()
+        for _ in range(n):
+            tea.decrypt(blob, "key")
+        dec_us = (time.perf_counter() - t0) / n * 1e6
+        rows.append([f"tea {size}B", enc_us, dec_us, len(blob) - size])
+
+    creds = Credentials("phil", "secret")
+    t0 = time.perf_counter()
+    n = 500
+    for _ in range(n):
+        envelope = seal(creds, "net")
+    seal_us = (time.perf_counter() - t0) / n * 1e6
+    t0 = time.perf_counter()
+    for _ in range(n):
+        unseal(envelope, "net")
+    unseal_us = (time.perf_counter() - t0) / n * 1e6
+    rows.append(["credential envelope", seal_us, unseal_us, len(envelope)])
+
+    # Per-request traffic overhead of authentication.
+    world = SyDWorld(seed=seed, auth_passphrase="net")
+    a = world.add_node("a", password="pa")
+    b = world.add_node("b", password="pb")
+    obj = ResourceObject("b_res", b.store, b.locks)
+    b.listener.publish_object(obj, user_id="b", service="res")
+    obj.add("slot")
+    b.auth_table.grant("a", "pa")
+    with measure(world) as m_auth:
+        a.engine.execute("b", "res", "read", "slot")
+    a.engine.credentials = None
+    b.listener._auth_passphrase = None
+    with measure(world) as m_plain:
+        a.engine.execute("b", "res", "read", "slot")
+    rows.append(
+        ["request bytes (auth vs plain)", m_auth.bytes, m_plain.bytes,
+         m_auth.bytes - m_plain.bytes]
+    )
+    return {
+        "id": "E7",
+        "title": "E7 — TEA authentication overhead (§5.4)",
+        "columns": ["operation", "encrypt/seal (µs) | bytes", "decrypt/unseal (µs) | bytes", "overhead"],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E8
+
+def exp_e8_comparison(
+    n_users: int = 8, n_meetings: int = 10, n_cancels: int = 3, seed: int = 8
+) -> dict[str, Any]:
+    """E8 (§6): SyD calendar vs replicated-email vs centralized, quantified."""
+    from repro.baselines.centralized import CentralizedCalendarBaseline
+    from repro.baselines.replicated import ReplicatedCalendarBaseline
+
+    rows: list[list[Any]] = []
+
+    # ---- SyD -----------------------------------------------------------
+    app = build_calendar_population(n_users, seed=seed, occupancy=0.3)
+    users = sorted(app.users)
+    scheduled = []
+    before = app.world.stats.snapshot()
+    for req in meeting_request_stream(users, n_meetings, seed=seed, group_size=3):
+        try:
+            meeting = app.manager(req.initiator).schedule_meeting(
+                req.title, list(req.participants)
+            )
+            scheduled.append((req.initiator, meeting))
+        except SchedulingError:
+            pass
+    confirmed = sum(
+        1 for _, m in scheduled if m.status is MeetingStatus.CONFIRMED
+    )
+    for initiator, meeting in scheduled[:n_cancels]:
+        app.manager(initiator).cancel_meeting(meeting.meeting_id)
+    syd_msgs = app.world.stats.snapshot().delta(before).messages
+    storage = app.total_storage_bytes()
+    syd_row = [
+        "SyD",
+        f"{confirmed}/{n_meetings}",
+        syd_msgs + app.mail.sent,
+        app.mail.action_required,           # zero manual interventions
+        max(storage.values()),
+        "yes",                              # auto reschedule / promotion
+    ]
+
+    # ---- replicated / email ---------------------------------------------
+    rep = ReplicatedCalendarBaseline(days=5)
+    for u in users:
+        rep.add_user(u)
+    import random as _random
+
+    rng = _random.Random(seed)
+    for u in users:
+        for d in range(5):
+            for h in range(9, 17):
+                if rng.random() < 0.3:
+                    rep.block(u, d, h)
+    rep.sync_replicas()
+    rep_confirmed = 0
+    rep_meetings = []
+    for req in meeting_request_stream(users, n_meetings, seed=seed, group_size=3):
+        mid, _rounds = rep.schedule_meeting_full_cycle(
+            req.initiator, req.title, list(req.participants)
+        )
+        if mid:
+            rep_confirmed += 1
+            rep_meetings.append((req.initiator, mid))
+    for initiator, mid in rep_meetings[:n_cancels]:
+        rep.cancel_meeting(initiator, mid)
+        for u in users:
+            rep.process_cancellation(u)
+    rep_row = [
+        "replicated+email",
+        f"{rep_confirmed}/{n_meetings}",
+        rep.mail.sent + rep.replication_messages,
+        rep.manual_interventions,
+        max(rep.storage_bytes(u) for u in users),
+        "no",
+    ]
+
+    # ---- centralized ----------------------------------------------------
+    cen = CentralizedCalendarBaseline(days=5)
+    for u in users:
+        cen.add_user(u)
+    rng = _random.Random(seed)
+    for u in users:
+        for d in range(5):
+            for h in range(9, 17):
+                if rng.random() < 0.3:
+                    cen.block(u, d, h)
+    cen_confirmed = 0
+    cen_meetings = []
+    for req in meeting_request_stream(users, n_meetings, seed=seed, group_size=3):
+        mid = cen.schedule_meeting(req.initiator, req.title, list(req.participants))
+        if mid:
+            cen_confirmed += 1
+            cen_meetings.append((req.initiator, mid))
+    for initiator, mid in cen_meetings[:n_cancels]:
+        cen.cancel_meeting(initiator, mid)
+    cen_row = [
+        "centralized",
+        f"{cen_confirmed}/{n_meetings}",
+        cen.messages,
+        0,
+        cen.server_storage_bytes(),  # all storage on the server
+        "no",
+    ]
+
+    rows.extend([syd_row, rep_row, cen_row])
+    return {
+        "id": "E8",
+        "title": "E8 — SyD vs existing calendar designs, quantified (§6)",
+        "columns": [
+            "system",
+            "confirmed",
+            "messages",
+            "manual steps",
+            "max storage (B)",
+            "auto promote/resched",
+        ],
+        "rows": rows,
+    }
+
+
+def exp_e8b_storage_scaling(populations=(2, 4, 8, 16, 32), seed: int = 8) -> dict[str, Any]:
+    """E8b (§6): per-user storage vs population size.
+
+    The §6 claim: "each user's local machine stores only that particular
+    user's information ... this requires much less storage space". SyD
+    per-user bytes must stay flat as the population grows; the
+    replicated design's grow linearly (every user holds every folder).
+    """
+    from repro.baselines.replicated import ReplicatedCalendarBaseline
+
+    rows: list[list[Any]] = []
+    for n in populations:
+        app = build_calendar_population(n, seed=seed)
+        syd_per_user = max(app.total_storage_bytes().values())
+
+        rep = ReplicatedCalendarBaseline(days=5)
+        for i in range(n):
+            rep.add_user(f"u{i:03d}")
+        rep_per_user = max(rep.storage_bytes(f"u{i:03d}") for i in range(n))
+        rows.append([n, syd_per_user, rep_per_user, rep_per_user / syd_per_user])
+    return {
+        "id": "E8B",
+        "title": "E8b — per-user storage vs population (§6 storage claim)",
+        "columns": ["users", "SyD bytes/user", "replicated bytes/user", "ratio"],
+        "rows": rows,
+    }
+
+
+# --------------------------------------------------------------------------- E9
+
+def exp_e9_quorum(
+    bio_sizes=(4, 6, 8),
+    quorums=(0.25, 0.5, 0.75),
+    seed: int = 9,
+) -> dict[str, Any]:
+    """E9 (§5): quorum scheduling — Biology k-of-n + Physics >= 2 + musts."""
+    rows: list[list[Any]] = []
+    for n_bio in bio_sizes:
+        for q in quorums:
+            k = max(1, int(q * n_bio))
+            app = build_calendar_population(
+                3 + n_bio + 3, seed=seed, occupancy=0.4
+            )
+            users = sorted(app.users)
+            initiator, participants, must, groups = quorum_request(
+                users, must=2, group_sizes=(n_bio, 3), ks=(k, 2)
+            )
+            with measure(app.world) as m:
+                try:
+                    meeting = app.manager(initiator).schedule_meeting(
+                        "faculty", participants, must_attend=must, or_groups=groups
+                    )
+                    status = meeting.status.value
+                    committed = len(meeting.committed)
+                except SchedulingError:
+                    status, committed = "failed", 0
+            rows.append(
+                [n_bio, f"{k}/{n_bio}", status, committed, m.messages, m.sim_latency * 1e3]
+            )
+    return {
+        "id": "E9",
+        "title": "E9 — quorum / OR-group scheduling (§5 second example)",
+        "columns": ["biology n", "quorum k", "status", "committed", "messages", "sim latency (ms)"],
+        "rows": rows,
+    }
+
+
+def exp_e10_contention(
+    contenders=(2, 4, 8), seed: int = 10
+) -> dict[str, Any]:
+    """E10 (§5's race): query-then-write vs negotiation links under
+    contention. Several initiators target the *same* popular participant
+    in the same window; the naive path double-books, SyD never does."""
+    from repro.baselines.naive import run_interleaved_naive, run_interleaved_syd
+
+    rows: list[list[Any]] = []
+    for n in contenders:
+        for mode in ("naive", "syd"):
+            app = build_calendar_population(n + 1, seed=seed)
+            users = sorted(app.users)
+            popular = users[-1]
+            requests = [(users[i], [popular]) for i in range(n)]
+            runner = run_interleaved_naive if mode == "naive" else run_interleaved_syd
+            report = runner(app, requests, day_from=0, day_to=0)
+            rows.append(
+                [
+                    mode,
+                    n,
+                    report.believed_successes,
+                    report.double_booked_slots,
+                    report.conflicting_meetings,
+                ]
+            )
+    return {
+        "id": "E10",
+        "title": "E10 — the §5 race: query-then-write vs negotiation links",
+        "columns": [
+            "mode",
+            "contenders",
+            "believed successes",
+            "double-booked slots",
+            "conflicting meetings",
+        ],
+        "rows": rows,
+    }
+
+
+ALL_EXPERIMENTS = {
+    "E1": exp_e1_kernel_ops,
+    "E2": exp_e2_negotiation,
+    "E3": exp_e3_cancel_cascade,
+    "E4": exp_e4_meeting_setup,
+    "E5": exp_e5_proxy,
+    "E6": exp_e6_triggers,
+    "E7": exp_e7_security,
+    "E8": exp_e8_comparison,
+    "E8B": exp_e8b_storage_scaling,
+    "E9": exp_e9_quorum,
+    "E10": exp_e10_contention,
+}
+
+FAST_OVERRIDES: dict[str, dict[str, Any]] = {
+    "E2": {"sizes": (2, 4), "availabilities": (1.0, 0.5), "trials": 4},
+    "E3": {"depths": (1, 4, 8)},
+    "E4": {"occupancies": (0.1, 0.5), "participants": (2, 4), "requests": 5},
+    "E5": {"journal_sizes": (0, 10)},
+    "E6": {"fanouts": (1, 4, 8)},
+    "E8B": {"populations": (2, 4, 8)},
+    "E9": {"bio_sizes": (4,), "quorums": (0.5,)},
+}
+
+
+def run_experiment(exp_id: str, fast: bool = False) -> dict[str, Any]:
+    """Run one experiment; returns its table dict."""
+    try:
+        fn = ALL_EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        raise SystemExit(f"unknown experiment {exp_id!r} (known: {known})") from None
+    kwargs = FAST_OVERRIDES.get(exp_id, {}) if fast else {}
+    return fn(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exp", action="append", help="experiment id (repeatable)")
+    parser.add_argument("--fast", action="store_true", help="reduced sweeps")
+    args = parser.parse_args(argv)
+    targets = args.exp or sorted(ALL_EXPERIMENTS)
+    for exp_id in targets:
+        table = run_experiment(exp_id.upper(), fast=args.fast)
+        print(format_table(table["title"], table["columns"], table["rows"]))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

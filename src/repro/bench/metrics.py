@@ -1,0 +1,57 @@
+"""Measurement helpers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.net.stats import StatsSnapshot
+from repro.world import SyDWorld
+
+
+@dataclass
+class Measurement:
+    """What one measured operation cost in the simulated world."""
+
+    messages: int = 0
+    bytes: int = 0
+    sim_latency: float = 0.0   # total network delay charged to the clock
+    sim_elapsed: float = 0.0   # virtual time from start to end
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@contextmanager
+def measure(world: SyDWorld) -> Iterator[Measurement]:
+    """Measure messages/bytes/virtual-time of the enclosed block."""
+    m = Measurement()
+    before: StatsSnapshot = world.stats.snapshot()
+    t0 = world.now
+    try:
+        yield m
+    finally:
+        delta = world.stats.snapshot().delta(before)
+        m.messages = delta.messages
+        m.bytes = delta.bytes
+        m.sim_latency = delta.latency
+        m.sim_elapsed = world.now - t0
+
+
+def format_table(title: str, columns: list[str], rows: list[list[Any]]) -> str:
+    """Render an aligned plain-text table (the harness's output format)."""
+    def fmt(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Seeded workload generators for the experiments.
+
+All randomness flows through a single ``random.Random`` owned by the
+generator, so every experiment row is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import OrGroup
+from repro.world import SyDWorld
+
+
+def build_calendar_population(
+    n_users: int,
+    *,
+    seed: int = 0,
+    days: int = 5,
+    occupancy: float = 0.0,
+    store_kind: str = "relational",
+    latency="campus",
+) -> SyDCalendarApp:
+    """A world with ``n_users`` calendar users, each with a fraction
+    ``occupancy`` of their slots pre-blocked (independent per user)."""
+    world = SyDWorld(seed=seed, latency=latency)
+    app = SyDCalendarApp(world, days=days)
+    rng = random.Random(seed * 7919 + 13)
+    for i in range(n_users):
+        user = f"u{i:03d}"
+        app.add_user(user, store_kind=store_kind)
+        if occupancy > 0:
+            cal = app.calendar(user)
+            service = app.service(user)
+            for row in cal.free_slots(0, days - 1):
+                if rng.random() < occupancy:
+                    service.block({"day": row["day"], "hour": row["hour"]})
+    return app
+
+
+@dataclass(frozen=True)
+class MeetingRequest:
+    """One generated scheduling request."""
+
+    initiator: str
+    participants: tuple[str, ...]
+    title: str
+    priority: int
+
+
+def meeting_request_stream(
+    users: list[str],
+    n_requests: int,
+    *,
+    seed: int = 0,
+    group_size: int = 3,
+    max_priority: int = 0,
+):
+    """Yield ``n_requests`` random meeting requests over ``users``."""
+    rng = random.Random(seed * 104729 + 7)
+    for i in range(n_requests):
+        initiator = rng.choice(users)
+        others = [u for u in users if u != initiator]
+        size = min(group_size - 1, len(others))
+        participants = tuple(rng.sample(others, size))
+        priority = rng.randint(0, max_priority) if max_priority else 0
+        yield MeetingRequest(initiator, participants, f"meeting-{i}", priority)
+
+
+def quorum_request(
+    users: list[str],
+    *,
+    must: int = 2,
+    group_sizes: tuple[int, ...] = (4, 3),
+    ks: tuple[int, ...] = (2, 2),
+) -> tuple[str, list[str], list[str], list[OrGroup]]:
+    """Build a §5-style quorum request from the user list.
+
+    Returns (initiator, participants, must_attend, or_groups). Users are
+    carved off the front of the list in order: initiator, must-attendees,
+    then each or-group.
+    """
+    it = iter(users)
+    initiator = next(it)
+    must_attend = [next(it) for _ in range(must)]
+    or_groups = []
+    participants = list(must_attend)
+    for size, k in zip(group_sizes, ks):
+        members = tuple(next(it) for _ in range(size))
+        or_groups.append(OrGroup(members, k))
+        participants.extend(members)
+    return initiator, participants, must_attend, or_groups

@@ -1,0 +1,139 @@
+"""SyDCalendarApp — the application facade.
+
+Bundles the whole calendar deployment over a :class:`~repro.world.SyDWorld`:
+one shared simulated mail system, and per user a calendar store, the
+published :class:`CalendarService`, and a :class:`MeetingManager`.
+
+This is deliverable-level API — what the paper's end user (or the
+examples/) program against::
+
+    world = SyDWorld(seed=1)
+    app = SyDCalendarApp(world)
+    app.add_user("phil"); app.add_user("andy"); app.add_user("suzy")
+    meeting = app.manager("phil").schedule_meeting(
+        "Budget", ["andy", "suzy"], day_from=0, day_to=2)
+    app.manager("phil").cancel_meeting(meeting.meeting_id)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calendar.meetings import MeetingManager
+from repro.calendar.notifications import MailSystem
+from repro.calendar.service import CalendarService
+from repro.calendar.storage import (
+    DEFAULT_DAY_END,
+    DEFAULT_DAY_START,
+    DEFAULT_DAYS,
+    CalendarStore,
+)
+from repro.kernel.node import SyDNode
+from repro.net.address import DeviceClass
+from repro.util.errors import ReproError
+from repro.world import SyDWorld
+
+
+@dataclass
+class CalendarUser:
+    """Everything belonging to one calendar user."""
+
+    node: SyDNode
+    calendar: CalendarStore
+    service: CalendarService
+    manager: MeetingManager
+
+
+class SyDCalendarApp:
+    """The calendar-of-meetings application over a SyD world."""
+
+    def __init__(
+        self,
+        world: SyDWorld,
+        *,
+        days: int = DEFAULT_DAYS,
+        day_start: int = DEFAULT_DAY_START,
+        day_end: int = DEFAULT_DAY_END,
+        link_expiry_sweep: float | None = None,
+    ):
+        self.world = world
+        self.days = days
+        self.day_start = day_start
+        self.day_end = day_end
+        self.link_expiry_sweep = link_expiry_sweep
+        self.mail = MailSystem(world.clock)
+        self.users: dict[str, CalendarUser] = {}
+
+    def add_user(
+        self,
+        user: str,
+        *,
+        store_kind: str = "relational",
+        device_class: DeviceClass = DeviceClass.PDA,
+        password: str | None = None,
+        priority: int = 0,
+    ) -> CalendarUser:
+        """Create a device node + calendar stack for ``user``.
+
+        ``priority`` is the user's rank (paper §6: "each user is assigned
+        a priority"); meetings involving high-priority must-attendees
+        inherit it by default (see ``MeetingManager.schedule_meeting``).
+        """
+        node = self.world.add_node(
+            user,
+            store_kind=store_kind,
+            device_class=device_class,
+            password=password,
+            info={"priority": priority},
+        )
+        calendar = CalendarStore(
+            node.store,
+            days=self.days,
+            day_start=self.day_start,
+            day_end=self.day_end,
+        )
+        service = CalendarService(
+            user, calendar, node.locks, node.links, node.engine, node.events.bus
+        )
+        node.listener.publish_object(service, user_id=user, service="calendar")
+        manager = MeetingManager(node, service, self.mail)
+        if self.link_expiry_sweep:
+            node.start_expiry_sweep(self.link_expiry_sweep)
+        entry = CalendarUser(node, calendar, service, manager)
+        self.users[user] = entry
+        return entry
+
+    def manager(self, user: str) -> MeetingManager:
+        """The meeting manager of ``user``."""
+        return self._entry(user).manager
+
+    def calendar(self, user: str) -> CalendarStore:
+        """The calendar store of ``user``."""
+        return self._entry(user).calendar
+
+    def service(self, user: str) -> CalendarService:
+        """The published calendar service of ``user``."""
+        return self._entry(user).service
+
+    def node(self, user: str) -> SyDNode:
+        """The SyD node of ``user``."""
+        return self._entry(user).node
+
+    def _entry(self, user: str) -> CalendarUser:
+        try:
+            return self.users[user]
+        except KeyError:
+            raise ReproError(f"no calendar user {user!r}") from None
+
+    # -- world-level metrics (E8) ------------------------------------------------
+
+    def total_storage_bytes(self) -> dict[str, int]:
+        """Per-user store footprint."""
+        return {u: e.calendar.storage_bytes() for u, e in self.users.items()}
+
+    def meeting_view(self, user: str, meeting_id: str):
+        """This user's current copy of a meeting (None when absent)."""
+        entry = self._entry(user)
+        if entry.calendar.has_meeting(meeting_id):
+            return entry.calendar.meeting(meeting_id)
+        return None

@@ -1,0 +1,106 @@
+"""SyD Application Objects (SyDAppOs) for calendars.
+
+Paper §3.2: "A SyDApp constructs an object called
+``Calendars_of_phil+andy+suzy_SyDAppO`` that 'links' together and defines
+a set of methods that can operate on the calendar objects of all three
+individuals ... The SyDAppO may support the following methods:
+``Find_earliest_meeting_time()``, ``Change_meeting_time_to_next_
+available()``, etc. [It] would be instantiated from a general class
+called ``Calendars_of_committee_SyDAppC`` that could be provided by a
+vendor or written by users themselves."
+
+:class:`CommitteeCalendars` is that general class: an aggregation over a
+committee's calendar objects, itself a publishable device object, whose
+methods ride entirely on groupware services (lookup/invoke/aggregate) —
+no knowledge of devices, stores or locations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.calendar.meetings import MeetingManager
+from repro.calendar.model import Meeting
+from repro.calendar.scheduler import find_common_free_slots
+from repro.device.object import SyDDeviceObject, exported
+from repro.util.errors import CalendarError, SchedulingError
+
+
+def appo_name(members: Sequence[str]) -> str:
+    """The paper's naming convention for calendar SyDAppOs."""
+    return f"Calendars_of_{'+'.join(members)}_SyDAppO"
+
+
+class CommitteeCalendars(SyDDeviceObject):
+    """``Calendars_of_committee_SyDAppC`` — aggregate calendar operations
+    over a fixed committee, runnable from any member's node."""
+
+    def __init__(self, manager: MeetingManager, members: Sequence[str]):
+        if manager.user not in members:
+            raise CalendarError(
+                f"the hosting user {manager.user!r} must belong to the committee"
+            )
+        super().__init__(appo_name(members), store=None)
+        self.manager = manager
+        self.members = list(members)
+
+    # -- the paper's two named methods ---------------------------------------
+
+    @exported
+    def find_earliest_meeting_time(
+        self, day_from: int = 0, day_to: Optional[int] = None
+    ) -> Optional[dict[str, int]]:
+        """Earliest slot free for every committee member (None if none).
+
+        §5 steps i–iv: group query + all-confirm + intersection.
+        """
+        day_to = (
+            self.manager.service.calendar.days - 1 if day_to is None else day_to
+        )
+        slots = find_common_free_slots(
+            self.manager.node.engine, self.members, day_from, day_to
+        )
+        return slots[0] if slots else None
+
+    @exported
+    def change_meeting_time_to_next_available(self, meeting_id: str) -> Optional[dict[str, int]]:
+        """Move a committee meeting to the next slot everyone has free.
+
+        Returns the new slot, or None when no later slot can be agreed
+        (the meeting is left untouched).
+        """
+        moved = self.manager.move_meeting(meeting_id)
+        return dict(moved.slot) if moved else None
+
+    # -- convenience committee operations -------------------------------------
+
+    @exported
+    def schedule_earliest(self, title: str, **options: Any) -> dict[str, Any]:
+        """Call a committee meeting at the earliest common time."""
+        meeting = self.manager.schedule_meeting(
+            title, [m for m in self.members if m != self.manager.user], **options
+        )
+        return meeting.to_row()
+
+    @exported
+    def committee_load(self, day_from: int = 0, day_to: Optional[int] = None) -> dict[str, float]:
+        """Fraction of non-free slots per member in the window."""
+        day_to = (
+            self.manager.service.calendar.days - 1 if day_to is None else day_to
+        )
+        out: dict[str, float] = {}
+        group = self.manager.node.engine.execute_group(
+            self.members, "calendar", "query_free_slots", day_from, day_to
+        )
+        cal = self.manager.service.calendar
+        slots_per_user = (day_to - day_from + 1) * (cal.day_end - cal.day_start)
+        for result in group.results:
+            free = len(result.value) if result.ok and result.value else 0
+            out[result.member] = 1.0 - free / slots_per_user
+        return out
+
+    def schedule(self, title: str, **options: Any) -> Meeting:
+        """Local-API variant of :meth:`schedule_earliest` returning the
+        :class:`Meeting` object."""
+        row = self.schedule_earliest(title, **options)
+        return Meeting.from_row(row)

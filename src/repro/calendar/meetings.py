@@ -1,0 +1,989 @@
+"""MeetingManager — the calendar application's coordination workflows.
+
+One manager runs per user and drives every lifecycle of paper §4.4/§5
+through coordination links and negotiations:
+
+* **schedule** — find common slots, then a (multi-group) negotiation-and
+  reserve; on partial availability fall back to a *tentative* meeting:
+  available participants hold their slots, unavailable ones get a
+  tentative back link queued at their slot, others get subscription back
+  links to the initiator.
+* **promotion** — when a missing participant's slot frees, their
+  tentative link fires ``on_participant_available`` at the initiator,
+  which re-runs the confirmation negotiation; on success the meeting is
+  confirmed and the link structure upgraded.
+* **cancel** — §4.4's steps: delete the forward link (cascading away the
+  back links), release every slot (which triggers waiting tentative
+  meetings of *other* initiators — automatic rescheduling), update
+  meeting rows, notify by e-mail.
+* **bump** — a higher-priority meeting steals slots; the bumped
+  initiator releases the remains and automatically reschedules (§6).
+* **drop-out** — participants ask the initiator to leave; or-group
+  members are only released when the quorum survives or a replacement
+  commits (§5's Biology-faculty rule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.calendar.model import (
+    Meeting,
+    MeetingStatus,
+    OrGroup,
+    SlotStatus,
+    entity_to_id,
+)
+from repro.calendar.notifications import MailSystem
+from repro.calendar.scheduler import candidate_slots
+from repro.calendar.service import CalendarService
+from repro.kernel.node import SyDNode
+from repro.txn.coordinator import AND, Participant, at_least
+from repro.util.errors import (
+    CalendarError,
+    NetworkError,
+    NotInitiatorError,
+    ReproError,
+    SchedulingError,
+)
+from repro.util.idgen import IdGenerator
+
+CAL_SERVICE = "calendar"
+
+
+class MeetingManager:
+    """Per-user driver of the calendar application."""
+
+    def __init__(self, node: SyDNode, service: CalendarService, mail: MailSystem):
+        self.node = node
+        self.service = service
+        self.mail = mail
+        self.user = node.user
+        self._ids = IdGenerator()
+        service.manager = self
+        #: automatic rescheduling of bumped meetings (§6) — on by default
+        self.auto_reschedule = True
+        # Experiment counters.
+        self.scheduled_confirmed = 0
+        self.scheduled_tentative = 0
+        self.promotions = 0
+        self.bumps_handled = 0
+        self.reschedules = 0
+        self.reschedule_map: dict[str, str] = {}
+        node.events.on_local("calendar.participant_available", self._on_participant_available)
+        node.events.on_local("calendar.meeting_bumped", self._on_meeting_bumped)
+        node.events.on_local("calendar.supervisor_changed", self._on_supervisor_changed)
+
+    # ------------------------------------------------------------------ schedule
+
+    def schedule_meeting(
+        self,
+        title: str,
+        participants: Sequence[str],
+        *,
+        day_from: int = 0,
+        day_to: int | None = None,
+        must_attend: Sequence[str] | None = None,
+        or_groups: Sequence[OrGroup] | None = None,
+        supervisors: Sequence[str] | None = None,
+        priority: int | None = None,
+        allow_tentative: bool = True,
+        preferred_slot: dict[str, int] | None = None,
+        max_candidates: int = 25,
+    ) -> Meeting:
+        """Set up a meeting (§5's typical scenario).
+
+        ``participants`` is everyone invited. ``must_attend`` defaults to
+        all participants not covered by an or-group and not supervisors.
+        ``priority`` defaults to the highest *user* priority among the
+        must-attendees and supervisors (paper §6: "each meeting is also
+        assigned a priority depending on the must attendees").
+        Raises :class:`SchedulingError` when no slot can be reserved even
+        tentatively.
+        """
+        day_to = (self.service.calendar.days - 1) if day_to is None else day_to
+        participants = _dedup([self.user, *participants])
+        supervisors = _dedup(supervisors or [])
+        or_groups = list(or_groups or [])
+        grouped = {m for g in or_groups for m in g.members}
+        if must_attend is None:
+            must_attend = [
+                u for u in participants if u not in grouped and u not in supervisors
+            ]
+        must_attend = _dedup([self.user, *must_attend])
+        required = _dedup([*must_attend, *supervisors])
+        if priority is None:
+            priority = self._default_priority(required)
+
+        meeting_id = self._ids.next(f"mtg-{self.user}")
+        first_failure = None
+        if preferred_slot is not None:
+            candidates = [preferred_slot]
+        else:
+            candidates = candidate_slots(
+                self.node.engine, required, or_groups, day_from, day_to,
+                limit=max_candidates,
+            )
+            if not candidates:
+                # "(ii) set up tentative meetings which could not be set
+                # up otherwise due to unavailability of certain
+                # individuals" (§1): pick the slot with the broadest
+                # availability and go straight to the tentative path.
+                if allow_tentative:
+                    best = self._best_effort_slot(required, day_from, day_to)
+                    if best is not None:
+                        slot, _unavailable = best
+                        # A full-strength attempt at the best slot records
+                        # exactly who refuses (must-attendees *and*
+                        # or-group members); it is all-or-nothing, so a
+                        # failure leaves no residue.
+                        confirmed = self._attempt(
+                            meeting_id, title, slot, participants, must_attend,
+                            or_groups, supervisors, priority, (day_from, day_to),
+                        )
+                        if confirmed is not None:
+                            return confirmed
+                        tentative = self._attempt_tentative(
+                            meeting_id, title, slot, participants, must_attend,
+                            or_groups, supervisors, priority, (day_from, day_to),
+                        )
+                        if tentative is not None:
+                            return tentative
+                raise SchedulingError(
+                    f"no common free slot for {required} in days [{day_from}, {day_to}]"
+                )
+
+        for slot in candidates:
+            outcome = self._attempt(
+                meeting_id, title, slot, participants, must_attend, or_groups,
+                supervisors, priority, (day_from, day_to),
+            )
+            if outcome is not None and outcome.status is MeetingStatus.CONFIRMED:
+                return outcome
+            if first_failure is None:
+                first_failure = slot
+                # Refusals are per-slot: keep the ones recorded for THIS
+                # slot, not whichever candidate happened to fail last.
+                first_refused = list(getattr(self, "_last_refused", []))
+        if allow_tentative and first_failure is not None:
+            self._last_refused = first_refused
+            tentative = self._attempt_tentative(
+                meeting_id, title, first_failure, participants, must_attend,
+                or_groups, supervisors, priority, (day_from, day_to),
+            )
+            if tentative is not None:
+                return tentative
+        raise SchedulingError(
+            f"could not reserve any of {len(candidates)} candidate slots for {title!r}"
+        )
+
+    def _default_priority(self, users: Sequence[str]) -> int:
+        """Highest user-rank among ``users`` (paper §6's inherited
+        meeting priority). Users publish their rank in the directory
+        ``info`` record; unranked users count as 0."""
+        best = 0
+        for user in users:
+            try:
+                info = self.node.directory.lookup_user(user).get("info") or {}
+            except ReproError:
+                continue
+            best = max(best, int(info.get("priority", 0) or 0))
+        return best
+
+    def _best_effort_slot(
+        self, required: list[str], day_from: int, day_to: int
+    ) -> tuple[dict[str, int], list[str]] | None:
+        """The slot (free for the initiator) where the most required
+        users are free; returns (slot, unavailable_users) or None."""
+        availability = self.node.engine.execute_group(
+            required, CAL_SERVICE, "query_free_slots", day_from, day_to
+        )
+        free_by_user = {
+            r.member: {(s["day"], s["hour"]) for s in (r.value or [])}
+            for r in availability.succeeded
+        }
+        mine = free_by_user.get(self.user, set())
+        if not mine:
+            return None
+        best_key, best_count = None, -1
+        for key in sorted(mine):
+            count = sum(1 for u in required if key in free_by_user.get(u, ()))
+            if count > best_count:
+                best_key, best_count = key, count
+        assert best_key is not None
+        slot = {"day": best_key[0], "hour": best_key[1]}
+        unavailable = [
+            u for u in required if best_key not in free_by_user.get(u, ())
+        ]
+        return slot, unavailable
+
+    def _participants_for(
+        self, users: Sequence[str], slot: dict[str, int], priority: int, meeting_id: str
+    ) -> list[Participant]:
+        return [
+            Participant(
+                u, slot, CAL_SERVICE, mark_args=(priority, meeting_id)
+            )
+            for u in users
+            if u != self.user
+        ]
+
+    def _attempt(
+        self,
+        meeting_id: str,
+        title: str,
+        slot: dict[str, int],
+        participants: list[str],
+        must_attend: list[str],
+        or_groups: list[OrGroup],
+        supervisors: list[str],
+        priority: int,
+        window: tuple[int, int],
+    ) -> Meeting | None:
+        """One full-strength reservation attempt at ``slot``."""
+        groups = [
+            (self._participants_for(_dedup([*must_attend, *supervisors]), slot, priority, meeting_id), AND)
+        ]
+        for g in or_groups:
+            groups.append(
+                (self._participants_for(g.members, slot, priority, meeting_id), at_least(g.k))
+            )
+        change = {
+            "meeting_id": meeting_id,
+            "status": SlotStatus.RESERVED.value,
+            "priority": priority,
+            "title": title,
+        }
+        initiator = Participant(self.user, slot, CAL_SERVICE, mark_args=(priority, meeting_id))
+        result = self.node.coordinator.execute_multi(initiator, groups, change)
+        if not result.ok:
+            self._last_refused = list(result.refused)
+            return None
+        committed = _dedup(result.changed)
+        meeting = Meeting(
+            meeting_id=meeting_id,
+            initiator=self.user,
+            title=title,
+            slot=slot,
+            participants=participants,
+            must_attend=must_attend,
+            or_groups=or_groups,
+            supervisors=supervisors,
+            priority=priority,
+            status=MeetingStatus.CONFIRMED,
+            committed=committed,
+            missing=[],
+            window=window,
+            created_at=self.node.transport.clock.now(),
+        )
+        self._distribute(meeting)
+        self._create_links(meeting)
+        self.mail.broadcast(
+            self.user,
+            committed,
+            f"Meeting confirmed: {title}",
+            f"{title} at day {slot['day']} hour {slot['hour']} (id {meeting_id})",
+            meeting_id=meeting_id,
+        )
+        self.scheduled_confirmed += 1
+        return meeting
+
+    def _attempt_tentative(
+        self,
+        meeting_id: str,
+        title: str,
+        slot: dict[str, int],
+        participants: list[str],
+        must_attend: list[str],
+        or_groups: list[OrGroup],
+        supervisors: list[str],
+        priority: int,
+        window: tuple[int, int],
+    ) -> Meeting | None:
+        """Hold the slot with whoever is available; queue tentative links
+        at the rest (§5: 'for those folks who could not be reserved, a
+        tentative back link to A is queued up at the corresponding
+        slots')."""
+        refused = set(getattr(self, "_last_refused", []))
+        available_must = [u for u in _dedup([*must_attend, *supervisors]) if u not in refused]
+        groups = [(self._participants_for(available_must, slot, priority, meeting_id), AND)]
+        for g in or_groups:
+            avail = [m for m in g.members if m not in refused]
+            groups.append(
+                (
+                    self._participants_for(avail, slot, priority, meeting_id),
+                    at_least(min(g.k, max(len(avail), 0))) if avail else at_least(0),
+                )
+            )
+        change = {
+            "meeting_id": meeting_id,
+            "status": SlotStatus.HELD.value,
+            "priority": priority,
+            "title": title,
+        }
+        initiator = Participant(self.user, slot, CAL_SERVICE, mark_args=(priority, meeting_id))
+        result = self.node.coordinator.execute_multi(initiator, groups, change)
+        if not result.ok:
+            return None
+        committed = _dedup(result.changed)
+        missing = [u for u in participants if u not in committed]
+        meeting = Meeting(
+            meeting_id=meeting_id,
+            initiator=self.user,
+            title=title,
+            slot=slot,
+            participants=participants,
+            must_attend=must_attend,
+            or_groups=or_groups,
+            supervisors=supervisors,
+            priority=priority,
+            status=MeetingStatus.TENTATIVE,
+            committed=committed,
+            missing=missing,
+            window=window,
+            created_at=self.node.transport.clock.now(),
+        )
+        self._distribute(meeting)
+        self._create_links(meeting)
+        self.mail.broadcast(
+            self.user,
+            committed,
+            f"Tentative meeting: {title}",
+            f"{title} held at day {slot['day']} hour {slot['hour']}; waiting on {missing}",
+            meeting_id=meeting_id,
+        )
+        self.scheduled_tentative += 1
+        return meeting
+
+    # ------------------------------------------------------------------ links
+
+    def _create_links(self, meeting: Meeting) -> None:
+        """Install the link structure of §5 for ``meeting``."""
+        from repro.kernel.linktypes import LinkRef, LinkType
+
+        mid = meeting.meeting_id
+        ctx = {"meeting_id": mid, "cascade_id": mid}
+        others = [u for u in meeting.committed if u != self.user]
+
+        # Forward negotiation-and link at the initiator, triggered by the
+        # initiator's slot, referencing every participant's slot.
+        if not self.node.links.links_by_context("meeting_id", mid):
+            self.node.links.create_link(
+                LinkType.NEGOTIATION,
+                [LinkRef(u, meeting.slot, CAL_SERVICE) for u in meeting.participants if u != self.user]
+                or [LinkRef(self.user, meeting.slot, CAL_SERVICE)],
+                source_entity=meeting.slot,
+                constraint=AND,
+                priority=meeting.priority,
+                context={**ctx, "role": "forward"},
+            )
+
+        for user in others:
+            if user in meeting.supervisors:
+                # Supervisors keep the right to change at will: only a
+                # subscription back link at the supervisor (§5).
+                self._create_remote_link(
+                    user,
+                    {
+                        "ltype": "subscription",
+                        "source_entity": meeting.slot,
+                        "refs": [
+                            {
+                                "user": self.user,
+                                "entity": meeting.slot,
+                                "service": CAL_SERVICE,
+                                "on_change": "on_supervisor_changed",
+                            }
+                        ],
+                        "priority": meeting.priority,
+                        "context": {**ctx, "role": "supervisor-back"},
+                    },
+                )
+            elif meeting.status is MeetingStatus.CONFIRMED:
+                # Negotiation back link at each committed participant.
+                self._create_remote_link(
+                    user,
+                    {
+                        "ltype": "negotiation",
+                        "constraint": "and",
+                        "source_entity": meeting.slot,
+                        "refs": [
+                            {"user": self.user, "entity": meeting.slot, "service": CAL_SERVICE}
+                        ],
+                        "priority": meeting.priority,
+                        "context": {**ctx, "role": "back"},
+                    },
+                )
+            else:
+                # Tentative meeting: subscription back links keep the
+                # initiator informed of subsequent changes (§5).
+                self._create_remote_link(
+                    user,
+                    {
+                        "ltype": "subscription",
+                        "source_entity": meeting.slot,
+                        "refs": [
+                            {
+                                "user": self.user,
+                                "entity": meeting.slot,
+                                "service": CAL_SERVICE,
+                                "on_change": "on_peer_change",
+                            }
+                        ],
+                        "priority": meeting.priority,
+                        "context": {**ctx, "role": "back-subscription"},
+                    },
+                )
+
+        # Missing participants: tentative back link queued at their slot.
+        for user in meeting.missing:
+            self._queue_tentative_link(user, meeting)
+
+    def _queue_tentative_link(self, user: str, meeting: Meeting) -> None:
+        self._create_remote_link(
+            user,
+            {
+                "ltype": "negotiation",
+                "constraint": "and",
+                "subtype": "tentative",
+                "source_entity": meeting.slot,
+                "refs": [
+                    {
+                        "user": self.user,
+                        "entity": meeting.slot,
+                        "service": CAL_SERVICE,
+                        "on_change": "on_participant_available",
+                    }
+                ],
+                "priority": meeting.priority,
+                "context": {
+                    "meeting_id": meeting.meeting_id,
+                    "cascade_id": meeting.meeting_id,
+                    "role": "tentative-back",
+                },
+            },
+        )
+
+    def _create_remote_link(self, user: str, row: dict[str, Any]) -> str | None:
+        try:
+            return self.node.engine.execute(user, "_syd_links", "create_link_row", row)
+        except NetworkError:
+            return None
+
+    # ------------------------------------------------------------------ distribute
+
+    def _distribute(self, meeting: Meeting) -> None:
+        """Store the meeting row at every participant that may hold a
+        copy (each keeps *only their own* copy — §6's storage claim).
+
+        Participants who already dropped or are still missing get the
+        update too, so their stale CONFIRMED copies degrade correctly.
+        """
+        self.service.calendar.put_meeting(meeting)
+        for user in _dedup([*meeting.committed, *meeting.participants]):
+            if user == self.user:
+                continue
+            try:
+                self.node.engine.execute(
+                    user, CAL_SERVICE, "store_meeting", meeting.to_row()
+                )
+            except NetworkError:
+                continue
+
+    def _broadcast_status(self, meeting: Meeting, status: MeetingStatus) -> None:
+        meeting.status = status
+        self.service.calendar.put_meeting(meeting)
+        for user in _dedup([*meeting.committed, *meeting.participants]):
+            if user == self.user:
+                continue
+            try:
+                self.node.engine.execute(
+                    user, CAL_SERVICE, "set_meeting_status", meeting.meeting_id, status.value
+                )
+            except NetworkError:
+                continue
+
+    # ------------------------------------------------------------------ cancel (§4.4)
+
+    def cancel_meeting(self, meeting_id: str) -> Meeting:
+        """Cancel one of this user's own meetings (initiator only).
+
+        Follows §4.4: waiting/tentative structures get their chance via
+        the slot releases; associated links are deleted in a cascade; all
+        calendars are updated; participants are e-mailed.
+        """
+        meeting = self.service.calendar.meeting(meeting_id)
+        if meeting.initiator != self.user:
+            raise NotInitiatorError(
+                f"{self.user} did not initiate {meeting_id} (ask {meeting.initiator})"
+            )
+        if meeting.status in (MeetingStatus.CANCELLED,):
+            return meeting
+
+        # 1–4: delete the local forward link; cascade removes the back
+        # links (and tentative back links) at every associated user.
+        for link in self.node.links.links_by_context("cascade_id", meeting_id):
+            if self.node.links.has_link(link.link_id):
+                self.node.links.delete_link(link.link_id, cascade=True)
+
+        # 5–7: release every reserved slot and update each calendar. The
+        # releases fire availability triggers, which is what converts
+        # *other* tentative meetings to permanent automatically.
+        self._broadcast_status(meeting, MeetingStatus.CANCELLED)
+        for user in meeting.committed:
+            try:
+                if user == self.user:
+                    self.service.release_slot(meeting.slot, meeting_id)
+                else:
+                    self.node.engine.execute(
+                        user, CAL_SERVICE, "release_slot", meeting.slot, meeting_id
+                    )
+            except NetworkError:
+                continue
+        self.mail.broadcast(
+            self.user,
+            meeting.committed,
+            f"Meeting cancelled: {meeting.title}",
+            f"{meeting.title} (id {meeting_id}) was cancelled by {self.user}",
+            meeting_id=meeting_id,
+        )
+        return self.service.calendar.meeting(meeting_id)
+
+    # ------------------------------------------------------------------ promotion
+
+    def confirm_tentative(self, meeting_id: str) -> bool:
+        """Try to convert a tentative meeting to confirmed (§5).
+
+        Re-runs the full-strength negotiation; held slots of this very
+        meeting re-lock via the ``meeting_id`` mark argument.
+        """
+        meeting = self.service.calendar.meeting(meeting_id)
+        if meeting.status is not MeetingStatus.TENTATIVE:
+            return meeting.status is MeetingStatus.CONFIRMED
+        groups = [
+            (
+                self._participants_for(
+                    _dedup([*meeting.must_attend, *meeting.supervisors]),
+                    meeting.slot,
+                    meeting.priority,
+                    meeting_id,
+                ),
+                AND,
+            )
+        ]
+        for g in meeting.or_groups:
+            groups.append(
+                (
+                    self._participants_for(g.members, meeting.slot, meeting.priority, meeting_id),
+                    at_least(g.k),
+                )
+            )
+        change = {
+            "meeting_id": meeting_id,
+            "status": SlotStatus.RESERVED.value,
+            "priority": meeting.priority,
+            "title": meeting.title,
+        }
+        initiator = Participant(
+            self.user, meeting.slot, CAL_SERVICE, mark_args=(meeting.priority, meeting_id)
+        )
+        result = self.node.coordinator.execute_multi(initiator, groups, change)
+        if not result.ok:
+            return False
+
+        newly_joined = [u for u in meeting.missing if u in result.changed]
+        meeting.committed = _dedup(result.changed)
+        meeting.missing = [u for u in meeting.missing if u not in meeting.committed]
+        meeting.status = MeetingStatus.CONFIRMED
+        self._distribute(meeting)
+        # Upgrade the link structure: retire tentative/subscription back
+        # links, install proper negotiation back links.
+        for user in newly_joined:
+            try:
+                self.node.engine.execute(
+                    user, "_syd_links", "delete_links_by_context", "meeting_id", meeting_id
+                )
+            except NetworkError:
+                pass
+        self._create_links(meeting)
+        self.mail.broadcast(
+            self.user,
+            meeting.committed,
+            f"Meeting confirmed: {meeting.title}",
+            f"Tentative meeting {meeting_id} is now confirmed",
+            meeting_id=meeting_id,
+        )
+        self.promotions += 1
+        return True
+
+    def _on_participant_available(self, topic: str, payload: dict[str, Any]) -> None:
+        meeting_id = payload.get("meeting_id")
+        if not meeting_id or not self.service.calendar.has_meeting(meeting_id):
+            return
+        self.confirm_tentative(meeting_id)
+
+    # ------------------------------------------------------------------ bumping
+
+    def _on_meeting_bumped(self, topic: str, payload: dict[str, Any]) -> None:
+        """One of our meetings lost a slot to a higher-priority meeting:
+        release the rest, mark it bumped, and automatically reschedule
+        (§6: 'the low priority meeting is then automatically
+        rescheduled')."""
+        meeting_id = payload["meeting_id"]
+        if not self.service.calendar.has_meeting(meeting_id):
+            return
+        meeting = self.service.calendar.meeting(meeting_id)
+        if meeting.status is MeetingStatus.BUMPED and meeting_id in self.reschedule_map:
+            return  # already handled
+        self.bumps_handled += 1
+
+        bumped_at = payload.get("user")
+        # Tear down links and release the slots that are still ours.
+        for link in self.node.links.links_by_context("cascade_id", meeting_id):
+            if self.node.links.has_link(link.link_id):
+                self.node.links.delete_link(link.link_id, cascade=True)
+        self._broadcast_status(meeting, MeetingStatus.BUMPED)
+        for user in meeting.committed:
+            if user == bumped_at:
+                continue  # that slot now belongs to the bumping meeting
+            try:
+                if user == self.user:
+                    self.service.release_slot(meeting.slot, meeting_id)
+                else:
+                    self.node.engine.execute(
+                        user, CAL_SERVICE, "release_slot", meeting.slot, meeting_id
+                    )
+            except NetworkError:
+                continue
+        self.mail.broadcast(
+            self.user,
+            meeting.committed,
+            f"Meeting bumped: {meeting.title}",
+            f"{meeting.title} lost its slot to a higher-priority meeting",
+            meeting_id=meeting_id,
+        )
+        if not self.auto_reschedule:
+            return
+        try:
+            replacement = self.schedule_meeting(
+                meeting.title,
+                meeting.participants,
+                day_from=meeting.window[0],
+                day_to=meeting.window[1],
+                must_attend=meeting.must_attend,
+                or_groups=meeting.or_groups,
+                supervisors=meeting.supervisors,
+                priority=meeting.priority,
+                allow_tentative=True,
+            )
+            self.reschedule_map[meeting_id] = replacement.meeting_id
+            self.reschedules += 1
+        except SchedulingError:
+            pass  # no slot anywhere; the meeting stays bumped
+
+    def schedule_group_meeting(self, group_id: str, title: str, **options: Any) -> Meeting:
+        """Schedule a meeting for a SyDDirectory *dynamic group* (§1:
+        "formation and maintenance of dynamic groups").
+
+        Membership is resolved at call time, so groups formed or mutated
+        elsewhere are picked up automatically.
+        """
+        members = self.node.directory.group_members(group_id)
+        participants = [u for u in members if u != self.user]
+        return self.schedule_meeting(title, participants, **options)
+
+    # ------------------------------------------------------------------ move (§3.2 / §5)
+
+    def move_meeting(
+        self, meeting_id: str, new_slot: dict[str, int] | None = None
+    ) -> Meeting | None:
+        """Atomically relocate a meeting to ``new_slot`` (or the next
+        common free slot) — §3.2's ``Change_meeting_time_to_next_
+        available()``.
+
+        The §5 semantics: the attempt "would trigger the forward
+        negotiation-and link from A to A, B, C and D. If all succeed,
+        then a new duration is reserved at each calendar with all
+        forward and back links established. If not all can agree, then
+        [the requester] would be unable to change the schedule" — i.e.
+        all-or-nothing, returning None on refusal with the meeting
+        untouched.
+        """
+        meeting = self.service.calendar.meeting(meeting_id)
+        if meeting.initiator != self.user:
+            raise NotInitiatorError(
+                f"{self.user} did not initiate {meeting_id}; use request_move"
+            )
+        if meeting.status not in (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE):
+            return None
+
+        if new_slot is None:
+            from repro.calendar.scheduler import candidate_slots
+
+            day_to = self.service.calendar.days - 1
+            candidates = candidate_slots(
+                self.node.engine,
+                _dedup([*meeting.must_attend, *meeting.supervisors]),
+                meeting.or_groups,
+                0,
+                day_to,
+            )
+            candidates = [
+                s
+                for s in candidates
+                if (s["day"], s["hour"]) > (meeting.slot["day"], meeting.slot["hour"])
+            ]
+            if not candidates:
+                return None
+            new_slot = candidates[0]
+
+        # Reserve the new slot for everyone, atomically.
+        groups = [
+            (
+                self._participants_for(
+                    _dedup([*meeting.must_attend, *meeting.supervisors]),
+                    new_slot,
+                    meeting.priority,
+                    meeting_id,
+                ),
+                AND,
+            )
+        ]
+        for g in meeting.or_groups:
+            groups.append(
+                (
+                    self._participants_for(g.members, new_slot, meeting.priority, meeting_id),
+                    at_least(g.k),
+                )
+            )
+        change = {
+            "meeting_id": meeting_id,
+            "status": SlotStatus.RESERVED.value,
+            "priority": meeting.priority,
+            "title": meeting.title,
+        }
+        initiator = Participant(
+            self.user, new_slot, CAL_SERVICE, mark_args=(meeting.priority, meeting_id)
+        )
+        result = self.node.coordinator.execute_multi(initiator, groups, change)
+        if not result.ok:
+            return None
+
+        # Release the old slots and rebuild the link structure at the
+        # new source entity.
+        old_slot = meeting.slot
+        for user in meeting.committed:
+            try:
+                if user == self.user:
+                    self.service.release_slot(old_slot, meeting_id)
+                else:
+                    self.node.engine.execute(
+                        user, CAL_SERVICE, "release_slot", old_slot, meeting_id
+                    )
+            except NetworkError:
+                continue
+        for link in self.node.links.links_by_context("cascade_id", meeting_id):
+            if self.node.links.has_link(link.link_id):
+                self.node.links.delete_link(link.link_id, cascade=True)
+
+        meeting.slot = dict(new_slot)
+        meeting.committed = _dedup(result.changed)
+        meeting.missing = [u for u in meeting.participants if u not in meeting.committed]
+        meeting.status = MeetingStatus.CONFIRMED
+        self._distribute(meeting)
+        self._create_links(meeting)
+        self.mail.broadcast(
+            self.user,
+            meeting.committed,
+            f"Meeting moved: {meeting.title}",
+            f"now at day {new_slot['day']} hour {new_slot['hour']}",
+            meeting_id=meeting_id,
+        )
+        self.moves = getattr(self, "moves", 0) + 1
+        return meeting
+
+    def request_move(self, meeting_id: str, new_slot: dict[str, int] | None = None) -> bool:
+        """A participant asks the initiator to move the meeting (§5's
+        "D wants to change the schedule for this meeting")."""
+        meeting = self.service.calendar.meeting(meeting_id)
+        if meeting.initiator == self.user:
+            return self.move_meeting(meeting_id, new_slot) is not None
+        result = self.node.engine.execute(
+            meeting.initiator, CAL_SERVICE, "move_requested", meeting_id, self.user, new_slot
+        )
+        return bool(result)
+
+    # ------------------------------------------------------------------ delegation (§5)
+
+    def delegate_to(self, user: str) -> None:
+        """Authorize ``user`` to call meetings with this user's authority
+        (§5: "an executive may want to delegate the task of scheduling a
+        meeting to a staff")."""
+        self._delegates = getattr(self, "_delegates", set())
+        self._delegates.add(user)
+
+    def revoke_delegation(self, user: str) -> None:
+        """Withdraw a delegation."""
+        getattr(self, "_delegates", set()).discard(user)
+
+    def is_delegate(self, user: str) -> bool:
+        return user in getattr(self, "_delegates", set())
+
+    def schedule_for_delegate(
+        self, delegate: str, title: str, participants: list[str], options: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Run a scheduling request submitted by an authorized delegate.
+
+        The meeting is initiated *by this user* (the boss's transferred
+        authority): priority, cancellation rights and links all belong
+        to the delegator.
+        """
+        if not self.is_delegate(delegate):
+            raise NotInitiatorError(
+                f"{delegate!r} holds no delegation from {self.user!r}"
+            )
+        or_groups = [OrGroup.from_dict(d) for d in options.pop("or_groups", [])]
+        meeting = self.schedule_meeting(
+            title, participants, or_groups=or_groups or None, **options
+        )
+        return meeting.to_row()
+
+    def schedule_on_behalf(
+        self,
+        boss: str,
+        title: str,
+        participants: list[str],
+        **options: Any,
+    ) -> Meeting:
+        """Delegate-side entry point: call a meeting with ``boss``'s
+        authority (the boss's manager must have delegated to us)."""
+        if "or_groups" in options and options["or_groups"]:
+            options["or_groups"] = [g.to_dict() for g in options["or_groups"]]
+        row = self.node.engine.execute(
+            boss, CAL_SERVICE, "schedule_as_delegate", self.user, title,
+            list(participants), options,
+        )
+        return Meeting.from_row(row)
+
+    # ------------------------------------------------------------------ drop-out
+
+    def drop_out(self, meeting_id: str) -> bool:
+        """Leave a meeting this user participates in (non-initiators).
+
+        Asks the initiator; only releases the slot when granted.
+        """
+        meeting = self.service.calendar.meeting(meeting_id)
+        if meeting.initiator == self.user:
+            raise CalendarError("initiators cancel, they do not drop out")
+        verdict = self.node.engine.execute(
+            meeting.initiator, CAL_SERVICE, "request_drop_out", meeting_id, self.user
+        )
+        if not verdict.get("granted"):
+            return False
+        # A voluntary exit, not an availability announcement: withdraw
+        # quietly so the meeting does not instantly re-capture the slot.
+        self.service.withdraw_slot(meeting.slot, meeting_id)
+        return True
+
+    def handle_drop_request(self, meeting_id: str, user: str) -> dict[str, Any]:
+        """Initiator-side decision for a drop-out request (§5 semantics)."""
+        meeting = self.service.calendar.meeting(meeting_id)
+        if user not in meeting.committed:
+            return {"granted": True, "reason": "not committed"}
+
+        in_or_group = next(
+            (g for g in meeting.or_groups if user in g.members), None
+        )
+        if in_or_group is None:
+            # Must-attendee (or supervisor) leaving: grant, but the
+            # meeting degrades to tentative and waits for them.
+            meeting.committed = [u for u in meeting.committed if u != user]
+            meeting.missing = _dedup([*meeting.missing, user])
+            meeting.status = MeetingStatus.TENTATIVE
+            self._distribute(meeting)
+            self._queue_tentative_link(user, meeting)
+            self.mail.send(
+                self.user,
+                user,
+                f"Drop-out accepted: {meeting.title}",
+                "meeting is now tentative",
+                meeting_id=meeting_id,
+            )
+            return {"granted": True, "reason": "meeting now tentative"}
+
+        committed_in_group = [
+            m for m in in_or_group.members if m in meeting.committed and m != user
+        ]
+        if len(committed_in_group) >= in_or_group.k:
+            meeting.committed = [u for u in meeting.committed if u != user]
+            self._distribute(meeting)
+            return {"granted": True, "reason": "quorum holds"}
+
+        # Quorum would break: seek one replacement commitment (§5: "only
+        # if an additional commitment is found, is the cancellation
+        # request granted").
+        uncommitted = [
+            m for m in in_or_group.members if m not in meeting.committed
+        ]
+        replacement_targets = self._participants_for(
+            uncommitted, meeting.slot, meeting.priority, meeting_id
+        )
+        change = {
+            "meeting_id": meeting_id,
+            "status": SlotStatus.RESERVED.value
+            if meeting.status is MeetingStatus.CONFIRMED
+            else SlotStatus.HELD.value,
+            "priority": meeting.priority,
+            "title": meeting.title,
+        }
+        initiator = Participant(
+            self.user, meeting.slot, CAL_SERVICE, mark_args=(meeting.priority, meeting_id)
+        )
+        result = self.node.coordinator.execute_multi(
+            initiator, [(replacement_targets, at_least(1))], change
+        )
+        if result.ok:
+            joined = [u for u in result.changed if u != self.user]
+            meeting.committed = _dedup(
+                [u for u in meeting.committed if u != user] + joined
+            )
+            self._distribute(meeting)
+            return {"granted": True, "reason": f"replacement found: {joined}"}
+        return {"granted": False, "reason": "quorum would break, no replacement"}
+
+    # ------------------------------------------------------------------ supervisor changes
+
+    def _on_supervisor_changed(self, topic: str, payload: dict[str, Any]) -> None:
+        """Supervisor changed their schedule (§5): the meeting becomes
+        tentative, all back links to A degrade to subscriptions, and a
+        tentative link queued at the supervisor awaits their return."""
+        meeting_id = payload.get("meeting_id")
+        if not meeting_id or not self.service.calendar.has_meeting(meeting_id):
+            return
+        meeting = self.service.calendar.meeting(meeting_id)
+        supervisor = payload.get("user")
+        if supervisor not in meeting.supervisors or supervisor not in meeting.committed:
+            return
+        meeting.committed = [u for u in meeting.committed if u != supervisor]
+        meeting.missing = _dedup([*meeting.missing, supervisor])
+        meeting.status = MeetingStatus.TENTATIVE
+        self._distribute(meeting)
+        self._queue_tentative_link(supervisor, meeting)
+        self.mail.broadcast(
+            self.user,
+            meeting.committed,
+            f"Meeting tentative: {meeting.title}",
+            f"supervisor {supervisor} changed their schedule",
+            meeting_id=meeting_id,
+        )
+
+
+def _dedup(items: Sequence[str]) -> list[str]:
+    """Stable de-duplication."""
+    seen: set[str] = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out

@@ -1,0 +1,85 @@
+"""E-mail notification substrate.
+
+Paper §5.1: "The users involved in the meeting are notified about the
+details of the meeting using an e-mail message." The simulated mail
+system is a world-wide outbox with per-user inboxes; delivery is
+immediate (mail infrastructure is out of scope of the evaluation, only
+the notification *points* matter).
+
+The replicated baseline (§3.3 / §6) also routes its manual accept/decline
+round trips through this module, so E8 can count messages and manual
+interventions on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class Email:
+    """One delivered message."""
+
+    t: float
+    sender: str
+    recipient: str
+    subject: str
+    body: str
+    #: True when a human would have to read and act on this mail for the
+    #: workflow to make progress (E8's "manual interventions" metric).
+    requires_action: bool = False
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class MailSystem:
+    """World-wide simulated e-mail."""
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self.clock = clock or VirtualClock()
+        self._inboxes: dict[str, list[Email]] = {}
+        self.sent = 0
+        self.action_required = 0
+
+    def send(
+        self,
+        sender: str,
+        recipient: str,
+        subject: str,
+        body: str = "",
+        *,
+        requires_action: bool = False,
+        **meta: Any,
+    ) -> Email:
+        """Deliver one message to ``recipient``'s inbox."""
+        mail = Email(
+            self.clock.now(), sender, recipient, subject, body, requires_action, meta
+        )
+        self._inboxes.setdefault(recipient, []).append(mail)
+        self.sent += 1
+        if requires_action:
+            self.action_required += 1
+        return mail
+
+    def broadcast(
+        self, sender: str, recipients: list[str], subject: str, body: str = "", **kw: Any
+    ) -> int:
+        """Send to many recipients; returns count."""
+        for r in recipients:
+            if r != sender:
+                self.send(sender, r, subject, body, **kw)
+        return len([r for r in recipients if r != sender])
+
+    def inbox(self, user: str) -> list[Email]:
+        return list(self._inboxes.get(user, ()))
+
+    def unread_actions(self, user: str) -> list[Email]:
+        """Mails still requiring a human decision."""
+        return [m for m in self.inbox(user) if m.requires_action]
+
+    def clear(self) -> None:
+        self._inboxes.clear()
+        self.sent = 0
+        self.action_required = 0

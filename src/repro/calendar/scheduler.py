@@ -1,0 +1,71 @@
+"""Slot discovery across participants.
+
+Paper §5 steps (i)–(iv): query each participant's table for free slots in
+the window, require all participants to answer, intersect the views, and
+present the common slots. With OR-groups the requirement weakens to "at
+least k group members free" per group.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.calendar.model import OrGroup
+from repro.kernel.aggregate import intersect_lists
+from repro.kernel.engine import SyDEngine
+
+
+def find_common_free_slots(
+    engine: SyDEngine, users: Sequence[str], day_from: int, day_to: int
+) -> list[dict[str, int]]:
+    """Common free slots of all ``users``, chronological.
+
+    Empty when any user is unreachable — "ensure that all participants
+    confirm, before the subsequent actions would be valid" (§5 step ii).
+    """
+    if not users:
+        return []
+    group = engine.execute_group(
+        list(users), "calendar", "query_free_slots", day_from, day_to
+    )
+    return group.aggregate(intersect_lists)
+
+
+def candidate_slots(
+    engine: SyDEngine,
+    required: Sequence[str],
+    or_groups: Sequence[OrGroup],
+    day_from: int,
+    day_to: int,
+    *,
+    limit: int | None = None,
+) -> list[dict[str, int]]:
+    """Slots satisfying: free for every required user AND, per or-group,
+    free for at least k of its members. Chronological order.
+
+    Unreachable or-group members simply contribute no availability
+    (the group may still reach quorum through others); unreachable
+    *required* users veto everything.
+    """
+    candidates = find_common_free_slots(engine, required, day_from, day_to)
+    if not candidates:
+        return []
+
+    for group in or_groups:
+        availability = engine.execute_group(
+            list(group.members), "calendar", "query_free_slots", day_from, day_to
+        )
+        free_counts: dict[tuple[int, int], int] = {}
+        for member_result in availability.succeeded:
+            for slot in member_result.value or []:
+                key = (slot["day"], slot["hour"])
+                free_counts[key] = free_counts.get(key, 0) + 1
+        candidates = [
+            s for s in candidates if free_counts.get((s["day"], s["hour"]), 0) >= group.k
+        ]
+        if not candidates:
+            return []
+
+    if limit is not None:
+        candidates = candidates[:limit]
+    return candidates

@@ -1,0 +1,136 @@
+"""Disk persistence for data stores.
+
+Paper §1 motivates SyD partly by "the lack of persistence of their data
+due to their weak connectivity" on mobile devices. This module gives any
+:class:`~repro.datastore.store.DataStore` durable checkpoints:
+
+* :func:`save_store` / :func:`load_store` — whole-store JSON snapshots
+  (schemas + rows) on disk;
+* :class:`DurableStore` — a convenience wrapper that checkpoints after
+  every N mutations and can recover from the last checkpoint plus the
+  change journal written since (checkpoint + WAL, the classic recipe).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Type
+
+from repro.datastore.snapshot import export_store, import_into
+from repro.datastore.store import DataStore, RelationalStore
+from repro.datastore.triggers import RowTrigger, TriggerEvent
+from repro.datastore.wal import ChangeJournal, attach_journal, replay
+from repro.util.errors import StoreError
+
+FORMAT_VERSION = 1
+
+
+def save_store(store: DataStore, path: str) -> int:
+    """Write a JSON snapshot of ``store`` to ``path``; returns bytes written.
+
+    The write is atomic (temp file + rename) so a crash mid-save never
+    corrupts the previous checkpoint.
+    """
+    blob = {
+        "format": FORMAT_VERSION,
+        "snapshot": export_store(store),
+    }
+    text = json.dumps(blob, separators=(",", ":"), sort_keys=True)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return len(text)
+
+
+def load_store(
+    path: str,
+    store_cls: Type[DataStore] = RelationalStore,
+    name: str | None = None,
+) -> DataStore:
+    """Recreate a store from a :func:`save_store` snapshot."""
+    with open(path, "r", encoding="utf-8") as fh:
+        blob = json.load(fh)
+    if blob.get("format") != FORMAT_VERSION:
+        raise StoreError(f"unsupported snapshot format {blob.get('format')!r}")
+    snapshot = blob["snapshot"]
+    store = store_cls(name or snapshot.get("name", "restored"))
+    import_into(store, snapshot)
+    return store
+
+
+class DurableStore:
+    """Checkpoint + WAL durability for one store.
+
+    Wraps (does not subclass) a store: mutations flow through the store
+    as usual; a journal trigger records them; ``checkpoint()`` persists a
+    snapshot and truncates the on-disk WAL; :meth:`recover` rebuilds the
+    latest state from disk.
+    """
+
+    def __init__(self, store: DataStore, directory: str, *, checkpoint_every: int = 0):
+        self.store = store
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.checkpoint_path = os.path.join(directory, "checkpoint.json")
+        self.wal_path = os.path.join(directory, "wal.jsonl")
+        self.journal = ChangeJournal()
+        self.checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+        self._detach = attach_journal(store, self.journal)
+        # Mirror each journal entry to the on-disk WAL as it happens.
+        self._mirror_seq = 0
+        for table in store.table_names():
+            store.add_trigger(
+                RowTrigger(
+                    name=f"__durable_{table}",
+                    table=table,
+                    events=frozenset(
+                        (TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE)
+                    ),
+                    action=lambda ctx: self._on_mutation(),
+                )
+            )
+
+    def _on_mutation(self) -> None:
+        # Append any journal entries not yet mirrored to disk.
+        entries = self.journal.entries(self._mirror_seq)
+        if entries:
+            with open(self.wal_path, "a", encoding="utf-8") as fh:
+                for entry in entries:
+                    fh.write(entry.to_json() + "\n")
+            self._mirror_seq = entries[-1].seq
+        self._since_checkpoint += len(entries)
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Persist a full snapshot and truncate the WAL."""
+        save_store(self.store, self.checkpoint_path)
+        open(self.wal_path, "w").close()
+        self.journal.clear()
+        self._mirror_seq = 0
+        self._since_checkpoint = 0
+
+    def close(self) -> None:
+        """Stop journaling (the store keeps working, undurably)."""
+        self._detach()
+
+    @staticmethod
+    def recover(
+        directory: str,
+        store_cls: Type[DataStore] = RelationalStore,
+        name: str | None = None,
+    ) -> DataStore:
+        """Rebuild the latest durable state: checkpoint + WAL replay."""
+        checkpoint_path = os.path.join(directory, "checkpoint.json")
+        wal_path = os.path.join(directory, "wal.jsonl")
+        if not os.path.exists(checkpoint_path):
+            raise StoreError(f"no checkpoint in {directory!r}")
+        store = load_store(checkpoint_path, store_cls, name)
+        if os.path.exists(wal_path):
+            with open(wal_path, "r", encoding="utf-8") as fh:
+                journal = ChangeJournal.deserialize(fh.read())
+            replay(journal, store)
+        return store

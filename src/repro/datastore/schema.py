@@ -1,0 +1,177 @@
+"""Table schemas.
+
+In SyD every device owns an *independent* store — there is no global
+schema (paper §2). Each store still declares per-table schemas so that
+rows are validated at the edge, like the Oracle tables of the prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.util.errors import SchemaError
+
+#: Sentinel meaning "column has no default".
+_NO_DEFAULT = object()
+
+
+class ColumnType(str, Enum):
+    """Supported column types (a pragmatic subset of SQL types)."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BOOL = "bool"
+    JSON = "json"   # arbitrary JSON-like value (list/dict/scalar)
+
+    def accepts(self, value: Any) -> bool:
+        """Type check a non-null Python value against this column type."""
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.STR:
+            return isinstance(value, str)
+        if self is ColumnType.BOOL:
+            return isinstance(value, bool)
+        if self is ColumnType.JSON:
+            return _is_jsonish(value)
+        return False  # pragma: no cover - exhaustive enum
+
+    def coerce(self, value: Any) -> Any:
+        """Parse a string representation into this type (flat-file stores)."""
+        if value is None:
+            return None
+        if self is ColumnType.INT:
+            return int(value)
+        if self is ColumnType.FLOAT:
+            return float(value)
+        if self is ColumnType.STR:
+            return str(value)
+        if self is ColumnType.BOOL:
+            if isinstance(value, bool):
+                return value
+            return str(value).lower() in ("true", "1", "yes")
+        return value
+
+
+def _is_jsonish(value: Any) -> bool:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_is_jsonish(v) for v in value)
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and _is_jsonish(v) for k, v in value.items())
+    return False
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition.
+
+    Attributes:
+        name: column name (unique within the table).
+        ctype: value type.
+        nullable: whether None is a legal value.
+        default: value used when an insert omits the column. ``_NO_DEFAULT``
+            means the column is required on insert (unless nullable, in
+            which case it defaults to None).
+    """
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = False
+    default: Any = _NO_DEFAULT
+
+    @property
+    def has_default(self) -> bool:
+        return self.default is not _NO_DEFAULT
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if not self.ctype.accepts(value):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.ctype.value}, got {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of columns plus the primary-key column name."""
+
+    columns: tuple[Column, ...]
+    primary_key: str
+
+    _by_name: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        if self.primary_key not in names:
+            raise SchemaError(f"primary key {self.primary_key!r} is not a column")
+        pk_col = next(c for c in self.columns if c.name == self.primary_key)
+        if pk_col.nullable:
+            raise SchemaError("primary key column cannot be nullable")
+        object.__setattr__(self, "_by_name", {c.name: c for c in self.columns})
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        """The column called ``name`` (raises SchemaError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def normalize_insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate an insert payload and fill defaults; returns a new dict."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}")
+        out: dict[str, Any] = {}
+        for col in self.columns:
+            if col.name in row:
+                value = row[col.name]
+            elif col.has_default:
+                value = col.default
+            elif col.nullable:
+                value = None
+            else:
+                raise SchemaError(f"missing required column {col.name!r}")
+            col.validate(value)
+            out[col.name] = value
+        return out
+
+    def validate_update(self, changes: dict[str, Any]) -> None:
+        """Validate an update payload (no defaults involved)."""
+        for name, value in changes.items():
+            self.column(name).validate(value)
+        if self.primary_key in changes:
+            raise SchemaError("updating the primary key is not supported")
+
+
+def schema(primary_key: str, **columns: ColumnType | Column) -> Schema:
+    """Convenience constructor: ``schema("id", id=INT, name=STR, ...)``.
+
+    Values may be bare :class:`ColumnType` (non-nullable, no default) or
+    full :class:`Column` instances (whose ``name`` is taken from the key).
+    """
+    cols = []
+    for name, spec in columns.items():
+        if isinstance(spec, Column):
+            cols.append(Column(name, spec.ctype, spec.nullable, spec.default))
+        else:
+            cols.append(Column(name, spec))
+    return Schema(tuple(cols), primary_key)

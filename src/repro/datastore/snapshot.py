@@ -1,0 +1,79 @@
+"""Whole-store snapshots.
+
+Portable (JSON-like) serialization of a store's schemas and rows. The
+proxy machinery (paper §5.2) uses snapshots to seed a device's replica on
+the proxy host; tests use them to assert store equivalence.
+
+Defaults are not carried across (snapshots contain materialized rows, and
+re-imported schemas mark every column nullable-if-it-was plus explicit
+values), except that column defaults *are* preserved when JSON-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.schema import _NO_DEFAULT, Column, ColumnType, Schema
+from repro.datastore.store import DataStore
+from repro.util.errors import StoreError
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    """Serialize a schema."""
+    cols = []
+    for c in schema.columns:
+        entry: dict[str, Any] = {"name": c.name, "type": c.ctype.value, "nullable": c.nullable}
+        if c.has_default:
+            entry["default"] = c.default
+        cols.append(entry)
+    return {"primary_key": schema.primary_key, "columns": cols}
+
+
+def schema_from_dict(data: dict[str, Any]) -> Schema:
+    """Inverse of :func:`schema_to_dict`."""
+    cols = tuple(
+        Column(
+            c["name"],
+            ColumnType(c["type"]),
+            nullable=c.get("nullable", False),
+            default=c.get("default", _NO_DEFAULT),
+        )
+        for c in data["columns"]
+    )
+    return Schema(cols, data["primary_key"])
+
+
+def export_store(store: DataStore) -> dict[str, Any]:
+    """Snapshot every table of ``store`` (schemas + rows)."""
+    return {
+        "name": store.name,
+        "kind": store.kind,
+        "tables": {
+            t: {
+                "schema": schema_to_dict(store.schema(t)),
+                "rows": store.select(t),
+            }
+            for t in store.table_names()
+        },
+    }
+
+
+def import_into(store: DataStore, snapshot: dict[str, Any], *, replace: bool = False) -> int:
+    """Load a snapshot into ``store``; returns rows imported.
+
+    With ``replace`` the tables are dropped first; otherwise importing
+    into a store that already has one of the tables raises.
+    """
+    tables = snapshot.get("tables", {})
+    for name in tables:
+        if store.has_table(name):
+            if not replace:
+                raise StoreError(f"table {name!r} already exists in {store.name}")
+            store.drop_table(name)
+    imported = 0
+    for name, blob in tables.items():
+        store.create_table(name, schema_from_dict(blob["schema"]))
+        for row in blob["rows"]:
+            store.insert(name, row)
+            imported += 1
+    return imported

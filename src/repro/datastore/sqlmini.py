@@ -1,0 +1,425 @@
+"""A small SQL subset: tokenizer, parser, executor.
+
+The prototype's calendar issued SQL against per-user Oracle schemas
+("query each table for free slots which fall between dates d1 and d2").
+This module provides enough SQL for the application and the examples:
+
+* ``SELECT <cols|*> FROM t [WHERE expr] [ORDER BY col [ASC|DESC]] [LIMIT n]``
+* ``INSERT INTO t (c1, c2, ...) VALUES (v1, v2, ...)``
+* ``UPDATE t SET c1 = v1, c2 = v2 [WHERE expr]``
+* ``DELETE FROM t [WHERE expr]``
+
+WHERE supports ``AND OR NOT``, parentheses, ``= != < <= > >=``,
+``IN (...)``, ``LIKE``, ``IS [NOT] NULL``. Literals: integers, floats,
+single-quoted strings (doubled quote escapes), TRUE/FALSE/NULL.
+Identifiers are case-sensitive; keywords are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datastore.predicate import (
+    ALWAYS,
+    Cmp,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Predicate,
+)
+from repro.util.errors import SqlSyntaxError
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "ORDER", "BY", "ASC", "DESC", "LIMIT",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "AND", "OR", "NOT", "IN", "LIKE", "IS", "NULL", "TRUE", "FALSE",
+}
+
+_PUNCT = {"(", ")", ",", "*", "=", "!=", "<", "<=", ">", ">=", "<>"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind in {kw, ident, str, num, punct, end}."""
+
+    kind: str
+    value: Any
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError(f"unterminated string at {i}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token("str", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            # Scientific notation: 6.1e-05, 2E+3, 1e7.
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            lit = text[i:j]
+            try:
+                value: Any = (
+                    float(lit) if ("." in lit or "e" in lit or "E" in lit) else int(lit)
+                )
+            except ValueError:
+                raise SqlSyntaxError(f"bad number {lit!r} at {i}") from None
+            tokens.append(Token("num", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in _KEYWORDS:
+                tokens.append(Token("kw", word.upper(), i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT:
+            tokens.append(Token("punct", "!=" if two == "<>" else two, i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("end", None, n))
+    return tokens
+
+
+@dataclass
+class SelectStatement:
+    table: str
+    columns: list[str] | None  # None means *
+    predicate: Predicate
+    order_by: str | None
+    descending: bool
+    limit: int | None
+    #: ``(fn, column_or_None)`` for COUNT/MIN/MAX/SUM/AVG; None = plain select
+    aggregate: tuple[str, str | None] | None = None
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    row: dict[str, Any]
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    changes: dict[str, Any]
+    predicate: Predicate
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    predicate: Predicate
+
+
+Statement = SelectStatement | InsertStatement | UpdateStatement | DeleteStatement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect_kw(self, *words: str) -> str:
+        tok = self.next()
+        if tok.kind != "kw" or tok.value not in words:
+            raise SqlSyntaxError(f"expected {'/'.join(words)} at {tok.pos}, got {tok.value!r}")
+        return tok.value
+
+    def expect_punct(self, p: str) -> None:
+        tok = self.next()
+        if tok.kind != "punct" or tok.value != p:
+            raise SqlSyntaxError(f"expected {p!r} at {tok.pos}, got {tok.value!r}")
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise SqlSyntaxError(f"expected identifier at {tok.pos}, got {tok.value!r}")
+        return tok.value
+
+    def accept_kw(self, word: str) -> bool:
+        if self.peek().kind == "kw" and self.peek().value == word:
+            self.next()
+            return True
+        return False
+
+    def accept_punct(self, p: str) -> bool:
+        if self.peek().kind == "punct" and self.peek().value == p:
+            self.next()
+            return True
+        return False
+
+    def literal(self) -> Any:
+        tok = self.next()
+        if tok.kind in ("str", "num"):
+            return tok.value
+        if tok.kind == "kw" and tok.value in ("TRUE", "FALSE", "NULL"):
+            return {"TRUE": True, "FALSE": False, "NULL": None}[tok.value]
+        raise SqlSyntaxError(f"expected literal at {tok.pos}, got {tok.value!r}")
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self) -> Statement:
+        tok = self.peek()
+        if tok.kind != "kw":
+            raise SqlSyntaxError(f"expected statement keyword, got {tok.value!r}")
+        if tok.value == "SELECT":
+            stmt: Statement = self.select()
+        elif tok.value == "INSERT":
+            stmt = self.insert()
+        elif tok.value == "UPDATE":
+            stmt = self.update()
+        elif tok.value == "DELETE":
+            stmt = self.delete()
+        else:
+            raise SqlSyntaxError(f"unsupported statement {tok.value!r}")
+        if self.peek().kind != "end":
+            raise SqlSyntaxError(f"trailing input at {self.peek().pos}")
+        return stmt
+
+    _AGGREGATES = ("COUNT", "MIN", "MAX", "SUM", "AVG")
+
+    def select(self) -> SelectStatement:
+        self.expect_kw("SELECT")
+        columns: list[str] | None
+        aggregate: tuple[str, str | None] | None = None
+        tok = self.peek()
+        if (
+            tok.kind == "ident"
+            and tok.value.upper() in self._AGGREGATES
+            and self.tokens[self.i + 1].kind == "punct"
+            and self.tokens[self.i + 1].value == "("
+        ):
+            fn = self.next().value.upper()
+            self.expect_punct("(")
+            if self.accept_punct("*"):
+                if fn != "COUNT":
+                    raise SqlSyntaxError(f"{fn}(*) is not supported, only COUNT(*)")
+                target: str | None = None
+            else:
+                target = self.expect_ident()
+            self.expect_punct(")")
+            aggregate = (fn, target)
+            columns = None
+        elif self.accept_punct("*"):
+            columns = None
+        else:
+            columns = [self.expect_ident()]
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+        self.expect_kw("FROM")
+        table = self.expect_ident()
+        predicate = self.where_clause()
+        order_by, descending = None, False
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by = self.expect_ident()
+            if self.accept_kw("DESC"):
+                descending = True
+            else:
+                self.accept_kw("ASC")
+        limit = None
+        if self.accept_kw("LIMIT"):
+            value = self.literal()
+            if not isinstance(value, int) or value < 0:
+                raise SqlSyntaxError("LIMIT expects a non-negative integer")
+            limit = value
+        if aggregate is not None and (order_by or limit is not None):
+            raise SqlSyntaxError("aggregates take no ORDER BY / LIMIT")
+        return SelectStatement(
+            table, columns, predicate, order_by, descending, limit, aggregate
+        )
+
+    def insert(self) -> InsertStatement:
+        self.expect_kw("INSERT")
+        self.expect_kw("INTO")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        cols = [self.expect_ident()]
+        while self.accept_punct(","):
+            cols.append(self.expect_ident())
+        self.expect_punct(")")
+        self.expect_kw("VALUES")
+        self.expect_punct("(")
+        values = [self.literal()]
+        while self.accept_punct(","):
+            values.append(self.literal())
+        self.expect_punct(")")
+        if len(cols) != len(values):
+            raise SqlSyntaxError(f"{len(cols)} columns but {len(values)} values")
+        return InsertStatement(table, dict(zip(cols, values)))
+
+    def update(self) -> UpdateStatement:
+        self.expect_kw("UPDATE")
+        table = self.expect_ident()
+        self.expect_kw("SET")
+        changes: dict[str, Any] = {}
+        while True:
+            col = self.expect_ident()
+            self.expect_punct("=")
+            changes[col] = self.literal()
+            if not self.accept_punct(","):
+                break
+        return UpdateStatement(table, changes, self.where_clause())
+
+    def delete(self) -> DeleteStatement:
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        table = self.expect_ident()
+        return DeleteStatement(table, self.where_clause())
+
+    # -- WHERE grammar -------------------------------------------------------
+
+    def where_clause(self) -> Predicate:
+        if self.accept_kw("WHERE"):
+            return self.or_expr()
+        return ALWAYS
+
+    def or_expr(self) -> Predicate:
+        left = self.and_expr()
+        while self.accept_kw("OR"):
+            left = left | self.and_expr()
+        return left
+
+    def and_expr(self) -> Predicate:
+        left = self.not_expr()
+        while self.accept_kw("AND"):
+            left = left & self.not_expr()
+        return left
+
+    def not_expr(self) -> Predicate:
+        if self.accept_kw("NOT"):
+            return Not(self.not_expr())
+        return self.primary()
+
+    def primary(self) -> Predicate:
+        if self.accept_punct("("):
+            inner = self.or_expr()
+            self.expect_punct(")")
+            return inner
+        column = self.expect_ident()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in ("=", "!=", "<", "<=", ">", ">="):
+            self.next()
+            return Cmp(column, tok.value, self.literal())
+        if tok.kind == "kw" and tok.value == "IN":
+            self.next()
+            self.expect_punct("(")
+            values = [self.literal()]
+            while self.accept_punct(","):
+                values.append(self.literal())
+            self.expect_punct(")")
+            return In(column, values)
+        if tok.kind == "kw" and tok.value == "LIKE":
+            self.next()
+            pattern = self.literal()
+            if not isinstance(pattern, str):
+                raise SqlSyntaxError("LIKE expects a string pattern")
+            return Like(column, pattern)
+        if tok.kind == "kw" and tok.value == "IS":
+            self.next()
+            negate = self.accept_kw("NOT")
+            self.expect_kw("NULL")
+            pred: Predicate = IsNull(column)
+            return Not(pred) if negate else pred
+        raise SqlSyntaxError(f"expected comparison after {column!r} at {tok.pos}")
+
+
+def parse(statement: str) -> Statement:
+    """Parse one mini-SQL statement into its AST."""
+    return _Parser(tokenize(statement)).statement()
+
+
+def execute(store: "DataStore", statement: str) -> Any:  # noqa: F821
+    """Parse and run ``statement`` against ``store``.
+
+    Returns rows for SELECT, the stored row for INSERT, and the affected
+    row count for UPDATE/DELETE.
+    """
+    stmt = parse(statement)
+    if isinstance(stmt, SelectStatement):
+        pred = None if stmt.predicate is ALWAYS else stmt.predicate
+        if stmt.aggregate is not None:
+            fn, column = stmt.aggregate
+            if fn == "COUNT" and column is None:
+                return store.count(stmt.table, pred)
+            rows = store.select(stmt.table, pred)
+            values = [r[column] for r in rows if r.get(column) is not None]
+            if fn == "COUNT":
+                return len(values)
+            if not values:
+                return None
+            if fn == "MIN":
+                return min(values)
+            if fn == "MAX":
+                return max(values)
+            if fn == "SUM":
+                return sum(values)
+            return sum(values) / len(values)  # AVG
+        return store.select(
+            stmt.table,
+            pred,
+            columns=stmt.columns,
+            order_by=stmt.order_by,
+            descending=stmt.descending,
+            limit=stmt.limit,
+        )
+    if isinstance(stmt, InsertStatement):
+        return store.insert(stmt.table, stmt.row)
+    if isinstance(stmt, UpdateStatement):
+        pred = None if stmt.predicate is ALWAYS else stmt.predicate
+        return store.update(stmt.table, pred, stmt.changes)
+    pred = None if stmt.predicate is ALWAYS else stmt.predicate
+    return store.delete(stmt.table, pred)

@@ -1,0 +1,137 @@
+"""Row-level ECA triggers.
+
+The prototype used Oracle row triggers + Java Stored Procedures to react
+to calendar changes (paper §5.3). This module is the store-side analogue:
+a trigger names a table, a set of events, an optional condition predicate
+on the *new* row (old row for deletes), and an action callback receiving a
+:class:`TriggerContext`.
+
+The paper also proposes *middleware triggers* as future work ("our SyD
+model does not allow any dependencies on a specific database");
+:mod:`repro.kernel.events` implements that variant, and benchmark E6
+compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.datastore.predicate import Predicate
+from repro.util.errors import StoreError
+
+#: Guard against trigger actions that recursively fire triggers forever.
+MAX_TRIGGER_DEPTH = 16
+
+
+class TriggerEvent(str, Enum):
+    """Row mutation kinds a trigger can react to."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class TriggerContext:
+    """What a trigger action sees: the mutation that just happened."""
+
+    event: TriggerEvent
+    table: str
+    old: Optional[dict[str, Any]]   # None for inserts
+    new: Optional[dict[str, Any]]   # None for deletes
+
+    def changed(self, column: str) -> bool:
+        """True when ``column`` differs between old and new row."""
+        old_v = self.old.get(column) if self.old else None
+        new_v = self.new.get(column) if self.new else None
+        return old_v != new_v
+
+
+TriggerAction = Callable[[TriggerContext], None]
+
+
+@dataclass
+class RowTrigger:
+    """A named ECA rule attached to one table.
+
+    Attributes:
+        name: unique trigger name (per manager).
+        table: table the trigger watches.
+        events: which mutations fire it.
+        action: callback run synchronously after the mutation.
+        condition: optional predicate; for INSERT/UPDATE it is evaluated
+            against the new row, for DELETE against the old row.
+    """
+
+    name: str
+    table: str
+    events: frozenset[TriggerEvent]
+    action: TriggerAction
+    condition: Predicate | None = None
+    enabled: bool = True
+    fire_count: int = field(default=0, compare=False)
+
+
+class TriggerManager:
+    """Registry + dispatcher of row triggers for one store."""
+
+    def __init__(self) -> None:
+        self._by_table: dict[str, list[RowTrigger]] = {}
+        self._names: set[str] = set()
+        self._depth = 0
+
+    def add(self, trigger: RowTrigger) -> Callable[[], None]:
+        """Register; returns a removal callable. Names must be unique."""
+        if trigger.name in self._names:
+            raise StoreError(f"duplicate trigger name {trigger.name!r}")
+        self._names.add(trigger.name)
+        self._by_table.setdefault(trigger.table, []).append(trigger)
+
+        def remove() -> None:
+            lst = self._by_table.get(trigger.table, [])
+            if trigger in lst:
+                lst.remove(trigger)
+                self._names.discard(trigger.name)
+
+        return remove
+
+    def triggers_for(self, table: str) -> list[RowTrigger]:
+        return list(self._by_table.get(table, []))
+
+    def fire(
+        self,
+        event: TriggerEvent,
+        table: str,
+        old: Optional[dict[str, Any]],
+        new: Optional[dict[str, Any]],
+    ) -> int:
+        """Run all matching triggers; returns the number that fired.
+
+        Raises :class:`StoreError` when the cascade exceeds
+        ``MAX_TRIGGER_DEPTH`` (mutual-recursion protection, like Oracle's
+        ORA-00036).
+        """
+        triggers = self._by_table.get(table)
+        if not triggers:
+            return 0
+        if self._depth >= MAX_TRIGGER_DEPTH:
+            raise StoreError(
+                f"trigger cascade exceeded depth {MAX_TRIGGER_DEPTH} on {table!r}"
+            )
+        subject = new if event in (TriggerEvent.INSERT, TriggerEvent.UPDATE) else old
+        fired = 0
+        self._depth += 1
+        try:
+            for trig in list(triggers):
+                if not trig.enabled or event not in trig.events:
+                    continue
+                if trig.condition is not None and not trig.condition.matches(subject or {}):
+                    continue
+                trig.fire_count += 1
+                fired += 1
+                trig.action(TriggerContext(event, table, old, new))
+        finally:
+            self._depth -= 1
+        return fired

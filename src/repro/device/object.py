@@ -1,0 +1,118 @@
+"""SyD device objects.
+
+A :class:`SyDDeviceObject` encapsulates one data store behind named
+methods — the paper's layer-1 abstraction ("individual data stores are
+encapsulated by device objects"). Subclasses implement methods and mark
+the exported ones with the :func:`exported` decorator; ``publish``
+registers every exported method with a :class:`MethodRegistry`.
+
+Example::
+
+    class Counter(SyDDeviceObject):
+        @exported
+        def bump(self, by: int = 1) -> int:
+            row = self.store.get("c", 0) or {"id": 0, "n": 0}
+            ...
+
+    counter = Counter("phil_counter", store)
+    counter.publish(registry)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datastore.store import DataStore
+from repro.device.registry import MethodRegistry
+
+_EXPORT_FLAG = "_syd_exported"
+
+
+def exported(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark a method for publication by :meth:`SyDDeviceObject.publish`."""
+    setattr(fn, _EXPORT_FLAG, True)
+    return fn
+
+
+class SyDDeviceObject:
+    """Base class for device objects.
+
+    Attributes:
+        name: the published object name (e.g. ``"phil_calendar_SyD"``).
+        store: the encapsulated data store (may be None for pure-compute
+            objects like the bidding game's referee).
+    """
+
+    def __init__(self, name: str, store: DataStore | None = None):
+        self.name = name
+        self.store = store
+
+    def exported_methods(self) -> dict[str, Callable[..., Any]]:
+        """Bound methods marked with :func:`exported`, by name."""
+        out = {}
+        for attr in dir(self):
+            if attr.startswith("__"):
+                continue
+            value = getattr(self, attr)
+            if callable(value) and getattr(value, _EXPORT_FLAG, False):
+                out[attr] = value
+        return out
+
+    def publish(self, registry: MethodRegistry) -> list[str]:
+        """Register every exported method; returns the method names."""
+        methods = self.exported_methods()
+        for method_name, fn in methods.items():
+            registry.register(self.name, method_name, fn)
+        return sorted(methods)
+
+    def unpublish(self, registry: MethodRegistry) -> None:
+        """Remove this object's methods from the registry."""
+        registry.unregister(self.name)
+
+    def invoke(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call an exported method locally (bypassing the network)."""
+        methods = self.exported_methods()
+        if method not in methods:
+            from repro.util.errors import UnknownServiceError
+
+            raise UnknownServiceError(f"{self.name} does not export {method!r}")
+        return methods[method](*args, **kwargs)
+
+
+class TableDeviceObject(SyDDeviceObject):
+    """Generic device object exposing CRUD on one table of its store.
+
+    Handy for ad-hoc stores (paper: utility meter, set-top box) that need
+    remote access without bespoke application methods.
+    """
+
+    def __init__(self, name: str, store: DataStore, table: str):
+        super().__init__(name, store)
+        self.table = table
+
+    @exported
+    def get_row(self, pk: Any) -> dict[str, Any] | None:
+        """Primary-key lookup."""
+        return self.store.get(self.table, pk)
+
+    @exported
+    def list_rows(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """All rows (optionally limited), in primary-key order."""
+        return self.store.select(self.table, limit=limit)
+
+    @exported
+    def put_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert one row."""
+        return self.store.insert(self.table, row)
+
+    @exported
+    def remove_row(self, pk: Any) -> int:
+        """Delete by primary key; returns rows removed."""
+        from repro.datastore.predicate import where
+
+        return self.store.delete(self.table, where(self.store.schema(self.table).primary_key) == pk)
+
+    @exported
+    def count_rows(self) -> int:
+        """Row count."""
+        return self.store.count(self.table)

@@ -1,0 +1,61 @@
+"""Local method registry (part of SyD deviceware).
+
+Paper §2 layer 1: device objects "export the data that the devices hold
+along with methods/operations that allow access as well as manipulation
+of this data in a controlled manner". The registry maps
+``(object_name, method_name)`` to a Python callable on this node; the
+listener consults it when a remote invocation arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.util.errors import DuplicateRegistrationError, UnknownServiceError
+
+ServiceMethod = Callable[..., Any]
+
+
+class MethodRegistry:
+    """Per-node mapping of published object methods."""
+
+    def __init__(self) -> None:
+        self._methods: dict[tuple[str, str], ServiceMethod] = {}
+
+    def register(self, object_name: str, method_name: str, fn: ServiceMethod) -> None:
+        """Publish ``fn`` as ``object_name.method_name``."""
+        key = (object_name, method_name)
+        if key in self._methods:
+            raise DuplicateRegistrationError(
+                f"method {object_name}.{method_name} already registered"
+            )
+        self._methods[key] = fn
+
+    def unregister(self, object_name: str, method_name: str | None = None) -> int:
+        """Remove one method, or all methods of an object; returns count."""
+        if method_name is not None:
+            return 1 if self._methods.pop((object_name, method_name), None) else 0
+        keys = [k for k in self._methods if k[0] == object_name]
+        for k in keys:
+            del self._methods[k]
+        return len(keys)
+
+    def lookup(self, object_name: str, method_name: str) -> ServiceMethod:
+        """The callable for ``object_name.method_name`` (raises if absent)."""
+        try:
+            return self._methods[(object_name, method_name)]
+        except KeyError:
+            raise UnknownServiceError(
+                f"no service {object_name}.{method_name} on this device"
+            ) from None
+
+    def has(self, object_name: str, method_name: str) -> bool:
+        return (object_name, method_name) in self._methods
+
+    def services(self) -> list[tuple[str, str]]:
+        """All (object, method) pairs, sorted."""
+        return sorted(self._methods)
+
+    def objects(self) -> list[str]:
+        """Distinct published object names."""
+        return sorted({o for o, _ in self._methods})

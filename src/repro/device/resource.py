@@ -1,0 +1,115 @@
+"""Generic negotiable resource object.
+
+A reusable device object exposing the negotiation protocol verbs
+(``mark`` / ``change`` / ``unmark``) plus availability checks over a
+table of keyed entities with a ``status`` column. The calendar implements
+its own richer service; this generic one backs the other demo apps,
+unit tests and microbenchmarks of the coordinator.
+
+Status model: an entity is *available* when ``status == "free"``. ``mark``
+locks it (if available), ``change`` sets the status/value requested by
+the negotiation, ``unmark`` releases the lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.predicate import where
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import DataStore
+from repro.device.object import SyDDeviceObject, exported
+from repro.txn.locks import LockManager
+
+RESOURCE_TABLE = "resources"
+
+
+def resource_schema():
+    """Schema of the generic resource table."""
+    return schema(
+        "key",
+        key=ColumnType.STR,
+        status=Column("", ColumnType.STR, default="free"),
+        value=Column("", ColumnType.JSON, nullable=True),
+        holder=Column("", ColumnType.STR, nullable=True),
+    )
+
+
+class ResourceObject(SyDDeviceObject):
+    """Store-backed entities supporting the §4.3 negotiation verbs."""
+
+    def __init__(self, name: str, store: DataStore, locks: LockManager | None = None):
+        super().__init__(name, store)
+        self.locks = locks or LockManager()
+        #: notifications received via subscription links / link methods
+        self.notifications: list[tuple[Any, Any]] = []
+        if not store.has_table(RESOURCE_TABLE):
+            store.create_table(RESOURCE_TABLE, resource_schema())
+
+    # -- management ---------------------------------------------------------
+
+    @exported
+    def add(self, key: str, status: str = "free", value: Any = None) -> dict[str, Any]:
+        """Create a resource entity."""
+        return self.store.insert(
+            RESOURCE_TABLE, {"key": key, "status": status, "value": value}
+        )
+
+    @exported
+    def read(self, key: str) -> dict[str, Any] | None:
+        """Current row of an entity."""
+        return self.store.get(RESOURCE_TABLE, key)
+
+    @exported
+    def set_status(self, key: str, status: str) -> int:
+        """Directly set status (simulates out-of-band changes)."""
+        return self.store.update(RESOURCE_TABLE, where("key") == key, {"status": status})
+
+    @exported
+    def is_available(self, key: str) -> bool:
+        """Availability check used at link-creation negotiation (§4.2 op 2)."""
+        row = self.store.get(RESOURCE_TABLE, key)
+        return bool(row) and row["status"] == "free" and not self.locks.is_locked(key)
+
+    @exported
+    def on_peer_change(self, entity: Any, payload: Any = None) -> int:
+        """Receive a subscription-link / link-method notification.
+
+        Records the notification; returns how many have been received.
+        """
+        self.notifications.append((entity, payload))
+        return len(self.notifications)
+
+    # -- negotiation verbs -----------------------------------------------------
+
+    @exported
+    def mark(self, key: str, txn_id: str) -> bool:
+        """Mark-for-change: lock if the entity exists, is free, unlocked."""
+        row = self.store.get(RESOURCE_TABLE, key)
+        if row is None or row["status"] != "free":
+            return False
+        return self.locks.try_lock(key, txn_id)
+
+    @exported
+    def change(self, key: str, txn_id: str, change: Any = None) -> dict[str, Any]:
+        """Apply the negotiated change (must hold the txn's lock).
+
+        ``change`` is a dict of column changes; default reserves the
+        entity for the transaction.
+        """
+        if self.locks.holder(key) != txn_id:
+            from repro.util.errors import LockNotHeldError
+
+            raise LockNotHeldError(f"txn {txn_id} does not hold {key!r}")
+        changes = dict(change) if change else {"status": "reserved"}
+        changes.setdefault("holder", txn_id)
+        self.store.update(RESOURCE_TABLE, where("key") == key, changes)
+        return self.store.get(RESOURCE_TABLE, key)
+
+    @exported
+    def unmark(self, key: str, txn_id: str) -> bool:
+        """Release the txn's lock (idempotent)."""
+        if self.locks.holder(key) == txn_id:
+            self.locks.unlock(key, txn_id)
+            return True
+        return False

@@ -1,0 +1,305 @@
+"""SyDDirectory — user/group/service publishing, management and lookup.
+
+Paper §3.1(a): "Provides user/group/service publishing, management, and
+lookup services to SyD users and device objects. Also supports
+intelligent proxy maintenance for users/devices."
+
+The directory is itself a :class:`SyDDeviceObject` (``_syd_directory``)
+published on a dedicated server node, and — dogfooding the paper's own
+architecture — keeps its records in a :class:`RelationalStore`. Other
+nodes talk to it through :class:`DirectoryClient`, a typed stub over the
+ordinary remote-invocation path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.predicate import where
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import RelationalStore
+from repro.device.object import SyDDeviceObject, exported
+from repro.util.errors import (
+    DuplicateRegistrationError,
+    UnknownGroupError,
+    UnknownServiceError,
+    UnknownUserError,
+)
+
+DIRECTORY_OBJECT = "_syd_directory"
+DEFAULT_DIRECTORY_NODE = "syd-directory"
+
+
+class SyDDirectoryService(SyDDeviceObject):
+    """Server side of the directory (runs on the directory node)."""
+
+    def __init__(self, store: RelationalStore | None = None):
+        store = store or RelationalStore("directory")
+        super().__init__(DIRECTORY_OBJECT, store)
+        store.create_table(
+            "users",
+            schema(
+                "user_id",
+                user_id=ColumnType.STR,
+                node_id=ColumnType.STR,
+                proxy_node=Column("", ColumnType.STR, nullable=True),
+                online=Column("", ColumnType.BOOL, default=True),
+                info=Column("", ColumnType.JSON, nullable=True),
+            ),
+        )
+        store.create_table(
+            "services",
+            schema(
+                "service_key",  # "<user_id>/<service>"
+                service_key=ColumnType.STR,
+                user_id=ColumnType.STR,
+                service=ColumnType.STR,
+                object_name=ColumnType.STR,
+                methods=ColumnType.JSON,
+            ),
+        )
+        store.create_index("services", "user_id")
+        store.create_table(
+            "groups",
+            schema(
+                "group_id",
+                group_id=ColumnType.STR,
+                owner=ColumnType.STR,
+                members=ColumnType.JSON,
+            ),
+        )
+
+    # -- users ---------------------------------------------------------------
+
+    @exported
+    def publish_user(
+        self,
+        user_id: str,
+        node_id: str,
+        proxy_node: str | None = None,
+        info: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Register a user and the node their device object lives on."""
+        if self.store.get("users", user_id) is not None:
+            raise DuplicateRegistrationError(f"user {user_id!r} already published")
+        return self.store.insert(
+            "users",
+            {
+                "user_id": user_id,
+                "node_id": node_id,
+                "proxy_node": proxy_node,
+                "info": info,
+            },
+        )
+
+    @exported
+    def lookup_user(self, user_id: str) -> dict[str, Any]:
+        """Full user record: node, proxy, online flag."""
+        row = self.store.get("users", user_id)
+        if row is None:
+            raise UnknownUserError(f"user {user_id!r} is not published")
+        return row
+
+    @exported
+    def list_users(self) -> list[str]:
+        """All published user ids."""
+        return [r["user_id"] for r in self.store.select("users")]
+
+    @exported
+    def set_online(self, user_id: str, online: bool) -> None:
+        """Mark a user's device up or down (proxy failover hint)."""
+        if self.store.update("users", where("user_id") == user_id, {"online": online}) == 0:
+            raise UnknownUserError(f"user {user_id!r} is not published")
+
+    @exported
+    def set_proxy(self, user_id: str, proxy_node: str | None) -> None:
+        """Bind (or clear) a user's proxy node."""
+        if (
+            self.store.update(
+                "users", where("user_id") == user_id, {"proxy_node": proxy_node}
+            )
+            == 0
+        ):
+            raise UnknownUserError(f"user {user_id!r} is not published")
+
+    @exported
+    def unpublish_user(self, user_id: str) -> None:
+        """Remove a user and their service registrations."""
+        if self.store.delete("users", where("user_id") == user_id) == 0:
+            raise UnknownUserError(f"user {user_id!r} is not published")
+        self.store.delete("services", where("user_id") == user_id)
+
+    # -- services ------------------------------------------------------------
+
+    @exported
+    def register_service(
+        self, user_id: str, service: str, object_name: str, methods: list[str]
+    ) -> None:
+        """Publish that ``user_id`` offers ``service`` via ``object_name``."""
+        if self.store.get("users", user_id) is None:
+            raise UnknownUserError(f"user {user_id!r} is not published")
+        key = f"{user_id}/{service}"
+        if self.store.get("services", key) is not None:
+            raise DuplicateRegistrationError(f"service {key!r} already registered")
+        self.store.insert(
+            "services",
+            {
+                "service_key": key,
+                "user_id": user_id,
+                "service": service,
+                "object_name": object_name,
+                "methods": list(methods),
+            },
+        )
+
+    @exported
+    def lookup_service(self, user_id: str, service: str) -> dict[str, Any]:
+        """Resolve a user's service to its object name and methods."""
+        row = self.store.get("services", f"{user_id}/{service}")
+        if row is None:
+            raise UnknownServiceError(f"user {user_id!r} offers no service {service!r}")
+        return row
+
+    @exported
+    def services_of(self, user_id: str) -> list[dict[str, Any]]:
+        """All services a user has registered."""
+        return self.store.select("services", where("user_id") == user_id)
+
+    @exported
+    def unregister_service(self, user_id: str, service: str) -> bool:
+        """Remove one service registration; returns True when it existed."""
+        return (
+            self.store.delete("services", where("service_key") == f"{user_id}/{service}")
+            > 0
+        )
+
+    # -- groups ----------------------------------------------------------------
+
+    @exported
+    def form_group(self, group_id: str, owner: str, members: list[str]) -> None:
+        """Create a dynamic group of users (paper: committees, departments)."""
+        if self.store.get("groups", group_id) is not None:
+            raise DuplicateRegistrationError(f"group {group_id!r} already exists")
+        for member in members:
+            if self.store.get("users", member) is None:
+                raise UnknownUserError(f"group member {member!r} is not published")
+        self.store.insert(
+            "groups", {"group_id": group_id, "owner": owner, "members": list(members)}
+        )
+
+    @exported
+    def group_members(self, group_id: str) -> list[str]:
+        """Member user ids of a group."""
+        row = self.store.get("groups", group_id)
+        if row is None:
+            raise UnknownGroupError(f"no group {group_id!r}")
+        return list(row["members"])
+
+    @exported
+    def add_member(self, group_id: str, user_id: str) -> None:
+        """Add a user to a group (idempotent)."""
+        members = self.group_members(group_id)
+        if self.store.get("users", user_id) is None:
+            raise UnknownUserError(f"user {user_id!r} is not published")
+        if user_id not in members:
+            members.append(user_id)
+            self.store.update(
+                "groups", where("group_id") == group_id, {"members": members}
+            )
+
+    @exported
+    def remove_member(self, group_id: str, user_id: str) -> None:
+        """Drop a user from a group."""
+        members = self.group_members(group_id)
+        if user_id in members:
+            members.remove(user_id)
+            self.store.update(
+                "groups", where("group_id") == group_id, {"members": members}
+            )
+
+    @exported
+    def disband_group(self, group_id: str) -> None:
+        """Delete a group."""
+        if self.store.delete("groups", where("group_id") == group_id) == 0:
+            raise UnknownGroupError(f"no group {group_id!r}")
+
+    @exported
+    def list_groups(self) -> list[str]:
+        """All group ids."""
+        return [r["group_id"] for r in self.store.select("groups")]
+
+
+class DirectoryClient:
+    """Client stub: typed methods over the remote-invocation path.
+
+    Every method is one RPC to the directory node's ``_syd_directory``
+    object; errors surface as the same typed exceptions the service
+    raises (the transport marshals them).
+    """
+
+    def __init__(self, node_id: str, transport, directory_node: str = DEFAULT_DIRECTORY_NODE):
+        self.node_id = node_id
+        self.transport = transport
+        self.directory_node = directory_node
+
+    def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        reply = self.transport.rpc(
+            self.node_id,
+            self.directory_node,
+            "invoke",
+            {
+                "object": DIRECTORY_OBJECT,
+                "method": method,
+                "args": list(args),
+                "kwargs": kwargs,
+            },
+        )
+        return reply.get("result")
+
+    def publish_user(self, user_id, node_id, proxy_node=None, info=None):
+        return self._call("publish_user", user_id, node_id, proxy_node=proxy_node, info=info)
+
+    def lookup_user(self, user_id):
+        return self._call("lookup_user", user_id)
+
+    def list_users(self):
+        return self._call("list_users")
+
+    def set_online(self, user_id, online):
+        return self._call("set_online", user_id, online)
+
+    def set_proxy(self, user_id, proxy_node):
+        return self._call("set_proxy", user_id, proxy_node)
+
+    def unpublish_user(self, user_id):
+        return self._call("unpublish_user", user_id)
+
+    def register_service(self, user_id, service, object_name, methods):
+        return self._call("register_service", user_id, service, object_name, methods)
+
+    def lookup_service(self, user_id, service):
+        return self._call("lookup_service", user_id, service)
+
+    def services_of(self, user_id):
+        return self._call("services_of", user_id)
+
+    def unregister_service(self, user_id, service):
+        return self._call("unregister_service", user_id, service)
+
+    def form_group(self, group_id, owner, members):
+        return self._call("form_group", group_id, owner, members)
+
+    def group_members(self, group_id):
+        return self._call("group_members", group_id)
+
+    def add_member(self, group_id, user_id):
+        return self._call("add_member", group_id, user_id)
+
+    def remove_member(self, group_id, user_id):
+        return self._call("remove_member", group_id, user_id)
+
+    def disband_group(self, group_id):
+        return self._call("disband_group", group_id)
+
+    def list_groups(self):
+        return self._call("list_groups")

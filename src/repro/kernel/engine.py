@@ -1,0 +1,132 @@
+"""SyDEngine — single and group remote execution with result aggregation.
+
+Paper §3.1(c): "Allows users to execute single or group services remotely
+via SyDListener and aggregate results." The engine is also where mobility
+becomes transparent: a call to an unreachable device fails over to the
+user's proxy (paper §5.2 — "the proxy and the SyD object act as a single
+entity for an outsider").
+
+Resolution order for ``execute(user, service, method)``:
+
+1. ``lookup_user`` + ``lookup_service`` at the SyDDirectory.
+2. RPC the user's home node.
+3. On :class:`UnreachableError`: RPC the user's proxy node, if any,
+   with the same payload (the proxy hosts/mirrors the user's objects).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.kernel.aggregate import Aggregator, GroupResult, InvocationResult
+from repro.kernel.directory import DirectoryClient
+from repro.net.transport import Transport
+from repro.security.envelope import Credentials, seal
+from repro.util.errors import ReproError, UnreachableError
+
+
+class SyDEngine:
+    """Per-node invoker of remote services."""
+
+    def __init__(
+        self,
+        node_id: str,
+        transport: Transport,
+        directory: DirectoryClient,
+        credentials: Credentials | None = None,
+        auth_passphrase: str | None = None,
+    ):
+        self.node_id = node_id
+        self.transport = transport
+        self.directory = directory
+        self.credentials = credentials
+        self.auth_passphrase = auth_passphrase
+        #: count of calls that were served by a proxy instead of the device
+        self.proxy_fallbacks = 0
+        self.calls = 0
+
+    # -- low level -------------------------------------------------------------
+
+    def _payload(
+        self, object_name: str, method: str, args: tuple, kwargs: dict
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "object": object_name,
+            "method": method,
+            "args": list(args),
+            "kwargs": kwargs,
+        }
+        if self.credentials is not None and self.auth_passphrase is not None:
+            payload["auth"] = seal(self.credentials, self.auth_passphrase)
+        return payload
+
+    def execute_on_node(
+        self, node_id: str, object_name: str, method: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Invoke a method on a specific node, no directory resolution."""
+        self.calls += 1
+        reply = self.transport.rpc(
+            self.node_id, node_id, "invoke", self._payload(object_name, method, args, kwargs)
+        )
+        return reply.get("result")
+
+    # -- single execution ----------------------------------------------------------
+
+    def execute(
+        self, user: str, service: str, method: str, *args: Any, **kwargs: Any
+    ) -> Any:
+        """Invoke ``service.method`` of ``user`` with proxy failover."""
+        record = self.directory.lookup_user(user)
+        svc = self.directory.lookup_service(user, service)
+        object_name = svc["object_name"]
+        try:
+            return self.execute_on_node(record["node_id"], object_name, method, *args, **kwargs)
+        except UnreachableError:
+            proxy = record.get("proxy_node")
+            if not proxy:
+                raise
+            self.proxy_fallbacks += 1
+            # The proxy accepts the same invoke payload, plus the user id it
+            # should impersonate.
+            payload = self._payload(object_name, method, args, kwargs)
+            payload["for_user"] = user
+            self.calls += 1
+            reply = self.transport.rpc(self.node_id, proxy, "invoke", payload)
+            return reply.get("result")
+
+    # -- group execution -------------------------------------------------------------
+
+    def execute_group(
+        self,
+        users: Sequence[str] | str,
+        service: str,
+        method: str,
+        *args: Any,
+        aggregator: Aggregator | None = None,
+        per_user_args: Callable[[str], tuple] | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke the same service method on every member of a group.
+
+        ``users`` may be a list of user ids or a directory group id.
+        Per-member failures are captured, not raised, so one dead PDA
+        does not break the group call (the aggregator decides policy).
+        When ``per_user_args`` is given it overrides ``args`` per member.
+
+        Returns the :class:`GroupResult`, or the aggregated value when an
+        ``aggregator`` is supplied.
+        """
+        if isinstance(users, str):
+            users = self.directory.group_members(users)
+        results = []
+        for user in users:
+            member_args = per_user_args(user) if per_user_args else args
+            try:
+                value = self.execute(user, service, method, *member_args, **kwargs)
+                results.append(InvocationResult(user, True, value))
+            except ReproError as exc:
+                results.append(
+                    InvocationResult(user, False, None, type(exc).__name__, str(exc))
+                )
+        group = GroupResult(tuple(results))
+        return group.aggregate(aggregator) if aggregator else group

@@ -1,0 +1,134 @@
+"""SyDEventHandler — local and global event registration and triggering.
+
+Paper §3.1(d): "This module handles local and global event registration,
+monitoring, and triggering."
+
+* **Local events** ride the node's :class:`~repro.util.events.EventBus`.
+* **Global events**: node A subscribes to a topic *at* node B
+  (``event.subscribe``); when B raises the topic, its handler pushes an
+  ``event.notify`` message to each subscriber, which re-publishes it
+  locally under ``global.<topic>``. This is the middleware-resident
+  trigger channel the paper proposes in §5.3 as the portable alternative
+  to Oracle triggers.
+* **Periodic monitoring**: the handler owns scheduled jobs such as the
+  link-expiry sweep (paper §4.2 op 6: "Periodically, the local event
+  handler triggers a method which checks for links whose expiration
+  times have been surpassed").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.sim.kernel import EventHandle, EventScheduler
+from repro.util.errors import NetworkError
+from repro.util.events import EventBus
+
+
+class SyDEventHandler:
+    """Per-node event plumbing."""
+
+    def __init__(self, node_id: str, transport: Transport, scheduler: EventScheduler):
+        self.node_id = node_id
+        self.transport = transport
+        self.scheduler = scheduler
+        self.bus = EventBus()
+        # topic -> set of subscriber node ids (who want *our* events)
+        self._remote_subscribers: dict[str, set[str]] = {}
+        self._periodic: list[EventHandle] = []
+        self.notifications_sent = 0
+        self.notifications_failed = 0
+
+    # -- local events -----------------------------------------------------------
+
+    def on_local(self, pattern: str, handler: Callable[[str, dict], None]) -> Callable[[], None]:
+        """Subscribe to locally raised topics; returns an unsubscriber."""
+        return self.bus.subscribe(pattern, handler)
+
+    def raise_local(self, topic: str, **payload: Any) -> int:
+        """Publish a purely local event."""
+        return self.bus.publish(topic, **payload)
+
+    # -- global events -----------------------------------------------------------
+
+    def subscribe_remote(self, publisher_node: str, topic: str) -> None:
+        """Ask ``publisher_node`` to push ``topic`` events to this node."""
+        self.transport.rpc(
+            self.node_id,
+            publisher_node,
+            "event.subscribe",
+            {"topic": topic, "subscriber": self.node_id},
+        )
+
+    def unsubscribe_remote(self, publisher_node: str, topic: str) -> None:
+        """Cancel a remote subscription."""
+        self.transport.rpc(
+            self.node_id,
+            publisher_node,
+            "event.unsubscribe",
+            {"topic": topic, "subscriber": self.node_id},
+        )
+
+    def on_global(self, pattern: str, handler: Callable[[str, dict], None]) -> Callable[[], None]:
+        """Handle events pushed by remote publishers (topic gets the
+        ``global.`` prefix locally)."""
+        return self.bus.subscribe(f"global.{pattern}", handler)
+
+    def raise_global(self, topic: str, **payload: Any) -> int:
+        """Publish to local subscribers *and* push to remote subscribers.
+
+        Unreachable subscribers are skipped (counted in
+        ``notifications_failed``) — a powered-off PDA must not block the
+        publisher.
+        """
+        delivered = self.bus.publish(topic, **payload)
+        for subscriber in sorted(self._remote_subscribers.get(topic, ())):
+            try:
+                self.transport.send(
+                    self.node_id,
+                    subscriber,
+                    "event.notify",
+                    {"topic": topic, "payload": payload},
+                )
+                self.notifications_sent += 1
+                delivered += 1
+            except NetworkError:
+                self.notifications_failed += 1
+        return delivered
+
+    def remote_subscriber_count(self, topic: str) -> int:
+        return len(self._remote_subscribers.get(topic, ()))
+
+    # -- periodic monitoring ---------------------------------------------------------
+
+    def monitor_every(self, interval: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule a periodic monitoring job (e.g. link-expiry sweep)."""
+        handle = self.scheduler.every(interval, fn)
+        self._periodic.append(handle)
+        return handle
+
+    def stop_monitors(self) -> None:
+        """Cancel all periodic jobs of this node."""
+        for handle in self._periodic:
+            handle.cancel()
+        self._periodic.clear()
+
+    # -- transport dispatch ---------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> dict[str, Any]:
+        """Handle ``event.*`` messages from the transport."""
+        if msg.kind == "event.subscribe":
+            topic = msg.payload["topic"]
+            self._remote_subscribers.setdefault(topic, set()).add(msg.payload["subscriber"])
+            return {"ok": True}
+        if msg.kind == "event.unsubscribe":
+            topic = msg.payload["topic"]
+            self._remote_subscribers.get(topic, set()).discard(msg.payload["subscriber"])
+            return {"ok": True}
+        if msg.kind == "event.notify":
+            topic = msg.payload["topic"]
+            self.bus.publish(f"global.{topic}", **msg.payload.get("payload", {}))
+            return {"ok": True}
+        raise NetworkError(f"unknown event message kind {msg.kind!r}")

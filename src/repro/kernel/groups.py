@@ -1,0 +1,118 @@
+"""Dynamic group formation and maintenance.
+
+Paper §1/§7: "Forming and managing dynamic groups of objects is one of
+the key aspects of SyD technology." Membership records live in the
+SyDDirectory (:mod:`repro.kernel.directory`); this module adds the
+*maintenance* half on top:
+
+* membership-change notifications — members subscribe to the group's
+  topic and hear joins/leaves as global events,
+* group broadcast — deliver an application payload to every member,
+* group invocation sugar delegating to the SyDEngine.
+
+One :class:`GroupManager` runs per node; groups are identified by the
+directory group id.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.kernel.node import SyDNode
+from repro.util.errors import NetworkError
+
+
+def _topic(group_id: str) -> str:
+    return f"group.{group_id}"
+
+
+class GroupManager:
+    """Per-node view of directory groups with change notifications.
+
+    Notification model: every member node subscribes (global event
+    subscription) to every *other* member's group topic; membership
+    operations raise the topic at the acting node, which pushes to all
+    subscribers. This is fully peer-to-peer — no group coordinator —
+    matching SyD's no-central-entity stance.
+    """
+
+    def __init__(self, node: SyDNode):
+        self.node = node
+        self._watched: dict[str, Callable[[], None]] = {}
+        self.events_seen: list[dict[str, Any]] = []
+
+    # -- formation -------------------------------------------------------------
+
+    def form(self, group_id: str, members: Sequence[str]) -> list[str]:
+        """Create a group (owner = this user) and announce it."""
+        members = list(dict.fromkeys(members))
+        self.node.directory.form_group(group_id, self.node.user, members)
+        self._announce(group_id, "formed", members=members)
+        return members
+
+    def join(self, group_id: str, user: str | None = None) -> None:
+        """Add a member (defaults to this user) and announce the join."""
+        user = user or self.node.user
+        self.node.directory.add_member(group_id, user)
+        self._announce(group_id, "joined", user=user)
+
+    def leave(self, group_id: str, user: str | None = None) -> None:
+        """Remove a member (defaults to this user) and announce."""
+        user = user or self.node.user
+        self.node.directory.remove_member(group_id, user)
+        self._announce(group_id, "left", user=user)
+
+    def disband(self, group_id: str) -> None:
+        """Delete the group and announce."""
+        members = self.node.directory.group_members(group_id)
+        self._announce(group_id, "disbanded", members=members)
+        self.node.directory.disband_group(group_id)
+
+    def members(self, group_id: str) -> list[str]:
+        return self.node.directory.group_members(group_id)
+
+    # -- notifications --------------------------------------------------------
+
+    def watch(self, group_id: str, handler: Callable[[dict[str, Any]], None] | None = None) -> None:
+        """Start receiving membership events for ``group_id``.
+
+        Subscribes at every current member's node (and records events in
+        ``events_seen``); call again after large membership changes to
+        refresh subscriptions.
+        """
+        topic = _topic(group_id)
+        if group_id not in self._watched:
+
+            def on_event(_topic: str, payload: dict[str, Any]) -> None:
+                self.events_seen.append(payload)
+                if handler is not None:
+                    handler(payload)
+
+            self._watched[group_id] = self.node.events.on_global(topic, on_event)
+        for member in self.members(group_id):
+            if member == self.node.user:
+                continue
+            try:
+                member_node = self.node.directory.lookup_user(member)["node_id"]
+                self.node.events.subscribe_remote(member_node, topic)
+            except NetworkError:
+                continue
+
+    def unwatch(self, group_id: str) -> None:
+        """Stop receiving membership events locally."""
+        unsub = self._watched.pop(group_id, None)
+        if unsub is not None:
+            unsub()
+
+    def _announce(self, group_id: str, change: str, **detail: Any) -> None:
+        self.node.events.raise_global(
+            _topic(group_id), group=group_id, change=change, actor=self.node.user, **detail
+        )
+
+    # -- group operations --------------------------------------------------------
+
+    def broadcast(
+        self, group_id: str, service: str, method: str, *args: Any, **kwargs: Any
+    ):
+        """Invoke a service method on every member; returns the GroupResult."""
+        return self.node.engine.execute_group(group_id, service, method, *args, **kwargs)

@@ -1,0 +1,134 @@
+"""SyDListener — service publication and remote-invocation dispatch.
+
+Paper §3.1(b): "Enables SyD device objects to publish services (server
+functionalities) as 'listeners' locally on the device and globally via
+directory services. It allows users on SyD network to invoke single or
+group services via remote invocations seamlessly."
+
+One listener runs per node. It owns the node's
+:class:`~repro.device.registry.MethodRegistry`, handles ``"invoke"``
+messages from the transport, optionally enforces §5.4 authentication,
+and — when *middleware triggers* are enabled (paper §5.3's proposed
+store-portable alternative to Oracle triggers) — notifies post-invoke
+hooks such as :meth:`repro.kernel.links.SyDLinks.after_method`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.device.object import SyDDeviceObject
+from repro.device.registry import MethodRegistry
+from repro.net.message import Message
+from repro.security.auth import AuthTable
+from repro.security.envelope import unseal
+from repro.util.errors import AuthenticationError
+
+#: Hook signature: (object_name, method, args, kwargs, result) -> None
+PostInvokeHook = Callable[[str, str, list, dict, Any], None]
+
+
+class SyDListener:
+    """Per-node invocation endpoint."""
+
+    def __init__(self, node_id: str, directory=None):
+        self.node_id = node_id
+        self.registry = MethodRegistry()
+        self.directory = directory  # DirectoryClient or None (directory node itself)
+        self._post_hooks: list[PostInvokeHook] = []
+        # Authentication (off until enable_authentication is called).
+        self._auth_passphrase: str | None = None
+        self._auth_table: AuthTable | None = None
+        self._protected: set[str] | None = None  # None = protect everything
+        self.invocations = 0
+        self.rejected = 0
+
+    # -- publication ----------------------------------------------------------
+
+    def publish_object(
+        self,
+        obj: SyDDeviceObject,
+        *,
+        user_id: str | None = None,
+        service: str | None = None,
+    ) -> list[str]:
+        """Register an object's exported methods locally, and globally when
+        ``user_id``/``service`` are given and a directory client is wired.
+
+        Returns the published method names.
+        """
+        methods = obj.publish(self.registry)
+        if user_id is not None and service is not None and self.directory is not None:
+            self.directory.register_service(user_id, service, obj.name, methods)
+        return methods
+
+    def unpublish_object(self, obj: SyDDeviceObject) -> None:
+        """Remove an object's methods from the local registry."""
+        obj.unpublish(self.registry)
+
+    # -- middleware-trigger hooks -------------------------------------------------
+
+    def add_post_invoke_hook(self, hook: PostInvokeHook) -> Callable[[], None]:
+        """Run ``hook`` after every successful invocation; returns remover."""
+        self._post_hooks.append(hook)
+
+        def remove() -> None:
+            if hook in self._post_hooks:
+                self._post_hooks.remove(hook)
+
+        return remove
+
+    # -- authentication ---------------------------------------------------------
+
+    def enable_authentication(
+        self,
+        passphrase: str,
+        auth_table: AuthTable,
+        protected_objects: set[str] | None = None,
+    ) -> None:
+        """Require a valid credential envelope on invocations.
+
+        ``protected_objects`` limits enforcement to the named objects
+        (None = every object on this node). Built-in kernel objects
+        (names starting with ``_syd``) are always exempt — kernel-to-
+        kernel traffic such as link cascades is trusted infrastructure,
+        like the prototype's intra-middleware RMI.
+        """
+        self._auth_passphrase = passphrase
+        self._auth_table = auth_table
+        self._protected = protected_objects
+
+    def _check_auth(self, object_name: str, payload: dict[str, Any]) -> None:
+        if self._auth_passphrase is None or object_name.startswith("_syd"):
+            return
+        if self._protected is not None and object_name not in self._protected:
+            return
+        envelope = payload.get("auth")
+        if not envelope:
+            raise AuthenticationError(
+                f"object {object_name!r} requires credentials and none were sent"
+            )
+        creds = unseal(envelope, self._auth_passphrase)
+        assert self._auth_table is not None
+        self._auth_table.check(creds.user_id, creds.password)
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def handle_invoke(self, msg: Message) -> dict[str, Any]:
+        """Transport handler for ``"invoke"`` messages."""
+        payload = msg.payload
+        object_name = payload["object"]
+        method = payload["method"]
+        args = payload.get("args", [])
+        kwargs = payload.get("kwargs", {})
+        try:
+            self._check_auth(object_name, payload)
+        except AuthenticationError:
+            self.rejected += 1
+            raise
+        fn = self.registry.lookup(object_name, method)
+        result = fn(*args, **kwargs)
+        self.invocations += 1
+        for hook in list(self._post_hooks):
+            hook(object_name, method, list(args), dict(kwargs), result)
+        return {"result": result}

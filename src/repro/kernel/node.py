@@ -1,0 +1,119 @@
+"""SyDNode — one device's full SyD runtime stack.
+
+Paper Figure 2/3: every device runs the SyD Kernel modules on top of the
+transport. A :class:`SyDNode` owns, for one user/device:
+
+* a data store (relational, flat-file or list — heterogeneity point),
+* the :class:`SyDListener` (+ method registry) handling invocations,
+* a :class:`SyDEngine` for outgoing calls with proxy failover,
+* a :class:`SyDEventHandler` for local/global events and periodic jobs,
+* :class:`SyDLinks` (+ its ``_syd_links`` remote facade),
+* a :class:`LockManager` and a :class:`NegotiationCoordinator`,
+* optionally an :class:`AuthTable` when §5.4 authentication is on.
+
+The node's transport handler dispatches by message kind: ``invoke`` →
+listener, ``event.*`` → event handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.store import DataStore
+from repro.kernel.directory import DirectoryClient
+from repro.kernel.engine import SyDEngine
+from repro.kernel.events import SyDEventHandler
+from repro.kernel.links import SyDLinks, SyDLinksService
+from repro.kernel.listener import SyDListener
+from repro.net.address import DeviceClass, NodeAddress
+from repro.net.message import Message
+from repro.net.transport import Transport
+from repro.security.auth import AuthTable
+from repro.security.envelope import Credentials
+from repro.sim.kernel import EventScheduler
+from repro.txn.coordinator import NegotiationCoordinator
+from repro.txn.locks import LockManager
+from repro.util.errors import NetworkError
+from repro.util.trace import Tracer
+
+
+class SyDNode:
+    """One simulated device running the SyD Kernel."""
+
+    def __init__(
+        self,
+        user: str,
+        store: DataStore,
+        transport: Transport,
+        scheduler: EventScheduler,
+        *,
+        node_id: str | None = None,
+        device_class: DeviceClass = DeviceClass.PDA,
+        directory_node: str = "syd-directory",
+        tracer: Tracer | None = None,
+        credentials: Credentials | None = None,
+        auth_passphrase: str | None = None,
+    ):
+        self.user = user
+        self.node_id = node_id or f"{user}-device"
+        self.address = NodeAddress(self.node_id, device_class)
+        self.store = store
+        self.transport = transport
+        self.scheduler = scheduler
+        self.tracer = tracer or Tracer(transport.clock)
+
+        self.directory = DirectoryClient(self.node_id, transport, directory_node)
+        self.listener = SyDListener(self.node_id, self.directory)
+        self.engine = SyDEngine(
+            self.node_id,
+            transport,
+            self.directory,
+            credentials=credentials,
+            auth_passphrase=auth_passphrase,
+        )
+        self.events = SyDEventHandler(self.node_id, transport, scheduler)
+        self.locks = LockManager()
+        self.links = SyDLinks(user, store, self.engine, transport.clock, self.events.bus)
+        self.links_service = SyDLinksService(self.links)
+        self.coordinator = NegotiationCoordinator(self.engine, self.tracer)
+        self.auth_table: AuthTable | None = None
+
+        transport.register(self.address, self.handle_message)
+        self.listener.publish_object(self.links_service)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def join(self, proxy_node: str | None = None, info: dict[str, Any] | None = None) -> None:
+        """Publish this user + the links service in the SyDDirectory."""
+        self.directory.publish_user(self.user, self.node_id, proxy_node, info)
+        self.directory.register_service(
+            self.user,
+            "_syd_links",
+            self.links_service.name,
+            sorted(self.links_service.exported_methods()),
+        )
+
+    def enable_authentication(self, passphrase: str, protected: set[str] | None = None) -> AuthTable:
+        """Turn on §5.4 credential checking for this node's objects."""
+        self.auth_table = AuthTable(self.store)
+        self.listener.enable_authentication(passphrase, self.auth_table, protected)
+        return self.auth_table
+
+    def start_expiry_sweep(self, interval: float) -> None:
+        """Schedule the periodic link-expiry monitor (§4.2 op 6)."""
+        self.events.monitor_every(interval, self.links.expire_links)
+
+    def enable_middleware_triggers(self) -> None:
+        """Wire SyD_LinkMethod firing into the listener (§5.3 middleware
+        trigger mode — the store-portable route)."""
+        self.listener.add_post_invoke_hook(self.links.after_method)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> dict[str, Any]:
+        """Transport entry point for this node."""
+        if msg.kind == "invoke":
+            return self.listener.handle_invoke(msg)
+        if msg.kind.startswith("event."):
+            return self.events.handle_message(msg)
+        raise NetworkError(f"node {self.node_id} cannot handle kind {msg.kind!r}")

@@ -1,0 +1,110 @@
+"""QoS support services.
+
+Paper §2: the groupware provides "QoS support services for SyDApps" (and
+the companion work, ref [4], adds QoS-aware transactions). This module
+implements the practical core: per-invocation **deadline** accounting on
+the virtual clock and **retry** policies for transient unreachability
+(a PDA dropping off the wireless LAN for a moment).
+
+:class:`QoSEngine` wraps a :class:`~repro.kernel.engine.SyDEngine`; the
+wrapped ``execute`` retries failed calls with a (virtual-time) backoff
+and raises :class:`DeadlineExceeded` when the budget runs out. Violation
+counters feed the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.kernel.engine import SyDEngine
+from repro.util.errors import NetworkError, ReproError
+
+
+class DeadlineExceeded(ReproError):
+    """The invocation (including retries) blew its virtual-time budget."""
+
+
+@dataclass(frozen=True)
+class QoSPolicy:
+    """How hard to try, and how long we may take.
+
+    Attributes:
+        deadline: virtual-seconds budget for the whole call (None = no
+            deadline).
+        retries: additional attempts after the first failure.
+        backoff: virtual seconds to wait before each retry (the device
+            might be re-associating with the access point).
+    """
+
+    deadline: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+class QoSEngine:
+    """Deadline/retry wrapper around a SyDEngine."""
+
+    def __init__(self, engine: SyDEngine, policy: QoSPolicy):
+        self.engine = engine
+        self.policy = policy
+        self.clock = engine.transport.clock
+        self.retries_used = 0
+        self.deadline_violations = 0
+        self.recovered_calls = 0
+
+    def execute(self, user: str, service: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Like ``SyDEngine.execute`` but with the policy applied.
+
+        Raises :class:`DeadlineExceeded` when the budget is exhausted
+        (whether by slow legs or by retry waits); re-raises the last
+        network error when retries run out inside the deadline.
+        """
+        start = self.clock.now()
+        attempts = self.policy.retries + 1
+        last_error: NetworkError | None = None
+        for attempt in range(attempts):
+            if self._over_deadline(start):
+                self.deadline_violations += 1
+                raise DeadlineExceeded(
+                    f"{service}.{method}@{user}: budget {self.policy.deadline}s "
+                    f"exhausted after {attempt} attempt(s)"
+                )
+            if attempt > 0:
+                self.retries_used += 1
+                self.clock.advance(self.policy.backoff)
+            try:
+                result = self.engine.execute(user, service, method, *args, **kwargs)
+                if attempt > 0:
+                    self.recovered_calls += 1
+                self._check_deadline_after(start, user, service, method)
+                return result
+            except NetworkError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _over_deadline(self, start: float) -> bool:
+        return (
+            self.policy.deadline is not None
+            and self.clock.now() - start >= self.policy.deadline
+        )
+
+    def _check_deadline_after(self, start: float, user: str, service: str, method: str) -> None:
+        if self.policy.deadline is None:
+            return
+        elapsed = self.clock.now() - start
+        if elapsed > self.policy.deadline:
+            self.deadline_violations += 1
+            raise DeadlineExceeded(
+                f"{service}.{method}@{user}: completed in {elapsed:.4f}s, "
+                f"budget was {self.policy.deadline}s"
+            )

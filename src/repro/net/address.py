@@ -1,0 +1,39 @@
+"""Node addressing.
+
+In the paper each device is reachable through a URL published in the
+SyDDirectory. In the simulation an address is a node id plus a device
+class (PDA / workstation / server), which selects its latency profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DeviceClass(str, Enum):
+    """Hardware class of a simulated node (drives the latency model)."""
+
+    PDA = "pda"                # iPAQ on wireless LAN (paper's deployment)
+    WORKSTATION = "workstation"  # wired PC
+    SERVER = "server"          # directory / name server / proxy host
+
+
+@dataclass(frozen=True)
+class NodeAddress:
+    """Identity of a simulated node.
+
+    Attributes:
+        node_id: globally unique name (``"phil-ipaq"``, ``"directory"``).
+        device_class: hardware class used by latency models.
+    """
+
+    node_id: str
+    device_class: DeviceClass = DeviceClass.WORKSTATION
+
+    def url(self) -> str:
+        """A paper-style URL string for directory listings."""
+        return f"syd://{self.node_id}"
+
+    def __str__(self) -> str:
+        return self.node_id

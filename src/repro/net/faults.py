@@ -1,0 +1,90 @@
+"""Fault injection for the simulated network.
+
+Mobility in the paper means devices vanish (powered off, out of wireless
+range) and reappear; the proxy machinery (§5.2) exists to mask exactly
+that. The :class:`FaultPlan` is the single switchboard all experiments use
+to take nodes down, create partitions, or drop specific messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.message import Message
+
+DropRule = Callable[[Message], bool]
+
+
+class FaultPlan:
+    """Mutable description of what is currently broken in the network."""
+
+    def __init__(self) -> None:
+        self._down: set[str] = set()
+        self._partitions: list[set[str]] = []
+        self._drop_rules: list[DropRule] = []
+
+    # -- node availability --------------------------------------------------
+
+    def set_down(self, node_id: str) -> None:
+        """Take a node offline (messages to/from it fail)."""
+        self._down.add(node_id)
+
+    def set_up(self, node_id: str) -> None:
+        """Bring a node back online."""
+        self._down.discard(node_id)
+
+    def is_down(self, node_id: str) -> bool:
+        return node_id in self._down
+
+    def down_nodes(self) -> set[str]:
+        return set(self._down)
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, *groups: set[str] | list[str] | tuple[str, ...]) -> None:
+        """Split the network: nodes can only reach peers in their own group.
+
+        Nodes not named in any group remain mutually reachable and can
+        reach every group (they model backbone infrastructure).
+        """
+        self._partitions = [set(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        """Remove all partitions."""
+        self._partitions = []
+
+    def _same_side(self, a: str, b: str) -> bool:
+        a_groups = [g for g in self._partitions if a in g]
+        b_groups = [g for g in self._partitions if b in g]
+        # Backbone nodes (in no group) reach everyone.
+        if not a_groups or not b_groups:
+            return True
+        return any(b in g for g in a_groups)
+
+    # -- targeted drops --------------------------------------------------------
+
+    def add_drop_rule(self, rule: DropRule) -> Callable[[], None]:
+        """Drop every message for which ``rule(message)`` is True.
+
+        Returns a callable that removes the rule.
+        """
+        self._drop_rules.append(rule)
+
+        def remove() -> None:
+            try:
+                self._drop_rules.remove(rule)
+            except ValueError:
+                pass
+
+        return remove
+
+    def should_drop(self, message: Message) -> bool:
+        return any(rule(message) for rule in self._drop_rules)
+
+    # -- verdict ------------------------------------------------------------
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Can a message currently travel from ``src`` to ``dst``?"""
+        if src in self._down or dst in self._down:
+            return False
+        return self._same_side(src, dst)

@@ -1,0 +1,66 @@
+"""Message representation for the simulated transport.
+
+Messages carry a ``kind`` (dispatch discriminator), a JSON-like payload
+dict, and an estimated wire size used by byte-sensitive latency models.
+The size estimator approximates what a compact binary encoding of the
+payload would cost; it exists so experiments can report bytes moved, not
+to be an exact serializer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def estimate_size(value: Any) -> int:
+    """Rough wire size in bytes of a JSON-like value."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return 2 + len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return 2 + len(value)
+    if isinstance(value, (list, tuple)):
+        return 2 + sum(estimate_size(v) for v in value)
+    if isinstance(value, dict):
+        return 2 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
+    # Fallback for dataclasses / misc objects: use repr length.
+    return 2 + len(repr(value))
+
+
+@dataclass
+class Message:
+    """One unit of simulated network traffic.
+
+    Attributes:
+        msg_id: unique id assigned by the transport.
+        src: sender node id.
+        dst: destination node id.
+        kind: dispatch discriminator (``"invoke"``, ``"directory"`` ...).
+        payload: JSON-like body.
+        is_reply: True for RPC response legs (they are counted separately).
+    """
+
+    msg_id: str
+    src: str
+    dst: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    is_reply: bool = False
+
+    _size: int | None = field(default=None, repr=False)
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated wire size (computed once, cached)."""
+        if self._size is None:
+            header = 32  # ids, kind, framing
+            self._size = header + estimate_size(self.payload)
+        return self._size

@@ -1,0 +1,81 @@
+"""Traffic accounting.
+
+Every experiment in EXPERIMENTS.md reports messages/bytes moved and total
+simulated network latency; :class:`NetworkStats` collects those as the
+transport delivers traffic. ``snapshot``/``delta`` let harness code
+measure a single operation inside a longer-running world.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatsSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    messages: int = 0
+    replies: int = 0
+    bytes: int = 0
+    latency: float = 0.0
+    dropped: int = 0
+    unreachable: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated since ``earlier``."""
+        return StatsSnapshot(
+            messages=self.messages - earlier.messages,
+            replies=self.replies - earlier.replies,
+            bytes=self.bytes - earlier.bytes,
+            latency=self.latency - earlier.latency,
+            dropped=self.dropped - earlier.dropped,
+            unreachable=self.unreachable - earlier.unreachable,
+            by_kind=self.by_kind - earlier.by_kind,
+        )
+
+
+class NetworkStats:
+    """Mutable counters updated by the transport."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.replies = 0
+        self.bytes = 0
+        self.latency = 0.0
+        self.dropped = 0
+        self.unreachable = 0
+        self.by_kind: Counter = Counter()
+
+    def record_delivery(self, kind: str, size: int, delay: float, is_reply: bool) -> None:
+        """Account one successfully delivered message leg."""
+        self.messages += 1
+        if is_reply:
+            self.replies += 1
+        self.bytes += size
+        self.latency += delay
+        self.by_kind[kind] += 1
+
+    def record_dropped(self) -> None:
+        self.dropped += 1
+
+    def record_unreachable(self) -> None:
+        self.unreachable += 1
+
+    def snapshot(self) -> StatsSnapshot:
+        """Copy the current counters."""
+        return StatsSnapshot(
+            messages=self.messages,
+            replies=self.replies,
+            bytes=self.bytes,
+            latency=self.latency,
+            dropped=self.dropped,
+            unreachable=self.unreachable,
+            by_kind=Counter(self.by_kind),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.__init__()

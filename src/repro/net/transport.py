@@ -1,0 +1,159 @@
+"""Simulated synchronous transport.
+
+This replaces the paper's TCP-socket layer. Design (see DESIGN.md §5.1):
+distributed interaction is *synchronous simulated RPC* — ``rpc()``
+advances the shared virtual clock by the modeled request latency, invokes
+the destination's registered handler inline, advances the clock again for
+the reply, and returns the handler's result. Protocol state machines are
+identical to an asynchronous implementation, but execution is
+deterministic and message/latency accounting is exact.
+
+Failure semantics:
+
+* destination down / partitioned → :class:`UnreachableError`
+* a fault drop-rule matches        → :class:`MessageDropped`
+* the remote handler raises        → re-raised locally as the same typed
+  exception when it is a library error (via ``ERRORS_BY_NAME``), else as
+  :class:`RemoteError`. This mirrors how the prototype surfaced remote
+  Java exceptions to the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.address import NodeAddress
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+from repro.util.clock import VirtualClock
+from repro.util.errors import (
+    ERRORS_BY_NAME,
+    MessageDropped,
+    RemoteError,
+    ReproError,
+    UnreachableError,
+)
+from repro.util.idgen import IdGenerator
+
+#: A node-side dispatcher: receives (message) and returns a payload dict.
+Handler = Callable[[Message], dict[str, Any]]
+
+
+class Transport:
+    """The one shared network object of a simulated world.
+
+    Nodes register a handler under their address; peers call
+    :meth:`rpc` / :meth:`send`. The transport owns clock advancement for
+    network delays and all traffic accounting.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        latency: LatencyModel | None = None,
+        faults: FaultPlan | None = None,
+        stats: NetworkStats | None = None,
+    ):
+        self.clock = clock or VirtualClock()
+        self.latency = latency or ConstantLatency(0.001)
+        self.faults = faults or FaultPlan()
+        self.stats = stats or NetworkStats()
+        self._ids = IdGenerator()
+        self._handlers: dict[str, Handler] = {}
+        self._addresses: dict[str, NodeAddress] = {}
+        #: observers called with every successfully delivered message leg
+        #: (used by repro.tools.sequence to draw interaction diagrams)
+        self.taps: list[Callable[[Message], None]] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, address: NodeAddress, handler: Handler) -> None:
+        """Attach a node to the network (replaces any previous handler)."""
+        self._addresses[address.node_id] = address
+        self._handlers[address.node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        """Detach a node (subsequent traffic to it is unreachable)."""
+        self._handlers.pop(node_id, None)
+        self._addresses.pop(node_id, None)
+
+    def address_of(self, node_id: str) -> NodeAddress:
+        """Address record for a registered node."""
+        if node_id not in self._addresses:
+            raise UnreachableError(f"unknown node {node_id!r}")
+        return self._addresses[node_id]
+
+    def known_nodes(self) -> list[str]:
+        """Ids of all registered nodes."""
+        return sorted(self._handlers)
+
+    # -- traffic -----------------------------------------------------------
+
+    def _deliver(self, msg: Message) -> None:
+        """Advance the clock and account one message leg, or raise."""
+        if msg.src not in self._addresses:
+            raise UnreachableError(f"source node {msg.src!r} not attached")
+        if msg.dst not in self._handlers:
+            self.stats.record_unreachable()
+            raise UnreachableError(f"node {msg.dst!r} is not attached to the network")
+        if not self.faults.reachable(msg.src, msg.dst):
+            self.stats.record_unreachable()
+            raise UnreachableError(f"node {msg.dst!r} is unreachable from {msg.src!r}")
+        if self.faults.should_drop(msg):
+            self.stats.record_dropped()
+            raise MessageDropped(f"message {msg.msg_id} ({msg.kind}) dropped by fault rule")
+        delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
+        self.clock.advance(delay)
+        self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
+        for tap in self.taps:
+            tap(msg)
+
+    def send(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> None:
+        """One-way message: deliver to the destination handler, ignore result."""
+        msg = Message(self._ids.next("msg"), src, dst, kind, payload)
+        self._deliver(msg)
+        self._handlers[dst](msg)
+
+    def rpc(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Request/response round trip; returns the handler's payload.
+
+        Remote library exceptions come back as their own types; anything
+        else as :class:`RemoteError`.
+        """
+        msg = Message(self._ids.next("msg"), src, dst, kind, payload)
+        self._deliver(msg)
+        try:
+            result = self._handlers[dst](msg)
+        except ReproError as exc:
+            self._account_reply(msg, {"error": str(exc)})
+            raise type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+        except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+            self._account_reply(msg, {"error": str(exc)})
+            raise RemoteError(type(exc).__name__, str(exc)) from exc
+        if result is None:
+            result = {}
+        self._account_reply(msg, result)
+        return result
+
+    def _account_reply(self, request: Message, payload: dict[str, Any]) -> None:
+        reply = Message(
+            self._ids.next("msg"),
+            request.dst,
+            request.src,
+            request.kind,
+            payload,
+            is_reply=True,
+        )
+        # The reply leg can also fail if the requester went down mid-call;
+        # for the synchronous model we only account it, since the caller is
+        # by construction still waiting.
+        if self.faults.reachable(request.dst, request.src):
+            delay = self.latency.delay(
+                self._addresses[request.dst], self._addresses[request.src], reply
+            )
+            self.clock.advance(delay)
+            self.stats.record_delivery(reply.kind, reply.size_bytes, delay, True)
+            for tap in self.taps:
+                tap(reply)

@@ -1,0 +1,108 @@
+"""Device-side proxy protocol driver.
+
+Pairs a :class:`~repro.kernel.node.SyDNode` with a proxy assigned by the
+name server. Responsibilities (paper §5.2 step list):
+
+1. ``attach()`` — ask the name server for a proxy, enroll there with a
+   snapshot of the device store and the factories needed to rebuild its
+   services, and record the proxy in the SyDDirectory so engines fail
+   over to it.
+2. ``sync()`` — ship new journal entries to the proxy while the device
+   is up (keeps the replica fresh).
+3. ``reconnect()`` — after downtime, pull the writes the proxy accepted
+   ("once A comes back up, A takes over the proxy") and replay them into
+   the device store.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.snapshot import export_store
+from repro.datastore.wal import ChangeJournal, JournalEntry, attach_journal, replay
+from repro.kernel.node import SyDNode
+from repro.proxy.nameserver import NameServerClient
+from repro.proxy.proxy import PROXY_OBJECT
+
+
+class ProxiedDevice:
+    """Manages one device's relationship with its proxy."""
+
+    def __init__(self, node: SyDNode, nameserver_node: str):
+        self.node = node
+        self.nameserver = NameServerClient(node.node_id, node.transport, nameserver_node)
+        self.proxy_node: str | None = None
+        self.journal = ChangeJournal()
+        self._detach = None
+        self._object_specs: list[dict[str, Any]] = []
+
+    def export_service(self, service: str, object_name: str, factory: str) -> None:
+        """Declare a service the proxy must be able to serve for us."""
+        self._object_specs.append(
+            {"service": service, "object_name": object_name, "factory": factory}
+        )
+
+    # -- protocol -----------------------------------------------------------------
+
+    def attach(self) -> str:
+        """Steps 1–2: get a proxy from the name server and enroll there."""
+        self.proxy_node = self.nameserver.register_client(self.node.user)
+        # Journal all device mutations from this point (for incremental sync).
+        if self._detach is None:
+            self._detach = attach_journal(self.node.store, self.journal)
+        self.node.engine.execute_on_node(
+            self.proxy_node,
+            PROXY_OBJECT,
+            "enroll",
+            self.node.user,
+            export_store(self.node.store),
+            self._object_specs,
+            self.journal.last_seq(),
+        )
+        # Make the engine failover path find the proxy.
+        self.node.directory.set_proxy(self.node.user, self.proxy_node)
+        return self.proxy_node
+
+    def sync(self) -> int:
+        """Step 3 (steady state): push fresh journal entries to the proxy."""
+        if self.proxy_node is None:
+            raise RuntimeError("attach() before sync()")
+        entries = [
+            {"seq": e.seq, "op": e.op, "table": e.table, "pk": e.pk, "row": e.row}
+            for e in self.journal.entries()
+        ]
+        applied = self.node.engine.execute_on_node(
+            self.proxy_node, PROXY_OBJECT, "sync", self.node.user, entries
+        )
+        self.journal.clear()
+        return applied
+
+    def reconnect(self) -> int:
+        """Device is back: take over from the proxy.
+
+        Pulls the writes the proxy accepted while we were down, replays
+        them into the device store, and re-syncs the proxy replica (the
+        replay itself lands in our journal, so a follow-up ``sync`` would
+        be a no-op for the proxy's own writes — we clear those first).
+        Returns the number of entries replayed.
+        """
+        if self.proxy_node is None:
+            raise RuntimeError("attach() before reconnect()")
+        entries = self.node.engine.execute_on_node(
+            self.proxy_node, PROXY_OBJECT, "handback", self.node.user
+        )
+        journal = ChangeJournal()
+        for e in entries:
+            journal._entries.append(  # noqa: SLF001 - bulk load
+                JournalEntry(e["seq"], e["op"], e["table"], e["pk"], e["row"])
+            )
+        applied = replay(journal, self.node.store)
+        # The replayed writes re-entered our own journal; the proxy already
+        # has them, so drop them instead of echoing them back.
+        self.journal.clear()
+        self.node.directory.set_online(self.node.user, True)
+        return applied
+
+    def announce_down(self) -> None:
+        """Mark the device offline in the directory (engines will fail over)."""
+        self.node.directory.set_online(self.node.user, False)

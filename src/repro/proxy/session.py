@@ -1,0 +1,56 @@
+"""Per-client sessions held at a proxy host.
+
+Paper §5.2: "A client object is obtained at the proxy and is stored in
+the session of the application server. For the whole session, the proxy
+contacts the client using the reference stored in the session."
+
+A :class:`ProxySession` holds, for one enrolled user:
+
+* a **replica store** seeded from the device's snapshot,
+* re-instantiated **device objects** bound to the replica (built from
+  registered factories), so the proxy can answer application calls,
+* a **journal** of every write the proxy accepts while standing in for
+  the device — replayed to the device at handback,
+* the sync watermark (``synced_seq``) of the device journal.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.store import DataStore, RelationalStore
+from repro.datastore.wal import ChangeJournal, attach_journal
+from repro.device.registry import MethodRegistry
+
+
+class ProxySession:
+    """One user's standby state at the proxy."""
+
+    def __init__(self, user: str):
+        self.user = user
+        self.replica: DataStore = RelationalStore(f"{user}-replica")
+        self.registry = MethodRegistry()
+        self.journal = ChangeJournal()       # writes accepted while serving
+        self._journal_detach = None
+        self.synced_seq = 0                   # device-journal watermark
+        self.serving_calls = 0                # invocations answered for user
+        self.object_specs: list[dict[str, Any]] = []
+
+    def start_journaling(self) -> None:
+        """Record every replica mutation (call after replica is seeded)."""
+        if self._journal_detach is None:
+            self._journal_detach = attach_journal(self.replica, self.journal)
+
+    def stop_journaling(self) -> None:
+        if self._journal_detach is not None:
+            self._journal_detach()
+            self._journal_detach = None
+
+    def drain_journal(self) -> list[dict[str, Any]]:
+        """Return accepted-write entries as rows and clear the journal."""
+        entries = [
+            {"seq": e.seq, "op": e.op, "table": e.table, "pk": e.pk, "row": e.row}
+            for e in self.journal.entries()
+        ]
+        self.journal.clear()
+        return entries

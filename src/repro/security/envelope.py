@@ -1,0 +1,51 @@
+"""Encrypted credential envelopes.
+
+Paper §5.4: "The encrypted user id and password are sent as parameters
+along with every request. On the server side, before processing the
+request, the user id and password are decrypted" and checked against the
+authorized-user table.
+
+An envelope is the hex string of the TEA-CBC encryption of
+``"<user>\\n<password>"`` under a shared network passphrase. The listener
+(:mod:`repro.kernel.listener`) decrypts and verifies it when
+authentication is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security import tea
+from repro.util.errors import AuthenticationError, CipherError
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """A user id / password pair."""
+
+    user_id: str
+    password: str
+
+
+def seal(creds: Credentials, passphrase: str) -> str:
+    """Encrypt credentials into a hex envelope string."""
+    if "\n" in creds.user_id:
+        raise AuthenticationError("user id may not contain newlines")
+    plain = f"{creds.user_id}\n{creds.password}".encode("utf-8")
+    return tea.encrypt(plain, passphrase).hex()
+
+
+def unseal(envelope: str, passphrase: str) -> Credentials:
+    """Decrypt an envelope; raises :class:`AuthenticationError` on garbage."""
+    try:
+        blob = bytes.fromhex(envelope)
+    except ValueError:
+        raise AuthenticationError("envelope is not valid hex") from None
+    try:
+        plain = tea.decrypt(blob, passphrase).decode("utf-8")
+    except (CipherError, UnicodeDecodeError):
+        raise AuthenticationError("envelope failed to decrypt") from None
+    user_id, sep, password = plain.partition("\n")
+    if not sep:
+        raise AuthenticationError("malformed envelope contents")
+    return Credentials(user_id, password)

@@ -1,0 +1,154 @@
+"""Discrete-event scheduler.
+
+A minimal heap-based event loop over a :class:`~repro.util.clock.VirtualClock`.
+It backs the SyDEventHandler's periodic link-expiry sweep (paper §4.2 op 6),
+proxy heartbeats, and workload arrival processes in the benchmarks.
+
+Events are callbacks scheduled at absolute virtual times. Ties are broken
+by insertion order, so execution is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.clock import VirtualClock
+
+
+@dataclass(order=True)
+class _Entry:
+    when: float
+    seq: int
+    fn: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by ``schedule``; lets the caller cancel the event."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry):
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._entry.when
+
+
+class EventScheduler:
+    """Deterministic discrete-event loop.
+
+    The scheduler owns nothing but the queue; it advances the shared
+    clock as it pops events. ``run_until`` is the main entry point.
+    """
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self.clock = clock or VirtualClock()
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
+        self._fired = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now() + delay, fn, *args)
+
+    def schedule_at(self, when: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(f"cannot schedule in the past ({when} < {self.clock.now()})")
+        entry = _Entry(when, next(self._seq), fn, args)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def every(self, interval: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` every ``interval`` simulated seconds.
+
+        The returned handle cancels the *whole* periodic task. The first
+        firing happens one interval from now.
+        """
+        if interval <= 0:
+            raise ValueError(f"non-positive interval {interval}")
+
+        # The periodic entry reschedules itself unless cancelled. We keep a
+        # single logical handle whose entry is swapped at each firing.
+        handle_box: dict[str, EventHandle] = {}
+
+        def tick() -> None:
+            fn(*args)
+            if not handle_box["h"].cancelled:
+                new = self.schedule(interval, tick)
+                handle_box["h"]._entry = new._entry  # noqa: SLF001 - internal swap
+
+        handle_box["h"] = self.schedule(interval, tick)
+        return handle_box["h"]
+
+    # -- execution --------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def run_until(self, t: float, max_events: int | None = None) -> int:
+        """Execute every event due at or before ``t``; return count fired.
+
+        The clock ends at exactly ``t`` even if the last event fired
+        earlier. ``max_events`` guards against runaway self-scheduling.
+        """
+        fired = 0
+        while self._queue and self._queue[0].when <= t:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if max_events is not None and fired >= max_events:
+                heapq.heappush(self._queue, entry)
+                return fired
+            # The clock is shared: transport activity may already have
+            # advanced it past this event's due time, in which case the
+            # event simply fires late (never move the clock backwards).
+            self.clock.advance_to(max(entry.when, self.clock.now()))
+            entry.fn(*entry.args)
+            self._fired += 1
+            fired += 1
+        self.clock.advance_to(max(t, self.clock.now()))
+        return fired
+
+    def run_all(self, max_events: int = 100_000) -> int:
+        """Drain the queue completely; return count fired.
+
+        Raises ``RuntimeError`` if more than ``max_events`` fire, which
+        indicates an unintended infinite reschedule loop.
+        """
+        fired = 0
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if fired >= max_events:
+                raise RuntimeError(f"run_all exceeded {max_events} events")
+            self.clock.advance_to(max(entry.when, self.clock.now()))
+            entry.fn(*entry.args)
+            self._fired += 1
+            fired += 1
+        return fired

@@ -1,0 +1,114 @@
+"""Link-topology extraction and rendering.
+
+The paper's figures are diagrams; this tool regenerates diagram-like
+artifacts from a *live* world: collect every coordination link across
+all nodes and render the topology as Graphviz DOT or an ASCII adjacency
+listing. Running it after a scenario reproduces the link structures §5
+describes (forward negotiation-and links, back links, tentative links
+queued at slots, supervisors' subscription back links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.kernel.linktypes import Link
+from repro.world import SyDWorld
+
+
+@dataclass(frozen=True)
+class LinkEdge:
+    """One rendered edge of the topology."""
+
+    owner: str
+    peer: str
+    ltype: str       # subscription | negotiation
+    subtype: str     # permanent | tentative
+    constraint: str | None
+    role: str | None
+    meeting: str | None
+
+    @property
+    def label(self) -> str:
+        parts = [self.ltype]
+        if self.constraint:
+            parts.append(self.constraint)
+        if self.subtype == "tentative":
+            parts.append("tentative")
+        if self.role:
+            parts.append(self.role)
+        return "/".join(parts)
+
+
+def collect_edges(world: SyDWorld) -> list[LinkEdge]:
+    """All coordination-link edges across every node, sorted."""
+    edges = []
+    for user in world.users():
+        for link in world.node(user).links.all_links():
+            edges.extend(_edges_of(link))
+    return sorted(
+        edges, key=lambda e: (e.owner, e.peer, e.ltype, e.role or "", e.meeting or "")
+    )
+
+
+def _edges_of(link: Link) -> Iterable[LinkEdge]:
+    from repro.kernel.linktypes import format_constraint
+
+    for ref in link.refs:
+        yield LinkEdge(
+            owner=link.owner,
+            peer=ref.user,
+            ltype=link.ltype.value,
+            subtype=link.subtype.value,
+            constraint=format_constraint(link.constraint),
+            role=link.context.get("role"),
+            meeting=link.context.get("meeting_id"),
+        )
+
+
+def to_dot(edges: list[LinkEdge], title: str = "SyD coordination links") -> str:
+    """Graphviz DOT of the link topology.
+
+    Solid = negotiation, dashed = subscription, dotted = tentative.
+    """
+    lines = [f'digraph "{title}" {{', "  rankdir=LR;", "  node [shape=box];"]
+    nodes = sorted({e.owner for e in edges} | {e.peer for e in edges})
+    for n in nodes:
+        lines.append(f'  "{n}";')
+    for e in edges:
+        style = "dotted" if e.subtype == "tentative" else (
+            "dashed" if e.ltype == "subscription" else "solid"
+        )
+        lines.append(
+            f'  "{e.owner}" -> "{e.peer}" [label="{e.label}", style={style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(edges: list[LinkEdge]) -> str:
+    """ASCII adjacency listing, one owner per block."""
+    if not edges:
+        return "(no coordination links)"
+    out = []
+    current = None
+    for e in edges:
+        if e.owner != current:
+            current = e.owner
+            out.append(f"{e.owner}:")
+        marker = {"permanent": "──", "tentative": "┄┄"}[e.subtype]
+        out.append(f"  {marker}> {e.peer}  [{e.label}]" + (
+            f"  ({e.meeting})" if e.meeting else ""
+        ))
+    return "\n".join(out)
+
+
+def link_census(world: SyDWorld) -> dict[str, int]:
+    """Counts by (type, subtype) across the world — quick health metric."""
+    census: dict[str, int] = {}
+    for user in world.users():
+        for link in world.node(user).links.all_links():
+            key = f"{link.ltype.value}/{link.subtype.value}"
+            census[key] = census.get(key, 0) + 1
+    return census

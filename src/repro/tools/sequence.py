@@ -1,0 +1,150 @@
+"""Message-sequence capture and ASCII sequence diagrams.
+
+Figure 3 of the paper shows "the SyD Kernel architecture and the
+interactions between modules and application objects". This tool records
+the actual messages a scenario produces (via a transport tap) and renders
+them as a text sequence diagram, so the figure can be *regenerated from
+execution* rather than redrawn.
+
+Usage::
+
+    recorder = MessageRecorder.attach(world.transport)
+    ... run a scenario ...
+    print(recorder.to_diagram())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.message import Message
+from repro.net.transport import Transport
+
+
+@dataclass(frozen=True)
+class RecordedMessage:
+    """One captured message leg."""
+
+    seq: int
+    src: str
+    dst: str
+    kind: str
+    detail: str        # "object.method" for invokes, topic for events
+    is_reply: bool
+
+
+def _detail_of(msg: Message) -> str:
+    if msg.kind == "invoke" and not msg.is_reply:
+        obj = msg.payload.get("object", "?")
+        method = msg.payload.get("method", "?")
+        return f"{obj}.{method}"
+    if msg.kind.startswith("event.") and not msg.is_reply:
+        return msg.payload.get("topic", "")
+    return ""
+
+
+class MessageRecorder:
+    """Tap on a transport collecting every delivered message leg."""
+
+    def __init__(self) -> None:
+        self.messages: list[RecordedMessage] = []
+        self._detach: Callable[[], None] | None = None
+
+    @classmethod
+    def attach(cls, transport: Transport) -> "MessageRecorder":
+        recorder = cls()
+
+        def tap(msg: Message) -> None:
+            recorder.messages.append(
+                RecordedMessage(
+                    len(recorder.messages) + 1,
+                    msg.src,
+                    msg.dst,
+                    msg.kind,
+                    _detail_of(msg),
+                    msg.is_reply,
+                )
+            )
+
+        transport.taps.append(tap)
+
+        def detach() -> None:
+            if tap in transport.taps:
+                transport.taps.remove(tap)
+
+        recorder._detach = detach
+        return recorder
+
+    def detach(self) -> None:
+        """Stop recording."""
+        if self._detach is not None:
+            self._detach()
+            self._detach = None
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+    def requests(self) -> list[RecordedMessage]:
+        """Only the request legs (no replies) — the readable story."""
+        return [m for m in self.messages if not m.is_reply]
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_diagram(
+        self,
+        *,
+        include_replies: bool = False,
+        participants: list[str] | None = None,
+        max_rows: int | None = None,
+    ) -> str:
+        """ASCII sequence diagram of the captured traffic.
+
+        ``participants`` fixes the column order (default: first-seen).
+        """
+        rows = self.messages if include_replies else self.requests()
+        if max_rows is not None:
+            rows = rows[:max_rows]
+        if not rows:
+            return "(no messages recorded)"
+        if participants is None:
+            participants = []
+            for m in rows:
+                for node in (m.src, m.dst):
+                    if node not in participants:
+                        participants.append(node)
+        col = {p: i for i, p in enumerate(participants)}
+        width = max(len(p) for p in participants) + 4
+        header = "".join(p.ljust(width) for p in participants)
+        lines = [header, "".join("│".ljust(width) for _ in participants)]
+        for m in rows:
+            if m.src not in col or m.dst not in col:
+                continue
+            a, b = col[m.src], col[m.dst]
+            lo, hi = min(a, b), max(a, b)
+            # Build one lane line with an arrow between src and dst columns.
+            cells = []
+            for i, _p in enumerate(participants):
+                if i < lo or i > hi:
+                    cells.append("│".ljust(width))
+                elif lo == hi:
+                    cells.append("│ (self)".ljust(width))
+                elif i == lo:
+                    arrow = "─" * (width - 1)
+                    cells.append(("├" + arrow) if a < b else ("◄" + arrow))
+                elif i == hi:
+                    cells.append(("►" if a < b else "┤").ljust(width))
+                else:
+                    cells.append("─" * width)
+            label = m.detail or m.kind
+            lines.append("".join(cells) + f"  {m.seq}. {label}")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, Any]:
+        """Counts per kind and per (src, dst) pair."""
+        by_kind: dict[str, int] = {}
+        by_pair: dict[tuple[str, str], int] = {}
+        for m in self.messages:
+            by_kind[m.kind] = by_kind.get(m.kind, 0) + 1
+            by_pair[(m.src, m.dst)] = by_pair.get((m.src, m.dst), 0) + 1
+        return {"total": len(self.messages), "by_kind": by_kind, "by_pair": by_pair}

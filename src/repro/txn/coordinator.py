@@ -1,0 +1,265 @@
+"""Negotiation-link execution: the §4.3 semantics, literally.
+
+The paper defines negotiation links operationally::
+
+    Negotiation-and:  Mark A for change and Lock A
+                      If successful Mark B and C for change and Lock B and C
+                      If successful Change A; Change B and C
+                      Unlock B and C;  Unlock A
+
+    Negotiation-xor:  ... Obtain locks on those entities that can be
+                      successfully changed. If obtained exactly one lock
+                      then Change A; Change the locked entities ...
+
+    Negotiation-or:   ... If obtained at least one lock then Change A;
+                      Change the locked entities ...
+
+with the and/or/xor logic "extended to exactly k out of n / at least k
+out of n". :class:`NegotiationCoordinator` runs that protocol over the
+SyDEngine against remote participants' ``mark`` / ``change`` / ``unmark``
+service methods, records every activity node in a
+:class:`~repro.util.trace.Tracer` (this is what reproduces Figure 4), and
+guarantees all-or-nothing effects: no ``change`` happens anywhere unless
+the constraint is satisfied, and every acquired lock is released on every
+path.
+
+Known limit (inherited from the paper's optimistic semantics): once the
+constraint holds, the commit loop applies ``change`` at each locked
+participant in turn. A participant that *crashes between its mark and its
+change* would leave earlier changes applied — unobservable in this
+deterministic simulation (reachability only flips between operations),
+but a real deployment would pair the verbs with the store journal
+(:mod:`repro.datastore.wal`) to make ``change`` redoable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.kernel.engine import SyDEngine
+from repro.util.errors import NetworkError, ReproError
+from repro.util.trace import Tracer
+
+
+class ConstraintKind(str, Enum):
+    """Logic connecting a negotiation link's targets."""
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    AT_LEAST_K = "at_least_k"
+    EXACTLY_K = "exactly_k"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A constraint kind plus its ``k`` parameter where applicable."""
+
+    kind: ConstraintKind
+    k: int | None = None
+
+    def __post_init__(self):
+        if self.kind in (ConstraintKind.AT_LEAST_K, ConstraintKind.EXACTLY_K):
+            if self.k is None or self.k < 0:
+                raise ValueError(f"{self.kind.value} requires k >= 0")
+
+    def satisfied(self, locked: int, total: int) -> bool:
+        """Is the constraint met by ``locked`` of ``total`` lockable targets?"""
+        if self.kind is ConstraintKind.AND:
+            return locked == total
+        if self.kind is ConstraintKind.OR:
+            return locked >= 1
+        if self.kind is ConstraintKind.XOR:
+            return locked == 1
+        if self.kind is ConstraintKind.AT_LEAST_K:
+            return locked >= (self.k or 0)
+        return locked == self.k  # EXACTLY_K
+
+    def describe(self) -> str:
+        if self.k is not None:
+            return f"{self.kind.value}(k={self.k})"
+        return self.kind.value
+
+
+#: Convenience instances matching the paper's three named link types.
+AND = Constraint(ConstraintKind.AND)
+OR = Constraint(ConstraintKind.OR)
+XOR = Constraint(ConstraintKind.XOR)
+
+
+def at_least(k: int) -> Constraint:
+    """`at least k out of n` (paper: OR "extended to at least k of n")."""
+    return Constraint(ConstraintKind.AT_LEAST_K, k)
+
+
+def exactly(k: int) -> Constraint:
+    """`exactly k out of n` (paper: XOR "extended to exactly k of n")."""
+    return Constraint(ConstraintKind.EXACTLY_K, k)
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One entity in a negotiation.
+
+    ``user`` owns the entity; ``service`` names the published service
+    whose ``mark_method(entity, txn_id, *mark_args)`` /
+    ``change_method(entity, txn_id, change)`` /
+    ``unmark_method(entity, txn_id)`` implement the protocol verbs on
+    that user's device. ``mark_args`` lets applications pass extra
+    mark-time context — the calendar uses it to carry the requesting
+    meeting's priority so lower-priority reservations can be bumped.
+    """
+
+    user: str
+    entity: Any
+    service: str
+    mark_method: str = "mark"
+    change_method: str = "change"
+    unmark_method: str = "unmark"
+    mark_args: tuple = ()
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of one negotiation execution."""
+
+    ok: bool
+    constraint: str
+    txn_id: str
+    locked: list[str] = field(default_factory=list)      # users that could change
+    refused: list[str] = field(default_factory=list)     # users that could not
+    changed: list[str] = field(default_factory=list)     # users actually changed
+    failure_reason: str | None = None
+
+
+class NegotiationCoordinator:
+    """Drives the mark/lock → constraint check → change → unlock protocol."""
+
+    def __init__(self, engine: SyDEngine, tracer: Tracer | None = None):
+        self.engine = engine
+        self.tracer = tracer or Tracer()
+        self._txn_counter = 0
+        self.executed = 0
+        self.committed = 0
+
+    def _next_txn_id(self) -> str:
+        self._txn_counter += 1
+        return f"txn-{self.engine.node_id}-{self._txn_counter}"
+
+    def execute(
+        self,
+        initiator: Participant,
+        targets: list[Participant],
+        constraint: Constraint,
+        change: Any = None,
+    ) -> NegotiationResult:
+        """Run one negotiation; returns the result (never raises for
+        ordinary refusals — only for protocol-breaking errors).
+
+        ``change`` is passed through to every ``change_method`` so the
+        application can say *what* to change the entities to.
+        """
+        return self.execute_multi(initiator, [(targets, constraint)], change)
+
+    def execute_multi(
+        self,
+        initiator: Participant,
+        groups: list[tuple[list[Participant], Constraint]],
+        change: Any = None,
+    ) -> NegotiationResult:
+        """Run one negotiation over several constraint groups atomically.
+
+        The paper's quorum scenario (§5) composes constraints: "a
+        negotiation-and link to B and C, a negotiation-or link (at least
+        k of n type) to all in Biology ... and a negotiation-or link to
+        all in Physics with k = 2. On successful reservation of all
+        entities, slots are reserved" — i.e. one atomic mark/lock pass
+        where *every* group's constraint must hold before anything
+        changes. ``execute`` is the single-group special case.
+        """
+        txn_id = self._next_txn_id()
+        described = " & ".join(c.describe() for _, c in groups) or "and"
+        result = NegotiationResult(ok=False, constraint=described, txn_id=txn_id)
+        self.executed += 1
+        trace = self.tracer
+
+        # Step 1: Mark A for change and Lock A.
+        trace.record(initiator.user, "mark", entity=initiator.entity, txn=txn_id)
+        if not self._mark(initiator, txn_id):
+            result.failure_reason = f"initiator {initiator.user} could not be marked"
+            trace.record(initiator.user, "abort", reason="initiator-mark-failed")
+            return result
+        trace.record(initiator.user, "lock", entity=initiator.entity, txn=txn_id)
+
+        locked: list[Participant] = []
+        try:
+            # Step 2: Mark targets group by group; lock those that can change.
+            locked_by_group: list[list[Participant]] = []
+            for targets, _constraint in groups:
+                group_locked: list[Participant] = []
+                for target in targets:
+                    trace.record(target.user, "mark", entity=target.entity, txn=txn_id)
+                    if self._mark(target, txn_id):
+                        trace.record(target.user, "lock", entity=target.entity, txn=txn_id)
+                        group_locked.append(target)
+                        locked.append(target)
+                        result.locked.append(target.user)
+                    else:
+                        trace.record(target.user, "refuse", entity=target.entity, txn=txn_id)
+                        result.refused.append(target.user)
+                locked_by_group.append(group_locked)
+
+            # Step 3: every group's constraint must hold.
+            for (targets, constraint), group_locked in zip(groups, locked_by_group):
+                if not constraint.satisfied(len(group_locked), len(targets)):
+                    result.failure_reason = (
+                        f"constraint {constraint.describe()} not met: "
+                        f"{len(group_locked)}/{len(targets)} lockable"
+                    )
+                    trace.record(initiator.user, "abort", reason=result.failure_reason)
+                    return result
+
+            # Step 4: Change A; change the locked entities.
+            trace.record(initiator.user, "change", entity=initiator.entity, txn=txn_id)
+            self._change(initiator, txn_id, change)
+            result.changed.append(initiator.user)
+            for target in locked:
+                trace.record(target.user, "change", entity=target.entity, txn=txn_id)
+                self._change(target, txn_id, change)
+                result.changed.append(target.user)
+            result.ok = True
+            self.committed += 1
+            return result
+        finally:
+            # Step 5: Unlock B and C; Unlock A — on every path.
+            for target in locked:
+                trace.record(target.user, "unlock", entity=target.entity, txn=txn_id)
+                self._unmark(target, txn_id)
+            trace.record(initiator.user, "unlock", entity=initiator.entity, txn=txn_id)
+            self._unmark(initiator, txn_id)
+
+    # -- protocol verbs over the engine ------------------------------------------
+
+    def _mark(self, p: Participant, txn_id: str) -> bool:
+        """Mark+lock one participant; unreachable or refusing == False."""
+        try:
+            return bool(
+                self.engine.execute(
+                    p.user, p.service, p.mark_method, p.entity, txn_id, *p.mark_args
+                )
+            )
+        except NetworkError:
+            return False
+
+    def _change(self, p: Participant, txn_id: str, change: Any) -> None:
+        self.engine.execute(p.user, p.service, p.change_method, p.entity, txn_id, change)
+
+    def _unmark(self, p: Participant, txn_id: str) -> None:
+        try:
+            self.engine.execute(p.user, p.service, p.unmark_method, p.entity, txn_id)
+        except ReproError:
+            # Unlock is best effort: a participant that vanished after
+            # locking will drop its locks at reconnect (release_all).
+            pass

@@ -1,0 +1,89 @@
+"""Entity lock manager.
+
+Paper §4.3's negotiation semantics are built on "Mark X for change and
+Lock X". Each node runs one :class:`LockManager` guarding its local
+entities (calendar slots, fleet routes, ...). Entities are identified by
+any hashable-after-normalization value (lists/dicts are canonicalized).
+
+Locks are owner-tagged and reentrant for the same owner. The synchronous
+simulation never blocks: an unavailable lock is an immediate refusal
+(``try_lock`` → False), which is exactly the paper's "try may not
+succeed" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def _canon(entity: Any) -> Any:
+    """Normalize an entity id so JSON-ish values can key a dict."""
+    if isinstance(entity, list):
+        return tuple(_canon(e) for e in entity)
+    if isinstance(entity, dict):
+        return tuple(sorted((k, _canon(v)) for k, v in entity.items()))
+    return entity
+
+
+class LockManager:
+    """Owner-tagged, reentrant entity locks for one node."""
+
+    def __init__(self) -> None:
+        self._locks: dict[Any, tuple[str, int]] = {}  # entity -> (owner, depth)
+        self.acquisitions = 0
+        self.refusals = 0
+
+    def try_lock(self, entity: Any, owner: str) -> bool:
+        """Acquire if free or already ours; False when held by another."""
+        key = _canon(entity)
+        held = self._locks.get(key)
+        if held is None:
+            self._locks[key] = (owner, 1)
+            self.acquisitions += 1
+            return True
+        if held[0] == owner:
+            self._locks[key] = (owner, held[1] + 1)
+            self.acquisitions += 1
+            return True
+        self.refusals += 1
+        return False
+
+    def lock(self, entity: Any, owner: str) -> None:
+        """Acquire or raise :class:`LockUnavailableError`."""
+        if not self.try_lock(entity, owner):
+            from repro.util.errors import LockUnavailableError
+
+            raise LockUnavailableError(
+                f"entity {entity!r} is locked by {self.holder(entity)!r}"
+            )
+
+    def unlock(self, entity: Any, owner: str) -> None:
+        """Release one level; raises :class:`LockNotHeldError` on misuse."""
+        key = _canon(entity)
+        held = self._locks.get(key)
+        if held is None or held[0] != owner:
+            from repro.util.errors import LockNotHeldError
+
+            raise LockNotHeldError(f"{owner!r} does not hold {entity!r}")
+        if held[1] > 1:
+            self._locks[key] = (owner, held[1] - 1)
+        else:
+            del self._locks[key]
+
+    def holder(self, entity: Any) -> Optional[str]:
+        """Current owner of the lock, or None."""
+        held = self._locks.get(_canon(entity))
+        return held[0] if held else None
+
+    def is_locked(self, entity: Any) -> bool:
+        return _canon(entity) in self._locks
+
+    def release_all(self, owner: str) -> int:
+        """Drop every lock held by ``owner`` (crash cleanup); returns count."""
+        keys = [k for k, (o, _) in self._locks.items() if o == owner]
+        for k in keys:
+            del self._locks[k]
+        return len(keys)
+
+    def locked_count(self) -> int:
+        return len(self._locks)

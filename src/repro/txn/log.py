@@ -1,0 +1,68 @@
+"""Transaction outcome log.
+
+A light audit trail of negotiation executions, used by the benchmark
+harness to report commit/abort rates and by tests asserting atomicity
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.txn.coordinator import NegotiationResult
+
+
+@dataclass(frozen=True)
+class TxnRecord:
+    """Summary of one finished negotiation."""
+
+    txn_id: str
+    t: float
+    ok: bool
+    constraint: str
+    locked: int
+    refused: int
+    changed: int
+    failure_reason: str | None
+
+
+class TransactionLog:
+    """Append-only record of negotiation outcomes."""
+
+    def __init__(self, clock=None):
+        self._clock = clock
+        self._records: list[TxnRecord] = []
+
+    def record(self, result: NegotiationResult) -> TxnRecord:
+        """Append a summary of ``result``."""
+        rec = TxnRecord(
+            txn_id=result.txn_id,
+            t=self._clock.now() if self._clock else 0.0,
+            ok=result.ok,
+            constraint=result.constraint,
+            locked=len(result.locked),
+            refused=len(result.refused),
+            changed=len(result.changed),
+            failure_reason=result.failure_reason,
+        )
+        self._records.append(rec)
+        return rec
+
+    def records(self) -> list[TxnRecord]:
+        return list(self._records)
+
+    @property
+    def commits(self) -> int:
+        return sum(1 for r in self._records if r.ok)
+
+    @property
+    def aborts(self) -> int:
+        return sum(1 for r in self._records if not r.ok)
+
+    def commit_rate(self) -> float:
+        """Fraction of negotiations that committed (0 when none ran)."""
+        total = len(self._records)
+        return self.commits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,47 @@
+"""Virtual time.
+
+All latency accounting and link-expiry logic in the reproduction runs on a
+:class:`VirtualClock` rather than wall time, so that every test and
+benchmark is deterministic. One simulated "second" is an abstract unit;
+latency models (:mod:`repro.net.latency`) express delays in these units.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock.
+
+    The clock only moves forward. Components that need the current time
+    hold a reference to the shared clock instead of calling ``time.time``.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` (must be >= 0); return new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to ``when`` (must not be in the past)."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now}, target={when}"
+            )
+        self._now = when
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(t={self._now:.6f})"

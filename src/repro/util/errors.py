@@ -1,0 +1,196 @@
+"""Exception hierarchy for the SyD reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause.
+Subsystems define narrower subclasses; remote invocations marshal these
+across the simulated network by name (see :mod:`repro.net.transport`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Network / transport
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class UnreachableError(NetworkError):
+    """The destination node is down, partitioned away, or unknown."""
+
+
+class MessageDropped(NetworkError):
+    """A fault-injection rule dropped the message in flight."""
+
+
+class RemoteError(NetworkError):
+    """A remote handler raised; carries the remote error type and text.
+
+    Attributes:
+        error_type: class name of the exception raised on the remote node.
+        remote_message: the remote exception's message text.
+    """
+
+    def __init__(self, error_type: str, remote_message: str):
+        super().__init__(f"remote {error_type}: {remote_message}")
+        self.error_type = error_type
+        self.remote_message = remote_message
+
+
+# ---------------------------------------------------------------------------
+# Directory / naming
+# ---------------------------------------------------------------------------
+
+class DirectoryError(ReproError):
+    """Base class for SyDDirectory failures."""
+
+
+class UnknownUserError(DirectoryError):
+    """Lookup of a user id that was never published."""
+
+
+class UnknownServiceError(DirectoryError):
+    """Lookup of a service that was never registered."""
+
+
+class UnknownGroupError(DirectoryError):
+    """Lookup of a group that was never formed."""
+
+
+class DuplicateRegistrationError(DirectoryError):
+    """A user/service/group id was published twice."""
+
+
+# ---------------------------------------------------------------------------
+# Data stores
+# ---------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for data-store failures."""
+
+
+class SchemaError(StoreError):
+    """Row or table definition violates the declared schema."""
+
+
+class UnknownTableError(StoreError):
+    """Operation on a table that does not exist."""
+
+
+class DuplicateKeyError(StoreError):
+    """Insert with a primary key that already exists."""
+
+
+class UnknownRowError(StoreError):
+    """Primary-key lookup found nothing."""
+
+
+class QueryError(StoreError):
+    """Malformed predicate or query."""
+
+
+class SqlSyntaxError(QueryError):
+    """The mini-SQL parser rejected the statement."""
+
+
+class UnsupportedOperationError(StoreError):
+    """The store kind does not support the requested operation."""
+
+
+# ---------------------------------------------------------------------------
+# Coordination links
+# ---------------------------------------------------------------------------
+
+class LinkError(ReproError):
+    """Base class for SyDLinks failures."""
+
+
+class UnknownLinkError(LinkError):
+    """Operation on a link id that is not in the link database."""
+
+
+class ConstraintNotMetError(LinkError):
+    """A negotiation constraint (and/or/xor/k-of-n) could not be satisfied."""
+
+
+class LinkExpiredError(LinkError):
+    """Operation on a link whose expiry time has passed."""
+
+
+class InvalidLinkError(LinkError):
+    """Link specification is internally inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Locking / transactions
+# ---------------------------------------------------------------------------
+
+class LockError(ReproError):
+    """Base class for lock-manager failures."""
+
+
+class LockUnavailableError(LockError):
+    """The requested lock is held by another owner."""
+
+
+class LockNotHeldError(LockError):
+    """Release/confirm of a lock the caller does not hold."""
+
+
+class TransactionError(ReproError):
+    """Group transaction could not complete atomically."""
+
+
+# ---------------------------------------------------------------------------
+# Security
+# ---------------------------------------------------------------------------
+
+class SecurityError(ReproError):
+    """Base class for authentication/encryption failures."""
+
+
+class AuthenticationError(SecurityError):
+    """Credentials missing, undecryptable, or not in the authorized list."""
+
+
+class CipherError(SecurityError):
+    """Malformed ciphertext or key material."""
+
+
+# ---------------------------------------------------------------------------
+# Calendar application
+# ---------------------------------------------------------------------------
+
+class CalendarError(ReproError):
+    """Base class for calendar-application failures."""
+
+
+class SlotUnavailableError(CalendarError):
+    """Attempt to reserve a slot that is not free."""
+
+
+class UnknownMeetingError(CalendarError):
+    """Operation on a meeting id that does not exist."""
+
+
+class NotInitiatorError(CalendarError):
+    """Only the meeting initiator may perform this operation."""
+
+
+class SchedulingError(CalendarError):
+    """No slot satisfying the request could be found or reserved."""
+
+
+#: Mapping from exception class name to class, used to reconstruct typed
+#: errors after they cross the simulated network (see ``RemoteError``).
+ERRORS_BY_NAME = {
+    cls.__name__: cls
+    for cls in list(globals().values())
+    if isinstance(cls, type) and issubclass(cls, ReproError)
+}

@@ -1,0 +1,77 @@
+"""A tiny intra-node publish/subscribe bus.
+
+This is the *local* event plumbing used inside a single simulated node —
+for example, a data store announcing "row updated" to the node's
+SyDEventHandler. Cross-node (global) events travel through
+:class:`repro.kernel.events.SyDEventHandler` over the simulated network.
+
+Topics are dot-separated strings; a subscription to ``"store.*"`` receives
+``"store.insert"``, ``"store.update"`` etc. A subscription to ``"*"``
+receives everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Handler = Callable[[str, dict[str, Any]], None]
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Return True when ``pattern`` covers ``topic``.
+
+    A trailing ``*`` segment matches any remaining segments; ``*`` alone
+    matches everything. Matching is segment-wise, not substring-based.
+    """
+    if pattern == "*":
+        return True
+    p_parts = pattern.split(".")
+    t_parts = topic.split(".")
+    for i, p in enumerate(p_parts):
+        if p == "*":
+            return True
+        if i >= len(t_parts) or p != t_parts[i]:
+            return False
+    return len(p_parts) == len(t_parts)
+
+
+class EventBus:
+    """Synchronous pub/sub with wildcard topics.
+
+    Handlers run inline at publish time, in subscription order. A handler
+    that raises propagates to the publisher — intentional, so bugs in
+    trigger code surface in tests rather than being swallowed.
+    """
+
+    def __init__(self) -> None:
+        self._subs: list[tuple[str, Handler]] = []
+
+    def subscribe(self, pattern: str, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for topics covered by ``pattern``.
+
+        Returns an unsubscribe callable.
+        """
+        entry = (pattern, handler)
+        self._subs.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subs.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, **payload: Any) -> int:
+        """Deliver ``payload`` to every matching handler; return match count."""
+        delivered = 0
+        # Copy: handlers may (un)subscribe while we iterate.
+        for pattern, handler in list(self._subs):
+            if topic_matches(pattern, topic):
+                handler(topic, payload)
+                delivered += 1
+        return delivered
+
+    def subscriber_count(self) -> int:
+        """Number of live subscriptions (all patterns)."""
+        return len(self._subs)

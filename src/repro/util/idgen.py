@@ -1,0 +1,34 @@
+"""Deterministic identifier generation.
+
+The paper's prototype names entities like ``Phil_calendar_SyD`` and link
+rows by opaque ids. We generate ids from per-prefix counters so that two
+runs of the same scenario produce identical ids — essential for
+reproducible traces and golden tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Produces ids of the form ``<prefix>-<counter>`` per prefix."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix`` (``prefix-1``, ``prefix-2``...)."""
+        self._counters[prefix] += 1
+        return f"{prefix}-{self._counters[prefix]}"
+
+    def peek(self, prefix: str) -> int:
+        """Return how many ids have been issued for ``prefix``."""
+        return self._counters[prefix]
+
+    def reset(self, prefix: str | None = None) -> None:
+        """Reset one prefix counter, or all counters when ``prefix`` is None."""
+        if prefix is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(prefix, None)

@@ -1,0 +1,91 @@
+"""Structured execution tracing.
+
+Figure 4 of the paper is a UML activity diagram showing the exact step
+order of a negotiation-or link execution (mark/lock the activator, mark
+the targets, lock those that succeed, change, unlock). To *reproduce a
+figure that is a diagram*, we record a machine-checkable trace of those
+steps and assert the ordering in tests (``tests/kernel/test_figure4_trace.py``).
+
+The tracer is deliberately dumb: an append-only list of
+:class:`TraceEvent` records with a virtual timestamp. Protocol code calls
+``tracer.record(...)`` at each activity node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.util.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a traced protocol execution.
+
+    Attributes:
+        t: virtual time at which the step happened.
+        actor: entity performing the step (e.g. ``"A"`` or a node id).
+        step: machine-readable step name (e.g. ``"mark"``, ``"lock"``).
+        detail: free-form context (slot, link id, outcome ...).
+    """
+
+    t: float
+    actor: str
+    step: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only recorder of :class:`TraceEvent` items."""
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self._clock = clock or VirtualClock()
+        self._events: list[TraceEvent] = []
+        self.enabled = True
+
+    def record(self, actor: str, step: str, **detail: Any) -> None:
+        """Append one event (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(self._clock.now(), actor, step, detail))
+
+    def events(self) -> list[TraceEvent]:
+        """All recorded events, oldest first."""
+        return list(self._events)
+
+    def steps(self) -> list[tuple[str, str]]:
+        """Compact ``(actor, step)`` view of the trace."""
+        return [(e.actor, e.step) for e in self._events]
+
+    def filter(self, *, actor: str | None = None, step: str | None = None) -> list[TraceEvent]:
+        """Events matching the given actor and/or step name."""
+        out = []
+        for e in self._events:
+            if actor is not None and e.actor != actor:
+                continue
+            if step is not None and e.step != step:
+                continue
+            out.append(e)
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def assert_order(self, expected: Iterable[tuple[str, str]]) -> None:
+        """Check that ``expected`` (actor, step) pairs appear in order.
+
+        The expected sequence must be a subsequence of the trace (other
+        events may be interleaved). Raises ``AssertionError`` otherwise —
+        used by the Figure 4 reproduction test.
+        """
+        it = iter(self.steps())
+        for want in expected:
+            for got in it:
+                if got == want:
+                    break
+            else:
+                raise AssertionError(
+                    f"trace missing step {want!r} (in order); trace={self.steps()}"
+                )

@@ -1,0 +1,173 @@
+"""SyDWorld — a complete simulated SyD deployment in one object.
+
+The top-level fixture every example, test and benchmark starts from: it
+owns the virtual clock, the discrete-event scheduler, the simulated
+transport, the directory node, and all device nodes.
+
+Typical use::
+
+    from repro import SyDWorld
+
+    world = SyDWorld(seed=42)
+    phil = world.add_node("phil")
+    andy = world.add_node("andy", store_kind="flatfile")
+    ...
+
+Store kinds: ``"relational"`` (default), ``"flatfile"``, ``"list"`` —
+the heterogeneity axis of paper §2.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datastore.flatfile import FlatFileStore
+from repro.datastore.liststore import ListStore
+from repro.datastore.store import DataStore, RelationalStore
+from repro.kernel.directory import (
+    DEFAULT_DIRECTORY_NODE,
+    SyDDirectoryService,
+)
+from repro.kernel.listener import SyDListener
+from repro.kernel.node import SyDNode
+from repro.net.address import DeviceClass, NodeAddress
+from repro.net.latency import CampusNetworkLatency, LatencyModel, ZeroLatency
+from repro.net.transport import Transport
+from repro.security.envelope import Credentials
+from repro.sim.kernel import EventScheduler
+from repro.sim.random import RandomStreams
+from repro.util.clock import VirtualClock
+from repro.util.errors import ReproError
+from repro.util.trace import Tracer
+
+STORE_KINDS = {
+    "relational": RelationalStore,
+    "flatfile": FlatFileStore,
+    "list": ListStore,
+}
+
+
+class SyDWorld:
+    """Builder/owner of one simulated SyD network."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: LatencyModel | str = "campus",
+        auth_passphrase: str | None = None,
+        directory_node: str = DEFAULT_DIRECTORY_NODE,
+    ):
+        self.clock = VirtualClock()
+        self.scheduler = EventScheduler(self.clock)
+        self.random = RandomStreams(seed)
+        if latency == "campus":
+            latency = CampusNetworkLatency(rng=self.random.get("net"))
+        elif latency == "zero":
+            latency = ZeroLatency()
+        elif isinstance(latency, str):
+            raise ReproError(f"unknown latency preset {latency!r}")
+        self.transport = Transport(clock=self.clock, latency=latency)
+        self.tracer = Tracer(self.clock)
+        self.auth_passphrase = auth_passphrase
+        self.directory_node = directory_node
+        self.nodes: dict[str, SyDNode] = {}
+
+        # The directory lives on a dedicated server node with its own
+        # listener (it is not a user; it only answers invocations).
+        self.directory_service = SyDDirectoryService()
+        self._directory_listener = SyDListener(directory_node)
+        self._directory_listener.publish_object(self.directory_service)
+        self.transport.register(
+            NodeAddress(directory_node, DeviceClass.SERVER),
+            lambda msg: self._directory_listener.handle_invoke(msg),
+        )
+
+    # -- topology -----------------------------------------------------------------
+
+    def add_node(
+        self,
+        user: str,
+        *,
+        store_kind: str = "relational",
+        device_class: DeviceClass = DeviceClass.PDA,
+        password: str | None = None,
+        proxy_node: str | None = None,
+        info: dict[str, Any] | None = None,
+        join: bool = True,
+    ) -> SyDNode:
+        """Create a device node for ``user`` and (by default) publish it.
+
+        When the world has an ``auth_passphrase`` and a ``password`` is
+        given, the node sends credentials on outgoing calls and enforces
+        authentication on its own application objects.
+        """
+        if user in self.nodes:
+            raise ReproError(f"user {user!r} already has a node")
+        try:
+            store_cls = STORE_KINDS[store_kind]
+        except KeyError:
+            raise ReproError(f"unknown store kind {store_kind!r}") from None
+        store: DataStore = store_cls(f"{user}-store")
+        credentials = None
+        if password is not None and self.auth_passphrase is not None:
+            credentials = Credentials(user, password)
+        node = SyDNode(
+            user,
+            store,
+            self.transport,
+            self.scheduler,
+            device_class=device_class,
+            directory_node=self.directory_node,
+            tracer=self.tracer,
+            credentials=credentials,
+            auth_passphrase=self.auth_passphrase,
+        )
+        self.nodes[user] = node
+        if join:
+            node.join(proxy_node=proxy_node, info=info)
+        if credentials is not None:
+            table = node.enable_authentication(self.auth_passphrase)
+            # A user is always authorized on their own device (even a
+            # self-invocation crosses the simulated network).
+            table.grant(user, password)
+        return node
+
+    def node(self, user: str) -> SyDNode:
+        """The node of ``user`` (raises for unknown users)."""
+        try:
+            return self.nodes[user]
+        except KeyError:
+            raise ReproError(f"no node for user {user!r}") from None
+
+    def users(self) -> list[str]:
+        return sorted(self.nodes)
+
+    # -- faults / mobility --------------------------------------------------------------
+
+    def take_down(self, user: str) -> None:
+        """Power off a user's device (messages to it fail)."""
+        node = self.node(user)
+        self.transport.faults.set_down(node.node_id)
+
+    def bring_up(self, user: str) -> None:
+        """Power the device back on."""
+        node = self.node(user)
+        self.transport.faults.set_up(node.node_id)
+
+    def is_up(self, user: str) -> bool:
+        return not self.transport.faults.is_down(self.node(user).node_id)
+
+    # -- time -----------------------------------------------------------------------------
+
+    def run_for(self, seconds: float) -> int:
+        """Advance virtual time, firing due scheduled events."""
+        return self.scheduler.run_until(self.clock.now() + seconds)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    @property
+    def stats(self):
+        """Network traffic counters."""
+        return self.transport.stats

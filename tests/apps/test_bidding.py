@@ -1,0 +1,86 @@
+"""Tests for the price-is-right bidding game."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.apps.bidding import build_game
+
+
+@pytest.fixture
+def game():
+    world = SyDWorld(seed=9)
+    referee, players = build_game(world, ["p1", "p2", "p3"])
+    return world, referee, players
+
+
+class TestBidding:
+    def test_place_and_read_bid(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 42.0)
+        assert players["p1"].my_bid("r1") == 42.0
+
+    def test_rebid_overwrites(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 42.0)
+        players["p1"].place_bid("r1", 55.0)
+        assert players["p1"].my_bid("r1") == 55.0
+
+    def test_collect_bids(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 10)
+        players["p2"].place_bid("r1", 20)
+        bids = ref.collect_bids("r1")
+        assert bids == {"p1": 10.0, "p2": 20.0, "p3": None}
+
+
+class TestRounds:
+    def test_closest_under_price_wins(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 50)
+        players["p2"].place_bid("r1", 80)
+        players["p3"].place_bid("r1", 120)  # over
+        outcome = ref.run_round("r1", 100.0, "toaster")
+        assert outcome == {"winner": "p2", "bid": 80.0, "reason": "awarded"}
+        assert players["p2"].wins()[0]["item"] == "toaster"
+        assert players["p1"].wins() == []
+
+    def test_all_over_price_void(self, game):
+        world, ref, players = game
+        for p in players.values():
+            p.place_bid("r1", 500)
+        outcome = ref.run_round("r1", 100.0, "tv")
+        assert outcome["winner"] is None
+        assert outcome["reason"] == "no valid bid"
+
+    def test_tie_voids_round_xor(self, game):
+        """Two players at the winning bid: XOR aborts, nobody wins."""
+        world, ref, players = game
+        players["p1"].place_bid("r1", 60)
+        players["p2"].place_bid("r1", 60)
+        players["p3"].place_bid("r1", 10)
+        outcome = ref.run_round("r1", 100.0, "tv")
+        assert outcome["reason"] == "tie"
+        assert players["p1"].wins() == [] and players["p2"].wins() == []
+
+    def test_missing_bids_ignored(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 30)
+        outcome = ref.run_round("r1", 100.0, "mug")
+        assert outcome["winner"] == "p1"
+
+    def test_down_player_does_not_block_round(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 30)
+        players["p2"].place_bid("r1", 70)
+        world.take_down("p1")
+        outcome = ref.run_round("r1", 100.0, "mug")
+        assert outcome["winner"] == "p2"
+
+    def test_sequential_rounds(self, game):
+        world, ref, players = game
+        players["p1"].place_bid("r1", 30)
+        ref.run_round("r1", 100.0, "a")
+        players["p2"].place_bid("r2", 40)
+        outcome = ref.run_round("r2", 100.0, "b")
+        assert outcome["winner"] == "p2"
+        assert len(ref.results) == 2

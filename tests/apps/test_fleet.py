@@ -1,0 +1,96 @@
+"""Tests for the SyDFleet demo application."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.apps.fleet import build_fleet
+
+
+@pytest.fixture
+def fleet():
+    world = SyDWorld(seed=4)
+    dispatcher, trucks = build_fleet(world, ["t1", "t2", "t3"])
+    return world, dispatcher, trucks
+
+
+class TestTelemetry:
+    def test_initial_positions(self, fleet):
+        world, disp, trucks = fleet
+        positions = disp.fleet_positions()
+        assert set(positions) == {"t1", "t2", "t3"}
+        assert positions["t1"]["x"] == 0.0
+
+    def test_move_and_query(self, fleet):
+        world, disp, trucks = fleet
+        trucks["t2"].move_to(3.0, 4.0)
+        assert disp.fleet_positions()["t2"]["x"] == 3.0
+
+    def test_nearest_free(self, fleet):
+        world, disp, trucks = fleet
+        trucks["t1"].move_to(10, 10)
+        trucks["t2"].move_to(1, 1)
+        trucks["t3"].move_to(20, 20)
+        assert disp.nearest_free(0, 0) == "t2"
+
+    def test_nearest_skips_assigned(self, fleet):
+        world, disp, trucks = fleet
+        trucks["t2"].move_to(1, 1)
+        disp.assign_convoy(["t2"], "route-9")
+        assert disp.nearest_free(0, 0) in ("t1", "t3")
+
+    def test_nearest_none_when_all_busy(self, fleet):
+        world, disp, trucks = fleet
+        disp.assign_convoy(["t1", "t2", "t3"], "route-all")
+        assert disp.nearest_free(0, 0) is None
+
+    def test_down_truck_excluded_from_positions(self, fleet):
+        world, disp, trucks = fleet
+        world.take_down("t3")
+        assert set(disp.fleet_positions()) == {"t1", "t2"}
+
+
+class TestConvoyAssignment:
+    def test_assign_all_free(self, fleet):
+        world, disp, trucks = fleet
+        assert disp.assign_convoy(["t1", "t2"], "route-66", cargo=["steel"])
+        assert trucks["t1"].position()["route"] == "route-66"
+        assert trucks["t2"].position()["cargo"] == ["steel"]
+        assert trucks["t3"].position()["status"] == "free"
+
+    def test_assignment_is_atomic(self, fleet):
+        world, disp, trucks = fleet
+        disp.assign_convoy(["t2"], "busy-route")
+        # t2 busy: the whole convoy assignment must fail, t1 untouched.
+        assert not disp.assign_convoy(["t1", "t2"], "route-1")
+        assert trucks["t1"].position()["status"] == "free"
+
+    def test_unreachable_truck_fails_convoy(self, fleet):
+        world, disp, trucks = fleet
+        world.take_down("t2")
+        assert not disp.assign_convoy(["t1", "t2"], "route-1")
+        assert trucks["t1"].position()["status"] == "free"
+
+    def test_complete_route_frees(self, fleet):
+        world, disp, trucks = fleet
+        disp.assign_convoy(["t1"], "r")
+        trucks["t1"].complete_route()
+        assert trucks["t1"].position()["status"] == "free"
+        assert disp.assign_convoy(["t1"], "r2")
+
+    def test_empty_convoy(self, fleet):
+        world, disp, trucks = fleet
+        assert disp.assign_convoy([], "r") is False
+
+
+class TestSubscriptionFeed:
+    def test_follow_truck_position_updates(self, fleet):
+        world, disp, trucks = fleet
+        disp.follow_truck("t1", "t2")
+        # t1 announces a move -> its subscription link notifies t2.
+        trucks["t1"].move_to(7, 8)
+        node_t1 = world.node("t1")
+        delivered = node_t1.links.fire_subscriptions(
+            "position", {"x": 7.0, "y": 8.0, "truck": "t1"}
+        )
+        assert delivered == 1
+        assert trucks["t2"].position_feed[0]["truck"] == "t1"

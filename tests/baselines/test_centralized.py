@@ -1,0 +1,75 @@
+"""Tests for the centralized-server baseline."""
+
+import pytest
+
+from repro.baselines.centralized import CentralizedCalendarBaseline
+from repro.util.errors import CalendarError, NotInitiatorError, UnreachableError
+
+
+@pytest.fixture
+def system():
+    s = CentralizedCalendarBaseline(days=3, day_start=9, day_end=12)
+    for u in ["phil", "andy"]:
+        s.add_user(u)
+    return s
+
+
+def test_schedule_immediately_consistent(system):
+    mid = system.schedule_meeting("phil", "T", ["andy"])
+    assert mid is not None
+    assert system.meeting(mid)["status"] == "confirmed"
+    slot = system.meeting(mid)["slot"]
+    assert system.slot_of("phil", *slot) == mid
+    assert system.slot_of("andy", *slot) == mid
+
+
+def test_schedule_skips_busy_slots(system):
+    system.block("andy", 0, 9)
+    mid = system.schedule_meeting("phil", "T", ["andy"])
+    assert system.meeting(mid)["slot"] == (0, 10)
+
+
+def test_no_slot_returns_none(system):
+    for d in range(3):
+        for h in range(9, 12):
+            system.block("phil", d, h)
+    assert system.schedule_meeting("phil", "T", ["andy"]) is None
+
+
+def test_cancel(system):
+    mid = system.schedule_meeting("phil", "T", ["andy"])
+    slot = system.meeting(mid)["slot"]
+    system.cancel_meeting("phil", mid)
+    assert system.slot_of("andy", *slot) is None
+    with pytest.raises(NotInitiatorError):
+        system.cancel_meeting("andy", mid)
+
+
+def test_every_operation_costs_messages(system):
+    before = system.messages
+    system.slot_of("phil", 0, 9)
+    assert system.messages == before + 2
+
+
+def test_server_down_stops_everything(system):
+    system.server_up = False
+    with pytest.raises(UnreachableError):
+        system.slot_of("phil", 0, 9)
+    with pytest.raises(UnreachableError):
+        system.schedule_meeting("phil", "T", ["andy"])
+
+
+def test_storage_all_on_server(system):
+    assert system.server_storage_bytes() > 0
+    assert system.device_storage_bytes("phil") == 0
+
+
+def test_unknown_user(system):
+    with pytest.raises(CalendarError):
+        system.block("ghost", 0, 9)
+
+
+def test_clock_advances_with_calls(system):
+    t0 = system.clock.now()
+    system.users()
+    assert system.clock.now() > t0

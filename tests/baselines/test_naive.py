@@ -1,0 +1,96 @@
+"""Unit tests for the query-then-write (no-links) baseline."""
+
+import pytest
+
+from repro.baselines.naive import (
+    NaiveScheduler,
+    run_interleaved_naive,
+    run_interleaved_syd,
+)
+from repro.bench.workloads import build_calendar_population
+from repro.util.errors import SchedulingError
+
+
+@pytest.fixture
+def app():
+    return build_calendar_population(4, seed=91)
+
+
+def users_of(app):
+    return sorted(app.users)
+
+
+class TestNaiveScheduler:
+    def test_enquire_picks_earliest_common_slot(self, app):
+        users = users_of(app)
+        plan = NaiveScheduler(app, users[0]).enquire("T", users[1:3])
+        assert plan.slot == {"day": 0, "hour": 9}
+        assert not plan.written
+
+    def test_enquire_respects_busy_slots(self, app):
+        users = users_of(app)
+        app.service(users[1]).block({"day": 0, "hour": 9})
+        plan = NaiveScheduler(app, users[0]).enquire("T", [users[1]])
+        assert plan.slot == {"day": 0, "hour": 10}
+
+    def test_enquire_no_slot_raises(self, app):
+        users = users_of(app)
+        for row in app.calendar(users[1]).free_slots(0, 4):
+            app.service(users[1]).block({"day": row["day"], "hour": row["hour"]})
+        with pytest.raises(SchedulingError):
+            NaiveScheduler(app, users[0]).enquire("T", [users[1]])
+
+    def test_write_lands_reservations(self, app):
+        users = users_of(app)
+        scheduler = NaiveScheduler(app, users[0])
+        plan = scheduler.schedule("T", users[1:3])
+        assert plan.written
+        for u in plan.participants:
+            row = app.calendar(u).slot_of(plan.slot)
+            assert row["meeting_id"] == plan.meeting_id
+
+    def test_write_overwrites_blindly(self, app):
+        """The whole point: no mark/lock, so a write tramples whatever
+        happened after the enquiry."""
+        users = users_of(app)
+        scheduler = NaiveScheduler(app, users[0])
+        plan = scheduler.enquire("T", [users[1]])
+        # Reality changes between enquiry and write:
+        app.service(users[1]).block(plan.slot)
+        scheduler.write(plan)
+        row = app.calendar(users[1]).slot_of(plan.slot)
+        assert row["meeting_id"] == plan.meeting_id  # stomped the block
+
+
+class TestInterleavedRuns:
+    def test_naive_race_produces_conflicts(self, app):
+        users = users_of(app)
+        report = run_interleaved_naive(
+            app,
+            [(users[0], [users[3]]), (users[1], [users[3]]), (users[2], [users[3]])],
+            day_from=0,
+            day_to=0,
+        )
+        assert report.believed_successes == 3
+        assert report.double_booked_slots >= 1
+        assert report.conflicting_meetings == 3
+
+    def test_syd_same_contention_no_conflicts(self, app):
+        users = users_of(app)
+        report = run_interleaved_syd(
+            app,
+            [(users[0], [users[3]]), (users[1], [users[3]]), (users[2], [users[3]])],
+            day_from=0,
+            day_to=0,
+        )
+        assert report.believed_successes == 3
+        assert report.double_booked_slots == 0
+        assert report.conflicting_meetings == 0
+
+    def test_naive_with_impossible_request_skips(self, app):
+        users = users_of(app)
+        for row in app.calendar(users[3]).free_slots(0, 4):
+            app.service(users[3]).block({"day": row["day"], "hour": row["hour"]})
+        report = run_interleaved_naive(app, [(users[0], [users[3]])])
+        assert report.believed_successes == 0
+        assert report.double_booked_slots == 0

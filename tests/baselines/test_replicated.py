@@ -1,0 +1,115 @@
+"""Tests for the replicated e-mail baseline (§3.3/§6 behaviours)."""
+
+import pytest
+
+from repro.baselines.replicated import ReplicatedCalendarBaseline
+from repro.util.errors import CalendarError, NotInitiatorError
+
+
+@pytest.fixture
+def system():
+    s = ReplicatedCalendarBaseline(days=3, day_start=9, day_end=12)
+    for u in ["phil", "andy", "suzy"]:
+        s.add_user(u)
+    return s
+
+
+class TestReplication:
+    def test_everyone_replicates_everyone(self, system):
+        assert set(system._replicas["phil"]) == {"andy", "suzy"}
+
+    def test_storage_grows_with_population(self):
+        small = ReplicatedCalendarBaseline(days=3, day_start=9, day_end=12)
+        for u in ["a", "b"]:
+            small.add_user(u)
+        big = ReplicatedCalendarBaseline(days=3, day_start=9, day_end=12)
+        for u in ["a", "b", "c", "d", "e", "f"]:
+            big.add_user(u)
+        assert big.storage_bytes("a") > 2 * small.storage_bytes("a")
+
+    def test_replicas_go_stale_until_sync(self, system):
+        system.block("andy", 0, 9)
+        assert system._replicas["phil"]["andy"][(0, 9)] is None  # stale
+        system.sync_replicas()
+        assert system._replicas["phil"]["andy"][(0, 9)] == "busy"
+
+    def test_replication_traffic_counted(self, system):
+        before = system.replication_messages
+        system.sync_replicas()
+        assert system.replication_messages == before + 6  # 3 users x 2
+
+    def test_duplicate_user(self, system):
+        with pytest.raises(CalendarError):
+            system.add_user("phil")
+
+
+class TestManualScheduling:
+    def test_happy_path_requires_manual_accepts(self, system):
+        mid, rounds = system.schedule_meeting_full_cycle(
+            "phil", "Budget", ["andy", "suzy"]
+        )
+        assert mid is not None and rounds == 1
+        assert system.meeting(mid).status == "confirmed"
+        # Everyone wrote the entry.
+        slot = system.meeting(mid).slot
+        for u in ["phil", "andy", "suzy"]:
+            assert system.slot_of(u, *slot) == mid
+        # 2 invitations needing action + initiator form + 2 accepts + tally.
+        assert system.manual_interventions == 4
+        assert system.mail.action_required == 2
+
+    def test_stale_replica_causes_decline_round(self, system):
+        # andy blocks 0/9 after the last sync: phil's replica is stale.
+        system.block("andy", 0, 9)
+        mid = system.request_meeting("phil", "T", ["andy", "suzy"])
+        system.process_inbox("andy")
+        system.process_inbox("suzy")
+        assert system.finalize("phil", mid) == "failed"
+        assert system.staleness_failures == 1
+
+    def test_retry_succeeds_after_failure(self, system):
+        system.block("andy", 0, 9)
+        mid, rounds = system.schedule_meeting_full_cycle("phil", "T", ["andy", "suzy"])
+        # First round fails on the stale slot, initiator manually retries.
+        assert mid is not None
+        assert rounds >= 2
+
+    def test_no_common_slot_in_replicas(self, system):
+        for d in range(3):
+            for h in range(9, 12):
+                system.block("phil", d, h)
+        assert system.request_meeting("phil", "T", ["andy"]) is None
+
+    def test_finalize_requires_initiator(self, system):
+        mid = system.request_meeting("phil", "T", ["andy"])
+        with pytest.raises(NotInitiatorError):
+            system.finalize("andy", mid)
+
+    def test_emails_scale_with_participants(self, system):
+        before = system.mail.sent
+        system.schedule_meeting_full_cycle("phil", "T", ["andy", "suzy"])
+        # 2 invites + 2 replies + 2 confirmations.
+        assert system.mail.sent - before == 6
+
+
+class TestCancellation:
+    def test_only_initiator_cancels(self, system):
+        mid, _ = system.schedule_meeting_full_cycle("phil", "T", ["andy"])
+        with pytest.raises(NotInitiatorError):
+            system.cancel_meeting("andy", mid)
+
+    def test_cancel_requires_manual_deletes(self, system):
+        mid, _ = system.schedule_meeting_full_cycle("phil", "T", ["andy", "suzy"])
+        slot = system.meeting(mid).slot
+        system.cancel_meeting("phil", mid)
+        # Participants still hold the entry until they process mail.
+        assert system.slot_of("andy", *slot) == mid
+        system.process_cancellation("andy")
+        assert system.slot_of("andy", *slot) is None
+
+    def test_no_auto_reschedule(self, system):
+        """Cancellation never creates a replacement meeting (§6)."""
+        mid, _ = system.schedule_meeting_full_cycle("phil", "T", ["andy"])
+        count_before = len(system._meetings)
+        system.cancel_meeting("phil", mid)
+        assert len(system._meetings) == count_before

@@ -1,0 +1,24 @@
+"""Calendar test fixtures."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+
+
+@pytest.fixture
+def app():
+    """Calendar app with phil/andy/suzy/raj on a 5-day calendar."""
+    world = SyDWorld(seed=11)
+    application = SyDCalendarApp(world)
+    for user in ["phil", "andy", "suzy", "raj"]:
+        application.add_user(user)
+    return application
+
+
+def block_window(app, user, day_from, day_to):
+    """Block every free slot of ``user`` in the day window."""
+    service = app.service(user)
+    cal = app.calendar(user)
+    for row in cal.free_slots(day_from, day_to):
+        service.block({"day": row["day"], "hour": row["hour"]})

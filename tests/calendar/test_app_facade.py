@@ -1,0 +1,75 @@
+"""Tests for the SyDCalendarApp facade."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.util.errors import ReproError
+
+
+@pytest.fixture
+def facade():
+    return SyDCalendarApp(SyDWorld(seed=97), days=3, day_start=10, day_end=13)
+
+
+class TestFacade:
+    def test_custom_calendar_shape(self, facade):
+        facade.add_user("a")
+        assert facade.calendar("a").store.count("slots") == 9
+        assert facade.calendar("a").day_start == 10
+
+    def test_accessors_agree(self, facade):
+        entry = facade.add_user("a")
+        assert facade.manager("a") is entry.manager
+        assert facade.calendar("a") is entry.calendar
+        assert facade.service("a") is entry.service
+        assert facade.node("a") is entry.node
+
+    def test_unknown_user_raises(self, facade):
+        with pytest.raises(ReproError, match="no calendar user"):
+            facade.manager("ghost")
+
+    def test_meeting_view_none_for_unknown(self, facade):
+        facade.add_user("a")
+        assert facade.meeting_view("a", "nope") is None
+
+    def test_total_storage_covers_all_users(self, facade):
+        facade.add_user("a")
+        facade.add_user("b")
+        storage = facade.total_storage_bytes()
+        assert set(storage) == {"a", "b"}
+        assert all(v > 0 for v in storage.values())
+
+    def test_link_expiry_sweep_wired(self):
+        app = SyDCalendarApp(SyDWorld(seed=98), link_expiry_sweep=30.0)
+        node = app.add_user("a").node
+        world = app.world
+        from repro.kernel.linktypes import LinkRef, LinkType
+        from repro.txn.coordinator import AND
+
+        app.add_user("b")
+        node.links.create_link(
+            LinkType.NEGOTIATION,
+            [LinkRef("b", "x", "calendar")],
+            constraint=AND,
+            ttl=10.0,
+        )
+        world.run_for(45.0)
+        assert node.links.all_links() == []
+        assert node.links.expired == 1
+
+    def test_service_registered_in_directory(self, facade):
+        facade.add_user("a")
+        svc = facade.node("a").directory.lookup_service("a", "calendar")
+        assert svc["object_name"] == "a_calendar_SyD"
+        assert "query_free_slots" in svc["methods"]
+        assert "mark" in svc["methods"]
+
+    def test_mixed_auth_and_plain_worlds(self):
+        app = SyDCalendarApp(SyDWorld(seed=99, auth_passphrase="s"))
+        a = app.add_user("a", password="pa")
+        b = app.add_user("b", password="pb")
+        a.node.auth_table.grant("b", "pb")
+        b.node.auth_table.grant("a", "pa")
+        m = app.manager("a").schedule_meeting("t", ["b"])
+        assert m.status.value == "confirmed"

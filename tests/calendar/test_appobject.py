@@ -1,0 +1,75 @@
+"""Tests for the Calendars SyDAppO (§3.2)."""
+
+import pytest
+
+from repro.calendar.appobject import CommitteeCalendars, appo_name
+from repro.calendar.model import MeetingStatus
+from repro.util.errors import CalendarError
+
+
+@pytest.fixture
+def committee(app):
+    return CommitteeCalendars(app.manager("phil"), ["phil", "andy", "suzy"])
+
+
+def test_paper_naming_convention(committee):
+    assert committee.name == "Calendars_of_phil+andy+suzy_SyDAppO"
+    assert appo_name(["a", "b"]) == "Calendars_of_a+b_SyDAppO"
+
+
+def test_host_must_be_member(app):
+    with pytest.raises(CalendarError):
+        CommitteeCalendars(app.manager("phil"), ["andy", "suzy"])
+
+
+def test_find_earliest_meeting_time(app, committee):
+    assert committee.find_earliest_meeting_time() == {"day": 0, "hour": 9}
+    app.service("andy").block({"day": 0, "hour": 9})
+    assert committee.find_earliest_meeting_time() == {"day": 0, "hour": 10}
+
+
+def test_find_earliest_none_when_impossible(app, committee):
+    for row in app.calendar("suzy").free_slots(0, 4):
+        app.service("suzy").block({"day": row["day"], "hour": row["hour"]})
+    assert committee.find_earliest_meeting_time() is None
+
+
+def test_schedule_earliest(app, committee):
+    meeting = committee.schedule("Standup")
+    assert meeting.status is MeetingStatus.CONFIRMED
+    assert set(meeting.committed) == {"phil", "andy", "suzy"}
+    assert meeting.slot == {"day": 0, "hour": 9}
+
+
+def test_change_meeting_time_to_next_available(app, committee):
+    meeting = committee.schedule("Standup")
+    new_slot = committee.change_meeting_time_to_next_available(meeting.meeting_id)
+    assert new_slot == {"day": 0, "hour": 10}
+    assert app.meeting_view("andy", meeting.meeting_id).slot == new_slot
+
+
+def test_change_time_returns_none_when_stuck(app, committee):
+    meeting = committee.schedule("Standup")
+    # Block every later slot for suzy.
+    for row in app.calendar("suzy").free_slots(0, 4):
+        app.service("suzy").block({"day": row["day"], "hour": row["hour"]})
+    assert committee.change_meeting_time_to_next_available(meeting.meeting_id) is None
+    assert app.meeting_view("phil", meeting.meeting_id).slot == meeting.slot
+
+
+def test_committee_load(app, committee):
+    app.service("andy").block({"day": 0, "hour": 9})
+    load = committee.committee_load(0, 0)
+    assert load["phil"] == 0.0
+    assert load["andy"] == pytest.approx(1 / 8)
+
+
+def test_appo_publishable_and_remotely_invocable(app, committee):
+    """The SyDAppO is itself a device object: publish it and invoke its
+    methods through the kernel like any service."""
+    node = app.node("phil")
+    node.listener.publish_object(committee, user_id="phil", service="committee")
+    slot = app.node("andy").engine.execute(
+        "phil", "committee", "find_earliest_meeting_time", 0, 2
+    )
+    assert slot == {"day": 0, "hour": 9}

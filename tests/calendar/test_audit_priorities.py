@@ -1,0 +1,110 @@
+"""Tests for the consistency auditor and §6 user-rank priorities."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.audit import audit_world, check_locks
+from repro.calendar.model import MeetingStatus, SlotStatus
+
+
+@pytest.fixture
+def ranked_app():
+    world = SyDWorld(seed=81)
+    app = SyDCalendarApp(world)
+    app.add_user("ceo", priority=9)
+    app.add_user("manager", priority=3)
+    app.add_user("intern")          # rank 0
+    app.add_user("staff")           # rank 0
+    return app
+
+
+class TestUserPriorities:
+    def test_meeting_inherits_highest_must_attendee_rank(self, ranked_app):
+        m = ranked_app.manager("staff").schedule_meeting("1:1", ["ceo"])
+        assert m.priority == 9
+        m2 = ranked_app.manager("staff").schedule_meeting("peers", ["intern"])
+        assert m2.priority == 0
+
+    def test_explicit_priority_overrides(self, ranked_app):
+        m = ranked_app.manager("staff").schedule_meeting("low", ["ceo"], priority=1)
+        assert m.priority == 1
+
+    def test_ceo_meeting_bumps_intern_meeting_automatically(self, ranked_app):
+        app = ranked_app
+        low = app.manager("intern").schedule_meeting("peers", ["staff"],
+                                                     day_from=0, day_to=0)
+        assert low.priority == 0
+        high = app.manager("manager").schedule_meeting(
+            "exec prep", ["ceo", "staff"], preferred_slot=low.slot
+        )
+        assert high.status is MeetingStatus.CONFIRMED
+        assert app.meeting_view("intern", low.meeting_id).status is MeetingStatus.BUMPED
+
+    def test_supervisor_rank_counts(self, ranked_app):
+        m = ranked_app.manager("staff").schedule_meeting(
+            "review", ["intern", "ceo"], supervisors=["ceo"]
+        )
+        assert m.priority == 9
+
+    def test_or_group_members_do_not_raise_priority(self, ranked_app):
+        from repro.calendar.model import OrGroup
+
+        m = ranked_app.manager("staff").schedule_meeting(
+            "pool", ["intern", "ceo"],
+            must_attend=["intern"],
+            or_groups=[OrGroup(("ceo",), 1)],
+        )
+        # ceo is optional: the meeting does not inherit rank 9.
+        assert m.priority == 0
+
+
+class TestAudit:
+    def test_clean_world_has_no_violations(self, ranked_app):
+        app = ranked_app
+        m = app.manager("staff").schedule_meeting("a", ["intern"])
+        app.manager("staff").schedule_meeting("b", ["manager"])
+        app.manager("staff").cancel_meeting(m.meeting_id)
+        assert audit_world(app) == []
+
+    def test_detects_leaked_lock(self, ranked_app):
+        app = ranked_app
+        app.node("intern").locks.lock("d0h9", "zombie-txn")
+        violations = check_locks(app)
+        assert len(violations) == 1
+        assert violations[0].rule == "locks"
+        assert "intern" == violations[0].user
+
+    def test_detects_orphan_slot(self, ranked_app):
+        app = ranked_app
+        app.calendar("intern").set_slot("d0h9", SlotStatus.RESERVED, meeting_id="ghost")
+        violations = audit_world(app)
+        assert any(v.rule == "slot-meeting" and "ghost" in v.detail for v in violations)
+
+    def test_detects_divergent_views(self, ranked_app):
+        app = ranked_app
+        m = app.manager("staff").schedule_meeting("a", ["intern"])
+        # Corrupt intern's copy: move it to another slot locally.
+        bad = app.calendar("intern").meeting(m.meeting_id)
+        bad.slot = {"day": 4, "hour": 16}
+        app.calendar("intern").put_meeting(bad)
+        violations = audit_world(app)
+        assert any(v.rule == "views-agree" for v in violations)
+
+    def test_detects_cancelled_residue(self, ranked_app):
+        app = ranked_app
+        m = app.manager("staff").schedule_meeting("a", ["intern"])
+        app.manager("staff").cancel_meeting(m.meeting_id)
+        # Sneak a stale slot back in.
+        app.calendar("intern").set_slot(
+            "d3h15", SlotStatus.RESERVED, meeting_id=m.meeting_id
+        )
+        violations = audit_world(app)
+        assert any(v.rule == "cancelled-clean" for v in violations)
+        assert any(v.rule == "slot-meeting" for v in violations)
+
+    def test_violation_string_form(self, ranked_app):
+        app = ranked_app
+        app.node("intern").locks.lock("x", "t")
+        v = check_locks(app)[0]
+        assert "locks" in str(v) and "intern" in str(v)

@@ -1,0 +1,52 @@
+"""Tests for dynamic-group scheduling (directory groups)."""
+
+import pytest
+
+from repro.calendar.model import MeetingStatus
+from repro.util.errors import UnknownGroupError
+
+
+class TestScheduleGroupMeeting:
+    def test_group_resolved_at_call_time(self, app):
+        phil = app.node("phil")
+        phil.directory.form_group("team", "phil", ["phil", "andy", "suzy"])
+        m = app.manager("phil").schedule_group_meeting("team", "Weekly")
+        assert m.status is MeetingStatus.CONFIRMED
+        assert set(m.committed) == {"phil", "andy", "suzy"}
+
+    def test_membership_changes_picked_up(self, app):
+        phil = app.node("phil")
+        phil.directory.form_group("team", "phil", ["phil", "andy"])
+        m1 = app.manager("phil").schedule_group_meeting("team", "W1")
+        assert set(m1.committed) == {"phil", "andy"}
+        phil.directory.add_member("team", "raj")
+        m2 = app.manager("phil").schedule_group_meeting("team", "W2")
+        assert set(m2.committed) == {"phil", "andy", "raj"}
+
+    def test_initiator_not_required_in_group(self, app):
+        """A scheduler outside the group still attends (they initiate)."""
+        phil = app.node("phil")
+        phil.directory.form_group("others", "phil", ["andy", "suzy"])
+        m = app.manager("phil").schedule_group_meeting("others", "X")
+        assert "phil" in m.committed
+
+    def test_unknown_group(self, app):
+        with pytest.raises(UnknownGroupError):
+            app.manager("phil").schedule_group_meeting("ghost-team", "X")
+
+    def test_options_forwarded(self, app):
+        phil = app.node("phil")
+        phil.directory.form_group("team", "phil", ["phil", "andy"])
+        m = app.manager("phil").schedule_group_meeting(
+            "team", "X", day_from=2, day_to=3, priority=4
+        )
+        assert 2 <= m.slot["day"] <= 3
+        assert m.priority == 4
+
+    def test_cancel_group_meeting(self, app):
+        phil = app.node("phil")
+        phil.directory.form_group("team", "phil", ["phil", "andy", "suzy"])
+        m = app.manager("phil").schedule_group_meeting("team", "W")
+        app.manager("phil").cancel_meeting(m.meeting_id)
+        for u in ["phil", "andy", "suzy"]:
+            assert app.calendar(u).slot_of(m.slot)["status"] == "free"

@@ -1,0 +1,136 @@
+"""Tests for the calendar model and per-user storage."""
+
+import pytest
+
+from repro.calendar.model import (
+    Meeting,
+    MeetingStatus,
+    OrGroup,
+    SlotStatus,
+    entity_to_id,
+    parse_slot_id,
+    slot_entity,
+    slot_id,
+)
+from repro.calendar.storage import CalendarStore
+from repro.datastore.store import RelationalStore
+from repro.util.errors import CalendarError
+
+
+class TestSlotIds:
+    def test_roundtrip(self):
+        assert parse_slot_id(slot_id(3, 14)) == {"day": 3, "hour": 14}
+
+    def test_entity_to_id(self):
+        assert entity_to_id(slot_entity(2, 9)) == "d2h9"
+
+    def test_malformed(self):
+        with pytest.raises(CalendarError):
+            parse_slot_id("banana")
+
+
+class TestOrGroup:
+    def test_valid(self):
+        g = OrGroup(("a", "b", "c"), 2)
+        assert OrGroup.from_dict(g.to_dict()) == g
+
+    def test_k_bounds(self):
+        with pytest.raises(CalendarError):
+            OrGroup(("a",), 0)
+        with pytest.raises(CalendarError):
+            OrGroup(("a",), 2)
+
+
+class TestMeetingRow:
+    def test_roundtrip(self):
+        m = Meeting(
+            meeting_id="m1",
+            initiator="phil",
+            title="Budget",
+            slot={"day": 0, "hour": 9},
+            participants=["phil", "andy"],
+            must_attend=["phil", "andy"],
+            or_groups=[OrGroup(("x", "y"), 1)],
+            supervisors=["boss"],
+            priority=3,
+            status=MeetingStatus.TENTATIVE,
+            committed=["phil"],
+            missing=["andy"],
+            window=(0, 4),
+            created_at=1.5,
+        )
+        assert Meeting.from_row(m.to_row()) == m
+
+
+@pytest.fixture
+def cal():
+    return CalendarStore(RelationalStore("phil"), days=3, day_start=9, day_end=12)
+
+
+class TestCalendarStore:
+    def test_slots_created(self, cal):
+        assert cal.store.count("slots") == 9
+        assert cal.slot("d0h9")["status"] == "free"
+
+    def test_bad_hours_rejected(self):
+        with pytest.raises(CalendarError):
+            CalendarStore(RelationalStore("x"), day_start=12, day_end=9)
+
+    def test_free_slots_window_and_order(self, cal):
+        cal.set_slot("d0h10", SlotStatus.BUSY)
+        rows = cal.free_slots(0, 1)
+        assert [(r["day"], r["hour"]) for r in rows] == [
+            (0, 9), (0, 11), (1, 9), (1, 10), (1, 11),
+        ]
+
+    def test_set_and_release_slot(self, cal):
+        cal.set_slot("d0h9", SlotStatus.RESERVED, meeting_id="m1", priority=2)
+        row = cal.slot("d0h9")
+        assert row["status"] == "reserved" and row["meeting_id"] == "m1"
+        cal.release_slot("d0h9")
+        assert cal.slot("d0h9")["status"] == "free"
+
+    def test_unknown_slot(self, cal):
+        with pytest.raises(CalendarError):
+            cal.slot("d9h9")
+        with pytest.raises(CalendarError):
+            cal.set_slot("d9h9", SlotStatus.FREE)
+
+    def test_slots_of_meeting(self, cal):
+        cal.set_slot("d0h9", SlotStatus.RESERVED, meeting_id="m1")
+        cal.set_slot("d1h9", SlotStatus.RESERVED, meeting_id="m1")
+        assert len(cal.slots_of_meeting("m1")) == 2
+
+    def test_occupancy(self, cal):
+        assert cal.occupancy() == 0.0
+        cal.set_slot("d0h9", SlotStatus.BUSY)
+        assert cal.occupancy() == pytest.approx(1 / 9)
+
+    def test_meeting_crud(self, cal):
+        m = Meeting(
+            meeting_id="m1",
+            initiator="phil",
+            title="t",
+            slot={"day": 0, "hour": 9},
+            participants=["phil"],
+            must_attend=["phil"],
+        )
+        cal.put_meeting(m)
+        assert cal.has_meeting("m1")
+        assert cal.meeting("m1").title == "t"
+        m.title = "t2"
+        cal.put_meeting(m)  # upsert
+        assert cal.meeting("m1").title == "t2"
+        cal.set_meeting_status("m1", MeetingStatus.CANCELLED)
+        assert cal.meeting("m1").status is MeetingStatus.CANCELLED
+        assert cal.meetings(MeetingStatus.CANCELLED)[0].meeting_id == "m1"
+
+    def test_unknown_meeting(self, cal):
+        with pytest.raises(CalendarError):
+            cal.meeting("nope")
+        with pytest.raises(CalendarError):
+            cal.set_meeting_status("nope", MeetingStatus.CANCELLED)
+
+    def test_existing_tables_reused(self, cal):
+        again = CalendarStore(cal.store, days=3, day_start=9, day_end=12)
+        assert again.store.count("slots") == 9

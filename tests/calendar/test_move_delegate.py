@@ -1,0 +1,142 @@
+"""Tests for meeting relocation (§3.2/§5) and delegation (§5)."""
+
+import pytest
+
+from repro.calendar.model import MeetingStatus
+from tests.calendar.conftest import block_window
+from repro.util.errors import NotInitiatorError
+
+
+class TestMoveMeeting:
+    def test_move_to_explicit_slot(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"], day_from=0, day_to=0)
+        old_slot = dict(m.slot)
+        moved = app.manager("phil").move_meeting(m.meeting_id, {"day": 1, "hour": 14})
+        assert moved is not None
+        assert moved.slot == {"day": 1, "hour": 14}
+        for user in ["phil", "andy"]:
+            assert app.calendar(user).slot_of(old_slot)["status"] == "free"
+            assert app.calendar(user).slot_of(moved.slot)["meeting_id"] == m.meeting_id
+            assert app.meeting_view(user, m.meeting_id).slot == moved.slot
+
+    def test_move_to_next_available(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"], day_from=0, day_to=0)
+        moved = app.manager("phil").move_meeting(m.meeting_id)
+        assert moved is not None
+        assert (moved.slot["day"], moved.slot["hour"]) > (m.slot["day"], m.slot["hour"])
+
+    def test_move_refused_leaves_meeting_untouched(self, app):
+        """§5: 'If not all can agree, then D would be unable to change
+        the schedule of the meeting.'"""
+        m = app.manager("phil").schedule_meeting("T", ["andy"], day_from=0, day_to=0)
+        app.service("andy").block({"day": 1, "hour": 14})
+        moved = app.manager("phil").move_meeting(m.meeting_id, {"day": 1, "hour": 14})
+        assert moved is None
+        for user in ["phil", "andy"]:
+            assert app.calendar(user).slot_of(m.slot)["meeting_id"] == m.meeting_id
+            assert app.meeting_view(user, m.meeting_id).slot == m.slot
+
+    def test_move_rebuilds_links_at_new_slot(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"], day_from=0, day_to=0)
+        moved = app.manager("phil").move_meeting(m.meeting_id, {"day": 2, "hour": 10})
+        fwd = app.node("phil").links.links_by_context("meeting_id", m.meeting_id)
+        assert any(
+            ln.context["role"] == "forward" and ln.source_entity == moved.slot
+            for ln in fwd
+        )
+        back = app.node("andy").links.links_by_context("meeting_id", m.meeting_id)
+        assert back[0].source_entity == moved.slot
+
+    def test_only_initiator_moves_directly(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"])
+        with pytest.raises(NotInitiatorError):
+            app.manager("andy").move_meeting(m.meeting_id)
+
+    def test_participant_requests_move(self, app):
+        """§5: D's change attempt routes through the back link to A."""
+        m = app.manager("phil").schedule_meeting("T", ["andy"], day_from=0, day_to=0)
+        ok = app.manager("andy").request_move(m.meeting_id, {"day": 3, "hour": 11})
+        assert ok is True
+        assert app.meeting_view("phil", m.meeting_id).slot == {"day": 3, "hour": 11}
+
+    def test_request_move_by_non_participant_denied(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"])
+        assert (
+            app.node("suzy").engine.execute(
+                "phil", "calendar", "move_requested", m.meeting_id, "suzy", None
+            )
+            is False
+        )
+
+    def test_move_cancelled_meeting_refused(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"])
+        app.manager("phil").cancel_meeting(m.meeting_id)
+        assert app.manager("phil").move_meeting(m.meeting_id) is None
+
+    def test_moved_meeting_emails(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"])
+        app.manager("phil").move_meeting(m.meeting_id, {"day": 4, "hour": 9})
+        assert any("moved" in mail.subject for mail in app.mail.inbox("andy"))
+
+    def test_move_frees_slot_for_waiting_meeting(self, app):
+        """Moving releases the old slots — waiting tentative meetings of
+        other initiators promote automatically, like a cancellation."""
+        m1 = app.manager("phil").schedule_meeting("First", ["andy"], day_from=0, day_to=0)
+        m2 = app.manager("suzy").schedule_meeting(
+            "Second", ["raj", "andy"], preferred_slot=m1.slot
+        )
+        assert m2.status is MeetingStatus.TENTATIVE
+        app.manager("phil").move_meeting(m1.meeting_id, {"day": 2, "hour": 9})
+        assert app.meeting_view("suzy", m2.meeting_id).status is MeetingStatus.CONFIRMED
+
+
+class TestDelegation:
+    def test_delegate_schedules_with_boss_authority(self, app):
+        app.manager("phil").delegate_to("andy")
+        meeting = app.manager("andy").schedule_on_behalf(
+            "phil", "Budget", ["suzy"], day_from=0, day_to=2
+        )
+        assert meeting.initiator == "phil"
+        assert meeting.status is MeetingStatus.CONFIRMED
+        # The meeting lives at phil's node; phil can cancel it.
+        app.manager("phil").cancel_meeting(meeting.meeting_id)
+
+    def test_delegate_cannot_cancel_as_self(self, app):
+        app.manager("phil").delegate_to("andy")
+        meeting = app.manager("andy").schedule_on_behalf("phil", "B", ["suzy"])
+        # The delegate is not a participant: no local copy, no authority.
+        assert app.meeting_view("andy", meeting.meeting_id) is None
+        # A participant who is not the initiator cannot cancel either.
+        with pytest.raises(NotInitiatorError):
+            app.manager("suzy").cancel_meeting(meeting.meeting_id)
+
+    def test_undelegated_user_rejected(self, app):
+        with pytest.raises(NotInitiatorError, match="no delegation"):
+            app.manager("andy").schedule_on_behalf("phil", "B", ["suzy"])
+
+    def test_revoked_delegation_rejected(self, app):
+        app.manager("phil").delegate_to("andy")
+        app.manager("phil").revoke_delegation("andy")
+        with pytest.raises(NotInitiatorError):
+            app.manager("andy").schedule_on_behalf("phil", "B", ["suzy"])
+
+    def test_delegation_with_or_groups(self, app):
+        from repro.calendar.model import OrGroup
+
+        for u in ["b1", "b2", "b3"]:
+            app.add_user(u)
+        app.manager("phil").delegate_to("andy")
+        meeting = app.manager("andy").schedule_on_behalf(
+            "phil",
+            "Faculty",
+            ["b1", "b2", "b3"],
+            or_groups=[OrGroup(("b1", "b2", "b3"), 2)],
+        )
+        assert meeting.initiator == "phil"
+        assert len([u for u in meeting.committed if u.startswith("b")]) >= 2
+
+    def test_is_delegate(self, app):
+        phil = app.manager("phil")
+        assert not phil.is_delegate("andy")
+        phil.delegate_to("andy")
+        assert phil.is_delegate("andy")

@@ -1,0 +1,146 @@
+"""Tests for CalendarService verbs (queries, negotiation, callbacks)."""
+
+import pytest
+
+from repro.calendar.model import SlotStatus
+from repro.util.errors import CalendarError, LockNotHeldError, SlotUnavailableError
+
+SLOT = {"day": 0, "hour": 9}
+
+
+class TestQueries:
+    def test_query_free_slots(self, app):
+        slots = app.service("phil").query_free_slots(0, 0)
+        assert slots[0] == {"day": 0, "hour": 9}
+        assert len(slots) == 8  # 9..16
+
+    def test_get_slot(self, app):
+        row = app.service("phil").get_slot(SLOT)
+        assert row["status"] == "free"
+
+    def test_remote_query_through_engine(self, app):
+        slots = app.node("andy").engine.execute(
+            "phil", "calendar", "query_free_slots", 0, 0
+        )
+        assert len(slots) == 8
+
+    def test_get_meeting_absent(self, app):
+        assert app.service("phil").get_meeting("nope") is None
+
+    def test_list_meetings(self, app):
+        m = app.manager("phil").schedule_meeting("T", ["andy"])
+        rows = app.service("phil").list_meetings()
+        assert [r["meeting_id"] for r in rows] == [m.meeting_id]
+        assert app.service("phil").list_meetings("confirmed")[0]["title"] == "T"
+        assert app.service("phil").list_meetings("cancelled") == []
+
+
+class TestBlockUnblock:
+    def test_block_marks_busy(self, app):
+        app.service("phil").block(SLOT, note="dentist")
+        row = app.service("phil").get_slot(SLOT)
+        assert row["status"] == "busy"
+        assert row["note"] == "dentist"
+
+    def test_block_non_free_rejected(self, app):
+        app.service("phil").block(SLOT)
+        with pytest.raises(SlotUnavailableError):
+            app.service("phil").block(SLOT)
+
+    def test_unblock_frees(self, app):
+        app.service("phil").block(SLOT)
+        app.service("phil").unblock(SLOT)
+        assert app.service("phil").get_slot(SLOT)["status"] == "free"
+
+    def test_unblock_requires_busy(self, app):
+        with pytest.raises(CalendarError):
+            app.service("phil").unblock(SLOT)
+
+
+class TestNegotiationVerbs:
+    def test_mark_free_slot(self, app):
+        svc = app.service("phil")
+        assert svc.mark(SLOT, "t1") is True
+        assert app.node("phil").locks.holder("d0h9") == "t1"
+
+    def test_mark_busy_slot_refused(self, app):
+        svc = app.service("phil")
+        svc.block(SLOT)
+        assert svc.mark(SLOT, "t1") is False
+
+    def test_mark_locked_slot_refused(self, app):
+        svc = app.service("phil")
+        svc.mark(SLOT, "t1")
+        assert svc.mark(SLOT, "t2") is False
+
+    def test_mark_same_meeting_reentry(self, app):
+        svc = app.service("phil")
+        svc.mark(SLOT, "t1")
+        svc.change(SLOT, "t1", {"meeting_id": "m1", "status": "held", "priority": 0})
+        svc.unmark(SLOT, "t1")
+        # Upgrade path: same meeting can re-mark its held slot.
+        assert svc.mark(SLOT, "t2", None, "m1") is True
+        # Different meeting without priority cannot.
+        assert svc.mark(SLOT, "t3", None, "m2") is False
+
+    def test_mark_bump_priority(self, app):
+        svc = app.service("phil")
+        svc.mark(SLOT, "t1")
+        svc.change(SLOT, "t1", {"meeting_id": "m1", "status": "reserved", "priority": 2})
+        svc.unmark(SLOT, "t1")
+        assert svc.mark(SLOT, "t2", 2, "m2") is False   # equal priority: no
+        assert svc.mark(SLOT, "t2", 3, "m2") is True    # higher: bump ok
+
+    def test_mark_unknown_slot(self, app):
+        assert app.service("phil").mark({"day": 99, "hour": 9}, "t1") is False
+
+    def test_change_requires_lock(self, app):
+        with pytest.raises(LockNotHeldError):
+            app.service("phil").change(SLOT, "t1", {"meeting_id": "m", "status": "held"})
+
+    def test_unmark_releases_and_is_idempotent(self, app):
+        svc = app.service("phil")
+        svc.mark(SLOT, "t1")
+        assert svc.unmark(SLOT, "t1") is True
+        assert svc.unmark(SLOT, "t1") is False
+
+
+class TestReleaseSlot:
+    def test_release_matching_meeting(self, app):
+        svc = app.service("phil")
+        svc.mark(SLOT, "t1")
+        svc.change(SLOT, "t1", {"meeting_id": "m1", "status": "reserved"})
+        svc.unmark(SLOT, "t1")
+        assert svc.release_slot(SLOT, "m1") is True
+        assert svc.get_slot(SLOT)["status"] == "free"
+
+    def test_release_wrong_meeting_refused(self, app):
+        svc = app.service("phil")
+        svc.mark(SLOT, "t1")
+        svc.change(SLOT, "t1", {"meeting_id": "m1", "status": "reserved"})
+        svc.unmark(SLOT, "t1")
+        assert svc.release_slot(SLOT, "other") is False
+
+
+class TestCallbacks:
+    def test_on_participant_available_publishes(self, app):
+        seen = []
+        app.node("phil").events.on_local(
+            "calendar.participant_available", lambda t, p: seen.append(p)
+        )
+        app.service("phil").on_participant_available(
+            SLOT, {"meeting_id": "zz-unknown", "user": "suzy"}
+        )
+        assert seen[0]["user"] == "suzy"
+
+    def test_on_peer_change_publishes(self, app):
+        seen = []
+        app.node("phil").events.on_local("calendar.peer_changed", lambda t, p: seen.append(p))
+        app.service("phil").on_peer_change(SLOT, {"user": "andy"})
+        assert seen[0]["user"] == "andy"
+
+    def test_request_drop_out_requires_manager(self, app):
+        svc = app.service("phil")
+        svc.manager = None
+        with pytest.raises(CalendarError):
+            svc.request_drop_out("m", "andy")

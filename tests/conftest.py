@@ -1,0 +1,28 @@
+"""Shared fixtures for the whole test suite."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.device.resource import ResourceObject
+
+
+@pytest.fixture
+def world():
+    """A fresh simulated SyD world."""
+    return SyDWorld(seed=7)
+
+
+@pytest.fixture
+def trio(world):
+    """Three users (a, b, c), each publishing a 'res' resource service
+    with two free entities, slot1 and slot2."""
+    nodes = {}
+    for user in ["a", "b", "c"]:
+        node = world.add_node(user)
+        obj = ResourceObject(f"{user}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=user, service="res")
+        obj.add("slot1")
+        obj.add("slot2")
+        node.res_obj = obj  # test-only handle to the published object
+        nodes[user] = node
+    return nodes

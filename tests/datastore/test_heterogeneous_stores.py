@@ -1,0 +1,187 @@
+"""FlatFileStore and ListStore behave like RelationalStore.
+
+Heterogeneity is a core SyD claim (paper §2): the same application logic
+must run over a real database, a flat file, or a list repository. These
+tests run one shared behavioural suite against all three store kinds,
+plus a hypothesis property test checking operation-sequence equivalence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastore.flatfile import FlatFileStore
+from repro.datastore.liststore import ListStore
+from repro.datastore.predicate import where
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import RelationalStore
+from repro.datastore.triggers import RowTrigger, TriggerEvent
+from repro.util.errors import DuplicateKeyError, UnknownTableError
+
+STORE_KINDS = [RelationalStore, FlatFileStore, ListStore]
+
+
+def slot_schema():
+    return schema(
+        "id",
+        id=ColumnType.INT,
+        status=ColumnType.STR,
+        hour=ColumnType.INT,
+        owner=Column("", ColumnType.STR, nullable=True),
+        meta=Column("", ColumnType.JSON, nullable=True),
+    )
+
+
+@pytest.fixture(params=STORE_KINDS, ids=lambda c: c.kind)
+def store(request):
+    s = request.param("test")
+    s.create_table("slots", slot_schema())
+    return s
+
+
+class TestUniformBehaviour:
+    def test_insert_get_roundtrip(self, store):
+        store.insert("slots", {"id": 1, "status": "free", "hour": 9})
+        row = store.get("slots", 1)
+        assert row["status"] == "free"
+        assert row["owner"] is None
+
+    def test_json_column_roundtrip(self, store):
+        store.insert(
+            "slots",
+            {"id": 1, "status": "x", "hour": 9, "meta": {"tags": ["a", 1], "n": None}},
+        )
+        assert store.get("slots", 1)["meta"] == {"tags": ["a", 1], "n": None}
+
+    def test_duplicate_pk_rejected(self, store):
+        store.insert("slots", {"id": 1, "status": "a", "hour": 9})
+        with pytest.raises(DuplicateKeyError):
+            store.insert("slots", {"id": 1, "status": "b", "hour": 9})
+
+    def test_select_filter_order_limit(self, store):
+        for i in range(6):
+            store.insert(
+                "slots", {"id": i, "status": "free" if i % 2 else "busy", "hour": 20 - i}
+            )
+        rows = store.select(
+            "slots", where("status") == "free", order_by="hour", limit=2
+        )
+        assert [r["id"] for r in rows] == [5, 3]
+
+    def test_projection(self, store):
+        store.insert("slots", {"id": 1, "status": "a", "hour": 9})
+        rows = store.select("slots", columns=["id", "hour"])
+        assert rows == [{"id": 1, "hour": 9}]
+
+    def test_update_and_count(self, store):
+        for i in range(4):
+            store.insert("slots", {"id": i, "status": "free", "hour": i})
+        assert store.update("slots", where("hour") >= 2, {"status": "busy"}) == 2
+        assert store.count("slots", where("status") == "busy") == 2
+
+    def test_delete(self, store):
+        for i in range(4):
+            store.insert("slots", {"id": i, "status": "free", "hour": i})
+        assert store.delete("slots", where("id") == 2) == 1
+        assert store.get("slots", 2) is None
+
+    def test_unknown_table(self, store):
+        with pytest.raises(UnknownTableError):
+            store.select("nope")
+
+    def test_triggers_fire_on_all_kinds(self, store):
+        seen = []
+        store.add_trigger(
+            RowTrigger(
+                "t",
+                "slots",
+                frozenset({TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE}),
+                lambda ctx: seen.append(ctx.event.value),
+            )
+        )
+        store.insert("slots", {"id": 1, "status": "a", "hour": 9})
+        store.update("slots", where("id") == 1, {"status": "b"})
+        store.delete("slots", where("id") == 1)
+        assert seen == ["insert", "update", "delete"]
+
+    def test_storage_bytes_nonzero(self, store):
+        store.insert("slots", {"id": 1, "status": "a", "hour": 9})
+        assert store.storage_bytes() > 0
+
+    def test_escaping_hostile_strings(self, store):
+        hostile = "tab\there\nnewline\\backslash'quote"
+        store.insert("slots", {"id": 1, "status": hostile, "hour": 9})
+        assert store.get("slots", 1)["status"] == hostile
+
+
+def test_flatfile_dump_load_roundtrip():
+    a = FlatFileStore("a")
+    a.create_table("slots", slot_schema())
+    a.insert("slots", {"id": 1, "status": "free", "hour": 9, "meta": [1, 2]})
+    a.insert("slots", {"id": 2, "status": "busy", "hour": 10, "owner": "phil"})
+
+    b = FlatFileStore("b")
+    b.load("slots", a.dump("slots"))
+    assert b.select("slots") == a.select("slots")
+    assert b.schema("slots").primary_key == "id"
+
+
+def test_flatfile_load_rejects_garbage():
+    from repro.util.errors import StoreError
+
+    s = FlatFileStore("x")
+    with pytest.raises(StoreError):
+        s.load("t", "not a dump")
+
+
+# -- property: the three stores are observationally equivalent ---------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(0, 9),
+            st.sampled_from(["free", "busy", "reserved"]),
+            st.integers(0, 23),
+        ),
+        st.tuples(
+            st.just("update"),
+            st.integers(0, 9),
+            st.sampled_from(["free", "busy", "reserved"]),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 9)),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_store_kinds_observationally_equivalent(ops):
+    stores = []
+    for cls in STORE_KINDS:
+        s = cls("p")
+        s.create_table("slots", slot_schema())
+        stores.append(s)
+
+    for op in ops:
+        results = []
+        for s in stores:
+            try:
+                if op[0] == "insert":
+                    s.insert(
+                        "slots", {"id": op[1], "status": op[2], "hour": op[3]}
+                    )
+                    results.append(("ok", None))
+                elif op[0] == "update":
+                    n = s.update("slots", where("id") == op[1], {"status": op[2]})
+                    results.append(("ok", n))
+                else:
+                    n = s.delete("slots", where("id") == op[1])
+                    results.append(("ok", n))
+            except DuplicateKeyError:
+                results.append(("dup", None))
+        assert len(set(results)) == 1, f"divergence on {op}: {results}"
+
+    final = [s.select("slots", order_by="id") for s in stores]
+    assert final[0] == final[1] == final[2]

@@ -1,0 +1,117 @@
+"""Tests for the predicate AST."""
+
+import pytest
+
+from repro.datastore.predicate import (
+    ALWAYS,
+    Cmp,
+    In,
+    IsNull,
+    Like,
+    Not,
+    equality_bindings,
+    where,
+)
+from repro.util.errors import QueryError
+
+ROW = {"status": "free", "hour": 10, "owner": None, "name": "Phil Smith"}
+
+
+class TestCmp:
+    def test_equality(self):
+        assert (where("status") == "free").matches(ROW)
+        assert not (where("status") == "busy").matches(ROW)
+
+    def test_inequality(self):
+        assert (where("status") != "busy").matches(ROW)
+
+    def test_ordering(self):
+        assert (where("hour") > 9).matches(ROW)
+        assert (where("hour") >= 10).matches(ROW)
+        assert (where("hour") < 11).matches(ROW)
+        assert (where("hour") <= 10).matches(ROW)
+        assert not (where("hour") > 10).matches(ROW)
+
+    def test_ordering_against_null_is_false(self):
+        assert not (where("owner") > 1).matches(ROW)
+        assert not (where("owner") < 1).matches(ROW)
+
+    def test_missing_column_treated_as_null(self):
+        assert (where("ghost") == None).matches(ROW)  # noqa: E711
+        assert not (where("ghost") > 0).matches(ROW)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError):
+            Cmp("x", "~", 1)
+
+
+class TestCombinators:
+    def test_and(self):
+        pred = (where("status") == "free") & (where("hour") >= 9)
+        assert pred.matches(ROW)
+        assert not ((where("status") == "busy") & (where("hour") >= 9)).matches(ROW)
+
+    def test_or(self):
+        assert ((where("status") == "busy") | (where("hour") == 10)).matches(ROW)
+
+    def test_not(self):
+        assert (~(where("status") == "busy")).matches(ROW)
+
+    def test_columns_union(self):
+        pred = (where("a") == 1) & ((where("b") == 2) | ~(where("c") == 3))
+        assert pred.columns() == {"a", "b", "c"}
+
+
+class TestSpecials:
+    def test_in(self):
+        assert where("hour").isin([9, 10, 11]).matches(ROW)
+        assert not where("hour").isin([1, 2]).matches(ROW)
+
+    def test_like_percent(self):
+        assert where("name").like("Phil%").matches(ROW)
+        assert where("name").like("%Smith").matches(ROW)
+        assert not where("name").like("Bob%").matches(ROW)
+
+    def test_like_underscore(self):
+        assert where("name").like("Phil Smit_").matches(ROW)
+
+    def test_like_non_string_is_false(self):
+        assert not where("hour").like("1%").matches(ROW)
+
+    def test_like_escapes_regex_chars(self):
+        assert Like("name", "Phil (x)").matches({"name": "Phil (x)"})
+        assert not Like("name", "Phil .").matches({"name": "Phil x"})
+
+    def test_is_null(self):
+        assert where("owner").is_null().matches(ROW)
+        assert not where("status").is_null().matches(ROW)
+        assert Not(IsNull("status")).matches(ROW)
+
+    def test_always(self):
+        assert ALWAYS.matches({})
+        assert ALWAYS.columns() == set()
+
+
+class TestEqualityBindings:
+    def test_single_eq(self):
+        assert equality_bindings(where("a") == 1) == {"a": 1}
+
+    def test_conjunction(self):
+        pred = (where("a") == 1) & (where("b") == 2) & (where("c") > 3)
+        assert equality_bindings(pred) == {"a": 1, "b": 2}
+
+    def test_or_terms_excluded(self):
+        pred = (where("a") == 1) | (where("b") == 2)
+        assert equality_bindings(pred) == {}
+
+    def test_not_terms_excluded(self):
+        assert equality_bindings(~(where("a") == 1)) == {}
+
+    def test_in_not_extracted(self):
+        assert equality_bindings(In("a", [1, 2])) == {}
+
+
+def test_reprs_render():
+    pred = ((where("a") == 1) | ~where("b").like("x%")) & where("c").isin([1])
+    assert "AND" in repr(pred)
+    assert "LIKE" in repr(pred)

@@ -1,0 +1,108 @@
+"""Property test: Predicate.to_sql round-trips through the parser.
+
+For randomly generated predicate ASTs and random rows, the predicate
+parsed back from ``to_sql()`` must agree with the original on every row.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastore.predicate import (
+    ALWAYS,
+    Cmp,
+    In,
+    IsNull,
+    Like,
+    Not,
+    sql_literal,
+    where,
+)
+from repro.datastore.sqlmini import parse
+from repro.util.errors import QueryError
+
+COLUMNS = ["alpha", "beta", "gamma"]
+
+_value = st.one_of(
+    st.integers(-100, 100),
+    st.booleans(),
+    st.none(),
+    st.text(alphabet="ab'c%_ ", max_size=6),
+    st.floats(allow_nan=False, allow_infinity=False, width=16),
+)
+
+_leaf = st.one_of(
+    st.builds(Cmp, st.sampled_from(COLUMNS), st.sampled_from(["=", "!="]), _value),
+    st.builds(
+        Cmp,
+        st.sampled_from(COLUMNS),
+        st.sampled_from(["<", "<=", ">", ">="]),
+        st.integers(-100, 100),
+    ),
+    st.builds(In, st.sampled_from(COLUMNS), st.lists(st.integers(-5, 5), max_size=4)),
+    st.builds(Like, st.sampled_from(COLUMNS), st.text(alphabet="ab%_'", max_size=5)),
+    st.builds(IsNull, st.sampled_from(COLUMNS)),
+    st.just(ALWAYS),
+)
+
+_predicate = st.recursive(
+    _leaf,
+    lambda children: st.one_of(
+        st.builds(lambda a, b: a & b, children, children),
+        st.builds(lambda a, b: a | b, children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=8,
+)
+
+_row = st.fixed_dictionaries(
+    {},
+    optional={
+        c: st.one_of(
+            st.integers(-100, 100), st.booleans(), st.none(), st.text(max_size=6)
+        )
+        for c in COLUMNS
+    },
+)
+
+
+def parse_where(expr: str):
+    return parse(f"SELECT * FROM t WHERE {expr}").predicate
+
+
+@settings(max_examples=300, deadline=None)
+@given(pred=_predicate, rows=st.lists(_row, max_size=5))
+def test_to_sql_roundtrip_equivalence(pred, rows):
+    reparsed = parse_where(pred.to_sql())
+    for row in rows:
+        assert reparsed.matches(row) == pred.matches(row), (
+            f"divergence on {row} for {pred.to_sql()!r}"
+        )
+
+
+def test_sql_literal_forms():
+    assert sql_literal(None) == "NULL"
+    assert sql_literal(True) == "TRUE"
+    assert sql_literal(False) == "FALSE"
+    assert sql_literal(5) == "5"
+    assert sql_literal(2.5) == "2.5"
+    assert sql_literal("it's") == "'it''s'"
+    with pytest.raises(QueryError):
+        sql_literal([1, 2])
+
+
+def test_always_tautology_parses_and_matches_everything():
+    reparsed = parse_where(ALWAYS.to_sql())
+    assert reparsed.matches({})
+    assert reparsed.matches({"alpha": 1})
+
+
+def test_empty_in_matches_nothing():
+    reparsed = parse_where(In("alpha", []).to_sql())
+    assert not reparsed.matches({"alpha": 1})
+    assert not reparsed.matches({})
+
+
+def test_examples_read_naturally():
+    pred = (where("alpha") == 3) & ~where("beta").like("x%")
+    assert pred.to_sql() == "(alpha = 3 AND NOT (beta LIKE 'x%'))"

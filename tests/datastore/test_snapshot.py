@@ -1,0 +1,75 @@
+"""Tests for whole-store snapshots."""
+
+import pytest
+
+from repro.datastore.flatfile import FlatFileStore
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.snapshot import (
+    export_store,
+    import_into,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.datastore.store import RelationalStore
+from repro.util.errors import StoreError
+
+
+def make_store():
+    s = RelationalStore("src")
+    s.create_table(
+        "t",
+        schema(
+            "id",
+            id=ColumnType.INT,
+            name=ColumnType.STR,
+            tags=Column("", ColumnType.JSON, nullable=True),
+            active=Column("", ColumnType.BOOL, default=True),
+        ),
+    )
+    s.insert("t", {"id": 1, "name": "a", "tags": [1, 2]})
+    s.insert("t", {"id": 2, "name": "b", "active": False})
+    return s
+
+
+def test_schema_roundtrip():
+    s = make_store().schema("t")
+    back = schema_from_dict(schema_to_dict(s))
+    assert back == s
+    assert back.column("active").default is True
+
+
+def test_export_import_roundtrip():
+    src = make_store()
+    dst = RelationalStore("dst")
+    n = import_into(dst, export_store(src))
+    assert n == 2
+    assert dst.select("t") == src.select("t")
+    assert dst.schema("t") == src.schema("t")
+
+
+def test_import_into_different_store_kind():
+    src = make_store()
+    dst = FlatFileStore("dst")
+    import_into(dst, export_store(src))
+    assert dst.select("t") == src.select("t")
+
+
+def test_import_conflict_without_replace():
+    src = make_store()
+    dst = make_store()
+    with pytest.raises(StoreError):
+        import_into(dst, export_store(src))
+
+
+def test_import_replace_overwrites():
+    src = make_store()
+    dst = make_store()
+    dst.insert("t", {"id": 99, "name": "junk"})
+    import_into(dst, export_store(src), replace=True)
+    assert dst.count("t") == 2
+
+
+def test_export_records_kind_and_name():
+    snap = export_store(make_store())
+    assert snap["kind"] == "relational"
+    assert snap["name"] == "src"

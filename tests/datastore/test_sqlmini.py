@@ -1,0 +1,197 @@
+"""Tests for the mini-SQL tokenizer/parser/executor."""
+
+import pytest
+
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.sqlmini import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    parse,
+    tokenize,
+)
+from repro.datastore.store import RelationalStore
+from repro.util.errors import SqlSyntaxError
+
+
+def make_store():
+    s = RelationalStore("cal")
+    s.create_table(
+        "slots",
+        schema(
+            "id",
+            id=ColumnType.INT,
+            status=ColumnType.STR,
+            hour=ColumnType.INT,
+            owner=Column("", ColumnType.STR, nullable=True),
+        ),
+    )
+    for i, (status, hour, owner) in enumerate(
+        [("free", 9, None), ("busy", 10, "phil"), ("free", 11, None), ("busy", 12, "andy")]
+    ):
+        s.insert("slots", {"id": i, "status": status, "hour": hour, "owner": owner})
+    return s
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select FROM Where")
+        assert [t.value for t in toks[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        toks = tokenize("MyTable my_col2")
+        assert [t.value for t in toks[:-1]] == ["MyTable", "my_col2"]
+
+    def test_string_literal_with_escaped_quote(self):
+        toks = tokenize("'it''s'")
+        assert toks[0].kind == "str"
+        assert toks[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        toks = tokenize("42 -7 3.5")
+        assert [t.value for t in toks[:-1]] == [42, -7, 3.5]
+
+    def test_bad_number(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("1.2.3")
+
+    def test_two_char_operators(self):
+        toks = tokenize("<= >= != <>")
+        assert [t.value for t in toks[:-1]] == ["<=", ">=", "!=", "!="]
+
+    def test_junk_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParser:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM slots")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.columns is None
+        assert stmt.table == "slots"
+
+    def test_select_columns_order_limit(self):
+        stmt = parse("SELECT id, hour FROM slots ORDER BY hour DESC LIMIT 3")
+        assert stmt.columns == ["id", "hour"]
+        assert stmt.order_by == "hour"
+        assert stmt.descending
+        assert stmt.limit == 3
+
+    def test_select_order_asc_default(self):
+        stmt = parse("SELECT * FROM slots ORDER BY hour ASC")
+        assert not stmt.descending
+
+    def test_bad_limit(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM slots LIMIT 'x'")
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO slots (id, status) VALUES (9, 'free')")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.row == {"id": 9, "status": "free"}
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO slots (id, status) VALUES (9)")
+
+    def test_update(self):
+        stmt = parse("UPDATE slots SET status = 'busy', owner = NULL WHERE id = 1")
+        assert isinstance(stmt, UpdateStatement)
+        assert stmt.changes == {"status": "busy", "owner": None}
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM slots WHERE status = 'free'")
+        assert isinstance(stmt, DeleteStatement)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM slots garbage")
+
+    def test_statement_must_start_with_keyword(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("slots SELECT")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("ORDER BY x")
+
+
+class TestWhereGrammar:
+    def test_and_or_precedence(self):
+        # a OR b AND c parses as a OR (b AND c)
+        stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.predicate.matches({"a": 1, "b": 0, "c": 0})
+        assert stmt.predicate.matches({"a": 0, "b": 2, "c": 3})
+        assert not stmt.predicate.matches({"a": 0, "b": 2, "c": 0})
+
+    def test_parentheses_override(self):
+        stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert not stmt.predicate.matches({"a": 1, "b": 0, "c": 0})
+        assert stmt.predicate.matches({"a": 1, "b": 0, "c": 3})
+
+    def test_not(self):
+        stmt = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert stmt.predicate.matches({"a": 2})
+
+    def test_in_clause(self):
+        stmt = parse("SELECT * FROM t WHERE hour IN (9, 10, 11)")
+        assert stmt.predicate.matches({"hour": 10})
+        assert not stmt.predicate.matches({"hour": 13})
+
+    def test_like_clause(self):
+        stmt = parse("SELECT * FROM t WHERE name LIKE 'Ph%'")
+        assert stmt.predicate.matches({"name": "Phil"})
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t WHERE name LIKE 5")
+
+    def test_is_null_and_is_not_null(self):
+        stmt = parse("SELECT * FROM t WHERE owner IS NULL")
+        assert stmt.predicate.matches({"owner": None})
+        stmt = parse("SELECT * FROM t WHERE owner IS NOT NULL")
+        assert stmt.predicate.matches({"owner": "x"})
+
+    def test_boolean_literals(self):
+        stmt = parse("SELECT * FROM t WHERE flag = TRUE")
+        assert stmt.predicate.matches({"flag": True})
+
+    def test_comparison_required(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t WHERE a")
+
+
+class TestExecutor:
+    def test_select(self):
+        rows = make_store().sql("SELECT id FROM slots WHERE status = 'free' ORDER BY id")
+        assert [r["id"] for r in rows] == [0, 2]
+
+    def test_insert(self):
+        s = make_store()
+        row = s.sql("INSERT INTO slots (id, status, hour) VALUES (10, 'free', 14)")
+        assert row["owner"] is None
+        assert s.count("slots") == 5
+
+    def test_update(self):
+        s = make_store()
+        n = s.sql("UPDATE slots SET status = 'reserved' WHERE hour >= 11")
+        assert n == 2
+
+    def test_delete(self):
+        s = make_store()
+        n = s.sql("DELETE FROM slots WHERE owner IS NOT NULL")
+        assert n == 2
+        assert s.count("slots") == 2
+
+    def test_select_no_where_selects_all(self):
+        assert len(make_store().sql("SELECT * FROM slots")) == 4
+
+    def test_update_without_where_hits_all(self):
+        s = make_store()
+        assert s.sql("UPDATE slots SET status = 'x'") == 4

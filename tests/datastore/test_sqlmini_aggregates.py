@@ -1,0 +1,79 @@
+"""Tests for mini-SQL aggregate functions."""
+
+import pytest
+
+from repro.datastore.schema import Column, ColumnType, schema
+from repro.datastore.store import RelationalStore
+from repro.util.errors import SqlSyntaxError
+
+
+@pytest.fixture
+def store():
+    s = RelationalStore("agg")
+    s.create_table(
+        "slots",
+        schema(
+            "id",
+            id=ColumnType.INT,
+            hour=ColumnType.INT,
+            status=ColumnType.STR,
+            load=Column("", ColumnType.FLOAT, nullable=True),
+        ),
+    )
+    rows = [
+        (0, 9, "free", 0.5),
+        (1, 10, "busy", 1.5),
+        (2, 11, "free", None),
+        (3, 12, "busy", 2.0),
+    ]
+    for i, h, st, ld in rows:
+        s.insert("slots", {"id": i, "hour": h, "status": st, "load": ld})
+    return s
+
+
+def test_count_star(store):
+    assert store.sql("SELECT COUNT(*) FROM slots") == 4
+    assert store.sql("SELECT COUNT(*) FROM slots WHERE status = 'free'") == 2
+
+
+def test_count_column_skips_nulls(store):
+    assert store.sql("SELECT COUNT(load) FROM slots") == 3
+
+
+def test_min_max(store):
+    assert store.sql("SELECT MIN(hour) FROM slots") == 9
+    assert store.sql("SELECT MAX(hour) FROM slots WHERE status = 'free'") == 11
+
+
+def test_sum_avg(store):
+    assert store.sql("SELECT SUM(load) FROM slots") == pytest.approx(4.0)
+    assert store.sql("SELECT AVG(load) FROM slots") == pytest.approx(4.0 / 3)
+
+
+def test_aggregate_over_empty_set(store):
+    assert store.sql("SELECT MIN(hour) FROM slots WHERE hour > 99") is None
+    assert store.sql("SELECT COUNT(*) FROM slots WHERE hour > 99") == 0
+
+
+def test_case_insensitive_fn(store):
+    assert store.sql("SELECT count(*) FROM slots") == 4
+
+
+def test_star_only_for_count(store):
+    with pytest.raises(SqlSyntaxError):
+        store.sql("SELECT MAX(*) FROM slots")
+
+
+def test_no_order_by_with_aggregate(store):
+    with pytest.raises(SqlSyntaxError):
+        store.sql("SELECT COUNT(*) FROM slots ORDER BY hour")
+    with pytest.raises(SqlSyntaxError):
+        store.sql("SELECT COUNT(*) FROM slots LIMIT 1")
+
+
+def test_count_as_plain_identifier_still_works(store):
+    """A column named 'count' (no parenthesis) must not trip the parser."""
+    s = RelationalStore("c")
+    s.create_table("t", schema("count", count=ColumnType.INT))
+    s.insert("t", {"count": 5})
+    assert s.sql("SELECT count FROM t") == [{"count": 5}]

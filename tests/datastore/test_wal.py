@@ -1,0 +1,102 @@
+"""Tests for the change journal."""
+
+import pytest
+
+from repro.datastore.predicate import where
+from repro.datastore.schema import ColumnType, schema
+from repro.datastore.store import RelationalStore
+from repro.datastore.wal import ChangeJournal, JournalEntry, attach_journal, replay
+from repro.util.errors import StoreError
+
+
+def make_store(name="s"):
+    s = RelationalStore(name)
+    s.create_table("t", schema("id", id=ColumnType.INT, v=ColumnType.STR))
+    return s
+
+
+def test_append_assigns_increasing_seq():
+    j = ChangeJournal()
+    e1 = j.append("insert", "t", 1, {"id": 1})
+    e2 = j.append("delete", "t", 1, {"id": 1})
+    assert (e1.seq, e2.seq) == (1, 2)
+    assert j.last_seq() == 2
+    assert len(j) == 2
+
+
+def test_entries_since():
+    j = ChangeJournal()
+    for i in range(5):
+        j.append("insert", "t", i, {"id": i})
+    assert [e.pk for e in j.entries(since_seq=3)] == [3, 4]
+
+
+def test_serialize_roundtrip():
+    j = ChangeJournal()
+    j.append("insert", "t", 1, {"id": 1, "v": "x"})
+    j.append("update", "t", 1, {"id": 1, "v": "y"})
+    j2 = ChangeJournal.deserialize(j.serialize())
+    assert j2.last_seq() == 2
+    assert j2.entries() == j.entries()
+
+
+def test_journal_entry_json_roundtrip():
+    e = JournalEntry(3, "update", "t", 7, {"id": 7, "v": "z"})
+    assert JournalEntry.from_json(e.to_json()) == e
+
+
+def test_attach_journal_records_all_mutations():
+    store = make_store()
+    journal = ChangeJournal()
+    attach_journal(store, journal)
+    store.insert("t", {"id": 1, "v": "a"})
+    store.update("t", where("id") == 1, {"v": "b"})
+    store.delete("t", where("id") == 1)
+    ops = [e.op for e in journal.entries()]
+    assert ops == ["insert", "update", "delete"]
+    assert journal.entries()[2].row["v"] == "b"  # delete records the old row
+
+
+def test_detach_stops_recording():
+    store = make_store()
+    journal = ChangeJournal()
+    detach = attach_journal(store, journal)
+    detach()
+    store.insert("t", {"id": 1, "v": "a"})
+    assert len(journal) == 0
+
+
+def test_replay_reconstructs_state():
+    src = make_store("src")
+    journal = ChangeJournal()
+    attach_journal(src, journal)
+    src.insert("t", {"id": 1, "v": "a"})
+    src.insert("t", {"id": 2, "v": "b"})
+    src.update("t", where("id") == 1, {"v": "a2"})
+    src.delete("t", where("id") == 2)
+
+    dst = make_store("dst")
+    applied = replay(journal, dst)
+    assert applied == 4
+    assert dst.select("t") == src.select("t")
+
+
+def test_replay_since_seq():
+    src = make_store("src")
+    journal = ChangeJournal()
+    attach_journal(src, journal)
+    src.insert("t", {"id": 1, "v": "a"})
+    checkpoint = journal.last_seq()
+    src.insert("t", {"id": 2, "v": "b"})
+
+    dst = make_store("dst")
+    dst.insert("t", {"id": 1, "v": "a"})  # state as of checkpoint
+    assert replay(journal, dst, since_seq=checkpoint) == 1
+    assert dst.select("t") == src.select("t")
+
+
+def test_replay_update_of_missing_row_fails():
+    j = ChangeJournal()
+    j.append("update", "t", 1, {"id": 1, "v": "x"})
+    with pytest.raises(StoreError, match="replay update"):
+        replay(j, make_store())

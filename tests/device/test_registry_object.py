@@ -1,0 +1,117 @@
+"""Tests for the deviceware layer: method registry and device objects."""
+
+import pytest
+
+from repro.datastore.schema import ColumnType, schema
+from repro.datastore.store import RelationalStore
+from repro.device.object import SyDDeviceObject, TableDeviceObject, exported
+from repro.device.registry import MethodRegistry
+from repro.util.errors import DuplicateRegistrationError, UnknownServiceError
+
+
+class Echo(SyDDeviceObject):
+    @exported
+    def ping(self, x=1):
+        return {"pong": x}
+
+    def hidden(self):
+        return "not exported"
+
+
+class TestMethodRegistry:
+    def test_register_and_lookup(self):
+        reg = MethodRegistry()
+        reg.register("obj", "m", lambda: 42)
+        assert reg.lookup("obj", "m")() == 42
+        assert reg.has("obj", "m")
+
+    def test_duplicate_rejected(self):
+        reg = MethodRegistry()
+        reg.register("obj", "m", lambda: 1)
+        with pytest.raises(DuplicateRegistrationError):
+            reg.register("obj", "m", lambda: 2)
+
+    def test_unknown_lookup(self):
+        reg = MethodRegistry()
+        with pytest.raises(UnknownServiceError):
+            reg.lookup("obj", "m")
+        assert not reg.has("obj", "m")
+
+    def test_unregister_single_method(self):
+        reg = MethodRegistry()
+        reg.register("obj", "a", lambda: 1)
+        reg.register("obj", "b", lambda: 2)
+        assert reg.unregister("obj", "a") == 1
+        assert reg.unregister("obj", "a") == 0
+        assert reg.has("obj", "b")
+
+    def test_unregister_whole_object(self):
+        reg = MethodRegistry()
+        reg.register("obj", "a", lambda: 1)
+        reg.register("obj", "b", lambda: 2)
+        reg.register("other", "a", lambda: 3)
+        assert reg.unregister("obj") == 2
+        assert reg.objects() == ["other"]
+
+    def test_services_and_objects_listing(self):
+        reg = MethodRegistry()
+        reg.register("b", "y", lambda: 1)
+        reg.register("a", "x", lambda: 1)
+        assert reg.services() == [("a", "x"), ("b", "y")]
+        assert reg.objects() == ["a", "b"]
+
+
+class TestSyDDeviceObject:
+    def test_exported_methods_discovered(self):
+        obj = Echo("e")
+        methods = obj.exported_methods()
+        assert set(methods) == {"ping"}
+
+    def test_publish_registers_exports_only(self):
+        obj = Echo("e")
+        reg = MethodRegistry()
+        names = obj.publish(reg)
+        assert names == ["ping"]
+        assert reg.has("e", "ping")
+        assert not reg.has("e", "hidden")
+
+    def test_unpublish(self):
+        obj = Echo("e")
+        reg = MethodRegistry()
+        obj.publish(reg)
+        obj.unpublish(reg)
+        assert not reg.has("e", "ping")
+
+    def test_local_invoke(self):
+        obj = Echo("e")
+        assert obj.invoke("ping", 9) == {"pong": 9}
+        with pytest.raises(UnknownServiceError):
+            obj.invoke("hidden")
+
+    def test_store_may_be_none(self):
+        assert Echo("e").store is None
+
+
+class TestTableDeviceObject:
+    @pytest.fixture
+    def table_obj(self):
+        store = RelationalStore("s")
+        store.create_table("items", schema("id", id=ColumnType.INT, v=ColumnType.STR))
+        return TableDeviceObject("items_obj", store, "items")
+
+    def test_crud_via_exports(self, table_obj):
+        table_obj.put_row({"id": 1, "v": "a"})
+        table_obj.put_row({"id": 2, "v": "b"})
+        assert table_obj.get_row(1)["v"] == "a"
+        assert table_obj.count_rows() == 2
+        assert [r["id"] for r in table_obj.list_rows()] == [1, 2]
+        assert table_obj.list_rows(limit=1) == [{"id": 1, "v": "a"}]
+        assert table_obj.remove_row(1) == 1
+        assert table_obj.get_row(1) is None
+
+    def test_remotely_invocable(self, world, table_obj):
+        node = world.add_node("host")
+        node.listener.publish_object(table_obj, user_id="host", service="items")
+        caller = world.add_node("caller")
+        caller.engine.execute("host", "items", "put_row", {"id": 7, "v": "x"})
+        assert caller.engine.execute("host", "items", "count_rows") == 1

@@ -1,0 +1,85 @@
+"""Tests for the generic negotiable resource object."""
+
+import pytest
+
+from repro.datastore.store import RelationalStore
+from repro.device.resource import ResourceObject
+from repro.util.errors import LockNotHeldError
+
+
+@pytest.fixture
+def res():
+    return ResourceObject("r", RelationalStore("s"))
+
+
+class TestManagement:
+    def test_add_and_read(self, res):
+        res.add("k", value={"x": 1})
+        row = res.read("k")
+        assert row["status"] == "free"
+        assert row["value"] == {"x": 1}
+
+    def test_read_missing(self, res):
+        assert res.read("nope") is None
+
+    def test_set_status(self, res):
+        res.add("k")
+        assert res.set_status("k", "busy") == 1
+        assert res.read("k")["status"] == "busy"
+
+    def test_is_available(self, res):
+        res.add("k")
+        assert res.is_available("k")
+        res.set_status("k", "busy")
+        assert not res.is_available("k")
+        assert not res.is_available("missing")
+
+    def test_locked_resource_not_available(self, res):
+        res.add("k")
+        res.mark("k", "t1")
+        assert not res.is_available("k")
+
+
+class TestNegotiationVerbs:
+    def test_mark_change_unmark_cycle(self, res):
+        res.add("k")
+        assert res.mark("k", "t1")
+        row = res.change("k", "t1", {"status": "reserved"})
+        assert row["status"] == "reserved"
+        assert row["holder"] == "t1"
+        assert res.unmark("k", "t1")
+
+    def test_mark_busy_refused(self, res):
+        res.add("k", status="busy")
+        assert not res.mark("k", "t1")
+
+    def test_mark_missing_refused(self, res):
+        assert not res.mark("nope", "t1")
+
+    def test_mark_locked_by_other_refused(self, res):
+        res.add("k")
+        res.mark("k", "t1")
+        assert not res.mark("k", "t2")
+
+    def test_change_without_lock_raises(self, res):
+        res.add("k")
+        with pytest.raises(LockNotHeldError):
+            res.change("k", "t1")
+
+    def test_default_change_reserves(self, res):
+        res.add("k")
+        res.mark("k", "t1")
+        assert res.change("k", "t1")["status"] == "reserved"
+
+    def test_unmark_foreign_lock_false(self, res):
+        res.add("k")
+        res.mark("k", "t1")
+        assert not res.unmark("k", "t2")
+        assert res.locks.holder("k") == "t1"
+
+
+class TestNotifications:
+    def test_on_peer_change_records(self, res):
+        assert res.on_peer_change("k", {"status": "busy"}) == 1
+        assert res.on_peer_change("k2", None) == 2
+        assert res.notifications[0] == ("k", {"status": "busy"})

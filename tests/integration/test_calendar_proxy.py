@@ -1,0 +1,95 @@
+"""Calendar served through a proxy while the device is down (§5.2 + §5)."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus
+from repro.calendar.proxysupport import calendar_proxy_factory
+from repro.kernel.listener import SyDListener
+from repro.net.address import DeviceClass, NodeAddress
+from repro.proxy.device import ProxiedDevice
+from repro.proxy.nameserver import NameServerService
+from repro.proxy.proxy import ProxyHost
+
+
+@pytest.fixture
+def proxied_calendar():
+    world = SyDWorld(seed=33)
+    app = SyDCalendarApp(world)
+    for user in ["phil", "andy", "suzy"]:
+        app.add_user(user)
+
+    ns = NameServerService()
+    ns_listener = SyDListener("syd-nameserver")
+    ns_listener.publish_object(ns)
+    world.transport.register(
+        NodeAddress("syd-nameserver", DeviceClass.SERVER),
+        lambda msg: ns_listener.handle_invoke(msg),
+    )
+    host = ProxyHost("proxy-1", world.transport, nameserver_node="syd-nameserver")
+    host.register_factory("calendar", calendar_proxy_factory)
+
+    device = ProxiedDevice(app.node("suzy"), "syd-nameserver")
+    device.export_service("calendar", "suzy_calendar_SyD", "calendar")
+    device.attach()
+    return world, app, host, device
+
+
+class TestQueriesViaProxy:
+    def test_free_slots_served_while_down(self, proxied_calendar):
+        world, app, host, device = proxied_calendar
+        app.service("suzy").block({"day": 0, "hour": 9})
+        device.sync()
+        world.take_down("suzy")
+        slots = app.node("phil").engine.execute("suzy", "calendar", "query_free_slots", 0, 0)
+        assert {"day": 0, "hour": 9} not in slots
+        assert {"day": 0, "hour": 10} in slots
+
+    def test_meeting_copies_visible_via_proxy(self, proxied_calendar):
+        world, app, host, device = proxied_calendar
+        m = app.manager("phil").schedule_meeting("T", ["suzy"])
+        device.sync()
+        world.take_down("suzy")
+        row = app.node("phil").engine.execute("suzy", "calendar", "get_meeting", m.meeting_id)
+        assert row["status"] == "confirmed"
+
+
+class TestSchedulingWithDownUser:
+    def test_meeting_goes_tentative_not_unreachable(self, proxied_calendar):
+        """With the proxy answering queries but refusing marks, a
+        scheduling attempt degrades to a tentative meeting instead of
+        erroring out."""
+        world, app, host, device = proxied_calendar
+        device.sync()
+        world.take_down("suzy")
+        m = app.manager("phil").schedule_meeting("T", ["andy", "suzy"])
+        assert m.status is MeetingStatus.TENTATIVE
+        assert m.missing == ["suzy"]
+        assert "andy" in m.committed
+
+    def test_reconnect_then_confirm(self, proxied_calendar):
+        world, app, host, device = proxied_calendar
+        device.sync()
+        world.take_down("suzy")
+        m = app.manager("phil").schedule_meeting("T", ["andy", "suzy"])
+        world.bring_up("suzy")
+        device.reconnect()
+        assert app.manager("phil").confirm_tentative(m.meeting_id) is True
+        assert app.calendar("suzy").slot_of(m.slot)["status"] == "reserved"
+
+    def test_status_updates_replayed_at_handback(self, proxied_calendar):
+        world, app, host, device = proxied_calendar
+        m = app.manager("phil").schedule_meeting("T", ["suzy"])
+        device.sync()
+        world.take_down("suzy")
+        # Cancellation happens while suzy is away: the proxy accepts the
+        # status update + release and journals them.
+        app.manager("phil").cancel_meeting(m.meeting_id)
+        world.bring_up("suzy")
+        replayed = device.reconnect()
+        assert replayed >= 1
+        assert app.calendar("suzy").slot_of(m.slot)["status"] == "free"
+        assert (
+            app.calendar("suzy").meeting(m.meeting_id).status is MeetingStatus.CANCELLED
+        )

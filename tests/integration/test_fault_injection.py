@@ -1,0 +1,138 @@
+"""Failure injection across the stack.
+
+Mobility means devices vanish mid-protocol. These tests inject faults at
+awkward moments and assert the §4.3 atomicity guarantee (no partial
+changes, no leaked locks) and graceful degradation elsewhere.
+"""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus
+from repro.device.resource import ResourceObject
+from repro.txn.coordinator import AND, OR, Participant
+from repro.util.errors import MessageDropped, UnreachableError
+
+
+@pytest.fixture
+def app():
+    world = SyDWorld(seed=29)
+    application = SyDCalendarApp(world)
+    for u in ["phil", "andy", "suzy"]:
+        application.add_user(u)
+    return application
+
+
+class TestNegotiationFaults:
+    def make_resources(self, n=3):
+        world = SyDWorld(seed=31)
+        users = [f"u{i}" for i in range(n)]
+        for u in users:
+            node = world.add_node(u)
+            obj = ResourceObject(f"{u}_res", node.store, node.locks)
+            node.listener.publish_object(obj, user_id=u, service="res")
+            obj.add("slot")
+        return world, users
+
+    def test_target_down_mid_protocol_no_partial_changes(self):
+        world, users = self.make_resources(3)
+        # u2 goes down before the negotiation starts.
+        world.take_down(users[2])
+        node = world.node(users[0])
+        result = node.coordinator.execute(
+            Participant(users[0], "slot", "res"),
+            [Participant(users[1], "slot", "res"), Participant(users[2], "slot", "res")],
+            AND,
+        )
+        assert not result.ok
+        assert world.node(users[1]).store.get("resources", "slot")["status"] == "free"
+        for u in users[:2]:
+            assert world.node(u).locks.locked_count() == 0
+
+    def test_or_survives_one_dead_target(self):
+        world, users = self.make_resources(3)
+        world.take_down(users[2])
+        node = world.node(users[0])
+        result = node.coordinator.execute(
+            Participant(users[0], "slot", "res"),
+            [Participant(users[1], "slot", "res"), Participant(users[2], "slot", "res")],
+            OR,
+        )
+        assert result.ok
+        assert result.refused == [users[2]]
+
+    def test_drop_rule_on_invoke_messages(self):
+        world, users = self.make_resources(2)
+        node = world.node(users[0])
+        remove = world.transport.faults.add_drop_rule(lambda m: m.kind == "invoke")
+        with pytest.raises(MessageDropped):
+            node.engine.execute_on_node(
+                world.node(users[1]).node_id, f"{users[1]}_res", "read", "slot"
+            )
+        remove()
+
+
+class TestCalendarFaults:
+    def test_unreachable_participant_yields_tentative(self, app):
+        app.world.take_down("suzy")
+        m = app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+        assert m.status is MeetingStatus.TENTATIVE
+        assert m.missing == ["suzy"]
+        assert "andy" in m.committed
+
+    def test_cancel_with_participant_down_cleans_rest(self, app):
+        m = app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+        app.world.take_down("suzy")
+        app.manager("phil").cancel_meeting(m.meeting_id)
+        for user in ["phil", "andy"]:
+            assert app.calendar(user).slot_of(m.slot)["status"] == "free"
+        # suzy's slot is stale until she returns; her copy still reserved.
+        app.world.bring_up("suzy")
+        assert app.calendar("suzy").slot_of(m.slot)["status"] == "reserved"
+
+    def test_partition_splits_scheduling(self, app):
+        app.world.transport.faults.partition(
+            {"phil-device"}, {"andy-device", "suzy-device"}
+        )
+        # The directory node is backbone: lookups work, invocations fail.
+        m = app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+        assert m.status is MeetingStatus.TENTATIVE
+        assert set(m.missing) == {"andy", "suzy"}
+        app.world.transport.faults.heal_partition()
+
+    def test_initiator_can_reach_nobody(self, app):
+        from repro.util.errors import SchedulingError
+
+        app.world.take_down("andy")
+        app.world.take_down("suzy")
+        m = app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+        # Degenerate tentative: phil holds his slot, everyone missing.
+        assert m.status is MeetingStatus.TENTATIVE
+        assert set(m.missing) == {"andy", "suzy"}
+
+    def test_recovery_after_outage_promotes(self, app):
+        app.world.take_down("suzy")
+        m = app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+        assert m.status is MeetingStatus.TENTATIVE
+        app.world.bring_up("suzy")
+        # suzy was never told about the meeting; phil re-confirms when
+        # informed of availability. Simulate suzy's device announcing by
+        # re-firing the initiator-side confirmation directly:
+        assert app.manager("phil").confirm_tentative(m.meeting_id) is True
+        assert app.meeting_view("suzy", m.meeting_id).status is MeetingStatus.CONFIRMED
+
+
+class TestEventFaults:
+    def test_global_event_skips_down_subscriber(self, app):
+        phil, andy = app.node("phil"), app.node("andy")
+        seen = []
+        andy.events.on_global("cal.t", lambda t, p: seen.append(t))
+        andy.events.subscribe_remote(phil.node_id, "cal.t")
+        app.world.take_down("andy")
+        delivered = phil.events.raise_global("cal.t")
+        assert delivered == 0
+        assert phil.events.notifications_failed == 1
+        app.world.bring_up("andy")
+        phil.events.raise_global("cal.t")
+        assert seen == ["global.cal.t"]

@@ -1,0 +1,76 @@
+"""End-to-end heterogeneity: the calendar over all three store kinds.
+
+Paper §2's core premise — devices may hold "a traditional database ...
+a flat file ... or a list repository" — must be invisible to the
+application. The whole meeting lifecycle is exercised with each user on
+a different store kind.
+"""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus
+
+
+@pytest.fixture
+def mixed_app():
+    world = SyDWorld(seed=23)
+    app = SyDCalendarApp(world)
+    app.add_user("phil", store_kind="relational")
+    app.add_user("andy", store_kind="flatfile")
+    app.add_user("suzy", store_kind="list")
+    return app
+
+
+def test_store_kinds_actually_differ(mixed_app):
+    kinds = {u: mixed_app.node(u).store.kind for u in ["phil", "andy", "suzy"]}
+    assert kinds == {"phil": "relational", "andy": "flatfile", "suzy": "list"}
+
+
+def test_schedule_across_mixed_stores(mixed_app):
+    m = mixed_app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+    assert m.status is MeetingStatus.CONFIRMED
+    for user in ["phil", "andy", "suzy"]:
+        assert mixed_app.calendar(user).slot_of(m.slot)["status"] == "reserved"
+
+
+def test_link_tables_work_on_all_kinds(mixed_app):
+    m = mixed_app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+    # Every node stores its links in its own (heterogeneous) store.
+    for user in ["andy", "suzy"]:
+        links = mixed_app.node(user).links.links_by_context("meeting_id", m.meeting_id)
+        assert len(links) == 1
+
+
+def test_tentative_promotion_across_mixed_stores(mixed_app):
+    app = mixed_app
+    for row in app.calendar("andy").free_slots(0, 4):
+        app.service("andy").block({"day": row["day"], "hour": row["hour"]})
+    m = app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+    assert m.status is MeetingStatus.TENTATIVE
+    app.service("andy").unblock(m.slot)
+    assert app.meeting_view("phil", m.meeting_id).status is MeetingStatus.CONFIRMED
+
+
+def test_cancel_cascade_across_mixed_stores(mixed_app):
+    m = mixed_app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+    mixed_app.manager("phil").cancel_meeting(m.meeting_id)
+    for user in ["phil", "andy", "suzy"]:
+        assert mixed_app.calendar(user).slot_of(m.slot)["status"] == "free"
+        assert mixed_app.node(user).links.links_by_context("meeting_id", m.meeting_id) == []
+
+
+def test_flatfile_state_survives_text_roundtrip(mixed_app):
+    """The flat-file calendar is real text: dump/load preserves meetings."""
+    m = mixed_app.manager("phil").schedule_meeting("X", ["andy", "suzy"])
+    andy_store = mixed_app.node("andy").store
+    dumped = {t: andy_store.dump(t) for t in andy_store.table_names()}
+
+    from repro.datastore.flatfile import FlatFileStore
+
+    restored = FlatFileStore("andy-restore")
+    for table, text in dumped.items():
+        restored.load(table, text)
+    assert restored.get("slots", f"d{m.slot['day']}h{m.slot['hour']}")["status"] == "reserved"
+    assert restored.get("meetings", m.meeting_id)["status"] == "confirmed"

@@ -1,0 +1,207 @@
+"""Property-based invariants of the whole system (hypothesis).
+
+The invariants the paper's semantics promise, checked against random
+operation sequences:
+
+* **No double booking**: a slot never belongs to two live meetings; all
+  participants of a confirmed meeting agree on its slot.
+* **Atomicity**: after any negotiation, either the constraint held and
+  the change landed at the initiator + locked targets, or nothing
+  changed anywhere; no locks survive a negotiation.
+* **Promotion order**: waiting-link promotion always selects the maximal
+  priority present.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus, SlotStatus
+from repro.device.resource import ResourceObject
+from repro.kernel.linktypes import LinkRef, LinkSubtype, LinkType
+from repro.txn.coordinator import AND, OR, XOR, Participant
+from repro.util.errors import CalendarError, SchedulingError
+
+USERS = ["p0", "p1", "p2", "p3"]
+
+# One random workload step.
+_op = st.one_of(
+    st.tuples(
+        st.just("schedule"),
+        st.sampled_from(USERS),
+        st.lists(st.sampled_from(USERS), min_size=1, max_size=3, unique=True),
+    ),
+    st.tuples(st.just("cancel"), st.sampled_from(USERS)),
+    st.tuples(
+        st.just("block"),
+        st.sampled_from(USERS),
+        st.integers(0, 2),
+        st.integers(9, 12),
+    ),
+    st.tuples(
+        st.just("unblock"),
+        st.sampled_from(USERS),
+        st.integers(0, 2),
+        st.integers(9, 12),
+    ),
+    st.tuples(st.just("drop"), st.sampled_from(USERS)),
+)
+
+
+def check_no_double_booking(app):
+    """Slot/meeting cross-consistency at one user."""
+    for user in USERS:
+        cal = app.calendar(user)
+        for meeting in cal.meetings():
+            if meeting.status in (MeetingStatus.CONFIRMED,):
+                row = cal.slot_of(meeting.slot)
+                # A confirmed meeting this user committed to must own the slot.
+                if user in meeting.committed:
+                    assert row["meeting_id"] == meeting.meeting_id, (
+                        f"{user} committed to {meeting.meeting_id} but slot "
+                        f"row says {row}"
+                    )
+
+
+def check_confirmed_views_agree(app):
+    """Every committed participant sees the same confirmed meeting."""
+    for user in USERS:
+        for meeting in app.calendar(user).meetings(MeetingStatus.CONFIRMED):
+            if meeting.initiator != user:
+                continue
+            for member in meeting.committed:
+                view = app.meeting_view(member, meeting.meeting_id)
+                assert view is not None
+                assert view.slot == meeting.slot
+
+
+def check_no_leaked_locks(app):
+    for user in USERS:
+        assert app.node(user).locks.locked_count() == 0, f"{user} leaked locks"
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(_op, max_size=12), seed=st.integers(0, 3))
+def test_calendar_workload_invariants(ops, seed):
+    world = SyDWorld(seed=seed)
+    app = SyDCalendarApp(world, days=3)
+    for u in USERS:
+        app.add_user(u)
+
+    scheduled: list[tuple[str, str]] = []   # (initiator, meeting_id)
+    for op in ops:
+        kind = op[0]
+        try:
+            if kind == "schedule":
+                _, initiator, participants = op
+                m = app.manager(initiator).schedule_meeting(
+                    "prop", participants, day_from=0, day_to=2
+                )
+                scheduled.append((initiator, m.meeting_id))
+            elif kind == "cancel":
+                user = op[1]
+                mine = [(i, mid) for i, mid in scheduled if i == user]
+                if mine:
+                    app.manager(user).cancel_meeting(mine[-1][1])
+            elif kind == "block":
+                _, user, day, hour = op
+                app.service(user).block({"day": day, "hour": hour})
+            elif kind == "unblock":
+                _, user, day, hour = op
+                app.service(user).unblock({"day": day, "hour": hour})
+            elif kind == "drop":
+                user = op[1]
+                theirs = [
+                    m
+                    for m in app.calendar(user).meetings()
+                    if m.initiator != user
+                    and user in m.committed
+                    and m.status in (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
+                ]
+                if theirs:
+                    app.manager(user).drop_out(theirs[0].meeting_id)
+        except (SchedulingError, CalendarError):
+            pass  # legitimate refusals are part of the workload
+
+        check_no_leaked_locks(app)
+
+    check_no_double_booking(app)
+    check_confirmed_views_agree(app)
+
+
+# --------------------------------------------------------------- coordinator
+
+@settings(max_examples=40, deadline=None)
+@given(
+    availability=st.lists(st.booleans(), min_size=1, max_size=6),
+    constraint=st.sampled_from([AND, OR, XOR]),
+)
+def test_negotiation_atomicity_property(availability, constraint):
+    """Either the constraint held and exactly initiator+locked changed,
+    or nothing changed; locks never leak."""
+    world = SyDWorld(seed=1)
+    users = [f"u{i}" for i in range(len(availability) + 1)]
+    for u in users:
+        node = world.add_node(u)
+        obj = ResourceObject(f"{u}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=u, service="res")
+        obj.add("slot")
+    for u, free in zip(users[1:], availability):
+        if not free:
+            world.node(u).store.update("resources", None, {"status": "busy"})
+
+    node = world.node(users[0])
+    targets = [Participant(u, "slot", "res") for u in users[1:]]
+    result = node.coordinator.execute(
+        Participant(users[0], "slot", "res"), targets, constraint
+    )
+
+    available = sum(availability)
+    expected_ok = constraint.satisfied(available, len(availability))
+    assert result.ok == expected_ok
+
+    changed_users = {
+        u
+        for u in users
+        if world.node(u).store.get("resources", "slot")["status"] == "reserved"
+    }
+    if result.ok:
+        assert changed_users == set(result.changed)
+        assert users[0] in changed_users
+    else:
+        assert changed_users == set()
+    for u in users:
+        assert world.node(u).locks.locked_count() == 0
+
+
+# --------------------------------------------------------------- promotion
+
+@settings(max_examples=40, deadline=None)
+@given(priorities=st.lists(st.integers(0, 9), min_size=1, max_size=8))
+def test_waiting_promotion_picks_max_priority(priorities):
+    world = SyDWorld(seed=2)
+    node = world.add_node("a")
+    world.add_node("b")
+    blocking = node.links.create_link(
+        LinkType.NEGOTIATION, [LinkRef("b", "slot", "res")], constraint=AND
+    )
+    waiters = []
+    for p in priorities:
+        w = node.links.create_link(
+            LinkType.NEGOTIATION,
+            [LinkRef("b", "slot", "res")],
+            constraint=AND,
+            subtype=LinkSubtype.TENTATIVE,
+            waiting_on=blocking.link_id,
+            priority=p,
+        )
+        waiters.append((p, w.link_id))
+
+    promoted = set(node.links.delete_link(blocking.link_id))
+    top = max(priorities)
+    expected = {lid for p, lid in waiters if p == top}
+    assert promoted == expected
+    for p, lid in waiters:
+        link = node.links.get_link(lid)
+        assert (link.subtype is LinkSubtype.PERMANENT) == (lid in expected)

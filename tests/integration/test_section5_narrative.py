@@ -1,0 +1,132 @@
+"""The complete §5 narrative, replayed as one integration test.
+
+The paper walks a single story: A calls a meeting with B, C, D; C cannot
+be reserved, so the meeting is tentative with C holding a tentative back
+link; C becomes available and the meeting converts to committed; D then
+wants to change the schedule, which renegotiates with everyone; a higher
+priority request to D bumps the meeting; and a supervisor's subscription
+link degrades it when the supervisor changes their schedule.
+
+Each step's postconditions are asserted against every involved calendar.
+"""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus
+
+
+@pytest.fixture
+def story():
+    world = SyDWorld(seed=55)
+    app = SyDCalendarApp(world)
+    for user in ["A", "B", "C", "D", "E"]:
+        app.add_user(user)
+    return world, app
+
+
+def test_section5_story(story):
+    world, app = story
+
+    # --- "User A wants to call a meeting ... involving folks B, C, D" ----
+    # C's calendar is fully booked: reservation can only be tentative.
+    for row in app.calendar("C").free_slots(0, 4):
+        app.service("C").block({"day": row["day"], "hour": row["hour"]})
+
+    meeting = app.manager("A").schedule_meeting("Project sync", ["B", "C", "D"])
+    assert meeting.status is MeetingStatus.TENTATIVE
+    assert meeting.missing == ["C"]
+    # "...reserve that slot in A's calendar" — held by the tentative meeting.
+    for user in ["A", "B", "D"]:
+        assert app.calendar(user).slot_of(meeting.slot)["status"] == "held"
+
+    # "a tentative back link to A is queued up at the corresponding slots"
+    c_links = app.node("C").links.links_by_context("meeting_id", meeting.meeting_id)
+    assert [ln.subtype.value for ln in c_links] == ["tentative"]
+    # "back subscription links to A from others are created"
+    for user in ["B", "D"]:
+        links = app.node(user).links.links_by_context("meeting_id", meeting.meeting_id)
+        assert [ln.ltype.value for ln in links] == ["subscription"]
+    # "The forward negotiation-and link to A, B, C and D are left in place."
+    fwd = [
+        ln
+        for ln in app.node("A").links.links_by_context("meeting_id", meeting.meeting_id)
+        if ln.context["role"] == "forward"
+    ]
+    assert len(fwd) == 1
+    assert {r.user for r in fwd[0].refs} == {"B", "C", "D"}
+
+    # --- "Whenever C becomes available ... a tentative meeting has been
+    # converted to committed." ---------------------------------------------
+    app.service("C").unblock(meeting.slot)
+    now = app.meeting_view("A", meeting.meeting_id)
+    assert now.status is MeetingStatus.CONFIRMED
+    assert now.missing == []
+    for user in ["A", "B", "C", "D"]:
+        assert app.calendar(user).slot_of(meeting.slot)["status"] == "reserved"
+    # "the target slots at A, B, C and D create negotiation links back"
+    c_links = app.node("C").links.links_by_context("meeting_id", meeting.meeting_id)
+    assert [ln.ltype.value for ln in c_links] == ["negotiation"]
+
+    # --- "Now suppose, D wants to change the schedule for this meeting to
+    # another slot." --------------------------------------------------------
+    target = {"day": 1, "hour": 11}
+    app.service("C").unblock(target)  # C has room at the new time too
+    assert app.manager("D").request_move(meeting.meeting_id, target) is True
+    moved = app.meeting_view("A", meeting.meeting_id)
+    assert moved.slot == target
+    for user in ["A", "B", "C", "D"]:
+        assert app.calendar(user).slot_of(target)["meeting_id"] == meeting.meeting_id
+
+    # "If not all can agree, then D would be unable to change the schedule."
+    blocked_slot = {"day": 2, "hour": 9}
+    app.service("B").block(blocked_slot)
+    assert app.manager("D").request_move(meeting.meeting_id, blocked_slot) is False
+    assert app.meeting_view("A", meeting.meeting_id).slot == target
+
+    # --- "A higher priority request to D to commit to another meeting
+    # would bump this meeting, and then this meeting would become
+    # tentative" (we assert bumped + auto-reschedule per §6). -------------
+    exec_meeting = app.manager("E").schedule_meeting(
+        "Board prep", ["D"], priority=9, preferred_slot=target
+    )
+    assert exec_meeting.status is MeetingStatus.CONFIRMED
+    assert app.calendar("D").slot_of(target)["meeting_id"] == exec_meeting.meeting_id
+    bumped = app.meeting_view("A", meeting.meeting_id)
+    assert bumped.status is MeetingStatus.BUMPED
+    replacement_id = app.manager("A").reschedule_map[meeting.meeting_id]
+    replacement = app.meeting_view("A", replacement_id)
+    assert replacement.status in (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
+    assert replacement.slot != target
+
+
+def test_section5_supervisor_story(story):
+    """'Suppose B is a supervisor (a higher priority entity)...'"""
+    world, app = story
+    meeting = app.manager("A").schedule_meeting(
+        "Review", ["B", "C"], supervisors=["B"]
+    )
+    assert meeting.status is MeetingStatus.CONFIRMED
+
+    # "A would not be able to establish a negotiation back link from B,
+    # but only a subscription back link."
+    b_links = app.node("B").links.links_by_context("meeting_id", meeting.meeting_id)
+    assert [ln.ltype.value for ln in b_links] == ["subscription"]
+    c_links = app.node("C").links.links_by_context("meeting_id", meeting.meeting_id)
+    assert [ln.ltype.value for ln in c_links] == ["negotiation"]
+
+    # "If B does change his schedule, this change will trigger the
+    # subscription back link to A ... then the meeting becomes tentative,
+    # with ... the back link from B ... queued up at B's slot awaiting
+    # change in B's status."
+    app.service("B").withdraw_slot(meeting.slot, meeting.meeting_id)
+    degraded = app.meeting_view("A", meeting.meeting_id)
+    assert degraded.status is MeetingStatus.TENTATIVE
+    assert degraded.missing == ["B"]
+    b_links = app.node("B").links.links_by_context("meeting_id", meeting.meeting_id)
+    assert any(ln.subtype.value == "tentative" for ln in b_links)
+
+    # B's slot frees again -> the tentative link fires -> re-confirmed.
+    app.service("B")._fire_availability(meeting.slot)
+    assert app.meeting_view("A", meeting.meeting_id).status is MeetingStatus.CONFIRMED

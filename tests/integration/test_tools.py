@@ -1,0 +1,132 @@
+"""Tests for the figure-regeneration tools (link graphs, sequence diagrams)."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.calendar.app import SyDCalendarApp
+from repro.tools.linkgraph import collect_edges, link_census, to_dot, to_text
+from repro.tools.sequence import MessageRecorder
+
+
+@pytest.fixture
+def meeting_world():
+    world = SyDWorld(seed=61)
+    app = SyDCalendarApp(world)
+    for u in ["phil", "andy", "suzy"]:
+        app.add_user(u)
+    m = app.manager("phil").schedule_meeting("T", ["andy", "suzy"])
+    return world, app, m
+
+
+class TestLinkGraph:
+    def test_collect_edges_reflects_meeting_links(self, meeting_world):
+        world, app, m = meeting_world
+        edges = collect_edges(world)
+        # Forward link: phil -> andy, phil -> suzy (negotiation/and/forward).
+        fwd = [e for e in edges if e.owner == "phil" and e.role == "forward"]
+        assert {e.peer for e in fwd} == {"andy", "suzy"}
+        assert all(e.constraint == "and" for e in fwd)
+        # Back links at each participant.
+        back = [e for e in edges if e.role == "back"]
+        assert {e.owner for e in back} == {"andy", "suzy"}
+        assert all(e.peer == "phil" for e in back)
+
+    def test_dot_rendering(self, meeting_world):
+        world, app, m = meeting_world
+        dot = to_dot(collect_edges(world))
+        assert dot.startswith("digraph")
+        assert '"phil" -> "andy"' in dot
+        assert "style=solid" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_styles_by_type(self, meeting_world):
+        world, app, m = meeting_world
+        # Make a tentative link: block raj? Use supervisor-style subscription:
+        m2 = app.manager("andy").schedule_meeting(
+            "S", ["phil", "suzy"], supervisors=["suzy"]
+        )
+        dot = to_dot(collect_edges(world))
+        assert "style=dashed" in dot  # subscription back link at suzy
+
+    def test_text_rendering(self, meeting_world):
+        world, app, m = meeting_world
+        text = to_text(collect_edges(world))
+        assert "phil:" in text
+        assert "──> andy" in text
+
+    def test_text_empty(self):
+        assert "no coordination links" in to_text([])
+
+    def test_census(self, meeting_world):
+        world, app, m = meeting_world
+        census = link_census(world)
+        assert census["negotiation/permanent"] == 3  # forward + 2 back
+
+    def test_tentative_edges_marked(self, meeting_world):
+        world, app, m = meeting_world
+        for row in app.calendar("suzy").free_slots(0, 4):
+            app.service("suzy").block({"day": row["day"], "hour": row["hour"]})
+        t = app.manager("andy").schedule_meeting("T2", ["suzy"])
+        edges = collect_edges(world)
+        tentative = [e for e in edges if e.subtype == "tentative"]
+        assert any(e.owner == "suzy" and e.peer == "andy" for e in tentative)
+        assert "┄┄> andy" in to_text(edges)
+
+
+class TestMessageRecorder:
+    def test_records_requests_and_replies(self):
+        world = SyDWorld(seed=62)
+        recorder = MessageRecorder.attach(world.transport)
+        world.add_node("a")
+        world.add_node("b")
+        world.node("a").directory.lookup_user("b")
+        kinds = {m.kind for m in recorder.messages}
+        assert kinds == {"invoke"}
+        assert any(m.is_reply for m in recorder.messages)
+        assert any(not m.is_reply for m in recorder.messages)
+
+    def test_detail_shows_object_method(self):
+        world = SyDWorld(seed=62)
+        recorder = MessageRecorder.attach(world.transport)
+        world.add_node("a")
+        requests = recorder.requests()
+        assert any(m.detail == "_syd_directory.publish_user" for m in requests)
+
+    def test_detach_stops_recording(self):
+        world = SyDWorld(seed=62)
+        recorder = MessageRecorder.attach(world.transport)
+        world.add_node("a")
+        n = len(recorder.messages)
+        recorder.detach()
+        world.add_node("b")
+        assert len(recorder.messages) == n
+
+    def test_diagram_renders(self, meeting_world):
+        world, app, m = meeting_world
+        recorder = MessageRecorder.attach(world.transport)
+        app.manager("phil").cancel_meeting(m.meeting_id)
+        diagram = recorder.to_diagram(max_rows=12)
+        assert "phil-device" in diagram
+        # Arrows and numbered steps appear.
+        assert "►" in diagram or "◄" in diagram
+        assert "1." in diagram
+
+    def test_diagram_empty(self):
+        assert "(no messages recorded)" in MessageRecorder().to_diagram()
+
+    def test_summary(self):
+        world = SyDWorld(seed=63)
+        recorder = MessageRecorder.attach(world.transport)
+        world.add_node("a")
+        s = recorder.summary()
+        assert s["total"] == len(recorder.messages)
+        assert s["by_kind"]["invoke"] >= 2
+
+    def test_participant_filter(self, meeting_world):
+        world, app, m = meeting_world
+        recorder = MessageRecorder.attach(world.transport)
+        app.node("phil").directory.lookup_user("andy")
+        diagram = recorder.to_diagram(
+            participants=["phil-device", "syd-directory"]
+        )
+        assert "phil-device" in diagram and "syd-directory" in diagram

@@ -1,0 +1,99 @@
+"""Tests for the SyDWorld builder/facade."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.net.address import DeviceClass
+from repro.net.latency import ZeroLatency
+from repro.util.errors import ReproError
+
+
+class TestTopology:
+    def test_add_node_publishes_user(self):
+        world = SyDWorld()
+        node = world.add_node("phil")
+        assert node.directory.lookup_user("phil")["node_id"] == "phil-device"
+        assert world.users() == ["phil"]
+
+    def test_duplicate_user_rejected(self):
+        world = SyDWorld()
+        world.add_node("phil")
+        with pytest.raises(ReproError):
+            world.add_node("phil")
+
+    def test_unknown_store_kind(self):
+        world = SyDWorld()
+        with pytest.raises(ReproError, match="store kind"):
+            world.add_node("x", store_kind="oracle")
+
+    def test_unknown_latency_preset(self):
+        with pytest.raises(ReproError, match="latency"):
+            SyDWorld(latency="quantum")
+
+    def test_node_lookup(self):
+        world = SyDWorld()
+        node = world.add_node("phil")
+        assert world.node("phil") is node
+        with pytest.raises(ReproError):
+            world.node("ghost")
+
+    def test_join_false_defers_publication(self):
+        from repro.util.errors import UnknownUserError
+
+        world = SyDWorld()
+        node = world.add_node("phil", join=False)
+        with pytest.raises(UnknownUserError):
+            node.directory.lookup_user("phil")
+        node.join()
+        assert node.directory.lookup_user("phil")["user_id"] == "phil"
+
+    def test_device_class_applied(self):
+        world = SyDWorld()
+        node = world.add_node("srv", device_class=DeviceClass.SERVER)
+        assert node.address.device_class is DeviceClass.SERVER
+
+
+class TestFaultsAndTime:
+    def test_take_down_bring_up(self):
+        world = SyDWorld()
+        world.add_node("a")
+        assert world.is_up("a")
+        world.take_down("a")
+        assert not world.is_up("a")
+        world.bring_up("a")
+        assert world.is_up("a")
+
+    def test_run_for_advances_clock(self):
+        world = SyDWorld()
+        t0 = world.now
+        world.run_for(10.0)
+        assert world.now == pytest.approx(t0 + 10.0)
+
+    def test_stats_exposed(self):
+        world = SyDWorld()
+        world.add_node("a")
+        assert world.stats.messages > 0  # the join traffic
+
+
+class TestLatencyPresets:
+    def test_zero_latency_keeps_clock_still_for_rpc(self):
+        world = SyDWorld(latency="zero")
+        world.add_node("a")
+        t = world.now
+        world.add_node("b")
+        assert world.now == t
+
+    def test_custom_latency_model_instance(self):
+        world = SyDWorld(latency=ZeroLatency())
+        world.add_node("a")
+        assert world.now == 0.0
+
+    def test_same_seed_same_virtual_time(self):
+        def build():
+            world = SyDWorld(seed=99)
+            world.add_node("a")
+            world.add_node("b")
+            world.node("a").directory.lookup_user("b")
+            return world.now
+
+        assert build() == build()

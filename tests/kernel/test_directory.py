@@ -1,0 +1,138 @@
+"""Tests for SyDDirectory (service + client over the network)."""
+
+import pytest
+
+from repro.util.errors import (
+    DuplicateRegistrationError,
+    UnknownGroupError,
+    UnknownServiceError,
+    UnknownUserError,
+)
+
+
+class TestUsers:
+    def test_publish_and_lookup(self, world):
+        node = world.add_node("phil")
+        rec = node.directory.lookup_user("phil")
+        assert rec["node_id"] == "phil-device"
+        assert rec["online"] is True
+        assert rec["proxy_node"] is None
+
+    def test_duplicate_publish_rejected(self, world):
+        node = world.add_node("phil")
+        with pytest.raises(DuplicateRegistrationError):
+            node.directory.publish_user("phil", "elsewhere")
+
+    def test_unknown_user(self, world):
+        node = world.add_node("phil")
+        with pytest.raises(UnknownUserError):
+            node.directory.lookup_user("nobody")
+
+    def test_list_users(self, world):
+        a = world.add_node("zed")
+        world.add_node("amy")
+        assert a.directory.list_users() == ["amy", "zed"]
+
+    def test_set_online_and_proxy(self, world):
+        node = world.add_node("phil")
+        node.directory.set_online("phil", False)
+        node.directory.set_proxy("phil", "proxy-1")
+        rec = node.directory.lookup_user("phil")
+        assert rec["online"] is False
+        assert rec["proxy_node"] == "proxy-1"
+
+    def test_set_online_unknown_user(self, world):
+        node = world.add_node("phil")
+        with pytest.raises(UnknownUserError):
+            node.directory.set_online("nobody", True)
+
+    def test_unpublish_removes_user_and_services(self, world):
+        node = world.add_node("phil")
+        node.directory.unpublish_user("phil")
+        with pytest.raises(UnknownUserError):
+            node.directory.lookup_user("phil")
+
+
+class TestServices:
+    def test_register_and_lookup(self, world):
+        node = world.add_node("phil")
+        node.directory.register_service("phil", "cal", "phil_cal", ["query", "reserve"])
+        svc = node.directory.lookup_service("phil", "cal")
+        assert svc["object_name"] == "phil_cal"
+        assert svc["methods"] == ["query", "reserve"]
+
+    def test_links_service_registered_on_join(self, world):
+        node = world.add_node("phil")
+        svc = node.directory.lookup_service("phil", "_syd_links")
+        assert svc["object_name"] == "_syd_links"
+        assert "cascade_delete" in svc["methods"]
+
+    def test_register_for_unknown_user(self, world):
+        node = world.add_node("phil")
+        with pytest.raises(UnknownUserError):
+            node.directory.register_service("ghost", "cal", "x", [])
+
+    def test_duplicate_service(self, world):
+        node = world.add_node("phil")
+        node.directory.register_service("phil", "cal", "x", [])
+        with pytest.raises(DuplicateRegistrationError):
+            node.directory.register_service("phil", "cal", "y", [])
+
+    def test_unknown_service(self, world):
+        node = world.add_node("phil")
+        with pytest.raises(UnknownServiceError):
+            node.directory.lookup_service("phil", "nope")
+
+    def test_services_of_and_unregister(self, world):
+        node = world.add_node("phil")
+        node.directory.register_service("phil", "cal", "x", [])
+        services = {s["service"] for s in node.directory.services_of("phil")}
+        assert services == {"_syd_links", "cal"}
+        assert node.directory.unregister_service("phil", "cal") is True
+        assert node.directory.unregister_service("phil", "cal") is False
+
+
+class TestGroups:
+    def test_form_and_query_group(self, world):
+        a = world.add_node("a")
+        world.add_node("b")
+        world.add_node("c")
+        a.directory.form_group("committee", "a", ["a", "b", "c"])
+        assert a.directory.group_members("committee") == ["a", "b", "c"]
+        assert a.directory.list_groups() == ["committee"]
+
+    def test_group_requires_published_members(self, world):
+        a = world.add_node("a")
+        with pytest.raises(UnknownUserError):
+            a.directory.form_group("g", "a", ["a", "ghost"])
+
+    def test_duplicate_group(self, world):
+        a = world.add_node("a")
+        a.directory.form_group("g", "a", ["a"])
+        with pytest.raises(DuplicateRegistrationError):
+            a.directory.form_group("g", "a", ["a"])
+
+    def test_add_remove_member(self, world):
+        a = world.add_node("a")
+        world.add_node("b")
+        a.directory.form_group("g", "a", ["a"])
+        a.directory.add_member("g", "b")
+        a.directory.add_member("g", "b")  # idempotent
+        assert a.directory.group_members("g") == ["a", "b"]
+        a.directory.remove_member("g", "b")
+        assert a.directory.group_members("g") == ["a"]
+
+    def test_add_unknown_member(self, world):
+        a = world.add_node("a")
+        a.directory.form_group("g", "a", ["a"])
+        with pytest.raises(UnknownUserError):
+            a.directory.add_member("g", "ghost")
+
+    def test_disband(self, world):
+        a = world.add_node("a")
+        a.directory.form_group("g", "a", ["a"])
+        a.directory.disband_group("g")
+        with pytest.raises(UnknownGroupError):
+            a.directory.group_members("g")
+        with pytest.raises(UnknownGroupError):
+            a.directory.disband_group("g")

@@ -1,0 +1,100 @@
+"""Tests for SyDEventHandler (local + global events, monitors)."""
+
+import pytest
+
+from repro.util.errors import NetworkError
+
+
+class TestLocalEvents:
+    def test_local_round_trip(self, world):
+        node = world.add_node("a")
+        seen = []
+        node.events.on_local("cal.*", lambda t, p: seen.append((t, p)))
+        n = node.events.raise_local("cal.changed", slot=3)
+        assert n == 1
+        assert seen == [("cal.changed", {"slot": 3})]
+
+    def test_unsubscribe(self, world):
+        node = world.add_node("a")
+        seen = []
+        unsub = node.events.on_local("x", lambda t, p: seen.append(t))
+        unsub()
+        node.events.raise_local("x")
+        assert seen == []
+
+
+class TestGlobalEvents:
+    def test_remote_subscription_delivers(self, world):
+        a = world.add_node("a")
+        b = world.add_node("b")
+        seen = []
+        a.events.on_global("cal.changed", lambda t, p: seen.append((t, p)))
+        a.events.subscribe_remote(b.node_id, "cal.changed")
+        assert b.events.remote_subscriber_count("cal.changed") == 1
+
+        delivered = b.events.raise_global("cal.changed", slot=5)
+        assert delivered == 1
+        assert seen == [("global.cal.changed", {"slot": 5})]
+
+    def test_unsubscribe_remote(self, world):
+        a = world.add_node("a")
+        b = world.add_node("b")
+        a.events.subscribe_remote(b.node_id, "t")
+        a.events.unsubscribe_remote(b.node_id, "t")
+        assert b.events.remote_subscriber_count("t") == 0
+
+    def test_publisher_local_subscribers_also_hear_global(self, world):
+        b = world.add_node("b")
+        local_seen = []
+        b.events.on_local("t", lambda t, p: local_seen.append(t))
+        b.events.raise_global("t")
+        assert local_seen == ["t"]
+
+    def test_down_subscriber_skipped_not_fatal(self, world):
+        a = world.add_node("a")
+        b = world.add_node("b")
+        c = world.add_node("c")
+        seen = []
+        a.events.subscribe_remote(b.node_id, "t")
+        c.events.on_global("t", lambda t, p: seen.append(t))
+        c.events.subscribe_remote(b.node_id, "t")
+        world.take_down("a")
+        delivered = b.events.raise_global("t")
+        assert delivered == 1  # only c
+        assert b.events.notifications_failed == 1
+        assert seen == ["global.t"]
+
+    def test_multiple_subscribers_ordered_delivery(self, world):
+        pub = world.add_node("pub")
+        subs = [world.add_node(f"s{i}") for i in range(3)]
+        seen = []
+        for node in subs:
+            node.events.on_global("t", lambda t, p, n=node: seen.append(n.user))
+            node.events.subscribe_remote(pub.node_id, "t")
+        pub.events.raise_global("t")
+        assert seen == ["s0", "s1", "s2"]
+
+    def test_unknown_event_kind_rejected(self, world):
+        node = world.add_node("a")
+        from repro.net.message import Message
+
+        with pytest.raises(NetworkError):
+            node.events.handle_message(Message("m", "x", node.node_id, "event.bogus", {}))
+
+
+class TestMonitors:
+    def test_monitor_every_fires_on_schedule(self, world):
+        node = world.add_node("a")
+        fired = []
+        node.events.monitor_every(10.0, lambda: fired.append(world.now))
+        world.run_for(35.0)
+        assert len(fired) == 3
+
+    def test_stop_monitors(self, world):
+        node = world.add_node("a")
+        fired = []
+        node.events.monitor_every(10.0, lambda: fired.append(1))
+        world.run_for(15.0)
+        node.events.stop_monitors()
+        world.run_for(50.0)
+        assert len(fired) == 1

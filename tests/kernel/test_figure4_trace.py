@@ -1,0 +1,119 @@
+"""Reproduction of Figure 4: the UML activity diagram of negotiation-or.
+
+The paper's Figure 4 shows "execution of SyD links for negotiation-or
+for three SyD objects A, B, and C where A is the activating object". The
+diagram's activity order is:
+
+    A: mark + lock ->
+    B: mark (lock if possible), C: mark (lock if possible) ->
+    [>= 1 lock obtained] ->
+    A: change -> changed targets change ->
+    unlock targets -> unlock A
+
+Since the figure is a diagram, the reproduction is a machine-checked
+trace: we run negotiation-or over three device objects named exactly A,
+B, C and assert the step order in the coordinator's tracer.
+"""
+
+import pytest
+
+from repro import SyDWorld
+from repro.device.resource import ResourceObject
+from repro.txn.coordinator import OR, Participant
+
+
+@pytest.fixture
+def abc_world():
+    world = SyDWorld(seed=3)
+    nodes = {}
+    for user in ["A", "B", "C"]:
+        node = world.add_node(user)
+        obj = ResourceObject(f"{user}_obj", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=user, service="res")
+        obj.add("slot")
+        nodes[user] = node
+    return world, nodes
+
+
+def run_or(world, nodes):
+    coord = nodes["A"].coordinator
+    return coord.execute(
+        Participant("A", "slot", "res"),
+        [Participant("B", "slot", "res"), Participant("C", "slot", "res")],
+        OR,
+    )
+
+
+def test_figure4_happy_path_step_order(abc_world):
+    world, nodes = abc_world
+    result = run_or(world, nodes)
+    assert result.ok
+
+    tracer = nodes["A"].tracer
+    # The full Figure-4 activity sequence, in order:
+    tracer.assert_order(
+        [
+            ("A", "mark"),
+            ("A", "lock"),
+            ("B", "mark"),
+            ("B", "lock"),
+            ("C", "mark"),
+            ("C", "lock"),
+            ("A", "change"),
+            ("B", "change"),
+            ("C", "change"),
+            ("B", "unlock"),
+            ("C", "unlock"),
+            ("A", "unlock"),
+        ]
+    )
+
+
+def test_figure4_partial_availability(abc_world):
+    """B cannot change; the OR succeeds through C alone."""
+    world, nodes = abc_world
+    nodes["B"].store.update("resources", None, {"status": "busy"})
+    result = run_or(world, nodes)
+    assert result.ok
+    tracer = nodes["A"].tracer
+    tracer.assert_order(
+        [
+            ("A", "mark"),
+            ("A", "lock"),
+            ("B", "mark"),
+            ("B", "refuse"),
+            ("C", "mark"),
+            ("C", "lock"),
+            ("A", "change"),
+            ("C", "change"),
+            ("C", "unlock"),
+            ("A", "unlock"),
+        ]
+    )
+    # B must never change or unlock.
+    assert ("B", "change") not in tracer.steps()
+    assert ("B", "lock") not in tracer.steps()
+
+
+def test_figure4_no_availability_aborts(abc_world):
+    """Neither B nor C can change: A aborts, no change steps at all."""
+    world, nodes = abc_world
+    for u in "BC":
+        nodes[u].store.update("resources", None, {"status": "busy"})
+    result = run_or(world, nodes)
+    assert not result.ok
+    steps = nodes["A"].tracer.steps()
+    assert ("A", "change") not in steps
+    assert ("A", "abort") in steps
+    # A still unlocks itself on the abort path.
+    nodes["A"].tracer.assert_order([("A", "mark"), ("A", "lock"), ("A", "unlock")])
+
+
+def test_figure4_changes_happen_before_unlocks(abc_world):
+    """The diagram orders all changes before any unlock."""
+    world, nodes = abc_world
+    run_or(world, nodes)
+    steps = nodes["A"].tracer.steps()
+    last_change = max(i for i, s in enumerate(steps) if s[1] == "change")
+    first_unlock = min(i for i, s in enumerate(steps) if s[1] == "unlock")
+    assert last_change < first_unlock

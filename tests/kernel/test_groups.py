@@ -1,0 +1,79 @@
+"""Tests for dynamic group maintenance (GroupManager)."""
+
+import pytest
+
+from repro.kernel.groups import GroupManager
+from repro.util.errors import UnknownGroupError
+
+
+@pytest.fixture
+def managers(trio, world):
+    return {u: GroupManager(node) for u, node in trio.items()}
+
+
+class TestFormationAndMembership:
+    def test_form_and_members(self, managers):
+        managers["a"].form("team", ["a", "b"])
+        assert managers["b"].members("team") == ["a", "b"]
+
+    def test_form_dedups(self, managers):
+        assert managers["a"].form("team", ["a", "b", "a"]) == ["a", "b"]
+
+    def test_join_and_leave_self(self, managers):
+        managers["a"].form("team", ["a", "b"])
+        managers["c"].join("team")
+        assert managers["a"].members("team") == ["a", "b", "c"]
+        managers["c"].leave("team")
+        assert managers["a"].members("team") == ["a", "b"]
+
+    def test_disband(self, managers):
+        managers["a"].form("team", ["a"])
+        managers["a"].disband("team")
+        with pytest.raises(UnknownGroupError):
+            managers["a"].members("team")
+
+
+class TestNotifications:
+    def test_watchers_hear_joins(self, managers):
+        managers["a"].form("team", ["a", "b"])
+        managers["a"].watch("team")
+        # b joins someone: b's node announces; a subscribed at b's node.
+        managers["b"].join("team", "c")
+        events = managers["a"].events_seen
+        assert any(e["change"] == "joined" and e["user"] == "c" for e in events)
+
+    def test_watch_handler_callback(self, managers):
+        seen = []
+        managers["a"].form("team", ["a", "b"])
+        managers["a"].watch("team", handler=seen.append)
+        managers["b"].leave("team")
+        assert any(e["change"] == "left" and e["user"] == "b" for e in seen)
+
+    def test_unwatch(self, managers):
+        managers["a"].form("team", ["a", "b"])
+        managers["a"].watch("team")
+        managers["a"].unwatch("team")
+        managers["b"].join("team", "c")
+        assert managers["a"].events_seen == []
+
+    def test_disband_announced(self, managers):
+        managers["a"].form("team", ["a", "b"])
+        managers["b"].watch("team")
+        managers["a"].disband("team")
+        assert any(e["change"] == "disbanded" for e in managers["b"].events_seen)
+
+    def test_down_member_does_not_block_announcement(self, managers, world):
+        managers["a"].form("team", ["a", "b", "c"])
+        managers["c"].watch("team")
+        world.take_down("c")
+        managers["a"].join("team", "b")  # idempotent add, still announces
+        # No exception; c heard nothing while down.
+        assert managers["c"].events_seen == []
+
+
+class TestBroadcast:
+    def test_broadcast_invokes_all_members(self, managers, trio):
+        managers["a"].form("team", ["a", "b", "c"])
+        result = managers["a"].broadcast("team", "res", "read", "slot1")
+        assert result.all_ok
+        assert {r.member for r in result.results} == {"a", "b", "c"}

@@ -1,0 +1,110 @@
+"""Tests for coordination link records."""
+
+import pytest
+
+from repro.kernel.linktypes import (
+    Link,
+    LinkRef,
+    LinkSubtype,
+    LinkType,
+    format_constraint,
+    parse_constraint,
+)
+from repro.txn.coordinator import AND, OR, XOR, at_least, exactly
+from repro.util.errors import InvalidLinkError
+
+
+def make_link(**overrides):
+    defaults = dict(
+        link_id="l1",
+        owner="a",
+        ltype=LinkType.NEGOTIATION,
+        subtype=LinkSubtype.PERMANENT,
+        source_entity={"slot": 1},
+        refs=(LinkRef("b", {"slot": 1}), LinkRef("c", {"slot": 1})),
+        constraint=AND,
+        priority=2,
+        created_at=10.0,
+        expires_at=100.0,
+        context={"meeting_id": "m1"},
+    )
+    defaults.update(overrides)
+    return Link(**defaults)
+
+
+class TestValidation:
+    def test_negotiation_requires_constraint(self):
+        with pytest.raises(InvalidLinkError):
+            make_link(constraint=None)
+
+    def test_subscription_rejects_constraint(self):
+        with pytest.raises(InvalidLinkError):
+            make_link(ltype=LinkType.SUBSCRIPTION, constraint=AND)
+
+    def test_subscription_without_constraint_ok(self):
+        link = make_link(ltype=LinkType.SUBSCRIPTION, constraint=None)
+        assert link.ltype is LinkType.SUBSCRIPTION
+
+    def test_at_least_one_ref(self):
+        with pytest.raises(InvalidLinkError):
+            make_link(refs=())
+
+    def test_waiting_requires_tentative(self):
+        with pytest.raises(InvalidLinkError):
+            make_link(waiting_on="l0")
+        link = make_link(subtype=LinkSubtype.TENTATIVE, waiting_on="l0")
+        assert link.waiting_on == "l0"
+
+    def test_expiry_before_creation_rejected(self):
+        with pytest.raises(InvalidLinkError):
+            make_link(created_at=50.0, expires_at=10.0)
+
+
+class TestBehaviour:
+    def test_is_expired(self):
+        link = make_link()
+        assert not link.is_expired(99.0)
+        assert link.is_expired(100.0)
+        assert not make_link(expires_at=None).is_expired(1e9)
+
+    def test_promoted_copy(self):
+        link = make_link(subtype=LinkSubtype.TENTATIVE, waiting_on="l0")
+        p = link.promoted()
+        assert p.subtype is LinkSubtype.PERMANENT
+        assert p.waiting_on is None
+        assert link.subtype is LinkSubtype.TENTATIVE  # original unchanged
+
+    def test_cascade_id_defaults_to_link_id(self):
+        assert make_link(context={}).cascade_id == "l1"
+        assert make_link(context={"cascade_id": "m9"}).cascade_id == "m9"
+
+
+class TestConstraintSerialization:
+    @pytest.mark.parametrize("constraint", [AND, OR, XOR, at_least(3), exactly(2)])
+    def test_roundtrip(self, constraint):
+        assert parse_constraint(format_constraint(constraint)) == constraint
+
+    def test_none_roundtrip(self):
+        assert format_constraint(None) is None
+        assert parse_constraint(None) is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InvalidLinkError):
+            parse_constraint("sometimes")
+
+
+class TestRowMapping:
+    def test_roundtrip(self):
+        link = make_link(subtype=LinkSubtype.TENTATIVE, waiting_on="l0", constraint=at_least(2))
+        assert Link.from_row(link.to_row()) == link
+
+    def test_subscription_roundtrip_with_on_change(self):
+        link = make_link(
+            ltype=LinkType.SUBSCRIPTION,
+            constraint=None,
+            refs=(LinkRef("b", [1, 2], service="cal", on_change="notify"),),
+        )
+        back = Link.from_row(link.to_row())
+        assert back.refs[0].on_change == "notify"
+        assert back.refs[0].service == "cal"
+        assert back == link

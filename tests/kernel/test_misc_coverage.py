@@ -1,0 +1,144 @@
+"""Direct tests for small public APIs exercised only indirectly elsewhere."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.device.object import SyDDeviceObject, exported
+from repro.net.address import DeviceClass, NodeAddress
+from repro.net.message import Message
+from repro.util.errors import NetworkError, UnknownServiceError
+
+
+class Thing(SyDDeviceObject):
+    @exported
+    def hello(self):
+        return "hi"
+
+
+class TestListenerExtras:
+    def test_unpublish_object(self, world):
+        node = world.add_node("a")
+        obj = Thing("thing")
+        node.listener.publish_object(obj)
+        assert node.listener.registry.has("thing", "hello")
+        node.listener.unpublish_object(obj)
+        assert not node.listener.registry.has("thing", "hello")
+
+    def test_post_invoke_hook_add_and_remove(self, world):
+        node = world.add_node("a")
+        obj = Thing("thing")
+        node.listener.publish_object(obj, user_id="a", service="thing")
+        seen = []
+        remove = node.listener.add_post_invoke_hook(
+            lambda o, m, a_, k, r: seen.append((o, m, r))
+        )
+        node.engine.execute("a", "thing", "hello")
+        assert seen == [("thing", "hello", "hi")]
+        remove()
+        remove()  # idempotent
+        node.engine.execute("a", "thing", "hello")
+        assert len(seen) == 1
+
+    def test_hook_not_called_on_failure(self, world):
+        node = world.add_node("a")
+        seen = []
+        node.listener.add_post_invoke_hook(lambda *a: seen.append(1))
+        with pytest.raises(UnknownServiceError):
+            node.engine.execute_on_node(node.node_id, "ghost", "m")
+        assert seen == []
+
+
+class TestNodeDispatch:
+    def test_unknown_message_kind_rejected(self, world):
+        node = world.add_node("a")
+        with pytest.raises(NetworkError, match="cannot handle"):
+            node.handle_message(Message("m", "x", node.node_id, "weird.kind", {}))
+
+
+class TestLinksExtras:
+    def test_link_methods_listing(self, trio):
+        a = trio["a"]
+        a.links.add_link_method("a_res", "change", "b", "res", "on_peer_change")
+        rows = a.links.link_methods()
+        assert len(rows) == 1
+        assert rows[0]["dest_user"] == "b"
+
+    def test_promote_link_direct(self, trio):
+        from repro.kernel.linktypes import LinkRef, LinkSubtype, LinkType
+        from repro.txn.coordinator import AND
+
+        a = trio["a"]
+        link = a.links.create_link(
+            LinkType.NEGOTIATION,
+            [LinkRef("b", "slot1", "res")],
+            constraint=AND,
+            subtype=LinkSubtype.TENTATIVE,
+        )
+        promoted = a.links.promote_link(link.link_id)
+        assert promoted.subtype is LinkSubtype.PERMANENT
+
+
+class TestNetExtras:
+    def test_address_url(self):
+        assert NodeAddress("phil-device").url() == "syd://phil-device"
+        assert str(NodeAddress("x", DeviceClass.PDA)) == "x"
+
+    def test_fault_plan_introspection(self, world):
+        world.add_node("a")
+        node_id = world.node("a").node_id
+        world.take_down("a")
+        assert world.transport.faults.is_down(node_id)
+        assert world.transport.faults.down_nodes() == {node_id}
+        world.bring_up("a")
+        assert world.transport.faults.down_nodes() == set()
+
+
+class TestDatastoreExtras:
+    def test_table_all_pks(self):
+        from repro.datastore.schema import ColumnType, schema
+        from repro.datastore.table import Table
+
+        t = Table("t", schema("id", id=ColumnType.INT))
+        t.insert({"id": 3})
+        t.insert({"id": 1})
+        assert sorted(t.all_pks()) == [1, 3]
+
+    def test_triggers_for_listing(self):
+        from repro.datastore.store import RelationalStore
+        from repro.datastore.schema import ColumnType, schema
+        from repro.datastore.triggers import RowTrigger, TriggerEvent
+
+        s = RelationalStore("x")
+        s.create_table("t", schema("id", id=ColumnType.INT))
+        trig = RowTrigger("t1", "t", frozenset({TriggerEvent.INSERT}), lambda c: None)
+        s.add_trigger(trig)
+        assert s.triggers.triggers_for("t") == [trig]
+        assert s.triggers.triggers_for("other") == []
+
+
+class TestMailExtras:
+    def test_unread_actions_filtering(self):
+        from repro.calendar.notifications import MailSystem
+
+        mail = MailSystem()
+        mail.send("a", "b", "fyi")
+        mail.send("a", "b", "act!", requires_action=True)
+        actions = mail.unread_actions("b")
+        assert [m.subject for m in actions] == ["act!"]
+
+    def test_broadcast_skips_sender(self):
+        from repro.calendar.notifications import MailSystem
+
+        mail = MailSystem()
+        n = mail.broadcast("a", ["a", "b", "c"], "s")
+        assert n == 2
+        assert mail.inbox("a") == []
+
+    def test_clear(self):
+        from repro.calendar.notifications import MailSystem
+
+        mail = MailSystem()
+        mail.send("a", "b", "x", requires_action=True)
+        mail.clear()
+        assert mail.sent == 0 and mail.action_required == 0
+        assert mail.inbox("b") == []

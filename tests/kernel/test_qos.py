@@ -1,0 +1,102 @@
+"""Tests for the QoS engine wrapper (deadlines + retries)."""
+
+import pytest
+
+from repro.kernel.qos import DeadlineExceeded, QoSEngine, QoSPolicy
+from repro.util.errors import UnreachableError
+
+
+@pytest.fixture
+def qos_setup(trio, world):
+    a = trio["a"]
+    return world, a
+
+
+class TestPolicyValidation:
+    def test_bad_retries(self):
+        with pytest.raises(ValueError):
+            QoSPolicy(retries=-1)
+
+    def test_bad_backoff(self):
+        with pytest.raises(ValueError):
+            QoSPolicy(backoff=-0.1)
+
+    def test_bad_deadline(self):
+        with pytest.raises(ValueError):
+            QoSPolicy(deadline=0)
+
+
+class TestRetries:
+    def test_success_first_try(self, qos_setup):
+        world, a = qos_setup
+        qos = QoSEngine(a.engine, QoSPolicy(retries=2))
+        row = qos.execute("b", "res", "read", "slot1")
+        assert row["status"] == "free"
+        assert qos.retries_used == 0
+
+    def test_retries_exhausted_reraises(self, qos_setup):
+        world, a = qos_setup
+        world.take_down("b")
+        qos = QoSEngine(a.engine, QoSPolicy(retries=2, backoff=0.01))
+        with pytest.raises(UnreachableError):
+            qos.execute("b", "res", "read", "slot1")
+        assert qos.retries_used == 2
+
+    def test_recovery_mid_retries(self, qos_setup):
+        """The device comes back between attempts — the call recovers."""
+        world, a = qos_setup
+        world.take_down("b")
+        qos = QoSEngine(a.engine, QoSPolicy(retries=3, backoff=0.01))
+        original = a.engine.execute
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                world.bring_up("b")
+            return original(*args, **kwargs)
+
+        a.engine.execute = flaky
+        row = qos.execute("b", "res", "read", "slot1")
+        assert row["status"] == "free"
+        assert qos.recovered_calls == 1
+        assert qos.retries_used >= 1
+
+    def test_backoff_advances_virtual_time(self, qos_setup):
+        world, a = qos_setup
+        world.take_down("b")
+        qos = QoSEngine(a.engine, QoSPolicy(retries=2, backoff=5.0))
+        t0 = world.now
+        with pytest.raises(UnreachableError):
+            qos.execute("b", "res", "read", "slot1")
+        assert world.now - t0 >= 10.0  # two backoffs
+
+
+class TestDeadlines:
+    def test_within_deadline(self, qos_setup):
+        world, a = qos_setup
+        qos = QoSEngine(a.engine, QoSPolicy(deadline=10.0))
+        assert qos.execute("b", "res", "read", "slot1") is not None
+        assert qos.deadline_violations == 0
+
+    def test_slow_call_violates_deadline(self, qos_setup):
+        world, a = qos_setup
+        # One campus round trip takes tens of ms; demand microseconds.
+        qos = QoSEngine(a.engine, QoSPolicy(deadline=1e-6))
+        with pytest.raises(DeadlineExceeded):
+            qos.execute("b", "res", "read", "slot1")
+        assert qos.deadline_violations == 1
+
+    def test_deadline_cuts_retry_loop(self, qos_setup):
+        world, a = qos_setup
+        world.take_down("b")
+        qos = QoSEngine(a.engine, QoSPolicy(deadline=7.0, retries=100, backoff=5.0))
+        with pytest.raises(DeadlineExceeded):
+            qos.execute("b", "res", "read", "slot1")
+        # Only ~2 attempts fit in the budget, not 101.
+        assert qos.retries_used <= 2
+
+    def test_no_deadline_means_unbounded(self, qos_setup):
+        world, a = qos_setup
+        qos = QoSEngine(a.engine, QoSPolicy())
+        assert qos.execute("b", "res", "read", "slot1") is not None

@@ -1,0 +1,73 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.address import DeviceClass, NodeAddress
+from repro.net.latency import (
+    CampusNetworkLatency,
+    ConstantLatency,
+    UniformLatency,
+    ZeroLatency,
+)
+from repro.net.message import Message
+
+
+def msg(payload=None):
+    return Message("m-1", "a", "b", "kind", payload or {})
+
+
+PDA = NodeAddress("pda", DeviceClass.PDA)
+WS = NodeAddress("ws", DeviceClass.WORKSTATION)
+SRV = NodeAddress("srv", DeviceClass.SERVER)
+
+
+def test_zero_latency():
+    assert ZeroLatency().delay(PDA, WS, msg()) == 0.0
+
+
+def test_constant_latency():
+    assert ConstantLatency(0.25).delay(PDA, WS, msg()) == 0.25
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(0.1, 0.2, random.Random(1))
+    for _ in range(50):
+        d = model.delay(PDA, WS, msg())
+        assert 0.1 <= d <= 0.2
+
+
+def test_uniform_rejects_bad_range():
+    with pytest.raises(ValueError):
+        UniformLatency(0.5, 0.1)
+
+
+def test_campus_pda_slower_than_wired():
+    model = CampusNetworkLatency(jitter_fraction=0)
+    slow = model.delay(PDA, SRV, msg())
+    fast = model.delay(WS, SRV, msg())
+    assert slow > fast
+
+
+def test_campus_size_matters():
+    model = CampusNetworkLatency(jitter_fraction=0)
+    small = model.delay(PDA, SRV, msg({}))
+    big = model.delay(PDA, SRV, msg({"blob": "x" * 10_000}))
+    assert big > small
+
+
+def test_campus_jitter_deterministic_with_seed():
+    a = CampusNetworkLatency(0.1, random.Random(5))
+    b = CampusNetworkLatency(0.1, random.Random(5))
+    assert a.delay(PDA, SRV, msg()) == b.delay(PDA, SRV, msg())
+
+
+def test_campus_rejects_bad_jitter():
+    with pytest.raises(ValueError):
+        CampusNetworkLatency(jitter_fraction=1.0)

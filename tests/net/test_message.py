@@ -1,0 +1,36 @@
+"""Tests for message size estimation."""
+
+from repro.net.message import Message, estimate_size
+
+
+def test_scalar_sizes():
+    assert estimate_size(None) == 1
+    assert estimate_size(True) == 1
+    assert estimate_size(7) == 8
+    assert estimate_size(3.14) == 8
+
+
+def test_string_size_counts_utf8():
+    assert estimate_size("abc") == 5
+    assert estimate_size("é") == 2 + 2  # two utf-8 bytes
+
+
+def test_container_sizes_recursive():
+    assert estimate_size([1, 2]) == 2 + 16
+    assert estimate_size({"a": 1}) == 2 + (2 + 1) + 8
+
+
+def test_message_size_includes_header():
+    m = Message("m-1", "a", "b", "k", {})
+    assert m.size_bytes == 32 + 2  # header + empty dict
+
+
+def test_message_size_cached():
+    m = Message("m-1", "a", "b", "k", {"x": 1})
+    assert m.size_bytes == m.size_bytes
+
+
+def test_bigger_payload_bigger_message():
+    small = Message("1", "a", "b", "k", {"x": "hi"})
+    large = Message("2", "a", "b", "k", {"x": "hi" * 100})
+    assert large.size_bytes > small.size_bytes

@@ -1,0 +1,86 @@
+"""Tests for the Name Server."""
+
+import pytest
+
+from repro.net.address import DeviceClass, NodeAddress
+from repro.proxy.nameserver import (
+    NAMESERVER_OBJECT,
+    NameServerClient,
+    NameServerService,
+)
+from repro.kernel.listener import SyDListener
+from repro.util.errors import DirectoryError, DuplicateRegistrationError
+
+
+@pytest.fixture
+def ns_world(world):
+    """World with a name-server node attached."""
+    service = NameServerService()
+    listener = SyDListener("syd-nameserver")
+    listener.publish_object(service)
+    world.transport.register(
+        NodeAddress("syd-nameserver", DeviceClass.SERVER),
+        lambda msg: listener.handle_invoke(msg),
+    )
+    return world, service
+
+
+def client(world, node_id="tester"):
+    world.transport.register(
+        NodeAddress(node_id, DeviceClass.WORKSTATION), lambda m: {}
+    )
+    return NameServerClient(node_id, world.transport)
+
+
+def test_register_proxy_and_client(ns_world):
+    world, _ = ns_world
+    c = client(world)
+    assert c.register_proxy("proxy-1") == 1
+    assert c.register_client("phil") == "proxy-1"
+    assert c.proxy_of("phil") == "proxy-1"
+    assert c.list_proxies() == ["proxy-1"]
+    assert c.list_clients() == ["phil"]
+
+
+def test_round_robin_assignment(ns_world):
+    world, _ = ns_world
+    c = client(world)
+    c.register_proxy("p1")
+    c.register_proxy("p2")
+    assigned = [c.register_client(f"u{i}") for i in range(4)]
+    assert assigned == ["p1", "p2", "p1", "p2"]
+    assert c.stats() == {"p1": 2, "p2": 2}
+
+
+def test_sticky_assignment(ns_world):
+    world, _ = ns_world
+    c = client(world)
+    c.register_proxy("p1")
+    c.register_proxy("p2")
+    first = c.register_client("phil")
+    assert c.register_client("phil") == first
+
+
+def test_no_proxies_is_an_error(ns_world):
+    world, _ = ns_world
+    c = client(world)
+    with pytest.raises(DirectoryError):
+        c.register_client("phil")
+
+
+def test_duplicate_proxy_rejected(ns_world):
+    world, _ = ns_world
+    c = client(world)
+    c.register_proxy("p1")
+    with pytest.raises(DuplicateRegistrationError):
+        c.register_proxy("p1")
+
+
+def test_unassigned_user_has_no_proxy(ns_world):
+    world, _ = ns_world
+    c = client(world)
+    assert c.proxy_of("nobody") is None
+
+
+def test_object_name_constant():
+    assert NameServerService().name == NAMESERVER_OBJECT

@@ -1,0 +1,180 @@
+"""Tests for proxy takeover/handback (paper §5.2)."""
+
+import pytest
+
+from repro import SyDWorld
+from repro.device.resource import ResourceObject
+from repro.net.address import DeviceClass, NodeAddress
+from repro.kernel.listener import SyDListener
+from repro.proxy.device import ProxiedDevice
+from repro.proxy.nameserver import NameServerService
+from repro.proxy.proxy import ProxyHost
+from repro.util.errors import DirectoryError, UnreachableError
+
+
+@pytest.fixture
+def proxy_world():
+    """World with name server, one proxy host, and user 'phil' enrolled."""
+    world = SyDWorld(seed=5)
+
+    ns = NameServerService()
+    ns_listener = SyDListener("syd-nameserver")
+    ns_listener.publish_object(ns)
+    world.transport.register(
+        NodeAddress("syd-nameserver", DeviceClass.SERVER),
+        lambda msg: ns_listener.handle_invoke(msg),
+    )
+
+    host = ProxyHost("proxy-1", world.transport, nameserver_node="syd-nameserver")
+    host.register_factory(
+        "resource", lambda user, store: ResourceObject(f"{user}_res", store)
+    )
+
+    phil = world.add_node("phil")
+    obj = ResourceObject("phil_res", phil.store, phil.locks)
+    phil.listener.publish_object(obj, user_id="phil", service="res")
+    obj.add("slot1")
+    obj.add("slot2")
+
+    device = ProxiedDevice(phil, "syd-nameserver")
+    device.export_service("res", "phil_res", "resource")
+    device.attach()
+
+    caller = world.add_node("caller")
+    return world, host, phil, device, caller
+
+
+class TestEnrollment:
+    def test_attach_assigns_and_enrolls(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        assert device.proxy_node == "proxy-1"
+        assert host.session("phil").replica.get("resources", "slot1")["status"] == "free"
+        assert phil.directory.lookup_user("phil")["proxy_node"] == "proxy-1"
+
+    def test_unknown_factory_rejected(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        device._object_specs.append(
+            {"service": "x", "object_name": "o", "factory": "missing"}
+        )
+        with pytest.raises(DirectoryError, match="factory"):
+            device.attach()
+
+    def test_unenrolled_user_rejected(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        with pytest.raises(DirectoryError, match="not enrolled"):
+            host.session("ghost")
+
+
+class TestFailover:
+    def test_engine_fails_over_to_proxy(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        world.take_down("phil")
+        row = caller.engine.execute("phil", "res", "read", "slot1")
+        assert row["status"] == "free"
+        assert caller.engine.proxy_fallbacks == 1
+        assert host.session("phil").serving_calls == 1
+
+    def test_single_entity_for_outsider(self, proxy_world):
+        """The caller cannot tell device from proxy: same results up or down."""
+        world, host, phil, device, caller = proxy_world
+        up = caller.engine.execute("phil", "res", "read", "slot1")
+        world.take_down("phil")
+        down = caller.engine.execute("phil", "res", "read", "slot1")
+        assert up == down
+
+    def test_no_proxy_means_unreachable(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        phil.directory.set_proxy("phil", None)
+        world.take_down("phil")
+        with pytest.raises(UnreachableError):
+            caller.engine.execute("phil", "res", "read", "slot1")
+
+    def test_writes_at_proxy_are_journaled(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        world.take_down("phil")
+        caller.engine.execute("phil", "res", "set_status", "slot1", "busy")
+        session = host.session("phil")
+        assert len(session.journal) == 1
+        assert session.replica.get("resources", "slot1")["status"] == "busy"
+
+
+class TestSync:
+    def test_sync_ships_device_changes(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        phil.store.update("resources", None, {"status": "busy"})
+        assert device.sync() == 2  # two rows updated
+        replica = host.session("phil").replica
+        assert replica.get("resources", "slot1")["status"] == "busy"
+
+    def test_sync_is_incremental(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        from repro.datastore.predicate import where
+
+        phil.store.update("resources", where("key") == "slot1", {"status": "busy"})
+        device.sync()
+        phil.store.update("resources", where("key") == "slot2", {"status": "busy"})
+        assert device.sync() == 1
+
+    def test_sync_not_journaled_as_proxy_writes(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        phil.store.update("resources", None, {"status": "busy"})
+        device.sync()
+        assert len(host.session("phil").journal) == 0
+
+
+class TestHandback:
+    def test_reconnect_replays_proxy_writes(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        world.take_down("phil")
+        caller.engine.execute("phil", "res", "set_status", "slot1", "busy")
+        caller.engine.execute("phil", "res", "set_status", "slot2", "busy")
+        world.bring_up("phil")
+        applied = device.reconnect()
+        assert applied == 2
+        assert phil.store.get("resources", "slot1")["status"] == "busy"
+        assert phil.store.get("resources", "slot2")["status"] == "busy"
+
+    def test_full_cycle_device_and_replica_converge(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        from repro.datastore.predicate import where
+
+        # Device-side change, synced.
+        phil.store.update("resources", where("key") == "slot1", {"status": "busy"})
+        device.sync()
+        # Down; proxy-side change.
+        world.take_down("phil")
+        caller.engine.execute("phil", "res", "set_status", "slot2", "reserved")
+        # Back up; handback.
+        world.bring_up("phil")
+        device.reconnect()
+        replica = host.session("phil").replica
+        assert phil.store.select("resources") == replica.select("resources")
+
+    def test_handback_clears_journal(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        world.take_down("phil")
+        caller.engine.execute("phil", "res", "set_status", "slot1", "busy")
+        world.bring_up("phil")
+        device.reconnect()
+        assert len(host.session("phil").journal) == 0
+        # Second reconnect replays nothing.
+        assert device.reconnect() == 0
+
+
+class TestDirectoryIntegration:
+    def test_announce_down_marks_offline(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        device.announce_down()
+        assert phil.directory.lookup_user("phil")["online"] is False
+        world.take_down("phil")
+        world.bring_up("phil")
+        device.reconnect()
+        assert phil.directory.lookup_user("phil")["online"] is True
+
+    def test_control_object_sessions_listing(self, proxy_world):
+        world, host, phil, device, caller = proxy_world
+        assert caller.engine.execute_on_node("proxy-1", "_syd_proxy", "sessions") == ["phil"]
+        assert (
+            caller.engine.execute_on_node("proxy-1", "_syd_proxy", "serving_calls", "phil")
+            == 0
+        )

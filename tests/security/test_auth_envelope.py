@@ -1,0 +1,94 @@
+"""Tests for auth tables and credential envelopes."""
+
+import pytest
+
+from repro.datastore.store import RelationalStore
+from repro.security.auth import AUTH_TABLE, AuthTable
+from repro.security.envelope import Credentials, seal, unseal
+from repro.util.errors import AuthenticationError
+
+
+@pytest.fixture
+def auth():
+    return AuthTable(RelationalStore("phil"))
+
+
+class TestAuthTable:
+    def test_grant_and_check(self, auth):
+        auth.grant("andy", "pw")
+        auth.check("andy", "pw")
+        assert auth.is_authorized("andy", "pw")
+
+    def test_wrong_password(self, auth):
+        auth.grant("andy", "pw")
+        with pytest.raises(AuthenticationError):
+            auth.check("andy", "nope")
+        assert not auth.is_authorized("andy", "nope")
+
+    def test_unknown_user(self, auth):
+        with pytest.raises(AuthenticationError):
+            auth.check("ghost", "pw")
+
+    def test_grant_updates_password(self, auth):
+        auth.grant("andy", "old")
+        auth.grant("andy", "new")
+        assert auth.is_authorized("andy", "new")
+        assert not auth.is_authorized("andy", "old")
+
+    def test_revoke(self, auth):
+        auth.grant("andy", "pw")
+        assert auth.revoke("andy") is True
+        assert auth.revoke("andy") is False
+        assert not auth.is_authorized("andy", "pw")
+
+    def test_authorized_users(self, auth):
+        auth.grant("a", "1")
+        auth.grant("b", "2")
+        assert auth.authorized_users() == ["a", "b"]
+
+    def test_passwords_stored_hashed(self, auth):
+        auth.grant("andy", "hunter2")
+        row = auth.store.get(AUTH_TABLE, "andy")
+        assert "hunter2" not in row["password_hash"]
+
+    def test_table_reused_if_exists(self):
+        store = RelationalStore("x")
+        AuthTable(store).grant("a", "1")
+        again = AuthTable(store)
+        assert again.is_authorized("a", "1")
+
+
+class TestEnvelope:
+    def test_seal_unseal_roundtrip(self):
+        creds = Credentials("phil", "secret-pw")
+        envelope = seal(creds, "net-pass")
+        assert unseal(envelope, "net-pass") == creds
+
+    def test_envelope_is_hex_and_opaque(self):
+        envelope = seal(Credentials("phil", "pw"), "net-pass")
+        bytes.fromhex(envelope)  # valid hex
+        assert "phil" not in envelope
+        assert "pw" not in envelope
+
+    def test_wrong_network_passphrase(self):
+        envelope = seal(Credentials("phil", "pw"), "net-pass")
+        with pytest.raises(AuthenticationError):
+            unseal(envelope, "other-pass")
+
+    def test_garbage_envelope(self):
+        with pytest.raises(AuthenticationError):
+            unseal("not-hex!!", "p")
+        with pytest.raises(AuthenticationError):
+            unseal("abcd", "p")
+
+    def test_newline_in_user_rejected(self):
+        with pytest.raises(AuthenticationError):
+            seal(Credentials("a\nb", "pw"), "p")
+
+    def test_password_may_contain_newline(self):
+        creds = Credentials("phil", "p\nw")
+        assert unseal(seal(creds, "k"), "k") == creds
+
+    def test_unicode_credentials(self):
+        creds = Credentials("phïl", "päss")
+        assert unseal(seal(creds, "k"), "k") == creds

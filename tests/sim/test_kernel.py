@@ -1,0 +1,165 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.kernel import EventScheduler
+from repro.util.clock import VirtualClock
+
+
+def test_events_fire_in_time_order():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(2.0, fired.append, "b")
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(3.0, fired.append, "c")
+    sched.run_until(10.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sched = EventScheduler()
+    fired = []
+    for name in ["first", "second", "third"]:
+        sched.schedule(1.0, fired.append, name)
+    sched.run_until(1.0)
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_times():
+    clock = VirtualClock()
+    sched = EventScheduler(clock)
+    times = []
+    sched.schedule(1.5, lambda: times.append(clock.now()))
+    sched.schedule(4.0, lambda: times.append(clock.now()))
+    sched.run_until(5.0)
+    assert times == [1.5, 4.0]
+    assert clock.now() == 5.0
+
+
+def test_run_until_leaves_future_events():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "early")
+    sched.schedule(9.0, fired.append, "late")
+    sched.run_until(5.0)
+    assert fired == ["early"]
+    assert sched.pending() == 1
+
+
+def test_negative_delay_rejected():
+    sched = EventScheduler()
+    with pytest.raises(ValueError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sched = EventScheduler(VirtualClock(10.0))
+    with pytest.raises(ValueError):
+        sched.schedule_at(5.0, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sched = EventScheduler()
+    fired = []
+    handle = sched.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sched.run_until(5.0)
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_pending_ignores_cancelled():
+    sched = EventScheduler()
+    h = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    h.cancel()
+    assert sched.pending() == 1
+
+
+def test_event_may_schedule_more_events():
+    sched = EventScheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sched.schedule(1.0, chain, n + 1)
+
+    sched.schedule(1.0, chain, 1)
+    sched.run_until(10.0)
+    assert fired == [1, 2, 3]
+
+
+def test_periodic_task_fires_repeatedly():
+    sched = EventScheduler()
+    fired = []
+    sched.every(2.0, lambda: fired.append(sched.clock.now()))
+    sched.run_until(7.0)
+    assert fired == [2.0, 4.0, 6.0]
+
+
+def test_periodic_task_cancel_stops_it():
+    sched = EventScheduler()
+    fired = []
+    handle = sched.every(1.0, lambda: fired.append(1))
+    sched.run_until(2.5)
+    handle.cancel()
+    sched.run_until(10.0)
+    assert len(fired) == 2
+
+
+def test_periodic_rejects_bad_interval():
+    sched = EventScheduler()
+    with pytest.raises(ValueError):
+        sched.every(0.0, lambda: None)
+
+
+def test_run_all_drains_queue():
+    sched = EventScheduler()
+    fired = []
+    sched.schedule(5.0, fired.append, "a")
+    sched.schedule(1.0, fired.append, "b")
+    n = sched.run_all()
+    assert n == 2
+    assert fired == ["b", "a"]
+    assert sched.pending() == 0
+
+
+def test_run_all_guards_against_infinite_loops():
+    sched = EventScheduler()
+
+    def reschedule():
+        sched.schedule(1.0, reschedule)
+
+    sched.schedule(1.0, reschedule)
+    with pytest.raises(RuntimeError):
+        sched.run_all(max_events=50)
+
+
+def test_events_fire_late_when_clock_ran_ahead():
+    """The clock is shared with the transport, which can advance it past
+    a queued event's due time; the event must fire late, not crash."""
+    clock = VirtualClock()
+    sched = EventScheduler(clock)
+    seen = []
+    sched.schedule(5.0, lambda: seen.append(clock.now()))
+    clock.advance(9.0)  # transport traffic ran the clock ahead
+    sched.run_until(10.0)
+    assert seen == [9.0]
+    assert clock.now() == 10.0
+
+
+def test_run_all_with_clock_ahead():
+    clock = VirtualClock()
+    sched = EventScheduler(clock)
+    sched.schedule(1.0, lambda: None)
+    clock.advance(3.0)
+    assert sched.run_all() == 1
+
+
+def test_fired_counter():
+    sched = EventScheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    sched.run_until(3.0)
+    assert sched.fired == 2

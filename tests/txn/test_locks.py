@@ -1,0 +1,72 @@
+"""Tests for the entity lock manager."""
+
+import pytest
+
+from repro.txn.locks import LockManager
+from repro.util.errors import LockNotHeldError, LockUnavailableError
+
+
+def test_try_lock_free_entity():
+    lm = LockManager()
+    assert lm.try_lock("slot", "t1")
+    assert lm.holder("slot") == "t1"
+    assert lm.is_locked("slot")
+
+
+def test_try_lock_held_by_other_refused():
+    lm = LockManager()
+    lm.try_lock("slot", "t1")
+    assert not lm.try_lock("slot", "t2")
+    assert lm.refusals == 1
+
+
+def test_reentrant_for_same_owner():
+    lm = LockManager()
+    assert lm.try_lock("slot", "t1")
+    assert lm.try_lock("slot", "t1")
+    lm.unlock("slot", "t1")
+    assert lm.is_locked("slot")  # depth 2 -> 1
+    lm.unlock("slot", "t1")
+    assert not lm.is_locked("slot")
+
+
+def test_lock_raises_when_unavailable():
+    lm = LockManager()
+    lm.lock("slot", "t1")
+    with pytest.raises(LockUnavailableError):
+        lm.lock("slot", "t2")
+
+
+def test_unlock_not_held_raises():
+    lm = LockManager()
+    with pytest.raises(LockNotHeldError):
+        lm.unlock("slot", "t1")
+    lm.lock("slot", "t1")
+    with pytest.raises(LockNotHeldError):
+        lm.unlock("slot", "t2")
+
+
+def test_release_all():
+    lm = LockManager()
+    lm.lock("a", "t1")
+    lm.lock("b", "t1")
+    lm.lock("c", "t2")
+    assert lm.release_all("t1") == 2
+    assert lm.locked_count() == 1
+    assert lm.holder("c") == "t2"
+
+
+def test_jsonish_entity_keys_canonicalized():
+    lm = LockManager()
+    assert lm.try_lock({"day": 3, "hour": 9}, "t1")
+    # Same logical entity, different dict ordering.
+    assert not lm.try_lock({"hour": 9, "day": 3}, "t2")
+    assert lm.try_lock(["x", {"a": 1}], "t3")
+    assert lm.holder(["x", {"a": 1}]) == "t3"
+
+
+def test_acquisition_counter():
+    lm = LockManager()
+    lm.try_lock("a", "t")
+    lm.try_lock("a", "t")
+    assert lm.acquisitions == 2

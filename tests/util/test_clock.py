@@ -1,0 +1,55 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now() == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(5.5).now() == 5.5
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(-1.0)
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now() == pytest.approx(2.0)
+
+
+def test_advance_zero_is_allowed():
+    clock = VirtualClock(3.0)
+    clock.advance(0.0)
+    assert clock.now() == 3.0
+
+
+def test_advance_negative_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    clock.advance_to(10.0)
+    assert clock.now() == 10.0
+
+
+def test_advance_to_same_time_is_noop():
+    clock = VirtualClock(4.0)
+    clock.advance_to(4.0)
+    assert clock.now() == 4.0
+
+
+def test_advance_to_past_rejected():
+    clock = VirtualClock(4.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(3.9)

@@ -1,0 +1,96 @@
+"""Tests for the intra-node event bus."""
+
+import pytest
+
+from repro.util.events import EventBus, topic_matches
+
+
+class TestTopicMatching:
+    def test_exact_match(self):
+        assert topic_matches("store.insert", "store.insert")
+
+    def test_exact_mismatch(self):
+        assert not topic_matches("store.insert", "store.update")
+
+    def test_star_matches_everything(self):
+        assert topic_matches("*", "anything.at.all")
+
+    def test_trailing_star_matches_subtopics(self):
+        assert topic_matches("store.*", "store.insert")
+        assert topic_matches("store.*", "store.row.update")
+
+    def test_trailing_star_does_not_match_other_prefix(self):
+        assert not topic_matches("store.*", "link.insert")
+
+    def test_pattern_longer_than_topic(self):
+        assert not topic_matches("a.b.c", "a.b")
+
+    def test_topic_longer_than_exact_pattern(self):
+        assert not topic_matches("a.b", "a.b.c")
+
+
+class TestEventBus:
+    def test_publish_reaches_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("greet", lambda t, p: seen.append((t, p)))
+        n = bus.publish("greet", who="world")
+        assert n == 1
+        assert seen == [("greet", {"who": "world"})]
+
+    def test_publish_counts_multiple_subscribers(self):
+        bus = EventBus()
+        bus.subscribe("t", lambda t, p: None)
+        bus.subscribe("t", lambda t, p: None)
+        bus.subscribe("other", lambda t, p: None)
+        assert bus.publish("t") == 2
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("store.*", lambda t, p: seen.append(t))
+        bus.publish("store.insert")
+        bus.publish("store.delete")
+        bus.publish("link.create")
+        assert seen == ["store.insert", "store.delete"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        unsub = bus.subscribe("t", lambda t, p: seen.append(t))
+        bus.publish("t")
+        unsub()
+        bus.publish("t")
+        assert seen == ["t"]
+        assert bus.subscriber_count() == 0
+
+    def test_unsubscribe_twice_is_harmless(self):
+        bus = EventBus()
+        unsub = bus.subscribe("t", lambda t, p: None)
+        unsub()
+        unsub()
+
+    def test_handler_exception_propagates(self):
+        bus = EventBus()
+
+        def boom(topic, payload):
+            raise RuntimeError("handler bug")
+
+        bus.subscribe("t", boom)
+        with pytest.raises(RuntimeError):
+            bus.publish("t")
+
+    def test_handler_may_subscribe_during_publish(self):
+        bus = EventBus()
+        seen = []
+
+        def first(topic, payload):
+            bus.subscribe("t", lambda t, p: seen.append("late"))
+            seen.append("first")
+
+        bus.subscribe("t", first)
+        bus.publish("t")
+        # The late subscriber must not receive the in-flight event.
+        assert seen == ["first"]
+        bus.publish("t")
+        assert "late" in seen

@@ -1,0 +1,80 @@
+"""Tests for the execution tracer."""
+
+import pytest
+
+from repro.util.clock import VirtualClock
+from repro.util.trace import Tracer
+
+
+def test_record_and_read_back():
+    tracer = Tracer()
+    tracer.record("A", "mark", slot=3)
+    tracer.record("B", "lock")
+    events = tracer.events()
+    assert len(events) == 2
+    assert events[0].actor == "A"
+    assert events[0].step == "mark"
+    assert events[0].detail == {"slot": 3}
+
+
+def test_timestamps_come_from_clock():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    tracer.record("A", "one")
+    clock.advance(2.0)
+    tracer.record("A", "two")
+    ts = [e.t for e in tracer.events()]
+    assert ts == [0.0, 2.0]
+
+
+def test_steps_compact_view():
+    tracer = Tracer()
+    tracer.record("A", "mark")
+    tracer.record("B", "change")
+    assert tracer.steps() == [("A", "mark"), ("B", "change")]
+
+
+def test_filter_by_actor_and_step():
+    tracer = Tracer()
+    tracer.record("A", "mark")
+    tracer.record("B", "mark")
+    tracer.record("A", "change")
+    assert len(tracer.filter(actor="A")) == 2
+    assert len(tracer.filter(step="mark")) == 2
+    assert len(tracer.filter(actor="A", step="mark")) == 1
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    tracer.record("A", "mark")
+    assert tracer.events() == []
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.record("A", "mark")
+    tracer.clear()
+    assert tracer.events() == []
+
+
+def test_assert_order_accepts_subsequence():
+    tracer = Tracer()
+    for actor, step in [("A", "mark"), ("B", "mark"), ("B", "lock"), ("A", "change")]:
+        tracer.record(actor, step)
+    tracer.assert_order([("A", "mark"), ("A", "change")])
+
+
+def test_assert_order_rejects_wrong_order():
+    tracer = Tracer()
+    tracer.record("A", "change")
+    tracer.record("A", "mark")
+    with pytest.raises(AssertionError):
+        tracer.assert_order([("A", "mark"), ("A", "change")])
+
+
+def test_assert_order_rejects_missing_step():
+    tracer = Tracer()
+    tracer.record("A", "mark")
+    with pytest.raises(AssertionError):
+        tracer.assert_order([("A", "unlock")])
