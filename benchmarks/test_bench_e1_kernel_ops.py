@@ -30,14 +30,25 @@ def test_bench_group_invocation_8(benchmark):
 
 
 def test_e1_shapes():
-    """Group-invocation cost grows linearly with group size."""
+    """Group-invocation messages grow linearly; batching collapses time."""
     table = exp_e1_kernel_ops(group_sizes=(2, 4, 8, 16))
     print("\n" + format_table(table["title"], table["columns"], table["rows"]))
-    group_rows = [r for r in table["rows"] if r[0] == "group invocation"]
-    messages = {r[1]: r[2] for r in group_rows}
+    batched = {r[1]: r for r in table["rows"] if r[0] == "group invocation"}
+    sequential = {
+        r[1]: r for r in table["rows"] if r[0] == "group invocation (sequential)"
+    }
+    messages = {n: r[2] for n, r in batched.items()}
     # 6 messages per member (dir lookup x2 legs, service lookup x2, invoke x2).
     assert messages[4] == 2 * messages[2]
     assert messages[16] == 2 * messages[8]
+    # Scatter-gather moves exactly the same messages as the sequential loop ...
+    for n in batched:
+        assert batched[n][2] == sequential[n][2]
+    # ... but its virtual-time cost stays ~flat instead of growing with n:
+    # at n=16 the batch must beat the sequential loop by >= 10x.
+    assert batched[16][3] <= sequential[16][3] / 10
+    # Sequential elapsed grows linearly with group size.
+    assert sequential[16][3] > 3 * sequential[4][3]
     # Single invocation beats any group invocation.
     single = next(r for r in table["rows"] if r[0] == "single invocation")
     assert single[2] < messages[2]

@@ -10,11 +10,18 @@ Run everything::
     python -m repro.bench.harness            # all experiments
     python -m repro.bench.harness --exp E4   # one experiment
     python -m repro.bench.harness --fast     # reduced sweeps
+
+Each run also writes a machine-readable ``BENCH_<id>.json`` per
+experiment (columns, rows, wall time) next to the working directory;
+``--json-dir`` redirects them, ``--no-json`` disables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
+from pathlib import Path
 from typing import Any
 
 from repro.bench.metrics import format_table, measure
@@ -47,34 +54,50 @@ def _resource_world(n_users: int, seed: int = 1) -> tuple[SyDWorld, list[str]]:
 
 # --------------------------------------------------------------------------- E1
 
-def exp_e1_kernel_ops(group_sizes=(2, 4, 8, 16, 32), seed: int = 1) -> dict[str, Any]:
-    """E1 (Figures 1-3): cost of the SyD Kernel primitives."""
+def exp_e1_kernel_ops(group_sizes=(2, 4, 8, 16, 32, 64), seed: int = 1) -> dict[str, Any]:
+    """E1 (Figures 1-3): cost of the SyD Kernel primitives.
+
+    Group invocation is measured twice per size: with the engine's
+    sequential loop (``batching = False``, the ablation baseline) and
+    with scatter-gather batching (the default). Both move the same
+    messages; only the virtual-time cost differs (sum of member round
+    trips vs ~max per wave), which is why the latency column reports
+    ``sim_elapsed`` — the virtual-clock critical path — rather than the
+    summed per-message network delay.
+    """
     world, users = _resource_world(max(group_sizes) + 1, seed)
     node = world.node(users[0])
     rows: list[list[Any]] = []
 
     with measure(world) as m:
         node.directory.lookup_user(users[1])
-    rows.append(["directory lookup", 1, m.messages, m.sim_latency * 1e3])
+    rows.append(["directory lookup", 1, m.messages, m.sim_elapsed * 1e3])
 
     with measure(world) as m:
         node.directory.form_group("g-e1", users[0], users[1:5])
-    rows.append(["group formation (4)", 4, m.messages, m.sim_latency * 1e3])
+    rows.append(["group formation (4)", 4, m.messages, m.sim_elapsed * 1e3])
 
     with measure(world) as m:
         node.engine.execute(users[1], "res", "read", "slot")
-    rows.append(["single invocation", 1, m.messages, m.sim_latency * 1e3])
+    rows.append(["single invocation", 1, m.messages, m.sim_elapsed * 1e3])
 
     for n in group_sizes:
         members = users[1 : n + 1]
+        node.engine.batching = False
         with measure(world) as m:
             node.engine.execute_group(members, "res", "read", "slot")
-        rows.append([f"group invocation", n, m.messages, m.sim_latency * 1e3])
+        rows.append(
+            ["group invocation (sequential)", n, m.messages, m.sim_elapsed * 1e3]
+        )
+        node.engine.batching = True
+        with measure(world) as m:
+            node.engine.execute_group(members, "res", "read", "slot")
+        rows.append(["group invocation", n, m.messages, m.sim_elapsed * 1e3])
 
     return {
         "id": "E1",
         "title": "E1 — SyD Kernel primitive costs (Figures 1-3)",
-        "columns": ["operation", "targets", "messages", "sim latency (ms)"],
+        "columns": ["operation", "targets", "messages", "sim elapsed (ms)"],
         "rows": rows,
     }
 
@@ -115,7 +138,7 @@ def exp_e2_negotiation(
                         )
                     successes += int(result.ok)
                     messages += m.messages
-                    latency += m.sim_latency
+                    latency += m.sim_elapsed
                 rows.append(
                     [
                         name,
@@ -135,7 +158,7 @@ def exp_e2_negotiation(
             "availability",
             "success rate",
             "messages",
-            "sim latency (ms)",
+            "sim elapsed (ms)",
         ],
         "rows": rows,
     }
@@ -169,11 +192,11 @@ def exp_e3_cancel_cascade(depths=(1, 2, 4, 8, 16, 32), seed: int = 3) -> dict[st
             )
         with measure(world) as m:
             promoted = a.links.delete_link(blocking.link_id)
-        rows.append([depth, len(promoted), m.messages, m.sim_latency * 1e3])
+        rows.append([depth, len(promoted), m.messages, m.sim_elapsed * 1e3])
     return {
         "id": "E3",
         "title": "E3 — cancel: waiting-link promotion and cascade cost (§4.4)",
-        "columns": ["waiting links", "promoted", "messages", "sim latency (ms)"],
+        "columns": ["waiting links", "promoted", "messages", "sim elapsed (ms)"],
         "rows": rows,
     }
 
@@ -212,7 +235,7 @@ def exp_e4_meeting_setup(
                     except SchedulingError:
                         failed += 1
                 messages += m.messages
-                latency += m.sim_latency
+                latency += m.sim_elapsed
             rows.append(
                 [
                     n,
@@ -234,7 +257,7 @@ def exp_e4_meeting_setup(
             "tentative",
             "failed",
             "messages/req",
-            "sim latency (ms)",
+            "sim elapsed (ms)",
         ],
         "rows": rows,
     }
@@ -610,12 +633,12 @@ def exp_e9_quorum(
                 except SchedulingError:
                     status, committed = "failed", 0
             rows.append(
-                [n_bio, f"{k}/{n_bio}", status, committed, m.messages, m.sim_latency * 1e3]
+                [n_bio, f"{k}/{n_bio}", status, committed, m.messages, m.sim_elapsed * 1e3]
             )
     return {
         "id": "E9",
         "title": "E9 — quorum / OR-group scheduling (§5 second example)",
-        "columns": ["biology n", "quorum k", "status", "committed", "messages", "sim latency (ms)"],
+        "columns": ["biology n", "quorum k", "status", "committed", "messages", "sim elapsed (ms)"],
         "rows": rows,
     }
 
@@ -696,15 +719,40 @@ def run_experiment(exp_id: str, fast: bool = False) -> dict[str, Any]:
     return fn(**kwargs)
 
 
+def write_json(table: dict[str, Any], wall_time_s: float, json_dir: str, fast: bool) -> Path:
+    """Write one experiment's table as ``BENCH_<id>.json``; returns the path."""
+    path = Path(json_dir) / f"BENCH_{table['id'].lower()}.json"
+    payload = {
+        "id": table["id"],
+        "title": table["title"],
+        "columns": table["columns"],
+        "rows": table["rows"],
+        "wall_time_s": round(wall_time_s, 3),
+        "meta": {"fast": fast},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--exp", action="append", help="experiment id (repeatable)")
     parser.add_argument("--fast", action="store_true", help="reduced sweeps")
+    parser.add_argument(
+        "--json-dir", default=".", help="directory for BENCH_<id>.json files"
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing BENCH_<id>.json"
+    )
     args = parser.parse_args(argv)
     targets = args.exp or sorted(ALL_EXPERIMENTS)
     for exp_id in targets:
+        t0 = time.perf_counter()
         table = run_experiment(exp_id.upper(), fast=args.fast)
+        wall = time.perf_counter() - t0
         print(format_table(table["title"], table["columns"], table["rows"]))
+        if not args.no_json:
+            print(f"[wrote {write_json(table, wall, args.json_dir, args.fast)}]")
         print()
     return 0
 

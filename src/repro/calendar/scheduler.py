@@ -4,6 +4,12 @@ Paper §5 steps (i)–(iv): query each participant's table for free slots in
 the window, require all participants to answer, intersect the views, and
 present the common slots. With OR-groups the requirement weakens to "at
 least k group members free" per group.
+
+All availability is fetched in **one batched group query** covering the
+required users and every OR-group member (the engine scatter-gathers the
+legs, so the whole sweep costs ~one round trip of virtual time); each
+group's k-of-n quorum is then evaluated locally against the shared
+answer set.
 """
 
 from __future__ import annotations
@@ -43,20 +49,32 @@ def candidate_slots(
     """Slots satisfying: free for every required user AND, per or-group,
     free for at least k of its members. Chronological order.
 
-    Unreachable or-group members simply contribute no availability
-    (the group may still reach quorum through others); unreachable
-    *required* users veto everything.
+    One batched query fetches availability for required ∪ all group
+    members; quorums are counted locally. Unreachable or-group members
+    simply contribute no availability (the group may still reach quorum
+    through others); unreachable *required* users veto everything.
     """
-    candidates = find_common_free_slots(engine, required, day_from, day_to)
+    required = list(dict.fromkeys(required))
+    if not required:
+        return []
+    everyone = list(
+        dict.fromkeys([*required, *(m for g in or_groups for m in g.members)])
+    )
+    availability = engine.execute_group(
+        everyone, "calendar", "query_free_slots", day_from, day_to
+    )
+    by_user = {r.member: r for r in availability.results}
+
+    candidates = intersect_lists([by_user[u] for u in required])
     if not candidates:
         return []
 
     for group in or_groups:
-        availability = engine.execute_group(
-            list(group.members), "calendar", "query_free_slots", day_from, day_to
-        )
         free_counts: dict[tuple[int, int], int] = {}
-        for member_result in availability.succeeded:
+        for member in group.members:
+            member_result = by_user.get(member)
+            if member_result is None or not member_result.ok:
+                continue
             for slot in member_result.value or []:
                 key = (slot["day"], slot["hour"])
                 free_counts[key] = free_counts.get(key, 0) + 1

@@ -9,11 +9,24 @@ published on a dedicated server node, and — dogfooding the paper's own
 architecture — keeps its records in a :class:`RelationalStore`. Other
 nodes talk to it through :class:`DirectoryClient`, a typed stub over the
 ordinary remote-invocation path.
+
+Two hot-path optimizations live here:
+
+* batched lookups — ``lookup_users_many`` / ``lookup_services_many``
+  resolve a whole group through one scatter-gather batch
+  (:meth:`Transport.rpc_many`), so group resolution costs ~one round
+  trip of virtual time instead of one per member;
+* :class:`DirectoryCache` — an opt-in client-side cache keyed by the
+  directory's *epoch*, a version counter the service bumps on every
+  mutation (publish, proxy change, unregister, group edits). A stale
+  epoch flushes the whole cache, so a cached ``lookup_user`` observes a
+  proxy reassignment or an unregister on the very next call after the
+  bump.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.datastore.predicate import where
 from repro.datastore.schema import Column, ColumnType, schema
@@ -36,6 +49,9 @@ class SyDDirectoryService(SyDDeviceObject):
     def __init__(self, store: RelationalStore | None = None):
         store = store or RelationalStore("directory")
         super().__init__(DIRECTORY_OBJECT, store)
+        #: version counter bumped on every mutation; client caches compare
+        #: against it to decide whether their entries are still valid.
+        self.epoch = 0
         store.create_table(
             "users",
             schema(
@@ -69,6 +85,15 @@ class SyDDirectoryService(SyDDeviceObject):
             ),
         )
 
+    def _bump(self) -> None:
+        """Invalidate every client cache: the records just changed."""
+        self.epoch += 1
+
+    @exported
+    def directory_epoch(self) -> int:
+        """Current mutation epoch (for cache validation / diagnostics)."""
+        return self.epoch
+
     # -- users ---------------------------------------------------------------
 
     @exported
@@ -82,6 +107,7 @@ class SyDDirectoryService(SyDDeviceObject):
         """Register a user and the node their device object lives on."""
         if self.store.get("users", user_id) is not None:
             raise DuplicateRegistrationError(f"user {user_id!r} already published")
+        self._bump()
         return self.store.insert(
             "users",
             {
@@ -108,12 +134,14 @@ class SyDDirectoryService(SyDDeviceObject):
     @exported
     def set_online(self, user_id: str, online: bool) -> None:
         """Mark a user's device up or down (proxy failover hint)."""
+        self._bump()
         if self.store.update("users", where("user_id") == user_id, {"online": online}) == 0:
             raise UnknownUserError(f"user {user_id!r} is not published")
 
     @exported
     def set_proxy(self, user_id: str, proxy_node: str | None) -> None:
         """Bind (or clear) a user's proxy node."""
+        self._bump()
         if (
             self.store.update(
                 "users", where("user_id") == user_id, {"proxy_node": proxy_node}
@@ -125,6 +153,7 @@ class SyDDirectoryService(SyDDeviceObject):
     @exported
     def unpublish_user(self, user_id: str) -> None:
         """Remove a user and their service registrations."""
+        self._bump()
         if self.store.delete("users", where("user_id") == user_id) == 0:
             raise UnknownUserError(f"user {user_id!r} is not published")
         self.store.delete("services", where("user_id") == user_id)
@@ -141,6 +170,7 @@ class SyDDirectoryService(SyDDeviceObject):
         key = f"{user_id}/{service}"
         if self.store.get("services", key) is not None:
             raise DuplicateRegistrationError(f"service {key!r} already registered")
+        self._bump()
         self.store.insert(
             "services",
             {
@@ -168,6 +198,7 @@ class SyDDirectoryService(SyDDeviceObject):
     @exported
     def unregister_service(self, user_id: str, service: str) -> bool:
         """Remove one service registration; returns True when it existed."""
+        self._bump()
         return (
             self.store.delete("services", where("service_key") == f"{user_id}/{service}")
             > 0
@@ -183,6 +214,7 @@ class SyDDirectoryService(SyDDeviceObject):
         for member in members:
             if self.store.get("users", member) is None:
                 raise UnknownUserError(f"group member {member!r} is not published")
+        self._bump()
         self.store.insert(
             "groups", {"group_id": group_id, "owner": owner, "members": list(members)}
         )
@@ -203,6 +235,7 @@ class SyDDirectoryService(SyDDeviceObject):
             raise UnknownUserError(f"user {user_id!r} is not published")
         if user_id not in members:
             members.append(user_id)
+            self._bump()
             self.store.update(
                 "groups", where("group_id") == group_id, {"members": members}
             )
@@ -213,6 +246,7 @@ class SyDDirectoryService(SyDDeviceObject):
         members = self.group_members(group_id)
         if user_id in members:
             members.remove(user_id)
+            self._bump()
             self.store.update(
                 "groups", where("group_id") == group_id, {"members": members}
             )
@@ -220,6 +254,7 @@ class SyDDirectoryService(SyDDeviceObject):
     @exported
     def disband_group(self, group_id: str) -> None:
         """Delete a group."""
+        self._bump()
         if self.store.delete("groups", where("group_id") == group_id) == 0:
             raise UnknownGroupError(f"no group {group_id!r}")
 
@@ -229,38 +264,166 @@ class SyDDirectoryService(SyDDeviceObject):
         return [r["group_id"] for r in self.store.select("groups")]
 
 
+#: Sentinel distinguishing "no cached entry" from a cached ``None``.
+_MISS = object()
+
+
+class DirectoryCache:
+    """Client-side cache of directory lookups with epoch invalidation.
+
+    ``epoch_source`` returns the directory's current mutation epoch; the
+    simulated world wires it to the in-process service counter, modeling
+    the out-of-band invalidation channel (lease/push multicast) a real
+    deployment would use — validation therefore costs no simulated
+    messages. Whenever the observed epoch differs from the epoch the
+    entries were filled at, the whole cache is flushed, so a proxy
+    reassignment or an unregister is visible on the next lookup.
+    """
+
+    def __init__(self, epoch_source: Callable[[], int]):
+        self.epoch_source = epoch_source
+        self._entries: dict[tuple, Any] = {}
+        self._filled_epoch: int | None = None
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def _validate(self) -> None:
+        current = self.epoch_source()
+        if current != self._filled_epoch:
+            if self._entries:
+                self.flushes += 1
+            self._entries.clear()
+            self._filled_epoch = current
+
+    def get(self, key: tuple) -> Any:
+        """Cached value for ``key``, or the ``_MISS`` sentinel."""
+        self._validate()
+        if key in self._entries:
+            self.hits += 1
+            value = self._entries[key]
+            # Rows are mutable dicts/lists; hand out copies so callers
+            # cannot corrupt the cache.
+            if isinstance(value, dict):
+                return dict(value)
+            if isinstance(value, list):
+                return list(value)
+            return value
+        self.misses += 1
+        return _MISS
+
+    def put(self, key: tuple, value: Any) -> None:
+        self._validate()
+        if isinstance(value, dict):
+            value = dict(value)
+        elif isinstance(value, list):
+            value = list(value)
+        self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class DirectoryClient:
     """Client stub: typed methods over the remote-invocation path.
 
     Every method is one RPC to the directory node's ``_syd_directory``
     object; errors surface as the same typed exceptions the service
-    raises (the transport marshals them).
+    raises (the transport marshals them). ``lookup_users_many`` /
+    ``lookup_services_many`` resolve several records through one
+    scatter-gather batch. An attached :class:`DirectoryCache` serves
+    repeated lookups without any traffic until the directory epoch moves.
     """
 
     def __init__(self, node_id: str, transport, directory_node: str = DEFAULT_DIRECTORY_NODE):
         self.node_id = node_id
         self.transport = transport
         self.directory_node = directory_node
+        self.cache: DirectoryCache | None = None
+
+    def attach_cache(self, cache: DirectoryCache) -> None:
+        """Serve ``lookup_*`` / ``group_members`` reads from ``cache``."""
+        self.cache = cache
+
+    def _payload(self, method: str, args: tuple, kwargs: dict) -> dict[str, Any]:
+        return {
+            "object": DIRECTORY_OBJECT,
+            "method": method,
+            "args": list(args),
+            "kwargs": kwargs,
+        }
 
     def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         reply = self.transport.rpc(
-            self.node_id,
-            self.directory_node,
-            "invoke",
-            {
-                "object": DIRECTORY_OBJECT,
-                "method": method,
-                "args": list(args),
-                "kwargs": kwargs,
-            },
+            self.node_id, self.directory_node, "invoke", self._payload(method, args, kwargs)
         )
         return reply.get("result")
+
+    def _cached_call(self, key: tuple, method: str, *args: Any) -> Any:
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not _MISS:
+                return hit
+        value = self._call(method, *args)
+        if self.cache is not None:
+            self.cache.put(key, value)
+        return value
+
+    def _call_many(
+        self, requests: list[tuple[tuple, str, tuple]]
+    ) -> list[tuple[Any, Exception | None]]:
+        """Resolve ``(cache_key, method, args)`` requests, batching misses.
+
+        Returns one ``(value, error)`` pair per request. Cache hits cost
+        nothing; all misses travel in a single ``rpc_many`` batch (~one
+        round trip of virtual time). Errors are the same typed exceptions
+        the sequential path raises.
+        """
+        results: list[tuple[Any, Exception | None]] = [(None, None)] * len(requests)
+        miss_indexes: list[int] = []
+        for i, (key, _method, _args) in enumerate(requests):
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not _MISS:
+                    results[i] = (hit, None)
+                    continue
+            miss_indexes.append(i)
+        if miss_indexes:
+            legs = [
+                (self.directory_node, "invoke", self._payload(requests[i][1], requests[i][2], {}))
+                for i in miss_indexes
+            ]
+            outcomes = self.transport.rpc_many(self.node_id, legs)
+            for i, outcome in zip(miss_indexes, outcomes):
+                if outcome.ok:
+                    value = (outcome.value or {}).get("result")
+                    if self.cache is not None:
+                        self.cache.put(requests[i][0], value)
+                    results[i] = (value, None)
+                else:
+                    results[i] = (None, outcome.error)
+        return results
+
+    def lookup_users_many(self, user_ids) -> list[tuple[dict[str, Any] | None, Exception | None]]:
+        """Batched ``lookup_user`` over many ids: one ``(record, error)`` each."""
+        return self._call_many(
+            [(("user", uid), "lookup_user", (uid,)) for uid in user_ids]
+        )
+
+    def lookup_services_many(self, pairs) -> list[tuple[dict[str, Any] | None, Exception | None]]:
+        """Batched ``lookup_service`` over ``(user_id, service)`` pairs."""
+        return self._call_many(
+            [
+                (("service", uid, svc), "lookup_service", (uid, svc))
+                for uid, svc in pairs
+            ]
+        )
 
     def publish_user(self, user_id, node_id, proxy_node=None, info=None):
         return self._call("publish_user", user_id, node_id, proxy_node=proxy_node, info=info)
 
     def lookup_user(self, user_id):
-        return self._call("lookup_user", user_id)
+        return self._cached_call(("user", user_id), "lookup_user", user_id)
 
     def list_users(self):
         return self._call("list_users")
@@ -278,7 +441,7 @@ class DirectoryClient:
         return self._call("register_service", user_id, service, object_name, methods)
 
     def lookup_service(self, user_id, service):
-        return self._call("lookup_service", user_id, service)
+        return self._cached_call(("service", user_id, service), "lookup_service", user_id, service)
 
     def services_of(self, user_id):
         return self._call("services_of", user_id)
@@ -290,7 +453,7 @@ class DirectoryClient:
         return self._call("form_group", group_id, owner, members)
 
     def group_members(self, group_id):
-        return self._call("group_members", group_id)
+        return self._cached_call(("group", group_id), "group_members", group_id)
 
     def add_member(self, group_id, user_id):
         return self._call("add_member", group_id, user_id)
@@ -303,3 +466,6 @@ class DirectoryClient:
 
     def list_groups(self):
         return self._call("list_groups")
+
+    def directory_epoch(self):
+        return self._call("directory_epoch")

@@ -12,10 +12,21 @@ Resolution order for ``execute(user, service, method)``:
 2. RPC the user's home node.
 3. On :class:`UnreachableError`: RPC the user's proxy node, if any,
    with the same payload (the proxy hosts/mirrors the user's objects).
+
+Group execution is *scatter-gather* (the prototype issued group calls as
+concurrent Java-RMI invocations): :meth:`SyDEngine.execute_calls` runs
+batched waves — directory resolution for every member in one
+``rpc_many`` batch, then one batch of ``invoke`` legs to the home nodes,
+then a second batched wave re-trying unreachable legs at their proxies.
+Message counts are identical to the sequential loop; only the virtual
+clock advance shrinks from the sum of member round trips to the max.
+Set ``engine.batching = False`` to fall back to the sequential loop
+(used by benchmarks as the ablation baseline).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.kernel.aggregate import Aggregator, GroupResult, InvocationResult
@@ -23,6 +34,32 @@ from repro.kernel.directory import DirectoryClient
 from repro.net.transport import Transport
 from repro.security.envelope import Credentials, seal
 from repro.util.errors import ReproError, UnreachableError
+
+
+@dataclass(frozen=True)
+class CallSpec:
+    """One member call of a batched group execution."""
+
+    user: str
+    service: str
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class CallOutcome:
+    """Per-member outcome of a batched execution.
+
+    ``error`` holds the same typed exception the sequential
+    ``execute`` path would have raised for this member.
+    """
+
+    user: str
+    ok: bool
+    value: Any = None
+    error: Exception | None = None
+    via_proxy: bool = False
 
 
 class SyDEngine:
@@ -44,6 +81,8 @@ class SyDEngine:
         #: count of calls that were served by a proxy instead of the device
         self.proxy_fallbacks = 0
         self.calls = 0
+        #: scatter-gather group execution (False = sequential ablation)
+        self.batching = True
 
     # -- low level -------------------------------------------------------------
 
@@ -94,6 +133,105 @@ class SyDEngine:
             reply = self.transport.rpc(self.node_id, proxy, "invoke", payload)
             return reply.get("result")
 
+    # -- batched execution -----------------------------------------------------------
+
+    def execute_calls(self, specs: Sequence[CallSpec]) -> list[CallOutcome]:
+        """Run every spec with per-member outcomes (never raises per member).
+
+        Batched mode resolves and invokes in scatter-gather waves:
+        member failures — unknown user/service, unreachable device with
+        no proxy, remote handler errors — are captured per member, and
+        legs that failed with :class:`UnreachableError` retry at the
+        member's proxy in one second batched wave. Sequential mode
+        (``batching = False``) loops :meth:`execute`, capturing the same
+        errors; both modes move the same messages.
+        """
+        if not specs:
+            return []
+        if not self.batching:
+            outcomes = []
+            for spec in specs:
+                try:
+                    value = self.execute(
+                        spec.user, spec.service, spec.method, *spec.args, **spec.kwargs
+                    )
+                    outcomes.append(CallOutcome(spec.user, True, value))
+                except ReproError as exc:
+                    outcomes.append(CallOutcome(spec.user, False, error=exc))
+            return outcomes
+
+        outcomes: list[CallOutcome | None] = [None] * len(specs)
+
+        # Wave 0a: user records for every member, one batch.
+        user_lookups = self.directory.lookup_users_many([s.user for s in specs])
+        resolved: list[int] = []
+        for i, (record, error) in enumerate(user_lookups):
+            if error is not None:
+                outcomes[i] = CallOutcome(specs[i].user, False, error=error)
+            else:
+                resolved.append(i)
+
+        # Wave 0b: service records for members whose user resolved.
+        svc_lookups = self.directory.lookup_services_many(
+            [(specs[i].user, specs[i].service) for i in resolved]
+        )
+        pending: list[tuple[int, dict[str, Any], str]] = []
+        for i, (svc, error) in zip(resolved, svc_lookups):
+            if error is not None:
+                outcomes[i] = CallOutcome(specs[i].user, False, error=error)
+            else:
+                pending.append((i, user_lookups[i][0], svc["object_name"]))
+
+        # Wave 1: concurrent invoke legs at the members' home nodes.
+        legs = [
+            (
+                record["node_id"],
+                "invoke",
+                self._payload(object_name, specs[i].method, specs[i].args, specs[i].kwargs),
+            )
+            for i, record, object_name in pending
+        ]
+        self.calls += len(legs)
+        results = self.transport.rpc_many(self.node_id, legs)
+
+        retry: list[tuple[int, dict[str, Any], str]] = []
+        for (i, record, object_name), outcome in zip(pending, results):
+            if outcome.ok:
+                outcomes[i] = CallOutcome(
+                    specs[i].user, True, (outcome.value or {}).get("result")
+                )
+            elif isinstance(outcome.error, UnreachableError) and record.get("proxy_node"):
+                retry.append((i, record, object_name))
+            else:
+                outcomes[i] = CallOutcome(specs[i].user, False, error=outcome.error)
+
+        # Wave 2: batched proxy failover for the unreachable legs.
+        if retry:
+            proxy_legs = []
+            for i, record, object_name in retry:
+                payload = self._payload(
+                    object_name, specs[i].method, specs[i].args, specs[i].kwargs
+                )
+                payload["for_user"] = specs[i].user
+                proxy_legs.append((record["proxy_node"], "invoke", payload))
+            self.calls += len(proxy_legs)
+            self.proxy_fallbacks += len(proxy_legs)
+            proxy_results = self.transport.rpc_many(self.node_id, proxy_legs)
+            for (i, _record, _object_name), outcome in zip(retry, proxy_results):
+                if outcome.ok:
+                    outcomes[i] = CallOutcome(
+                        specs[i].user,
+                        True,
+                        (outcome.value or {}).get("result"),
+                        via_proxy=True,
+                    )
+                else:
+                    outcomes[i] = CallOutcome(
+                        specs[i].user, False, error=outcome.error, via_proxy=True
+                    )
+
+        return outcomes  # type: ignore[return-value]
+
     # -- group execution -------------------------------------------------------------
 
     def execute_group(
@@ -113,20 +251,31 @@ class SyDEngine:
         does not break the group call (the aggregator decides policy).
         When ``per_user_args`` is given it overrides ``args`` per member.
 
+        All member legs travel as one scatter-gather batch (per wave), so
+        the group costs ~one round trip of virtual time regardless of n.
+
         Returns the :class:`GroupResult`, or the aggregated value when an
         ``aggregator`` is supplied.
         """
         if isinstance(users, str):
             users = self.directory.group_members(users)
-        results = []
-        for user in users:
-            member_args = per_user_args(user) if per_user_args else args
-            try:
-                value = self.execute(user, service, method, *member_args, **kwargs)
-                results.append(InvocationResult(user, True, value))
-            except ReproError as exc:
-                results.append(
-                    InvocationResult(user, False, None, type(exc).__name__, str(exc))
-                )
+        specs = [
+            CallSpec(
+                user,
+                service,
+                method,
+                per_user_args(user) if per_user_args else args,
+                kwargs,
+            )
+            for user in users
+        ]
+        results = [
+            InvocationResult(o.user, True, o.value)
+            if o.ok
+            else InvocationResult(
+                o.user, False, None, type(o.error).__name__, str(o.error)
+            )
+            for o in self.execute_calls(specs)
+        ]
         group = GroupResult(tuple(results))
         return group.aggregate(aggregator) if aggregator else group

@@ -89,12 +89,18 @@ class GroupManager:
                     handler(payload)
 
             self._watched[group_id] = self.node.events.on_global(topic, on_event)
-        for member in self.members(group_id):
-            if member == self.node.user:
+        others = [m for m in self.members(group_id) if m != self.node.user]
+        # Resolve every member in one batched directory query; unreachable
+        # or unknown members are skipped, as in the sequential loop.
+        for member, (record, error) in zip(
+            others, self.node.directory.lookup_users_many(others)
+        ):
+            if error is not None:
+                if not isinstance(error, NetworkError):
+                    raise error
                 continue
             try:
-                member_node = self.node.directory.lookup_user(member)["node_id"]
-                self.node.events.subscribe_remote(member_node, topic)
+                self.node.events.subscribe_remote(record["node_id"], topic)
             except NetworkError:
                 continue
 

@@ -24,7 +24,7 @@ from repro.datastore.predicate import where
 from repro.datastore.schema import Column, ColumnType, schema
 from repro.datastore.store import DataStore
 from repro.device.object import SyDDeviceObject, exported
-from repro.kernel.engine import SyDEngine
+from repro.kernel.engine import CallSpec, SyDEngine
 from repro.kernel.linktypes import (
     Link,
     LinkRef,
@@ -263,22 +263,32 @@ class SyDLinks:
                 for e in entries
                 if e["group_id"] in group_ids or (e["priority"] == top and not e["group_id"])
             ]
-        promoted_ids = []
+        promoted: dict[str, bool] = {}
+        remote_entries = []
         for entry in winners:
             self.store.delete(WAITING_TABLE, where("waiting_id") == entry["waiting_id"])
-            target_owner = entry["waiting_owner"]
-            try:
-                if target_owner == self.user:
+            if entry["waiting_owner"] == self.user:
+                try:
                     self.promote_link(entry["waiting_link"])
-                else:
-                    self.engine.execute(
-                        target_owner, LINKS_SERVICE, "promote_remote", entry["waiting_link"]
-                    )
-                promoted_ids.append(entry["waiting_link"])
-            except (NetworkError, UnknownLinkError):
-                # Waiter vanished; its entry is dropped either way.
-                continue
-        return promoted_ids
+                    promoted[entry["waiting_id"]] = True
+                except UnknownLinkError:
+                    # Waiter vanished; its entry is dropped either way.
+                    continue
+            else:
+                remote_entries.append(entry)
+        # All remote promotions travel as one scatter-gather wave.
+        outcomes = self.engine.execute_calls(
+            [
+                CallSpec(e["waiting_owner"], LINKS_SERVICE, "promote_remote", (e["waiting_link"],))
+                for e in remote_entries
+            ]
+        )
+        for entry, outcome in zip(remote_entries, outcomes):
+            if outcome.ok:
+                promoted[entry["waiting_id"]] = True
+            elif not isinstance(outcome.error, (NetworkError, UnknownLinkError)):
+                raise outcome.error
+        return [e["waiting_link"] for e in winners if promoted.get(e["waiting_id"])]
 
     # -- op 4: link deletion (with cascading) -------------------------------------------
 
@@ -313,21 +323,27 @@ class SyDLinks:
         self.bus.publish("link.deleted", link=link)
 
         if cascade:
+            # One concurrent wave to every referenced peer. All legs
+            # carry the same visited list (including every peer of this
+            # wave), matching the concurrent semantics: peers notified
+            # together must not re-cascade to each other.
+            peers: list[str] = []
             for ref in link.refs:
-                if ref.user in visited or ref.user == self.user:
+                if ref.user in visited or ref.user == self.user or ref.user in peers:
                     continue
-                visited.append(ref.user)
-                try:
-                    self.engine.execute(
-                        ref.user,
-                        LINKS_SERVICE,
-                        "cascade_delete",
-                        link.cascade_id,
-                        visited,
-                    )
-                except NetworkError:
-                    # Peer is down; its expiry sweep will clean up later.
-                    continue
+                peers.append(ref.user)
+            visited.extend(peers)
+            outcomes = self.engine.execute_calls(
+                [
+                    CallSpec(peer, LINKS_SERVICE, "cascade_delete", (link.cascade_id, visited))
+                    for peer in peers
+                ]
+            )
+            for outcome in outcomes:
+                # A down peer is fine (its expiry sweep will clean up
+                # later); anything else is protocol-breaking.
+                if not outcome.ok and not isinstance(outcome.error, NetworkError):
+                    raise outcome.error
         return promoted
 
     def delete_links_by_context(self, key: str, value: Any, *, cascade: bool = False) -> int:
@@ -436,7 +452,7 @@ class SyDLinks:
         source entity to other entities that subscribe to it" (§4.2).
         Unreachable peers are skipped. Returns notifications delivered.
         """
-        delivered = 0
+        specs = []
         for link in self.links_for_entity(entity):
             if link.ltype is not LinkType.SUBSCRIPTION:
                 continue
@@ -445,13 +461,16 @@ class SyDLinks:
             for ref in link.refs:
                 if ref.on_change is None:
                     continue
-                try:
-                    self.engine.execute(
-                        ref.user, ref.service, ref.on_change, ref.entity, payload
-                    )
-                    delivered += 1
-                except NetworkError:
-                    continue
+                specs.append(
+                    CallSpec(ref.user, ref.service, ref.on_change, (ref.entity, payload))
+                )
+        # The whole fan-out is one scatter-gather wave.
+        delivered = 0
+        for outcome in self.engine.execute_calls(specs):
+            if outcome.ok:
+                delivered += 1
+            elif not isinstance(outcome.error, NetworkError):
+                raise outcome.error
         return delivered
 
 

@@ -4,12 +4,27 @@ Every experiment in EXPERIMENTS.md reports messages/bytes moved and total
 simulated network latency; :class:`NetworkStats` collects those as the
 transport delivers traffic. ``snapshot``/``delta`` let harness code
 measure a single operation inside a longer-running world.
+
+Scatter-gather batches (``Transport.rpc_many``) are accounted twice:
+every leg's delay lands in the ordinary per-message counters (so
+``latency`` remains total network *busy time*, independent of
+concurrency), and the batch itself increments ``concurrent_batches`` /
+``batched_legs`` plus a coarse histogram of batch critical-path delays.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
+
+
+def latency_bucket(delay: float) -> str:
+    """Power-of-two millisecond bucket label for a batch delay."""
+    ms = delay * 1e3
+    if ms <= 1.0:
+        return "<=1ms"
+    return f"<={2 ** math.ceil(math.log2(ms))}ms"
 
 
 @dataclass
@@ -23,6 +38,9 @@ class StatsSnapshot:
     dropped: int = 0
     unreachable: int = 0
     by_kind: Counter = field(default_factory=Counter)
+    concurrent_batches: int = 0
+    batched_legs: int = 0
+    batch_latency_hist: Counter = field(default_factory=Counter)
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier``."""
@@ -34,6 +52,9 @@ class StatsSnapshot:
             dropped=self.dropped - earlier.dropped,
             unreachable=self.unreachable - earlier.unreachable,
             by_kind=self.by_kind - earlier.by_kind,
+            concurrent_batches=self.concurrent_batches - earlier.concurrent_batches,
+            batched_legs=self.batched_legs - earlier.batched_legs,
+            batch_latency_hist=self.batch_latency_hist - earlier.batch_latency_hist,
         )
 
 
@@ -48,6 +69,9 @@ class NetworkStats:
         self.dropped = 0
         self.unreachable = 0
         self.by_kind: Counter = Counter()
+        self.concurrent_batches = 0
+        self.batched_legs = 0
+        self.batch_latency_hist: Counter = Counter()
 
     def record_delivery(self, kind: str, size: int, delay: float, is_reply: bool) -> None:
         """Account one successfully delivered message leg."""
@@ -64,6 +88,12 @@ class NetworkStats:
     def record_unreachable(self) -> None:
         self.unreachable += 1
 
+    def record_batch(self, legs: int, max_delay: float) -> None:
+        """Account one scatter-gather batch of ``legs`` concurrent calls."""
+        self.concurrent_batches += 1
+        self.batched_legs += legs
+        self.batch_latency_hist[latency_bucket(max_delay)] += 1
+
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters."""
         return StatsSnapshot(
@@ -74,6 +104,9 @@ class NetworkStats:
             dropped=self.dropped,
             unreachable=self.unreachable,
             by_kind=Counter(self.by_kind),
+            concurrent_batches=self.concurrent_batches,
+            batched_legs=self.batched_legs,
+            batch_latency_hist=Counter(self.batch_latency_hist),
         )
 
     def reset(self) -> None:

@@ -8,7 +8,15 @@ the reply, and returns the handler's result. Protocol state machines are
 identical to an asynchronous implementation, but execution is
 deterministic and message/latency accounting is exact.
 
-Failure semantics:
+Group operations use :meth:`Transport.rpc_many` — the scatter-gather
+path modeling the prototype's concurrent Java-RMI invocations: all legs
+of a batch are considered in flight simultaneously, so the shared clock
+advances by the *max* request+reply delay across the batch while every
+leg's delay is still individually charged to :class:`NetworkStats`.
+Per-leg failures come back as :class:`RpcOutcome` records instead of
+aborting the whole batch.
+
+Failure semantics (``rpc``; per leg for ``rpc_many``):
 
 * destination down / partitioned → :class:`UnreachableError`
 * a fault drop-rule matches        → :class:`MessageDropped`
@@ -20,7 +28,8 @@ Failure semantics:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 from repro.net.address import NodeAddress
 from repro.net.faults import FaultPlan
@@ -39,6 +48,31 @@ from repro.util.idgen import IdGenerator
 
 #: A node-side dispatcher: receives (message) and returns a payload dict.
 Handler = Callable[[Message], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class RpcCall:
+    """One leg of a scatter-gather batch (see :meth:`Transport.rpc_many`)."""
+
+    dst: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RpcOutcome:
+    """Per-leg result of a scatter-gather batch.
+
+    Exactly one of ``value`` / ``error`` is set. ``delay`` is the
+    request+reply network delay attributed to this leg (0.0 when the leg
+    failed before delivery — unreachable destination or fault drop).
+    """
+
+    dst: str
+    ok: bool
+    value: dict[str, Any] | None = None
+    error: Exception | None = None
+    delay: float = 0.0
 
 
 class Transport:
@@ -91,8 +125,13 @@ class Transport:
 
     # -- traffic -----------------------------------------------------------
 
-    def _deliver(self, msg: Message) -> None:
-        """Advance the clock and account one message leg, or raise."""
+    def _deliver(self, msg: Message, advance: bool = True) -> float:
+        """Account one message leg (or raise); returns its delay.
+
+        With ``advance`` the clock moves immediately (the sequential
+        ``rpc``/``send`` path); batched legs pass ``advance=False`` and
+        let :meth:`rpc_many` advance once by the batch maximum.
+        """
         if msg.src not in self._addresses:
             raise UnreachableError(f"source node {msg.src!r} not attached")
         if msg.dst not in self._handlers:
@@ -105,10 +144,12 @@ class Transport:
             self.stats.record_dropped()
             raise MessageDropped(f"message {msg.msg_id} ({msg.kind}) dropped by fault rule")
         delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
-        self.clock.advance(delay)
+        if advance:
+            self.clock.advance(delay)
         self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
         for tap in self.taps:
             tap(msg)
+        return delay
 
     def send(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> None:
         """One-way message: deliver to the destination handler, ignore result."""
@@ -137,7 +178,76 @@ class Transport:
         self._account_reply(msg, result)
         return result
 
-    def _account_reply(self, request: Message, payload: dict[str, Any]) -> None:
+    def rpc_many(
+        self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
+    ) -> list[RpcOutcome]:
+        """Scatter-gather: issue every call as a concurrent in-flight leg.
+
+        Models the prototype's concurrent RMI invocations: each leg's
+        request and reply delays are charged to :class:`NetworkStats`
+        individually (message counts and total network busy-time are
+        identical to issuing the calls sequentially), but the shared
+        clock advances only once, by the **maximum** request+reply delay
+        across the batch — a group call costs ~one round trip of virtual
+        time instead of the sum.
+
+        Per-leg failures (unreachable destination, fault drop, remote
+        handler error) are captured as failed :class:`RpcOutcome` records
+        rather than raised, so one dead device never aborts the batch.
+        Legs that fail before delivery contribute zero delay; the clock
+        advance equals the max over *attempted* legs. Handlers execute
+        inline in call order (nested traffic they cause is accounted as
+        usual), keeping runs deterministic.
+
+        Only an unattached *source* raises, since no leg could be sent.
+        """
+        legs = [c if isinstance(c, RpcCall) else RpcCall(*c) for c in calls]
+        if not legs:
+            return []
+        if src not in self._addresses:
+            raise UnreachableError(f"source node {src!r} not attached")
+        outcomes: list[RpcOutcome] = []
+        max_delay = 0.0
+        for call in legs:
+            msg = Message(self._ids.next("msg"), src, call.dst, call.kind, call.payload)
+            try:
+                delay = self._deliver(msg, advance=False)
+            except (UnreachableError, MessageDropped) as exc:
+                outcomes.append(RpcOutcome(call.dst, False, error=exc))
+                continue
+            try:
+                result = self._handlers[call.dst](msg)
+            except ReproError as exc:
+                delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
+                error = (
+                    type(exc)(*exc.args)
+                    if type(exc).__name__ in ERRORS_BY_NAME
+                    else exc
+                )
+                outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
+            except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+                delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
+                outcomes.append(
+                    RpcOutcome(
+                        call.dst,
+                        False,
+                        error=RemoteError(type(exc).__name__, str(exc)),
+                        delay=delay,
+                    )
+                )
+            else:
+                if result is None:
+                    result = {}
+                delay += self._account_reply(msg, result, advance=False)
+                outcomes.append(RpcOutcome(call.dst, True, value=result, delay=delay))
+            max_delay = max(max_delay, delay)
+        self.clock.advance(max_delay)
+        self.stats.record_batch(len(legs), max_delay)
+        return outcomes
+
+    def _account_reply(
+        self, request: Message, payload: dict[str, Any], advance: bool = True
+    ) -> float:
         reply = Message(
             self._ids.next("msg"),
             request.dst,
@@ -149,11 +259,14 @@ class Transport:
         # The reply leg can also fail if the requester went down mid-call;
         # for the synchronous model we only account it, since the caller is
         # by construction still waiting.
-        if self.faults.reachable(request.dst, request.src):
-            delay = self.latency.delay(
-                self._addresses[request.dst], self._addresses[request.src], reply
-            )
+        if not self.faults.reachable(request.dst, request.src):
+            return 0.0
+        delay = self.latency.delay(
+            self._addresses[request.dst], self._addresses[request.src], reply
+        )
+        if advance:
             self.clock.advance(delay)
-            self.stats.record_delivery(reply.kind, reply.size_bytes, delay, True)
-            for tap in self.taps:
-                tap(reply)
+        self.stats.record_delivery(reply.kind, reply.size_bytes, delay, True)
+        for tap in self.taps:
+            tap(reply)
+        return delay

@@ -26,6 +26,7 @@ from repro.datastore.liststore import ListStore
 from repro.datastore.store import DataStore, RelationalStore
 from repro.kernel.directory import (
     DEFAULT_DIRECTORY_NODE,
+    DirectoryCache,
     SyDDirectoryService,
 )
 from repro.kernel.listener import SyDListener
@@ -56,6 +57,7 @@ class SyDWorld:
         latency: LatencyModel | str = "campus",
         auth_passphrase: str | None = None,
         directory_node: str = DEFAULT_DIRECTORY_NODE,
+        directory_cache: bool = False,
     ):
         self.clock = VirtualClock()
         self.scheduler = EventScheduler(self.clock)
@@ -81,6 +83,20 @@ class SyDWorld:
             NodeAddress(directory_node, DeviceClass.SERVER),
             lambda msg: self._directory_listener.handle_invoke(msg),
         )
+        self._directory_cache_enabled = False
+        if directory_cache:
+            self.enable_directory_cache()
+
+    def enable_directory_cache(self) -> None:
+        """Give every node (current and future) an epoch-validated
+        directory cache (opt-in; see :class:`DirectoryCache`)."""
+        self._directory_cache_enabled = True
+        for node in self.nodes.values():
+            if node.directory.cache is None:
+                node.directory.attach_cache(self._new_directory_cache())
+
+    def _new_directory_cache(self) -> DirectoryCache:
+        return DirectoryCache(lambda: self.directory_service.epoch)
 
     # -- topology -----------------------------------------------------------------
 
@@ -123,6 +139,8 @@ class SyDWorld:
             auth_passphrase=self.auth_passphrase,
         )
         self.nodes[user] = node
+        if self._directory_cache_enabled:
+            node.directory.attach_cache(self._new_directory_cache())
         if join:
             node.join(proxy_node=proxy_node, info=info)
         if credentials is not None:

@@ -1,0 +1,112 @@
+"""Tests for the epoch-validated directory lookup cache."""
+
+import pytest
+
+from repro.kernel.directory import DirectoryCache
+from repro.util.errors import UnknownUserError
+from repro.world import SyDWorld
+
+
+def make_world(**kwargs):
+    world = SyDWorld(seed=1, **kwargs)
+    world.add_node("phil")
+    world.add_node("andy", proxy_node=None)
+    return world
+
+
+class TestCacheUnit:
+    def test_miss_then_hit(self):
+        epoch = [0]
+        cache = DirectoryCache(lambda: epoch[0])
+        assert cache.get(("user", "phil")) != {"node_id": "n1"}
+        assert cache.misses == 1
+        cache.put(("user", "phil"), {"node_id": "n1"})
+        assert cache.get(("user", "phil")) == {"node_id": "n1"}
+        assert cache.hits == 1
+
+    def test_epoch_bump_flushes_everything(self):
+        epoch = [0]
+        cache = DirectoryCache(lambda: epoch[0])
+        cache.put(("user", "phil"), {"node_id": "n1"})
+        cache.put(("user", "andy"), {"node_id": "n2"})
+        assert len(cache) == 2
+        epoch[0] += 1
+        cache.get(("user", "phil"))
+        assert len(cache) == 0
+        assert cache.flushes == 1
+
+    def test_cached_values_are_copies(self):
+        cache = DirectoryCache(lambda: 0)
+        cache.put(("user", "phil"), {"node_id": "n1"})
+        cache.get(("user", "phil"))["node_id"] = "tampered"
+        assert cache.get(("user", "phil")) == {"node_id": "n1"}
+
+
+class TestCachedClient:
+    def test_cache_hit_costs_no_messages(self):
+        world = make_world(directory_cache=True)
+        node = world.node("phil")
+        node.directory.lookup_user("andy")
+        before = world.stats.snapshot()
+        record = node.directory.lookup_user("andy")
+        delta = world.stats.snapshot().delta(before)
+        assert delta.messages == 0
+        assert record["user_id"] == "andy"
+
+    def test_uncached_world_pays_every_time(self):
+        world = make_world()
+        node = world.node("phil")
+        node.directory.lookup_user("andy")
+        before = world.stats.snapshot()
+        node.directory.lookup_user("andy")
+        assert world.stats.snapshot().delta(before).messages == 2
+
+    def test_proxy_reassignment_visible_after_epoch_bump(self):
+        world = make_world(directory_cache=True)
+        node = world.node("phil")
+        assert node.directory.lookup_user("andy").get("proxy_node") is None
+        # Another node changes andy's proxy: the service epoch bumps, so
+        # phil's next (cached) lookup refetches and sees the new proxy.
+        world.node("andy").directory.set_proxy("andy", "proxy-9")
+        assert node.directory.lookup_user("andy")["proxy_node"] == "proxy-9"
+
+    def test_unregister_visible_after_epoch_bump(self):
+        world = make_world(directory_cache=True)
+        node = world.node("phil")
+        node.directory.lookup_user("andy")
+        world.node("andy").directory.unpublish_user("andy")
+        with pytest.raises(UnknownUserError):
+            node.directory.lookup_user("andy")
+
+    def test_service_lookup_cached_and_invalidated(self):
+        world = make_world(directory_cache=True)
+        phil = world.node("phil")
+        svc = phil.directory.lookup_service("andy", "_syd_links")
+        before = world.stats.snapshot()
+        assert phil.directory.lookup_service("andy", "_syd_links") == svc
+        assert world.stats.snapshot().delta(before).messages == 0
+
+    def test_batched_lookups_fill_and_use_the_cache(self):
+        world = make_world(directory_cache=True)
+        world.add_node("carol")
+        phil = world.node("phil")
+        phil.directory.lookup_users_many(["andy", "carol"])
+        before = world.stats.snapshot()
+        results = phil.directory.lookup_users_many(["andy", "carol"])
+        assert world.stats.snapshot().delta(before).messages == 0
+        assert [r[0]["user_id"] for r in results] == ["andy", "carol"]
+
+    def test_enable_directory_cache_covers_future_nodes(self):
+        world = make_world()
+        world.enable_directory_cache()
+        late = world.add_node("late")
+        assert late.directory.cache is not None
+        late.directory.lookup_user("phil")
+        before = world.stats.snapshot()
+        late.directory.lookup_user("phil")
+        assert world.stats.snapshot().delta(before).messages == 0
+
+    def test_epoch_query_matches_service(self):
+        world = make_world(directory_cache=True)
+        node = world.node("phil")
+        assert node.directory.directory_epoch() == world.directory_service.epoch

@@ -1,0 +1,130 @@
+"""Negotiation over scatter-gather batches stays all-or-nothing.
+
+The coordinator now sends each protocol phase (mark, change, unmark) as
+one concurrent batch. These tests pin the §4.3 guarantees under per-leg
+faults: an unreachable target is a refusal, not an abort of the batch;
+AND with a dead member changes nothing anywhere; OR commits only on the
+reachable members; and the sequential ablation (``batching = False``)
+reaches byte-identical results.
+"""
+
+import pytest
+
+from repro.txn.coordinator import AND, OR, Participant, at_least
+
+
+def part(user, entity="slot1"):
+    return Participant(user, entity, "res")
+
+
+def status_of(nodes, user, key="slot1"):
+    return nodes[user].store.get("resources", key)["status"]
+
+
+class TestFaultsPerLeg:
+    def test_and_with_dead_member_changes_nothing_anywhere(self, world, trio):
+        world.take_down("c")
+        result = trio["a"].coordinator.execute(part("a"), [part("b"), part("c")], AND)
+        assert not result.ok
+        assert result.refused == ["c"]
+        assert result.changed == []
+        assert status_of(trio, "a") == "free"
+        assert status_of(trio, "b") == "free"
+
+    def test_or_with_dead_member_commits_on_the_reachable(self, world, trio):
+        world.take_down("c")
+        result = trio["a"].coordinator.execute(part("a"), [part("b"), part("c")], OR)
+        assert result.ok
+        assert result.locked == ["b"]
+        assert result.refused == ["c"]
+        assert status_of(trio, "a") == "reserved"
+        assert status_of(trio, "b") == "reserved"
+        world.bring_up("c")
+        assert status_of(trio, "c") == "free"
+
+    def test_k_of_n_survives_one_dead_member(self, world, trio):
+        world.take_down("b")
+        result = trio["a"].coordinator.execute(
+            part("a"), [part("b"), part("c")], at_least(1)
+        )
+        assert result.ok
+        assert result.locked == ["c"]
+
+    def test_all_targets_dead_aborts_cleanly(self, world, trio):
+        world.take_down("b")
+        world.take_down("c")
+        result = trio["a"].coordinator.execute(part("a"), [part("b"), part("c")], OR)
+        assert not result.ok
+        assert "constraint" in (result.failure_reason or "")
+        assert status_of(trio, "a") == "free"
+
+    def test_remote_crash_in_mark_phase_counts_as_refusal(self, trio):
+        # b's mark handler explodes; the crash surfaces as a RemoteError
+        # leg outcome (a NetworkError), so — exactly as in the sequential
+        # protocol — b refuses, the AND aborts, and every acquired lock
+        # is released.
+        def boom(entity, txn_id, *args):
+            raise RuntimeError("marker corrupted")
+
+        registry = trio["b"].listener.registry
+        registry.unregister("b_res", "mark")
+        registry.register("b_res", "mark", boom)
+        result = trio["a"].coordinator.execute(part("a"), [part("b"), part("c")], AND)
+        assert not result.ok
+        assert "b" in result.refused
+        assert trio["a"].locks.locked_count() == 0
+        assert trio["c"].locks.locked_count() == 0
+        assert status_of(trio, "c") == "free"
+
+
+class TestBatchedEqualsSequential:
+    @pytest.mark.parametrize("constraint", [AND, OR])
+    def test_same_outcome_and_messages(self, constraint):
+        from repro.world import SyDWorld
+        from repro.device.resource import ResourceObject
+
+        outcomes = {}
+        for batching in (True, False):
+            world = SyDWorld(seed=7)
+            nodes = {}
+            for user in ["a", "b", "c"]:
+                node = world.add_node(user)
+                obj = ResourceObject(f"{user}_res", node.store, node.locks)
+                node.listener.publish_object(obj, user_id=user, service="res")
+                obj.add("slot1")
+                nodes[user] = node
+                node.engine.batching = batching
+            world.take_down("c")
+            result = nodes["a"].coordinator.execute(
+                part("a"), [part("b"), part("c")], constraint
+            )
+            outcomes[batching] = (
+                result.ok,
+                result.locked,
+                result.refused,
+                result.changed,
+                world.stats.messages,
+                status_of(nodes, "a"),
+                status_of(nodes, "b"),
+            )
+        assert outcomes[True] == outcomes[False]
+
+    def test_two_batched_runs_are_deterministic(self):
+        from repro.world import SyDWorld
+        from repro.device.resource import ResourceObject
+
+        snapshots = []
+        for _ in range(2):
+            world = SyDWorld(seed=11)
+            nodes = {}
+            for user in ["a", "b", "c", "d"]:
+                node = world.add_node(user)
+                obj = ResourceObject(f"{user}_res", node.store, node.locks)
+                node.listener.publish_object(obj, user_id=user, service="res")
+                obj.add("slot1")
+                nodes[user] = node
+            nodes["a"].coordinator.execute(
+                part("a"), [part("b"), part("c"), part("d")], AND
+            )
+            snapshots.append((world.now, world.stats.snapshot()))
+        assert snapshots[0] == snapshots[1]
