@@ -2,10 +2,14 @@
 
 Runs a compact version of every headline scenario and prints what
 happened; handy as a smoke test of an installation.
+
+``python -m repro chaos`` runs a deterministic chaos campaign instead
+(seeded fault schedules + invariant checkers; see repro.chaos).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro import SyDWorld
@@ -14,7 +18,7 @@ from repro.calendar.appobject import CommitteeCalendars
 from repro.calendar.model import OrGroup
 
 
-def main() -> int:
+def tour() -> int:
     print(__doc__)
     world = SyDWorld(seed=2003)
     app = SyDCalendarApp(world)
@@ -65,6 +69,85 @@ def main() -> int:
     print("\nSee examples/ for deeper scenarios and "
           "`python -m repro.bench.harness` for the experiment tables.")
     return 0
+
+
+def chaos_main(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosCampaign, ChaosConfig
+
+    config = ChaosConfig(
+        seed=args.seed,
+        episodes=args.episodes,
+        users=args.users,
+        ops=args.ops,
+        duration=args.duration,
+        intensity=args.intensity,
+        retry=not args.no_retry,
+        shrink=not args.no_shrink,
+        episode=args.episode,
+        schedule_json=args.schedule,
+    )
+    result = ChaosCampaign(config).run()
+    lines = result.log_lines()
+    print("\n".join(lines))
+    if args.log:
+        with open(args.log, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+    total = len(result.episodes)
+    ops_ok = sum(e.ops_ok for e in result.episodes)
+    ops_failed = sum(e.ops_failed for e in result.episodes)
+    messages = sum(e.messages for e in result.episodes)
+    retries = sum(e.retries for e in result.episodes)
+    recovered = sum(e.retry_successes for e in result.episodes)
+    print(
+        f"campaign: {result.survived}/{total} episodes clean, "
+        f"{ops_ok} ops ok / {ops_failed} failed, {messages} messages, "
+        f"{retries} retries ({recovered} recovered)"
+    )
+    if not result.ok:
+        failing = next(e for e in result.episodes if not e.ok)
+        print(f"first failing episode: {failing.index} "
+              f"({len(failing.violations)} violations)")
+        if result.shrunk is not None:
+            print(f"minimal failing prefix: {len(result.shrunk)}/"
+                  f"{len(failing.schedule)} fault events")
+        print(f"repro: {result.repro}")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Guided tour (no arguments) or chaos campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    chaos = sub.add_parser(
+        "chaos", help="run a deterministic fault-schedule campaign"
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    chaos.add_argument("--episodes", type=int, default=10)
+    chaos.add_argument("--users", type=int, default=6)
+    chaos.add_argument("--ops", type=int, default=40, help="workload ops per episode")
+    chaos.add_argument("--duration", type=float, default=120.0,
+                       help="virtual seconds per episode")
+    chaos.add_argument("--intensity", type=float, default=1.0,
+                       help="fault-rate multiplier (0 = no faults)")
+    chaos.add_argument("--no-retry", action="store_true",
+                       help="disable the engine RetryPolicy (expect violations)")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="skip bisect-shrinking a failing schedule")
+    chaos.add_argument("--episode", type=int, default=None,
+                       help="run only this episode index")
+    chaos.add_argument("--schedule", type=str, default=None,
+                       help="JSON fault schedule (from a repro command)")
+    chaos.add_argument("--log", type=str, default=None,
+                       help="also write the episode log to this file")
+    args = parser.parse_args(argv)
+    if args.command == "chaos":
+        if args.schedule is not None and args.episode is None:
+            args.episode = 0
+        return chaos_main(args)
+    return tour()
 
 
 if __name__ == "__main__":

@@ -683,6 +683,58 @@ def exp_e10_contention(
     }
 
 
+def exp_e11_chaos(
+    intensities=(0.5, 1.0, 2.0), episodes: int = 10, seed: int = 7
+) -> dict[str, Any]:
+    """E11 — chaos survivability: seeded fault campaigns with the engine
+    RetryPolicy on vs off. Reports episodes that finish with zero
+    invariant violations, total violations, and retry traffic. The
+    retry-off rows are the ablation: they show how much of the paper's
+    robustness story the retry/backoff layer carries."""
+    from repro.chaos import ChaosCampaign, ChaosConfig
+
+    rows: list[list[Any]] = []
+    for intensity in intensities:
+        for retry in (True, False):
+            config = ChaosConfig(
+                seed=seed,
+                episodes=episodes,
+                intensity=intensity,
+                retry=retry,
+                shrink=False,
+            )
+            result = ChaosCampaign(config).run()
+            violations = sum(len(e.violations) for e in result.episodes)
+            messages = sum(e.messages for e in result.episodes)
+            retries = sum(e.retries for e in result.episodes)
+            recovered = sum(e.retry_successes for e in result.episodes)
+            rows.append(
+                [
+                    f"{intensity:g}",
+                    "on" if retry else "off",
+                    f"{result.survived}/{len(result.episodes)}",
+                    violations,
+                    messages,
+                    retries,
+                    recovered,
+                ]
+            )
+    return {
+        "id": "E11",
+        "title": "E11 — chaos survivability: fault campaigns, retry on vs off",
+        "columns": [
+            "intensity",
+            "retry",
+            "clean episodes",
+            "violations",
+            "messages",
+            "retries",
+            "recovered",
+        ],
+        "rows": rows,
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -695,6 +747,7 @@ ALL_EXPERIMENTS = {
     "E8B": exp_e8b_storage_scaling,
     "E9": exp_e9_quorum,
     "E10": exp_e10_contention,
+    "E11": exp_e11_chaos,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -705,6 +758,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E6": {"fanouts": (1, 4, 8)},
     "E8B": {"populations": (2, 4, 8)},
     "E9": {"bio_sizes": (4,), "quorums": (0.5,)},
+    "E11": {"intensities": (1.0,), "episodes": 5},
 }
 
 

@@ -255,7 +255,7 @@ class MeetingManager:
             "title": title,
         }
         initiator = Participant(self.user, slot, CAL_SERVICE, mark_args=(priority, meeting_id))
-        result = self.node.coordinator.execute_multi(initiator, groups, change)
+        result = self._negotiate_or_compensate(initiator, groups, change, slot, meeting_id)
         if not result.ok:
             self._last_refused = list(result.refused)
             return None
@@ -322,7 +322,7 @@ class MeetingManager:
             "title": title,
         }
         initiator = Participant(self.user, slot, CAL_SERVICE, mark_args=(priority, meeting_id))
-        result = self.node.coordinator.execute_multi(initiator, groups, change)
+        result = self._negotiate_or_compensate(initiator, groups, change, slot, meeting_id)
         if not result.ok:
             return None
         committed = _dedup(result.changed)
@@ -354,6 +354,28 @@ class MeetingManager:
         )
         self.scheduled_tentative += 1
         return meeting
+
+    def _negotiate_or_compensate(self, initiator, groups, change, slot, meeting_id):
+        """Run the negotiation; if it *raises* after partially applying
+        changes (a change or unlock leg died on a dead network), release
+        the slot at everyone before re-raising — the reservation must
+        not outlive the aborted attempt. ``release_slot`` ignores slots
+        referencing other meetings, so compensation is idempotent."""
+        try:
+            return self.node.coordinator.execute_multi(initiator, groups, change)
+        except ReproError:
+            try:
+                self.service.release_slot(slot, meeting_id)
+            except ReproError:
+                pass
+            for user in _dedup([t.user for targets, _c in groups for t in targets]):
+                try:
+                    self.node.engine.execute(
+                        user, CAL_SERVICE, "release_slot", slot, meeting_id
+                    )
+                except NetworkError:
+                    continue
+            raise
 
     # ------------------------------------------------------------------ links
 
@@ -950,6 +972,191 @@ class MeetingManager:
             self._distribute(meeting)
             return {"granted": True, "reason": f"replacement found: {joined}"}
         return {"granted": False, "reason": "quorum would break, no replacement"}
+
+    # ------------------------------------------------------------------ reconcile
+
+    def reconcile(self) -> dict[str, int]:
+        """Pull-based anti-entropy after downtime or a partition heal.
+
+        A device that was unreachable misses ``store_meeting`` /
+        ``set_meeting_status`` / ``release_slot`` updates — the senders
+        deliberately skip unreachable peers (their stale copies "degrade
+        correctly" only once traffic resumes). On reconnection the device
+        asks each meeting's *initiator* — the authoritative copy — for
+        current state and adopts it: statuses converge, stale
+        reservations are released (firing availability triggers, so
+        waiting tentative meetings get their chance), and links of dead
+        meetings are pruned. Reservations whose meeting row never arrived
+        are resolved the same way via the initiator encoded in the
+        meeting id. For meetings this user initiated, participants that
+        lost the slot while we were away (priority bumps) are detected
+        and handed to the normal bump path.
+
+        Returns counters: ``adopted``/``released``/``pruned``/``bumped``.
+        """
+        from repro.datastore.predicate import where
+
+        counts = {
+            "adopted": 0, "released": 0, "pruned": 0, "bumped": 0,
+            "repushed": 0, "unlocked": 0,
+        }
+        live = (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
+
+        # 0. Dead negotiations: a crash mid-negotiation loses the
+        #    best-effort unlock legs, so peers may still hold locks owned
+        #    by our transactions. With no negotiation on the stack, every
+        #    lock carrying our ``txn-<node>-`` prefix is stale — shed
+        #    them fleet-wide (peers that are unreachable right now drop
+        #    theirs on their own restart: the lock table is volatile).
+        if not self.node.coordinator.busy:
+            prefix = f"txn-{self.node.engine.node_id}-"
+            try:
+                roster = self.node.directory.list_users()
+            except NetworkError:
+                roster = []  # directory unreachable; retried next reconcile
+            for user in roster:
+                try:
+                    counts["unlocked"] += int(
+                        self.node.engine.execute(
+                            user, CAL_SERVICE, "release_txn_locks", prefix
+                        )
+                    )
+                except NetworkError:
+                    continue
+
+        # 1. Meetings we hold a copy of but did not initiate: adopt the
+        #    initiator's authoritative row.
+        for meeting in list(self.service.calendar.meetings()):
+            if meeting.initiator == self.user:
+                continue
+            authoritative = self._authoritative_copy(meeting.meeting_id, meeting.initiator)
+            if authoritative is None:
+                continue  # initiator unreachable; try again next reconcile
+            if authoritative.to_row() != meeting.to_row():
+                self.service.calendar.put_meeting(authoritative)
+                counts["adopted"] += 1
+            counts["released"] += self._align_slots(authoritative, live)
+            if authoritative.status not in live:
+                counts["pruned"] += self.node.links.delete_links_by_context(
+                    "meeting_id", meeting.meeting_id
+                )
+
+        # 2. Orphaned reservations: slot rows referencing a meeting we
+        #    have no row for (the negotiation's change applied here but
+        #    the distribution leg was lost, or the meeting aborted).
+        occupied = self.service.calendar.store.select(
+            "slots", (where("status") == "reserved") | (where("status") == "held")
+        )
+        for row in occupied:
+            mid = row.get("meeting_id")
+            if not mid or self.service.calendar.has_meeting(mid):
+                continue
+            initiator = self._initiator_of(mid)
+            authoritative = (
+                self._authoritative_copy(mid, initiator) if initiator else None
+            )
+            if authoritative is not None and self.user in authoritative.committed:
+                # We missed the meeting row but legitimately hold the slot.
+                self.service.calendar.put_meeting(authoritative)
+                counts["adopted"] += 1
+                counts["released"] += self._align_slots(authoritative, live)
+            else:
+                entity = {"day": row["day"], "hour": row["hour"]}
+                self.service.release_slot(entity, mid)
+                counts["released"] += 1
+
+        # 3. Meetings we initiated. Dead ones first: a cancel/bump whose
+        #    remote legs were lost (e.g. we crashed mid-cancel) leaves
+        #    participants holding slots for a meeting we know is dead —
+        #    re-push the terminal status and slot releases (idempotent;
+        #    release_slot is a no-op unless the slot still names us).
+        for meeting in list(self.service.calendar.meetings()):
+            if meeting.initiator != self.user or meeting.status in live:
+                continue
+            for user in _dedup([*meeting.committed, *meeting.participants]):
+                if user == self.user:
+                    continue
+                try:
+                    self.node.engine.execute(
+                        user, CAL_SERVICE, "set_meeting_status",
+                        meeting.meeting_id, meeting.status.value,
+                    )
+                    self.node.engine.execute(
+                        user, CAL_SERVICE, "release_slot",
+                        meeting.slot, meeting.meeting_id,
+                    )
+                    counts["repushed"] += 1
+                except NetworkError:
+                    continue
+
+        #    Live ones: a committed participant whose slot no longer
+        #    references the meeting lost it to a higher-priority bump
+        #    while we were unreachable.
+        for meeting in list(self.service.calendar.meetings()):
+            if meeting.initiator != self.user or meeting.status not in live:
+                continue
+            for user in meeting.committed:
+                if user == self.user:
+                    continue
+                try:
+                    slot_row = self.node.engine.execute(
+                        user, CAL_SERVICE, "get_slot", meeting.slot
+                    )
+                except NetworkError:
+                    continue
+                if slot_row.get("meeting_id") != meeting.meeting_id:
+                    self._on_meeting_bumped(
+                        "calendar.meeting_bumped",
+                        {"meeting_id": meeting.meeting_id, "user": user},
+                    )
+                    counts["bumped"] += 1
+                    break
+        return counts
+
+    def _authoritative_copy(self, meeting_id: str, initiator: str) -> Meeting | None:
+        """The initiator's current row as a Meeting; a meeting the
+        initiator no longer knows counts as cancelled. None when the
+        initiator cannot be reached (or is this user)."""
+        if initiator == self.user:
+            return None
+        try:
+            row = self.node.engine.execute(
+                initiator, CAL_SERVICE, "get_meeting", meeting_id
+            )
+        except ReproError:
+            return None
+        if row is None:
+            if not self.service.calendar.has_meeting(meeting_id):
+                return None  # neither side knows it; caller releases the slot
+            ghost = self.service.calendar.meeting(meeting_id)
+            ghost.status = MeetingStatus.CANCELLED
+            return ghost
+        return Meeting.from_row(row)
+
+    def _align_slots(self, meeting: Meeting, live: tuple) -> int:
+        """Release every local slot held for ``meeting`` that the
+        authoritative copy no longer justifies; returns releases."""
+        released = 0
+        keep_slot = (
+            meeting.status in live and self.user in meeting.committed
+        )
+        for slot_row in self.service.calendar.slots_of_meeting(meeting.meeting_id):
+            entity = {"day": slot_row["day"], "hour": slot_row["hour"]}
+            if keep_slot and entity == meeting.slot:
+                continue
+            self.service.release_slot(entity, meeting.meeting_id)
+            released += 1
+        return released
+
+    @staticmethod
+    def _initiator_of(meeting_id: str) -> str | None:
+        """Initiator encoded in a ``mtg-<user>-<n>`` meeting id."""
+        if not meeting_id.startswith("mtg-"):
+            return None
+        stem = meeting_id[len("mtg-"):]
+        if "-" not in stem:
+            return None
+        return stem.rsplit("-", 1)[0]
 
     # ------------------------------------------------------------------ supervisor changes
 

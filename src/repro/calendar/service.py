@@ -192,6 +192,21 @@ class CalendarService(SyDDeviceObject):
             self._notify_bumped(old_meeting, slot_entity)
         return released
 
+    @exported
+    def release_txn_locks(self, owner_prefix: str) -> int:
+        """Shed locks left by an initiator's dead negotiations.
+
+        A crashed initiator never sent its best-effort unlock legs; on
+        reconnect it broadcasts its ``txn-<node>-`` prefix here. Deferred
+        bump notifications of the released transactions are flushed, as
+        ``unmark`` would have done.
+        """
+        released = self.locks.release_prefix(owner_prefix)
+        for txn_id in [t for t in self._pending_bumps if t.startswith(owner_prefix)]:
+            for old_meeting, _user, slot_entity in self._pending_bumps.pop(txn_id):
+                self._notify_bumped(old_meeting, slot_entity)
+        return released
+
     # -- lifecycle operations invoked by peers -------------------------------------------
 
     @exported

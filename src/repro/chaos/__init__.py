@@ -1,0 +1,39 @@
+"""repro.chaos — deterministic fault-schedule campaigns.
+
+Seeded chaos testing for the calendar deployment, in the
+deterministic-simulation-testing style: a campaign runs N independent
+*episodes*, each a fresh :class:`~repro.world.SyDWorld` subjected to a
+random (but fully seeded) workload of calendar operations while a
+generated :class:`FaultSchedule` crashes devices, partitions the
+network, drops messages probabilistically and churns proxy bindings via
+the shared :class:`~repro.sim.kernel.EventScheduler`. After every
+episode the network is healed, disturbed devices reconcile, and a suite
+of system-wide :mod:`invariant checkers <repro.chaos.invariants>` runs.
+
+Failing episodes print a one-line repro command and the runner
+bisect-shrinks the fault schedule to a minimal failing prefix. Same
+seed ⇒ byte-identical episode log.
+
+Entry points: ``python -m repro chaos ...`` or::
+
+    from repro.chaos import ChaosConfig, ChaosCampaign
+    result = ChaosCampaign(ChaosConfig(seed=7, episodes=25)).run()
+"""
+
+from repro.chaos.campaign import CampaignResult, ChaosCampaign, ChaosConfig, EpisodeResult
+from repro.chaos.invariants import Violation, run_invariant_checks
+from repro.chaos.schedule import FaultEvent, FaultSchedule, generate_schedule
+from repro.chaos.workload import Workload
+
+__all__ = [
+    "CampaignResult",
+    "ChaosCampaign",
+    "ChaosConfig",
+    "EpisodeResult",
+    "FaultEvent",
+    "FaultSchedule",
+    "Violation",
+    "Workload",
+    "generate_schedule",
+    "run_invariant_checks",
+]

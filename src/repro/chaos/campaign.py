@@ -1,0 +1,364 @@
+"""The chaos campaign runner.
+
+One *episode* = one fresh :class:`~repro.world.SyDWorld` (seed derived
+from the campaign seed and episode index) + N calendar users + a seeded
+workload interleaved with a generated :class:`FaultSchedule` fired by
+the world's own :class:`~repro.sim.kernel.EventScheduler`. At the end of
+an episode the injector heals everything, disturbed devices run
+:meth:`~repro.calendar.meetings.MeetingManager.reconcile`, the world
+settles, and the invariant checkers run.
+
+Everything is virtual-time and seeded, so the same configuration always
+produces a byte-identical episode log. A failing episode yields a
+one-line repro command, and :meth:`ChaosCampaign.shrink` bisects the
+fault schedule down to a minimal failing prefix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.calendar.app import SyDCalendarApp
+from repro.chaos.invariants import Violation, run_invariant_checks
+from repro.chaos.schedule import FaultEvent, FaultSchedule, generate_schedule
+from repro.chaos.workload import Workload
+from repro.datastore.snapshot import export_store
+from repro.datastore.wal import ChangeJournal, attach_journal
+from repro.net.retry import RetryPolicy
+from repro.util.errors import ReproError
+from repro.world import SyDWorld
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs of one campaign (all defaults match the CLI)."""
+
+    seed: int = 0
+    episodes: int = 10
+    users: int = 6
+    ops: int = 40
+    duration: float = 120.0
+    intensity: float = 1.0
+    retry: bool = True
+    settle: float = 30.0
+    shrink: bool = True
+    #: run only this episode index (None = all of range(episodes))
+    episode: int | None = None
+    #: verbatim fault schedule (JSON) overriding generation — repro mode
+    schedule_json: str | None = None
+
+    def episode_seed(self, index: int) -> int:
+        return self.seed * 100_003 + index
+
+    def retry_policy(self) -> RetryPolicy | None:
+        if not self.retry:
+            return None
+        return RetryPolicy(max_attempts=4, base_delay=0.2, max_delay=2.0, jitter=0.5)
+
+
+@dataclass
+class EpisodeResult:
+    """Everything one episode produced."""
+
+    index: int
+    seed: int
+    schedule: FaultSchedule
+    violations: list[Violation]
+    ops_ok: int = 0
+    ops_failed: int = 0
+    messages: int = 0
+    retries: int = 0
+    retry_successes: int = 0
+    log: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over all requested episodes."""
+
+    config: ChaosConfig
+    episodes: list[EpisodeResult]
+    shrunk: FaultSchedule | None = None
+    repro: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.episodes)
+
+    @property
+    def survived(self) -> int:
+        return sum(1 for e in self.episodes if e.ok)
+
+    def log_lines(self) -> list[str]:
+        lines: list[str] = []
+        for episode in self.episodes:
+            lines.extend(episode.log)
+        return lines
+
+
+class _FaultInjector:
+    """Arms a FaultSchedule on the world's scheduler and applies events."""
+
+    def __init__(
+        self,
+        world: SyDWorld,
+        app: SyDCalendarApp,
+        users: list[str],
+        schedule: FaultSchedule,
+        rng: random.Random,
+        log,
+    ):
+        self.world = world
+        self.app = app
+        self.users = list(users)
+        self.schedule = schedule
+        self.rng = rng
+        self.log = log
+        self._handles = []
+        self._droppers: dict[str, object] = {}
+        self._ghost_bound: set[str] = set()
+        self._partitioned: set[str] = set()
+        #: users that were ever crashed or partitioned (reconcile targets)
+        self.disturbed: set[str] = set()
+
+    def arm(self) -> None:
+        for event in self.schedule.events:
+            self._handles.append(
+                self.world.scheduler.schedule_at(event.at, self._fire, event)
+            )
+
+    def _fire(self, event: FaultEvent) -> None:
+        self.log(f"t={self.world.clock.now():8.2f} fault {event.describe()}")
+        apply = getattr(self, f"_apply_{event.kind}")
+        apply(event.params)
+
+    # -- event appliers -------------------------------------------------------
+
+    def _apply_crash(self, params) -> None:
+        self.world.take_down(params["user"])
+        self.disturbed.add(params["user"])
+
+    def _apply_restart(self, params) -> None:
+        user = params["user"]
+        if self.world.is_up(user):
+            return
+        self.world.bring_up(user)
+        self._reconcile(user)
+
+    def _apply_partition(self, params) -> None:
+        groups = [
+            [self.app.node(u).node_id for u in group] for group in params["groups"]
+        ]
+        self.world.transport.faults.partition(*groups)
+        named = {u for group in params["groups"] for u in group}
+        self._partitioned |= named
+        self.disturbed |= named
+
+    def _apply_heal(self, params) -> None:
+        self.world.transport.faults.heal_partition()
+        for user in sorted(self._partitioned):
+            if self.world.is_up(user):
+                self._reconcile(user)
+        self._partitioned.clear()
+
+    def _apply_drop_start(self, params) -> None:
+        p, rng = params["p"], self.rng
+
+        def rule(msg) -> bool:
+            return (
+                not msg.is_reply
+                and msg.kind == "invoke"
+                and rng.random() < p
+            )
+
+        self._droppers[params["id"]] = self.world.transport.faults.add_drop_rule(rule)
+
+    def _apply_drop_stop(self, params) -> None:
+        remover = self._droppers.pop(params["id"], None)
+        if remover is not None:
+            remover()
+
+    def _apply_proxy_bind(self, params) -> None:
+        self.world.directory_service.set_proxy(params["user"], params["proxy"])
+        self._ghost_bound.add(params["user"])
+
+    def _apply_proxy_clear(self, params) -> None:
+        self.world.directory_service.set_proxy(params["user"], None)
+        self._ghost_bound.discard(params["user"])
+
+    # -- end-of-episode healing ----------------------------------------------
+
+    def heal_all(self) -> None:
+        """Cancel pending events, restore full connectivity, reconcile."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        for remover in self._droppers.values():
+            remover()
+        self._droppers.clear()
+        self.world.transport.faults.heal_partition()
+        for user in sorted(self._ghost_bound):
+            self.world.directory_service.set_proxy(user, None)
+        self._ghost_bound.clear()
+        restarted = [u for u in self.users if not self.world.is_up(u)]
+        for user in restarted:
+            self.world.bring_up(user)
+        self.log(f"t={self.world.clock.now():8.2f} heal-all restarted={restarted}")
+        # Anti-entropy runs where disturbance was *detected* (crashes,
+        # partitions). Silent message loss is exactly what the engine's
+        # retries must absorb — reconciling every device here would hide
+        # a disabled RetryPolicy from the invariant checkers.
+        for user in sorted(self.disturbed):
+            self._reconcile(user)
+        self._partitioned.clear()
+
+    def _reconcile(self, user: str) -> None:
+        if self.app.node(user).coordinator.busy:
+            # A restart/heal fired while this device's own negotiation
+            # was mid-backoff; reconciling now would pull the rug out.
+            # heal_all() runs with an empty stack and catches up.
+            self.log(f"t={self.world.clock.now():8.2f} reconcile {user} deferred (busy)")
+            return
+        try:
+            counts = self.app.manager(user).reconcile()
+        except ReproError as exc:
+            # Mid-episode reconcile under still-active faults can die
+            # partway (e.g. a dropped authoritative pull with retries
+            # off); heal_all() reconciles again on a clean network.
+            self.log(
+                f"t={self.world.clock.now():8.2f} reconcile {user} "
+                f"aborted ({type(exc).__name__})"
+            )
+            return
+        self.log(
+            f"t={self.world.clock.now():8.2f} reconcile {user} "
+            + " ".join(f"{k}={counts[k]}" for k in sorted(counts))
+        )
+
+
+class ChaosCampaign:
+    """Runs episodes, collects results, shrinks the first failure."""
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+
+    # -- episodes -------------------------------------------------------------
+
+    def run_episode(
+        self, index: int, schedule: FaultSchedule | None = None, quiet: bool = False
+    ) -> EpisodeResult:
+        cfg = self.config
+        seed = cfg.episode_seed(index)
+        world = SyDWorld(seed=seed, directory_cache=True)
+        app = SyDCalendarApp(world)
+        users = [f"u{i:02d}" for i in range(cfg.users)]
+        setup_rng = world.random.get("chaos.setup")
+        for user in users:
+            app.add_user(user, priority=setup_rng.choice((0, 0, 0, 1, 2, 5)))
+        world.set_retry_policy(cfg.retry_policy())
+
+        # WAL baselines: snapshot + journal per store, from here on.
+        baselines = {u: export_store(world.node(u).store) for u in users}
+        journals: dict[str, ChangeJournal] = {}
+        for user in users:
+            journals[user] = ChangeJournal()
+            attach_journal(world.node(user).store, journals[user])
+
+        if schedule is None:
+            if cfg.schedule_json is not None:
+                schedule = FaultSchedule.from_json(cfg.schedule_json)
+            else:
+                schedule = generate_schedule(
+                    world.random.get("chaos.faults"), users, cfg.duration, cfg.intensity
+                )
+
+        log_lines: list[str] = []
+        log = log_lines.append
+        log(
+            f"episode {index} seed {seed} users {cfg.users} ops {cfg.ops} "
+            f"faults {len(schedule)} retry {'on' if cfg.retry else 'off'}"
+        )
+        injector = _FaultInjector(
+            world, app, users, schedule, world.random.get("chaos.drops"), log
+        )
+        injector.arm()
+
+        workload = Workload(app, users, world.random.get("chaos.workload"), log)
+        gap_rng = world.random.get("chaos.gaps")
+        mean_gap = cfg.duration / max(cfg.ops, 1)
+        for i in range(cfg.ops):
+            world.run_for(gap_rng.uniform(0.2, 1.8) * mean_gap)
+            workload.step(i)
+
+        injector.heal_all()
+        world.run_for(cfg.settle)
+
+        violations = run_invariant_checks(app, world, baselines, journals)
+        for violation in violations:
+            log(f"VIOLATION {violation}")
+        stats = world.stats
+        log(
+            f"episode {index} {'ok' if not violations else 'FAIL'} "
+            f"ops {workload.ops_ok}/{cfg.ops} messages {stats.messages} "
+            f"retries {stats.retries} recovered {stats.retry_successes} "
+            f"violations {len(violations)}"
+        )
+        return EpisodeResult(
+            index=index,
+            seed=seed,
+            schedule=schedule,
+            violations=violations,
+            ops_ok=workload.ops_ok,
+            ops_failed=workload.ops_failed,
+            messages=stats.messages,
+            retries=stats.retries,
+            retry_successes=stats.retry_successes,
+            log=log_lines,
+        )
+
+    # -- campaign -------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        cfg = self.config
+        indexes = [cfg.episode] if cfg.episode is not None else list(range(cfg.episodes))
+        episodes = [self.run_episode(i) for i in indexes]
+        result = CampaignResult(cfg, episodes)
+        failing = next((e for e in episodes if not e.ok), None)
+        if failing is not None:
+            shrunk = self.shrink(failing) if cfg.shrink else failing.schedule
+            result.shrunk = shrunk
+            result.repro = self.repro_command(failing.index, shrunk)
+        return result
+
+    def shrink(self, failing: EpisodeResult) -> FaultSchedule:
+        """Bisect the fault schedule to a minimal failing *prefix*.
+
+        Assumes (best-effort) monotonicity: if a prefix fails, longer
+        prefixes containing it fail too. The returned prefix is verified
+        to fail; when even the empty schedule fails (a workload-only
+        bug), the empty prefix is returned.
+        """
+        full = failing.schedule
+        lo, hi = 0, len(full)  # invariant: prefix(hi) is known to fail
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.run_episode(failing.index, schedule=full.prefix(mid)).ok:
+                lo = mid + 1
+            else:
+                hi = mid
+        return full.prefix(hi)
+
+    def repro_command(self, index: int, schedule: FaultSchedule) -> str:
+        cfg = self.config
+        return (
+            f"python -m repro chaos --seed {cfg.seed} --users {cfg.users} "
+            f"--ops {cfg.ops} --duration {cfg.duration:g} "
+            f"--intensity {cfg.intensity:g} --episode {index}"
+            + ("" if cfg.retry else " --no-retry")
+            + f" --schedule '{schedule.to_json()}'"
+        )

@@ -1,0 +1,270 @@
+"""System-wide invariant checkers for chaos episodes.
+
+Run after an episode's network is healed and disturbed devices have
+reconciled. Each checker inspects the *whole* deployment and returns
+:class:`Violation` records; a clean system returns none.
+
+Conventions: the **initiator's copy** of a meeting is authoritative (the
+initiator drives every lifecycle transition). "Live" means confirmed or
+tentative.
+
+Checks:
+
+* ``double_booking``   — no user is committed to two live meetings that
+  claim the same slot of their calendar.
+* ``commitment``       — every committed user of a live authoritative
+  meeting actually holds the meeting's slot (reserved when confirmed,
+  held/reserved when tentative) and their own copy agrees on status.
+* ``orphaned_slot``    — no reserved/held slot references a meeting the
+  owning calendar does not know as live (the all-or-nothing negotiation
+  residue detector).
+* ``dead_meeting_slot``— no slot anywhere still references a cancelled or
+  bumped authoritative meeting.
+* ``lock_residue``     — all entity locks are released at quiescence
+  (negotiations unlock in ``finally``; a lost unmark leg shows up here).
+* ``directory_cache``  — every node's cached lookups agree with the
+  directory service and the cache epoch matches after heal.
+* ``wal_recovery``     — replaying each store's change journal onto its
+  episode-start snapshot reproduces the store's current contents.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus, SlotStatus, entity_to_id
+from repro.datastore.snapshot import export_store, import_into
+from repro.datastore.store import RelationalStore
+from repro.datastore.wal import ChangeJournal, replay
+from repro.util.errors import ReproError
+from repro.world import SyDWorld
+
+LIVE = (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach at one user."""
+
+    check: str
+    user: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.check} @ {self.user}: {self.detail}"
+
+
+def _authoritative_meetings(app: SyDCalendarApp):
+    """(owner, Meeting) for every initiator-held meeting copy, in
+    deterministic user order."""
+    for user in sorted(app.users):
+        for meeting in app.calendar(user).meetings():
+            if meeting.initiator == user:
+                yield user, meeting
+
+
+def check_double_booking(app: SyDCalendarApp) -> list[Violation]:
+    claims: dict[tuple[str, str], list[str]] = {}
+    for _owner, meeting in _authoritative_meetings(app):
+        if meeting.status not in LIVE:
+            continue
+        sid = entity_to_id(meeting.slot)
+        for user in meeting.committed:
+            claims.setdefault((user, sid), []).append(meeting.meeting_id)
+    return [
+        Violation("double_booking", user, f"slot {sid} claimed by {sorted(mids)}")
+        for (user, sid), mids in sorted(claims.items())
+        if len(mids) > 1
+    ]
+
+
+def check_commitments(app: SyDCalendarApp) -> list[Violation]:
+    out: list[Violation] = []
+    for _owner, meeting in _authoritative_meetings(app):
+        if meeting.status not in LIVE:
+            continue
+        want = (
+            (SlotStatus.RESERVED.value,)
+            if meeting.status is MeetingStatus.CONFIRMED
+            else (SlotStatus.RESERVED.value, SlotStatus.HELD.value)
+        )
+        for user in meeting.committed:
+            if user not in app.users:
+                continue
+            slot = app.calendar(user).slot_of(meeting.slot)
+            if slot["meeting_id"] != meeting.meeting_id or slot["status"] not in want:
+                out.append(
+                    Violation(
+                        "commitment",
+                        user,
+                        f"{meeting.meeting_id} ({meeting.status.value}) expects "
+                        f"the slot, found {slot['status']}:{slot['meeting_id']}",
+                    )
+                )
+            copy = app.meeting_view(user, meeting.meeting_id)
+            if copy is None or copy.status is not meeting.status:
+                out.append(
+                    Violation(
+                        "commitment",
+                        user,
+                        f"copy of {meeting.meeting_id} is "
+                        f"{copy.status.value if copy else 'missing'}, "
+                        f"initiator says {meeting.status.value}",
+                    )
+                )
+    return out
+
+
+def check_orphaned_slots(app: SyDCalendarApp) -> list[Violation]:
+    out: list[Violation] = []
+    occupied = (SlotStatus.RESERVED.value, SlotStatus.HELD.value)
+    for user in sorted(app.users):
+        calendar = app.calendar(user)
+        from repro.datastore.predicate import where
+
+        rows = calendar.store.select(
+            "slots",
+            (where("status") == occupied[0]) | (where("status") == occupied[1]),
+        )
+        for row in sorted(rows, key=lambda r: r["slot_id"]):
+            mid = row.get("meeting_id")
+            if mid is None:
+                out.append(
+                    Violation("orphaned_slot", user, f"{row['slot_id']} {row['status']} without meeting id")
+                )
+                continue
+            if not calendar.has_meeting(mid):
+                out.append(
+                    Violation("orphaned_slot", user, f"{row['slot_id']} references unknown {mid}")
+                )
+            elif calendar.meeting(mid).status not in LIVE:
+                out.append(
+                    Violation(
+                        "orphaned_slot",
+                        user,
+                        f"{row['slot_id']} references {calendar.meeting(mid).status.value} {mid}",
+                    )
+                )
+    return out
+
+
+def check_dead_meeting_slots(app: SyDCalendarApp) -> list[Violation]:
+    out: list[Violation] = []
+    dead = {
+        meeting.meeting_id
+        for _o, meeting in _authoritative_meetings(app)
+        if meeting.status not in LIVE
+    }
+    if not dead:
+        return out
+    for user in sorted(app.users):
+        calendar = app.calendar(user)
+        for mid in sorted(dead):
+            for row in calendar.slots_of_meeting(mid):
+                if row["status"] in (SlotStatus.RESERVED.value, SlotStatus.HELD.value):
+                    out.append(
+                        Violation("dead_meeting_slot", user, f"{row['slot_id']} still holds {mid}")
+                    )
+    return out
+
+
+def check_lock_residue(world: SyDWorld) -> list[Violation]:
+    return [
+        Violation("lock_residue", user, f"{node.locks.locked_count()} locks still held")
+        for user, node in sorted(world.nodes.items())
+        if node.locks.locked_count() != 0
+    ]
+
+
+def check_directory_cache(world: SyDWorld) -> list[Violation]:
+    out: list[Violation] = []
+    service = world.directory_service
+    for user, node in sorted(world.nodes.items()):
+        cache = node.directory.cache
+        if cache is None:
+            continue
+        for target in sorted(world.nodes):
+            try:
+                cached = node.directory.lookup_user(target)
+                truth = service.lookup_user(target)
+            except ReproError as exc:
+                out.append(
+                    Violation("directory_cache", user, f"lookup {target}: {type(exc).__name__}")
+                )
+                continue
+            if cached != truth:
+                out.append(
+                    Violation(
+                        "directory_cache",
+                        user,
+                        f"cached record for {target} diverges: {cached} != {truth}",
+                    )
+                )
+        if cache._filled_epoch is not None and cache._filled_epoch != service.epoch:
+            out.append(
+                Violation(
+                    "directory_cache",
+                    user,
+                    f"cache epoch {cache._filled_epoch} != directory epoch {service.epoch}",
+                )
+            )
+    return out
+
+
+def _normalized_tables(snapshot: dict[str, Any]) -> dict[str, list[str]]:
+    return {
+        table: sorted(
+            json.dumps(row, sort_keys=True, default=str) for row in blob["rows"]
+        )
+        for table, blob in snapshot["tables"].items()
+    }
+
+
+def check_wal_recovery(
+    world: SyDWorld,
+    baselines: dict[str, dict[str, Any]],
+    journals: dict[str, ChangeJournal],
+) -> list[Violation]:
+    out: list[Violation] = []
+    for user in sorted(baselines):
+        recovered = RelationalStore(f"recovered-{user}")
+        import_into(recovered, baselines[user])
+        try:
+            replay(journals[user], recovered)
+        except ReproError as exc:
+            out.append(Violation("wal_recovery", user, f"replay failed: {exc}"))
+            continue
+        got = _normalized_tables(export_store(recovered))
+        want = _normalized_tables(export_store(world.node(user).store))
+        if got != want:
+            diff_tables = sorted(t for t in want if got.get(t) != want[t])
+            out.append(
+                Violation(
+                    "wal_recovery",
+                    user,
+                    f"snapshot+journal diverges from store in tables {diff_tables}",
+                )
+            )
+    return out
+
+
+def run_invariant_checks(
+    app: SyDCalendarApp,
+    world: SyDWorld,
+    baselines: dict[str, dict[str, Any]] | None = None,
+    journals: dict[str, ChangeJournal] | None = None,
+) -> list[Violation]:
+    """Run every checker; returns all violations (empty = clean)."""
+    violations: list[Violation] = []
+    violations += check_double_booking(app)
+    violations += check_commitments(app)
+    violations += check_orphaned_slots(app)
+    violations += check_dead_meeting_slots(app)
+    violations += check_lock_residue(world)
+    violations += check_directory_cache(world)
+    if baselines and journals:
+        violations += check_wal_recovery(world, baselines, journals)
+    return violations

@@ -1,0 +1,126 @@
+"""Fault schedules: serialized, seeded, shrinkable.
+
+A :class:`FaultSchedule` is an ordered tuple of primitive
+:class:`FaultEvent` records — crash/restart pairs, partition/heal pairs,
+probabilistic message-drop windows, proxy-binding churn — with absolute
+virtual times. Schedules are JSON-serializable so a failing episode can
+be reproduced verbatim (``python -m repro chaos ... --schedule '...'``)
+and prefix-truncatable so the campaign runner can bisect-shrink a
+failure to a minimal failing prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+#: event kinds an injector must understand
+KINDS = (
+    "crash",        # params: user
+    "restart",      # params: user
+    "partition",    # params: groups (list of lists of users)
+    "heal",         # params: {}
+    "drop_start",   # params: p (per-message drop probability), id
+    "drop_stop",    # params: id
+    "proxy_bind",   # params: user, proxy (directory churn / bogus proxy)
+    "proxy_clear",  # params: user
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action at absolute virtual time ``at``."""
+
+    at: float
+    kind: str
+    params: dict[str, Any]
+
+    def describe(self) -> str:
+        bits = " ".join(f"{k}={self.params[k]}" for k in sorted(self.params))
+        return f"{self.kind} {bits}".strip()
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered (by time) sequence of fault events."""
+
+    events: tuple[FaultEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def prefix(self, k: int) -> "FaultSchedule":
+        """The first ``k`` events (shrinking keeps time order)."""
+        return FaultSchedule(self.events[:k])
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "events": [
+                    {"at": e.at, "kind": e.kind, "params": e.params}
+                    for e in self.events
+                ]
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "FaultSchedule":
+        data = json.loads(text)
+        return FaultSchedule(
+            tuple(
+                FaultEvent(float(e["at"]), e["kind"], dict(e["params"]))
+                for e in data["events"]
+            )
+        )
+
+
+def generate_schedule(
+    rng: random.Random,
+    users: Sequence[str],
+    duration: float,
+    intensity: float = 1.0,
+) -> FaultSchedule:
+    """Draw a seeded fault schedule over ``[0, duration]``.
+
+    ``intensity`` scales the number of injected faults (1.0 ≈ six fault
+    windows per episode); 0 produces an empty schedule. Every fault is a
+    start/stop pair and every stop lands before ``0.92 * duration``, so
+    an episode always ends with a healing tail (the runner additionally
+    force-heals before checking invariants).
+    """
+    users = list(users)
+    events: list[FaultEvent] = []
+    n = int(round(6 * intensity))
+    for i in range(n):
+        kind = rng.choices(
+            ("crash", "drop", "partition", "proxy"), weights=(4, 3, 2, 1)
+        )[0]
+        start = rng.uniform(0.05, 0.72) * duration
+        end = min(start + rng.uniform(0.04, 0.18) * duration, 0.92 * duration)
+        start, end = round(start, 2), round(end, 2)
+        if kind == "crash":
+            user = rng.choice(users)
+            events.append(FaultEvent(start, "crash", {"user": user}))
+            events.append(FaultEvent(end, "restart", {"user": user}))
+        elif kind == "drop":
+            p = round(rng.uniform(0.15, 0.45), 3)
+            events.append(FaultEvent(start, "drop_start", {"p": p, "id": f"d{i}"}))
+            events.append(FaultEvent(end, "drop_stop", {"id": f"d{i}"}))
+        elif kind == "partition":
+            shuffled = rng.sample(users, len(users))
+            cut = rng.randint(1, len(users) - 1)
+            groups = [sorted(shuffled[:cut]), sorted(shuffled[cut:])]
+            events.append(FaultEvent(start, "partition", {"groups": groups}))
+            events.append(FaultEvent(end, "heal", {}))
+        else:
+            user = rng.choice(users)
+            events.append(
+                FaultEvent(start, "proxy_bind", {"user": user, "proxy": "ghost-proxy"})
+            )
+            events.append(FaultEvent(end, "proxy_clear", {"user": user}))
+    events.sort(key=lambda e: e.at)
+    return FaultSchedule(tuple(events))

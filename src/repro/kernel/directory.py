@@ -340,6 +340,9 @@ class DirectoryClient:
         self.transport = transport
         self.directory_node = directory_node
         self.cache: DirectoryCache | None = None
+        #: optional retry/backoff for lookup traffic (installed alongside
+        #: the engine's policy by ``SyDWorld.set_retry_policy``)
+        self.retry_policy = None
 
     def attach_cache(self, cache: DirectoryCache) -> None:
         """Serve ``lookup_*`` / ``group_members`` reads from ``cache``."""
@@ -354,8 +357,15 @@ class DirectoryClient:
         }
 
     def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
-        reply = self.transport.rpc(
-            self.node_id, self.directory_node, "invoke", self._payload(method, args, kwargs)
+        from repro.net.retry import retry_call
+
+        payload = self._payload(method, args, kwargs)
+        reply = retry_call(
+            self.retry_policy,
+            self.transport.stats,
+            lambda: self.transport.rpc(
+                self.node_id, self.directory_node, "invoke", payload
+            ),
         )
         return reply.get("result")
 
@@ -389,11 +399,15 @@ class DirectoryClient:
                     continue
             miss_indexes.append(i)
         if miss_indexes:
+            from repro.net.retry import rpc_many_with_retry
+
             legs = [
                 (self.directory_node, "invoke", self._payload(requests[i][1], requests[i][2], {}))
                 for i in miss_indexes
             ]
-            outcomes = self.transport.rpc_many(self.node_id, legs)
+            outcomes = rpc_many_with_retry(
+                self.transport, self.node_id, legs, self.retry_policy
+            )
             for i, outcome in zip(miss_indexes, outcomes):
                 if outcome.ok:
                     value = (outcome.value or {}).get("result")

@@ -31,6 +31,7 @@ from typing import Any, Callable, Sequence
 
 from repro.kernel.aggregate import Aggregator, GroupResult, InvocationResult
 from repro.kernel.directory import DirectoryClient
+from repro.net.retry import RetryPolicy, retry_call, rpc_many_with_retry
 from repro.net.transport import Transport
 from repro.security.envelope import Credentials, seal
 from repro.util.errors import ReproError, UnreachableError
@@ -83,6 +84,10 @@ class SyDEngine:
         self.calls = 0
         #: scatter-gather group execution (False = sequential ablation)
         self.batching = True
+        #: optional retry/backoff over transient transport failures; the
+        #: world installs per-node seeded policies (see
+        #: :meth:`repro.world.SyDWorld.set_retry_policy`)
+        self.retry_policy: RetryPolicy | None = None
 
     # -- low level -------------------------------------------------------------
 
@@ -104,8 +109,11 @@ class SyDEngine:
     ) -> Any:
         """Invoke a method on a specific node, no directory resolution."""
         self.calls += 1
-        reply = self.transport.rpc(
-            self.node_id, node_id, "invoke", self._payload(object_name, method, args, kwargs)
+        payload = self._payload(object_name, method, args, kwargs)
+        reply = retry_call(
+            self.retry_policy,
+            self.transport.stats,
+            lambda: self.transport.rpc(self.node_id, node_id, "invoke", payload),
         )
         return reply.get("result")
 
@@ -122,7 +130,7 @@ class SyDEngine:
             return self.execute_on_node(record["node_id"], object_name, method, *args, **kwargs)
         except UnreachableError:
             proxy = record.get("proxy_node")
-            if not proxy:
+            if not proxy or not self._proxy_fallback_enabled():
                 raise
             self.proxy_fallbacks += 1
             # The proxy accepts the same invoke payload, plus the user id it
@@ -130,8 +138,15 @@ class SyDEngine:
             payload = self._payload(object_name, method, args, kwargs)
             payload["for_user"] = user
             self.calls += 1
-            reply = self.transport.rpc(self.node_id, proxy, "invoke", payload)
+            reply = retry_call(
+                self.retry_policy,
+                self.transport.stats,
+                lambda: self.transport.rpc(self.node_id, proxy, "invoke", payload),
+            )
             return reply.get("result")
+
+    def _proxy_fallback_enabled(self) -> bool:
+        return self.retry_policy is None or self.retry_policy.proxy_fallback
 
     # -- batched execution -----------------------------------------------------------
 
@@ -192,15 +207,20 @@ class SyDEngine:
             for i, record, object_name in pending
         ]
         self.calls += len(legs)
-        results = self.transport.rpc_many(self.node_id, legs)
+        results = rpc_many_with_retry(self.transport, self.node_id, legs, self.retry_policy)
 
         retry: list[tuple[int, dict[str, Any], str]] = []
+        proxy_ok = self._proxy_fallback_enabled()
         for (i, record, object_name), outcome in zip(pending, results):
             if outcome.ok:
                 outcomes[i] = CallOutcome(
                     specs[i].user, True, (outcome.value or {}).get("result")
                 )
-            elif isinstance(outcome.error, UnreachableError) and record.get("proxy_node"):
+            elif (
+                proxy_ok
+                and isinstance(outcome.error, UnreachableError)
+                and record.get("proxy_node")
+            ):
                 retry.append((i, record, object_name))
             else:
                 outcomes[i] = CallOutcome(specs[i].user, False, error=outcome.error)
@@ -216,7 +236,9 @@ class SyDEngine:
                 proxy_legs.append((record["proxy_node"], "invoke", payload))
             self.calls += len(proxy_legs)
             self.proxy_fallbacks += len(proxy_legs)
-            proxy_results = self.transport.rpc_many(self.node_id, proxy_legs)
+            proxy_results = rpc_many_with_retry(
+                self.transport, self.node_id, proxy_legs, self.retry_policy
+            )
             for (i, _record, _object_name), outcome in zip(retry, proxy_results):
                 if outcome.ok:
                     outcomes[i] = CallOutcome(

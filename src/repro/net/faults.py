@@ -20,7 +20,10 @@ class FaultPlan:
 
     def __init__(self) -> None:
         self._down: set[str] = set()
-        self._partitions: list[set[str]] = []
+        # Partition *layers*: each partition() call appends one layer (a
+        # list of disjoint groups). Two nodes are reachable only if no
+        # layer separates them.
+        self._partitions: list[list[set[str]]] = []
         self._drop_rules: list[DropRule] = []
 
     # -- node availability --------------------------------------------------
@@ -44,22 +47,41 @@ class FaultPlan:
     def partition(self, *groups: set[str] | list[str] | tuple[str, ...]) -> None:
         """Split the network: nodes can only reach peers in their own group.
 
-        Nodes not named in any group remain mutually reachable and can
-        reach every group (they model backbone infrastructure).
+        Nodes not named in any group of a layer remain mutually reachable
+        and can reach every group of that layer (they model backbone
+        infrastructure).
+
+        Repeated calls **compose**: each call adds an independent
+        partition layer, and two nodes are reachable only when no layer
+        separates them. (Earlier versions silently *replaced* the
+        previous groups, so a second fault injection would accidentally
+        heal the first.) ``heal_partition`` removes every layer at once.
         """
-        self._partitions = [set(g) for g in groups]
+        if groups:
+            self._partitions.append([set(g) for g in groups])
 
     def heal_partition(self) -> None:
-        """Remove all partitions."""
+        """Remove all partitions (every layer)."""
         self._partitions = []
 
+    def partition_layers(self) -> int:
+        """Number of active partition layers."""
+        return len(self._partitions)
+
+    def partitioned_nodes(self) -> set[str]:
+        """Every node named in any active partition layer."""
+        return {n for layer in self._partitions for g in layer for n in g}
+
     def _same_side(self, a: str, b: str) -> bool:
-        a_groups = [g for g in self._partitions if a in g]
-        b_groups = [g for g in self._partitions if b in g]
-        # Backbone nodes (in no group) reach everyone.
-        if not a_groups or not b_groups:
-            return True
-        return any(b in g for g in a_groups)
+        for layer in self._partitions:
+            a_groups = [g for g in layer if a in g]
+            b_groups = [g for g in layer if b in g]
+            # Backbone nodes (in no group of this layer) reach everyone.
+            if not a_groups or not b_groups:
+                continue
+            if not any(b in g for g in a_groups):
+                return False
+        return True
 
     # -- targeted drops --------------------------------------------------------
 

@@ -1,0 +1,130 @@
+"""Retry/backoff policy for the remote-invocation paths.
+
+The paper's robustness story ("the proxy and the SyD object act as a
+single entity for an outsider", §5.2) assumes the middleware masks the
+flaky last hop. Without retries a single dropped leg surfaces as a failed
+outcome and — worse — can leave a negotiation half-applied. The
+:class:`RetryPolicy` gives :class:`~repro.kernel.engine.SyDEngine` and
+:class:`~repro.kernel.directory.DirectoryClient` a capped, seeded
+exponential backoff over the transient transport failures
+(:class:`MessageDropped`, :class:`UnreachableError`); application errors
+are never retried.
+
+Backoff sleeps go through the policy's ``sleep`` callable. The simulated
+world wires it to ``scheduler.run_until(now + delay)``, so a backoff
+*pumps the discrete-event loop*: scheduled heals, restarts and drop-rule
+expiries fire during the wait, which is exactly why a retried leg can
+succeed where the first attempt failed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.util.errors import MessageDropped, UnreachableError
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    ``max_attempts`` counts total tries per leg (1 disables retries).
+    ``rng`` supplies the jitter draw (seed it for determinism); ``sleep``
+    receives the backoff delay in simulated seconds. ``proxy_fallback``
+    gates the engine's failover to the user's proxy after retries are
+    exhausted.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.2
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    retry_dropped: bool = True
+    retry_unreachable: bool = True
+    proxy_fallback: bool = True
+    rng: random.Random | None = None
+    sleep: Callable[[float], None] | None = None
+
+    def retryable(self, error: BaseException) -> bool:
+        """Is ``error`` a transient transport failure worth re-sending?"""
+        if isinstance(error, MessageDropped):
+            return self.retry_dropped
+        if isinstance(error, UnreachableError):
+            return self.retry_unreachable
+        return False
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (the first retry is 1).
+
+        ``base_delay * 2^(attempt-1)`` capped at ``max_delay``, scaled by
+        a jitter factor drawn uniformly from ``[1-jitter, 1+jitter]``.
+        """
+        delay = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if self.rng is not None and self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return delay
+
+    def pause(self, attempt: int) -> None:
+        """Sleep out the backoff before retry number ``attempt``."""
+        if self.sleep is not None:
+            self.sleep(self.backoff(attempt))
+
+
+def retry_call(policy: RetryPolicy | None, stats, fn: Callable[[], object]):
+    """Run ``fn`` under ``policy``, re-invoking on transient failures.
+
+    ``stats`` (a :class:`~repro.net.stats.NetworkStats` or None) gets one
+    ``record_retry`` per re-attempt and one ``record_retry_success`` when
+    a retried call eventually succeeds. With ``policy=None`` this is a
+    plain call.
+    """
+    attempt = 1
+    while True:
+        try:
+            value = fn()
+        except (MessageDropped, UnreachableError) as exc:
+            if (
+                policy is None
+                or attempt >= policy.max_attempts
+                or not policy.retryable(exc)
+            ):
+                raise
+            policy.pause(attempt)
+            if stats is not None:
+                stats.record_retry()
+            attempt += 1
+        else:
+            if attempt > 1 and stats is not None:
+                stats.record_retry_success()
+            return value
+
+
+def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy | None):
+    """``Transport.rpc_many`` with per-leg retries under ``policy``.
+
+    Failed legs whose error is retryable are re-sent (only those legs) in
+    follow-up scatter-gather batches after the policy's backoff, until
+    they succeed or attempts are exhausted. Returns the final outcome
+    list, positionally matching ``legs``.
+    """
+    outcomes = transport.rpc_many(src, legs)
+    if policy is None:
+        return outcomes
+    attempt = 1
+    while attempt < policy.max_attempts:
+        pending = [
+            i for i, o in enumerate(outcomes) if not o.ok and policy.retryable(o.error)
+        ]
+        if not pending:
+            break
+        policy.pause(attempt)
+        transport.stats.record_retry(len(pending))
+        redone = transport.rpc_many(src, [legs[i] for i in pending])
+        for i, outcome in zip(pending, redone):
+            outcomes[i] = outcome
+            if outcome.ok:
+                transport.stats.record_retry_success()
+        attempt += 1
+    return outcomes

@@ -41,6 +41,8 @@ class StatsSnapshot:
     concurrent_batches: int = 0
     batched_legs: int = 0
     batch_latency_hist: Counter = field(default_factory=Counter)
+    retries: int = 0
+    retry_successes: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier``."""
@@ -55,6 +57,8 @@ class StatsSnapshot:
             concurrent_batches=self.concurrent_batches - earlier.concurrent_batches,
             batched_legs=self.batched_legs - earlier.batched_legs,
             batch_latency_hist=self.batch_latency_hist - earlier.batch_latency_hist,
+            retries=self.retries - earlier.retries,
+            retry_successes=self.retry_successes - earlier.retry_successes,
         )
 
 
@@ -72,6 +76,9 @@ class NetworkStats:
         self.concurrent_batches = 0
         self.batched_legs = 0
         self.batch_latency_hist: Counter = Counter()
+        #: legs re-sent by a RetryPolicy / retried legs that then succeeded
+        self.retries = 0
+        self.retry_successes = 0
 
     def record_delivery(self, kind: str, size: int, delay: float, is_reply: bool) -> None:
         """Account one successfully delivered message leg."""
@@ -94,6 +101,14 @@ class NetworkStats:
         self.batched_legs += legs
         self.batch_latency_hist[latency_bucket(max_delay)] += 1
 
+    def record_retry(self, legs: int = 1) -> None:
+        """Account ``legs`` re-sent under a retry policy."""
+        self.retries += legs
+
+    def record_retry_success(self, legs: int = 1) -> None:
+        """Account ``legs`` that succeeded after at least one retry."""
+        self.retry_successes += legs
+
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters."""
         return StatsSnapshot(
@@ -107,6 +122,8 @@ class NetworkStats:
             concurrent_batches=self.concurrent_batches,
             batched_legs=self.batched_legs,
             batch_latency_hist=Counter(self.batch_latency_hist),
+            retries=self.retries,
+            retry_successes=self.retry_successes,
         )
 
     def reset(self) -> None:

@@ -149,8 +149,15 @@ class NegotiationCoordinator:
         self.engine = engine
         self.tracer = tracer or Tracer()
         self._txn_counter = 0
+        self._depth = 0
         self.executed = 0
         self.committed = 0
+
+    @property
+    def busy(self) -> bool:
+        """A negotiation is on the stack (possible when virtual time is
+        pumped from inside a retry backoff)."""
+        return self._depth > 0
 
     def _next_txn_id(self) -> str:
         self._txn_counter += 1
@@ -202,6 +209,7 @@ class NegotiationCoordinator:
         trace.record(initiator.user, "lock", entity=initiator.entity, txn=txn_id)
 
         locked: list[Participant] = []
+        self._depth += 1
         try:
             # Step 2: Mark every target — one concurrent batch across all
             # groups — and lock those that can change. A non-network
@@ -283,6 +291,7 @@ class NegotiationCoordinator:
             )
             trace.record(initiator.user, "unlock", entity=initiator.entity, txn=txn_id)
             self._unmark(initiator, txn_id)
+            self._depth -= 1
 
     # -- protocol verbs over the engine ------------------------------------------
 

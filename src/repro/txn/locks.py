@@ -85,5 +85,27 @@ class LockManager:
             del self._locks[k]
         return len(keys)
 
+    def release_prefix(self, owner_prefix: str) -> int:
+        """Drop every lock whose owner starts with ``owner_prefix``.
+
+        Negotiation owners are ``txn-<node>-<n>``, so a reconnecting
+        initiator can shed the locks its dead transactions left behind
+        at a peer with the prefix ``txn-<node>-``.
+        """
+        keys = [
+            k
+            for k, (o, _) in self._locks.items()
+            if isinstance(o, str) and o.startswith(owner_prefix)
+        ]
+        for k in keys:
+            del self._locks[k]
+        return len(keys)
+
+    def clear(self) -> int:
+        """Drop the whole table (lock state is volatile: lost on crash)."""
+        count = len(self._locks)
+        self._locks.clear()
+        return count
+
     def locked_count(self) -> int:
         return len(self._locks)

@@ -33,6 +33,7 @@ from repro.kernel.listener import SyDListener
 from repro.kernel.node import SyDNode
 from repro.net.address import DeviceClass, NodeAddress
 from repro.net.latency import CampusNetworkLatency, LatencyModel, ZeroLatency
+from repro.net.retry import RetryPolicy
 from repro.net.transport import Transport
 from repro.security.envelope import Credentials
 from repro.sim.kernel import EventScheduler
@@ -84,8 +85,42 @@ class SyDWorld:
             lambda msg: self._directory_listener.handle_invoke(msg),
         )
         self._directory_cache_enabled = False
+        self._retry_template: RetryPolicy | None = None
         if directory_cache:
             self.enable_directory_cache()
+
+    # -- retry policy -------------------------------------------------------------
+
+    def set_retry_policy(self, policy: RetryPolicy | None) -> None:
+        """Install (or clear, with None) a retry/backoff policy on every
+        node's engine and directory client, current and future.
+
+        ``policy`` is a template: each node gets its own copy whose
+        jitter draws from a per-user seeded stream and whose backoff
+        sleeps run the event scheduler forward
+        (``scheduler.run_until(now + delay)``) — so scheduled heals,
+        restarts and drop-rule expiries fire *during* a backoff, which is
+        what lets a retried leg succeed.
+        """
+        self._retry_template = policy
+        for user, node in self.nodes.items():
+            self._install_retry_policy(user, node)
+
+    def _install_retry_policy(self, user: str, node: SyDNode) -> None:
+        from dataclasses import replace
+
+        template = self._retry_template
+        if template is None:
+            node.engine.retry_policy = None
+            node.directory.retry_policy = None
+            return
+        policy = replace(
+            template,
+            rng=self.random.get(f"retry:{user}"),
+            sleep=lambda delay: self.scheduler.run_until(self.clock.now() + delay),
+        )
+        node.engine.retry_policy = policy
+        node.directory.retry_policy = policy
 
     def enable_directory_cache(self) -> None:
         """Give every node (current and future) an epoch-validated
@@ -141,6 +176,8 @@ class SyDWorld:
         self.nodes[user] = node
         if self._directory_cache_enabled:
             node.directory.attach_cache(self._new_directory_cache())
+        if self._retry_template is not None:
+            self._install_retry_policy(user, node)
         if join:
             node.join(proxy_node=proxy_node, info=info)
         if credentials is not None:
@@ -168,8 +205,15 @@ class SyDWorld:
         self.transport.faults.set_down(node.node_id)
 
     def bring_up(self, user: str) -> None:
-        """Power the device back on."""
+        """Power the device back on.
+
+        The lock table is volatile, so a restart comes up lock-free —
+        this is the "participant that vanished after locking drops its
+        locks at reconnect" half of the negotiation protocol's
+        best-effort unlock contract.
+        """
         node = self.node(user)
+        node.locks.clear()
         self.transport.faults.set_up(node.node_id)
 
     def is_up(self, user: str) -> bool:

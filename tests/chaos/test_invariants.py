@@ -1,0 +1,130 @@
+"""Each invariant checker must catch a manufactured violation of exactly
+its invariant — and stay silent on a healthy deployment."""
+
+import pytest
+
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import Meeting, MeetingStatus, SlotStatus, entity_to_id
+from repro.chaos.invariants import (
+    check_commitments,
+    check_dead_meeting_slots,
+    check_directory_cache,
+    check_double_booking,
+    check_lock_residue,
+    check_orphaned_slots,
+    check_wal_recovery,
+    run_invariant_checks,
+)
+from repro.datastore.snapshot import export_store
+from repro.datastore.wal import ChangeJournal, attach_journal
+from repro.world import SyDWorld
+
+USERS = ["u0", "u1", "u2"]
+
+
+@pytest.fixture
+def app():
+    world = SyDWorld(seed=13, directory_cache=True)
+    app = SyDCalendarApp(world)
+    for user in USERS:
+        app.add_user(user)
+    return app
+
+
+@pytest.fixture
+def meeting(app):
+    return app.manager("u0").schedule_meeting("standup", ["u1", "u2"])
+
+
+def test_healthy_world_has_no_violations(app, meeting):
+    assert run_invariant_checks(app, app.world) == []
+
+
+def test_commitment_catches_lost_reservation(app, meeting):
+    # u1's slot quietly loses the reservation (a lost change leg).
+    app.calendar("u1").release_slot(entity_to_id(meeting.slot))
+    found = check_commitments(app)
+    assert any(v.user == "u1" and meeting.meeting_id in v.detail for v in found)
+
+
+def test_commitment_catches_stale_copy(app, meeting):
+    app.calendar("u1").set_meeting_status(meeting.meeting_id, MeetingStatus.CANCELLED)
+    found = check_commitments(app)
+    assert any(v.user == "u1" and "copy of" in v.detail for v in found)
+
+
+def test_double_booking_catches_conflicting_authoritative_meetings(app, meeting):
+    ghost = Meeting(
+        meeting_id="mtg-u2-99",
+        initiator="u2",
+        title="ghost",
+        slot=dict(meeting.slot),
+        participants=["u2", "u1"],
+        must_attend=["u2", "u1"],
+        or_groups=[],
+        supervisors=[],
+        priority=0,
+        status=MeetingStatus.CONFIRMED,
+        committed=["u2", "u1"],
+        missing=[],
+        window=(0, 4),
+        created_at=0.0,
+    )
+    app.calendar("u2").put_meeting(ghost)
+    found = check_double_booking(app)
+    assert any(v.check == "double_booking" and v.user == "u1" for v in found)
+
+
+def test_orphaned_slot_catches_unknown_meeting_reference(app, meeting):
+    free = app.calendar("u1").free_slots(0, 4)[0]
+    sid = entity_to_id({"day": free["day"], "hour": free["hour"]})
+    app.calendar("u1").set_slot(sid, SlotStatus.RESERVED, meeting_id="mtg-zz-1")
+    found = check_orphaned_slots(app)
+    assert any(v.user == "u1" and "mtg-zz-1" in v.detail for v in found)
+
+
+def test_dead_meeting_slot_catches_cancelled_residue(app, meeting):
+    app.manager("u0").cancel_meeting(meeting.meeting_id)
+    sid = entity_to_id(meeting.slot)
+    app.calendar("u2").set_slot(sid, SlotStatus.RESERVED,
+                                meeting_id=meeting.meeting_id)
+    found = check_dead_meeting_slots(app)
+    assert any(v.user == "u2" and meeting.meeting_id in v.detail for v in found)
+    # the same residue is also an orphaned slot at u2 (meeting not live)
+    assert any(v.user == "u2" for v in check_orphaned_slots(app))
+
+
+def test_lock_residue_catches_leaked_lock(app, meeting):
+    assert check_lock_residue(app.world) == []
+    app.node("u1").locks.try_lock("slot-x", "txn-node-u9-1")
+    found = check_lock_residue(app.world)
+    assert [v.user for v in found] == ["u1"]
+
+
+def test_directory_cache_catches_poisoned_entry(app, meeting):
+    node = app.node("u1")
+    node.directory.lookup_user("u2")  # fill
+    truth = app.world.directory_service.lookup_user("u2")
+    bogus = dict(truth, node_id="node-of-lies")
+    node.directory.cache.put(("user", "u2"), bogus)
+    found = check_directory_cache(app.world)
+    assert any(v.user == "u1" and "diverges" in v.detail for v in found)
+
+
+def test_wal_recovery_clean_and_tampered(app):
+    world = app.world
+    baselines = {u: export_store(world.node(u).store) for u in USERS}
+    journals = {}
+    for user in USERS:
+        journals[user] = ChangeJournal()
+        attach_journal(world.node(user).store, journals[user])
+    app.manager("u0").schedule_meeting("sync", ["u1"])
+    assert check_wal_recovery(world, baselines, journals) == []
+    # tamper one baseline: replay can no longer reproduce the store
+    table = next(
+        t for t in sorted(baselines["u1"]["tables"])
+        if baselines["u1"]["tables"][t]["rows"]
+    )
+    baselines["u1"]["tables"][table]["rows"].pop()
+    found = check_wal_recovery(world, baselines, journals)
+    assert [v.user for v in found] == ["u1"]

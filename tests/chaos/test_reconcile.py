@@ -1,0 +1,114 @@
+"""Anti-entropy: MeetingManager.reconcile after downtime."""
+
+import pytest
+
+from repro.calendar.app import SyDCalendarApp
+from repro.calendar.model import MeetingStatus, SlotStatus, entity_to_id
+from repro.chaos.invariants import run_invariant_checks
+from repro.world import SyDWorld
+
+USERS = ["u0", "u1", "u2"]
+
+
+@pytest.fixture
+def app():
+    world = SyDWorld(seed=29, directory_cache=True)
+    app = SyDCalendarApp(world)
+    for user in USERS:
+        app.add_user(user)
+    return app
+
+
+def slot_status(app, user, entity):
+    return app.calendar(user).slot(entity_to_id(entity))
+
+
+def test_participant_missed_cancel_adopts_and_releases(app):
+    meeting = app.manager("u0").schedule_meeting("standup", ["u1", "u2"])
+    app.world.take_down("u1")
+    app.manager("u0").cancel_meeting(meeting.meeting_id)
+    # u1 slept through the cancel: stale copy, stale reservation.
+    assert slot_status(app, "u1", meeting.slot)["meeting_id"] == meeting.meeting_id
+    app.world.bring_up("u1")
+    counts = app.manager("u1").reconcile()
+    assert counts["adopted"] >= 1
+    assert counts["released"] >= 1
+    assert slot_status(app, "u1", meeting.slot)["status"] == SlotStatus.FREE.value
+    copy = app.meeting_view("u1", meeting.meeting_id)
+    assert copy.status is MeetingStatus.CANCELLED
+    assert run_invariant_checks(app, app.world) == []
+
+
+def test_initiator_cancelled_while_down_repushes(app):
+    meeting = app.manager("u0").schedule_meeting("standup", ["u1", "u2"])
+    app.world.take_down("u0")
+    # The initiator cancels on the powered-off device: local state flips,
+    # every remote leg fails silently.
+    app.manager("u0").cancel_meeting(meeting.meeting_id)
+    assert slot_status(app, "u1", meeting.slot)["meeting_id"] == meeting.meeting_id
+    app.world.bring_up("u0")
+    counts = app.manager("u0").reconcile()
+    assert counts["repushed"] >= 1
+    for user in ("u1", "u2"):
+        assert slot_status(app, user, meeting.slot)["status"] == SlotStatus.FREE.value
+        assert app.meeting_view(user, meeting.meeting_id).status is MeetingStatus.CANCELLED
+    assert run_invariant_checks(app, app.world) == []
+
+
+def test_orphaned_reservation_without_meeting_row_is_released(app):
+    free = app.calendar("u1").free_slots(0, 4)[0]
+    entity = {"day": free["day"], "hour": free["hour"]}
+    # A change leg applied but the meeting row never arrived — and the
+    # initiator u2 aborted, so it does not know the meeting either.
+    app.calendar("u1").set_slot(
+        entity_to_id(entity), SlotStatus.RESERVED, meeting_id="mtg-u2-77"
+    )
+    counts = app.manager("u1").reconcile()
+    assert counts["released"] >= 1
+    assert slot_status(app, "u1", entity)["status"] == SlotStatus.FREE.value
+
+
+def test_orphaned_reservation_with_live_meeting_is_adopted(app):
+    meeting = app.manager("u0").schedule_meeting("standup", ["u1"])
+    # u1 lost the meeting row but is committed: reconcile re-fetches it.
+    from repro.datastore.predicate import where
+
+    app.calendar("u1").store.delete(
+        "meetings", where("meeting_id") == meeting.meeting_id
+    )
+    counts = app.manager("u1").reconcile()
+    assert counts["adopted"] >= 1
+    assert app.meeting_view("u1", meeting.meeting_id) is not None
+    assert run_invariant_checks(app, app.world) == []
+
+
+def test_reconcile_sheds_own_dead_transaction_locks(app):
+    prefix = f"txn-{app.node('u0').engine.node_id}-"
+    app.node("u1").locks.try_lock("slot-a", f"{prefix}42")
+    app.node("u2").locks.try_lock("slot-b", f"{prefix}42")
+    app.node("u1").locks.try_lock("slot-c", "txn-other-node-1")
+    counts = app.manager("u0").reconcile()
+    assert counts["unlocked"] == 2
+    assert not app.node("u1").locks.is_locked("slot-a")
+    assert not app.node("u2").locks.is_locked("slot-b")
+    # foreign transactions' locks are untouched
+    assert app.node("u1").locks.is_locked("slot-c")
+
+
+def test_restart_clears_volatile_lock_table(app):
+    app.node("u1").locks.try_lock("anything", "txn-whoever-9")
+    app.world.take_down("u1")
+    app.world.bring_up("u1")
+    assert app.node("u1").locks.locked_count() == 0
+
+
+def test_bump_of_own_meeting_detected_after_downtime(app):
+    low = app.manager("u0").schedule_meeting("weekly", ["u1"])
+    app.world.take_down("u0")
+    # While u0 sleeps, a high-priority meeting bumps u1's slot.
+    app.manager("u2").schedule_meeting(
+        "exec", ["u1"], priority=9, preferred_slot=low.slot
+    )
+    app.world.bring_up("u0")
+    counts = app.manager("u0").reconcile()
+    assert counts["bumped"] >= 1

@@ -1,0 +1,60 @@
+"""FaultSchedule generation, serialization, and shrinking primitives."""
+
+import random
+
+from repro.chaos.schedule import KINDS, FaultEvent, FaultSchedule, generate_schedule
+
+USERS = [f"u{i}" for i in range(5)]
+
+
+def test_generation_is_deterministic():
+    a = generate_schedule(random.Random(99), USERS, 120.0, 1.0)
+    b = generate_schedule(random.Random(99), USERS, 120.0, 1.0)
+    assert a == b
+    assert len(a) > 0
+
+
+def test_events_sorted_known_kinds_and_paired_stops():
+    schedule = generate_schedule(random.Random(5), USERS, 200.0, 2.0)
+    times = [e.at for e in schedule.events]
+    assert times == sorted(times)
+    assert all(e.kind in KINDS for e in schedule.events)
+    # every destructive event ends before the healing tail
+    assert max(times) <= 0.92 * 200.0
+    kinds = [e.kind for e in schedule.events]
+    assert kinds.count("crash") == kinds.count("restart")
+    assert kinds.count("partition") == kinds.count("heal")
+    assert kinds.count("drop_start") == kinds.count("drop_stop")
+    assert kinds.count("proxy_bind") == kinds.count("proxy_clear")
+
+
+def test_intensity_zero_is_empty():
+    assert len(generate_schedule(random.Random(1), USERS, 120.0, 0.0)) == 0
+
+
+def test_intensity_scales_fault_count():
+    low = generate_schedule(random.Random(3), USERS, 120.0, 0.5)
+    high = generate_schedule(random.Random(3), USERS, 120.0, 3.0)
+    assert len(high) > len(low)
+
+
+def test_json_roundtrip_is_identity():
+    schedule = generate_schedule(random.Random(21), USERS, 120.0, 1.5)
+    again = FaultSchedule.from_json(schedule.to_json())
+    assert again == schedule
+    assert again.to_json() == schedule.to_json()
+
+
+def test_prefix_truncates_in_time_order():
+    schedule = generate_schedule(random.Random(8), USERS, 120.0, 1.0)
+    k = len(schedule) // 2
+    prefix = schedule.prefix(k)
+    assert len(prefix) == k
+    assert prefix.events == schedule.events[:k]
+    assert schedule.prefix(0).events == ()
+    assert schedule.prefix(len(schedule)) == schedule
+
+
+def test_describe_is_stable():
+    event = FaultEvent(1.5, "drop_start", {"p": 0.25, "id": "d0"})
+    assert event.describe() == "drop_start id=d0 p=0.25"

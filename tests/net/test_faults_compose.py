@@ -1,0 +1,75 @@
+"""Regression: FaultPlan.partition layers compose instead of replacing.
+
+An earlier FaultPlan kept a single group list, so a second ``partition()``
+call silently *replaced* the first — injecting a new fault would heal the
+previous one. Partitions are now layers: two nodes are reachable only
+when no active layer separates them.
+"""
+
+from repro.net.faults import FaultPlan
+
+
+def test_second_partition_does_not_heal_the_first():
+    plan = FaultPlan()
+    plan.partition({"a"}, {"b", "c"})
+    assert not plan.reachable("a", "b")
+    plan.partition({"a", "b"}, {"c"})
+    # the regression: layer 1 must still separate a from b
+    assert not plan.reachable("a", "b")
+    assert not plan.reachable("b", "c")
+    assert plan.partition_layers() == 2
+
+
+def test_layers_intersect():
+    plan = FaultPlan()
+    plan.partition({"a", "b"}, {"c", "d"})
+    assert plan.reachable("a", "b")
+    assert not plan.reachable("a", "c")
+    plan.partition({"a", "c"}, {"b", "d"})
+    # now every cross pair is cut by one of the two layers
+    assert not plan.reachable("a", "b")  # layer 2
+    assert not plan.reachable("a", "c")  # layer 1
+    assert not plan.reachable("a", "d")  # both
+    assert plan.reachable("b", "b")
+
+
+def test_backbone_nodes_reach_everyone_in_that_layer():
+    plan = FaultPlan()
+    plan.partition({"a"}, {"b"})
+    # "x" is named in no group: backbone, reaches both sides.
+    assert plan.reachable("x", "a")
+    assert plan.reachable("x", "b")
+    assert plan.reachable("a", "x")
+    plan.partition({"x"}, {"a", "b"})
+    # a second layer can cut the backbone node off
+    assert not plan.reachable("x", "a")
+
+
+def test_heal_removes_every_layer():
+    plan = FaultPlan()
+    plan.partition({"a"}, {"b"})
+    plan.partition({"b"}, {"c"})
+    assert plan.partition_layers() == 2
+    assert plan.partitioned_nodes() == {"a", "b", "c"}
+    plan.heal_partition()
+    assert plan.partition_layers() == 0
+    assert plan.partitioned_nodes() == set()
+    assert plan.reachable("a", "b")
+    assert plan.reachable("b", "c")
+
+
+def test_empty_partition_call_is_a_noop():
+    plan = FaultPlan()
+    plan.partition()
+    assert plan.partition_layers() == 0
+    assert plan.reachable("a", "b")
+
+
+def test_down_nodes_trump_partition_membership():
+    plan = FaultPlan()
+    plan.partition({"a", "b"}, {"c"})
+    plan.set_down("a")
+    assert not plan.reachable("a", "b")
+    assert not plan.reachable("b", "a")
+    plan.set_up("a")
+    assert plan.reachable("a", "b")

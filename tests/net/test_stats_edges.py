@@ -1,0 +1,104 @@
+"""NetworkStats edge cases: bucket boundaries, batch counters, retry
+counters, snapshot/delta arithmetic."""
+
+import pytest
+
+from repro.net.stats import NetworkStats, latency_bucket
+
+
+class TestLatencyBucket:
+    def test_zero_and_sub_millisecond(self):
+        assert latency_bucket(0.0) == "<=1ms"
+        assert latency_bucket(0.0005) == "<=1ms"
+        assert latency_bucket(0.001) == "<=1ms"  # boundary is inclusive
+
+    def test_power_of_two_boundaries(self):
+        assert latency_bucket(0.0011) == "<=2ms"
+        assert latency_bucket(0.002) == "<=2ms"
+        assert latency_bucket(0.0021) == "<=4ms"
+        assert latency_bucket(0.004) == "<=4ms"
+        assert latency_bucket(0.1) == "<=128ms"
+        assert latency_bucket(1.0) == "<=1024ms"
+
+    def test_buckets_are_monotone(self):
+        delays = [0.0001 * (1.3 ** i) for i in range(40)]
+        sizes = [int(latency_bucket(d)[2:-2]) for d in delays]
+        assert sizes == sorted(sizes)
+
+
+class TestBatchCounters:
+    def test_empty_batch_counts_once_with_zero_legs(self):
+        stats = NetworkStats()
+        stats.record_batch(0, 0.0)
+        assert stats.concurrent_batches == 1
+        assert stats.batched_legs == 0
+        assert stats.batch_latency_hist == {"<=1ms": 1}
+
+    def test_batches_accumulate_histogram(self):
+        stats = NetworkStats()
+        stats.record_batch(3, 0.0008)
+        stats.record_batch(5, 0.003)
+        stats.record_batch(2, 0.003)
+        assert stats.batched_legs == 10
+        assert stats.batch_latency_hist == {"<=1ms": 1, "<=4ms": 2}
+
+
+class TestRetryCounters:
+    def test_record_retry_defaults_and_bulk(self):
+        stats = NetworkStats()
+        stats.record_retry()
+        stats.record_retry(3)
+        stats.record_retry_success()
+        assert stats.retries == 4
+        assert stats.retry_successes == 1
+
+    def test_snapshot_and_delta_carry_retry_counters(self):
+        stats = NetworkStats()
+        stats.record_retry(2)
+        before = stats.snapshot()
+        stats.record_retry(5)
+        stats.record_retry_success(4)
+        delta = stats.snapshot().delta(before)
+        assert before.retries == 2
+        assert delta.retries == 5
+        assert delta.retry_successes == 4
+
+    def test_reset_zeroes_retry_counters(self):
+        stats = NetworkStats()
+        stats.record_retry(7)
+        stats.record_retry_success(2)
+        stats.reset()
+        assert stats.retries == 0
+        assert stats.retry_successes == 0
+        assert stats.snapshot().retries == 0
+
+
+class TestSnapshotDelta:
+    def test_snapshot_is_immutable_copy(self):
+        stats = NetworkStats()
+        stats.record_delivery("invoke", 100, 0.002, is_reply=False)
+        snap = stats.snapshot()
+        stats.record_delivery("invoke", 50, 0.001, is_reply=True)
+        assert snap.messages == 1
+        assert snap.by_kind == {"invoke": 1}
+        assert stats.messages == 2
+
+    def test_delta_subtracts_every_counter(self):
+        stats = NetworkStats()
+        stats.record_delivery("invoke", 100, 0.002, is_reply=False)
+        stats.record_dropped()
+        before = stats.snapshot()
+        stats.record_delivery("reply", 70, 0.004, is_reply=True)
+        stats.record_unreachable()
+        stats.record_batch(4, 0.002)
+        delta = stats.snapshot().delta(before)
+        assert delta.messages == 1
+        assert delta.replies == 1
+        assert delta.bytes == 70
+        assert delta.latency == pytest.approx(0.004)
+        assert delta.dropped == 0
+        assert delta.unreachable == 1
+        assert delta.by_kind == {"reply": 1}
+        assert delta.concurrent_batches == 1
+        assert delta.batched_legs == 4
+        assert delta.batch_latency_hist == {"<=2ms": 1}
