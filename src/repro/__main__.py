@@ -82,6 +82,8 @@ def chaos_main(args: argparse.Namespace) -> int:
         duration=args.duration,
         intensity=args.intensity,
         retry=not args.no_retry,
+        dedup=not args.no_dedup,
+        profile=args.profile,
         shrink=not args.no_shrink,
         episode=args.episode,
         schedule_json=args.schedule,
@@ -98,10 +100,15 @@ def chaos_main(args: argparse.Namespace) -> int:
     messages = sum(e.messages for e in result.episodes)
     retries = sum(e.retries for e in result.episodes)
     recovered = sum(e.retry_successes for e in result.episodes)
+    reply_lost = sum(e.reply_lost for e in result.episodes)
+    duplicates = sum(e.duplicates for e in result.episodes)
+    replays = sum(e.replays for e in result.episodes)
     print(
         f"campaign: {result.survived}/{total} episodes clean, "
         f"{ops_ok} ops ok / {ops_failed} failed, {messages} messages, "
-        f"{retries} retries ({recovered} recovered)"
+        f"{retries} retries ({recovered} recovered), "
+        f"{reply_lost} replies lost, {duplicates} duplicates, "
+        f"{replays} dedup replays"
     )
     if not result.ok:
         failing = next(e for e in result.episodes if not e.ok)
@@ -134,6 +141,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="fault-rate multiplier (0 = no faults)")
     chaos.add_argument("--no-retry", action="store_true",
                        help="disable the engine RetryPolicy (expect violations)")
+    chaos.add_argument("--no-dedup", action="store_true",
+                       help="disable receiver-side exactly-once dedup "
+                            "(at-least-once ablation; expect violations)")
+    chaos.add_argument("--profile", type=str, default="mixed",
+                       choices=("classic", "delivery", "mixed"),
+                       help="fault-kind mix for generated schedules")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip bisect-shrinking a failing schedule")
     chaos.add_argument("--episode", type=int, default=None,

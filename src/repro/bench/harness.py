@@ -690,7 +690,11 @@ def exp_e11_chaos(
     RetryPolicy on vs off. Reports episodes that finish with zero
     invariant violations, total violations, and retry traffic. The
     retry-off rows are the ablation: they show how much of the paper's
-    robustness story the retry/backoff layer carries."""
+    robustness story the retry/backoff layer carries.
+
+    Pinned to the ``classic`` fault profile (crash/drop/partition/proxy)
+    so the numbers stay comparable across revisions that add new fault
+    kinds; E12 covers the delivery-semantics faults."""
     from repro.chaos import ChaosCampaign, ChaosConfig
 
     rows: list[list[Any]] = []
@@ -701,6 +705,7 @@ def exp_e11_chaos(
                 episodes=episodes,
                 intensity=intensity,
                 retry=retry,
+                profile="classic",
                 shrink=False,
             )
             result = ChaosCampaign(config).run()
@@ -735,6 +740,98 @@ def exp_e11_chaos(
     }
 
 
+def exp_e12_dedup(episodes: int = 10, calls: int = 50, seed: int = 7) -> dict[str, Any]:
+    """E12 — exactly-once dispatch: what it costs and what it buys.
+
+    Two parts in one table. The ``micro`` rows run a clean two-node
+    world and measure the pure wire overhead of stamping idempotency
+    keys (bytes per message and single-call latency, stamped vs the
+    pre-exactly-once format). The ``campaign`` rows run the ``delivery``
+    fault profile (lost replies + duplicate deliveries + crashes) in
+    three modes:
+
+    * ``exactly-once``  — keys stamped, receiver dedup on (the default);
+    * ``at-least-once`` — keys stamped but dedup tables off (the
+      ``--no-dedup`` ablation: retries re-execute, violations leak while
+      staying attributable to their keys);
+    * ``pre-PR wire``   — no keys at all (byte-for-byte the old wire
+      format; the dedup machinery cannot engage).
+
+    The exactly-once rows must be clean; both ablations must leak
+    ``double_application`` violations — that asymmetry is the evidence
+    the dedup layer (and not luck) carries the exactly-once property.
+    """
+    from repro.chaos import ChaosCampaign, ChaosConfig
+
+    rows: list[list[Any]] = []
+
+    # -- micro: wire overhead of stamping ---------------------------------
+    for stamp in (False, True):
+        world, users = _resource_world(2, seed)
+        world.transport.stamp_dedup = stamp
+        node = world.node(users[0])
+        with measure(world) as m:
+            for _ in range(calls):
+                node.engine.execute(users[1], "res", "read", "slot")
+        rows.append(
+            [
+                f"micro {'stamped' if stamp else 'unstamped'}",
+                "-",
+                "-",
+                m.messages,
+                round(m.bytes / m.messages, 1),
+                0,
+                m.sim_elapsed / calls * 1e3,
+            ]
+        )
+
+    # -- campaign: delivery faults, three dispatch modes -------------------
+    modes = (
+        ("exactly-once", True, True),
+        ("at-least-once", False, True),
+        ("pre-PR wire", False, False),
+    )
+    for mode, dedup, stamp in modes:
+        config = ChaosConfig(
+            seed=seed,
+            episodes=episodes,
+            profile="delivery",
+            dedup=dedup,
+            stamp=stamp,
+            shrink=False,
+        )
+        result = ChaosCampaign(config).run()
+        violations = sum(len(e.violations) for e in result.episodes)
+        messages = sum(e.messages for e in result.episodes)
+        total_bytes = sum(e.bytes for e in result.episodes)
+        replays = sum(e.replays for e in result.episodes)
+        rows.append(
+            [
+                mode,
+                f"{result.survived}/{len(result.episodes)}",
+                violations,
+                messages,
+                round(total_bytes / messages, 1),
+                replays,
+                "-",
+            ]
+        )
+    return {
+        "id": "E12",
+        "title": "E12 — exactly-once dispatch: overhead and ablations",
+        "columns": [
+            "mode",
+            "clean episodes",
+            "violations",
+            "messages",
+            "bytes/msg",
+            "dedup replays",
+            "per-call (ms)",
+        ],
+        "rows": rows,
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -748,6 +845,7 @@ ALL_EXPERIMENTS = {
     "E9": exp_e9_quorum,
     "E10": exp_e10_contention,
     "E11": exp_e11_chaos,
+    "E12": exp_e12_dedup,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -759,6 +857,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E8B": {"populations": (2, 4, 8)},
     "E9": {"bio_sizes": (4,), "quorums": (0.5,)},
     "E11": {"intensities": (1.0,), "episodes": 5},
+    "E12": {"episodes": 5, "calls": 20},
 }
 
 

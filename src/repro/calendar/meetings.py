@@ -998,7 +998,7 @@ class MeetingManager:
 
         counts = {
             "adopted": 0, "released": 0, "pruned": 0, "bumped": 0,
-            "repushed": 0, "unlocked": 0,
+            "repushed": 0, "unlocked": 0, "ghosts": 0,
         }
         live = (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
 
@@ -1008,8 +1008,18 @@ class MeetingManager:
         #    lock carrying our ``txn-<node>-`` prefix is stale — shed
         #    them fleet-wide (peers that are unreachable right now drop
         #    theirs on their own restart: the lock table is volatile).
+        #    Slots are the persistent counterpart: a change leg that
+        #    applied before we crashed may have reserved a peer's slot
+        #    for a meeting we never recorded — broadcast the ids of our
+        #    meetings that *are* live so peers release the rest of our
+        #    ``mtg-<user>-`` namespace (release_ghost_slots).
         if not self.node.coordinator.busy:
             prefix = f"txn-{self.node.engine.node_id}-"
+            live_ids = [
+                m.meeting_id
+                for m in self.service.calendar.meetings()
+                if m.initiator == self.user and m.status in live
+            ]
             try:
                 roster = self.node.directory.list_users()
             except NetworkError:
@@ -1021,6 +1031,13 @@ class MeetingManager:
                             user, CAL_SERVICE, "release_txn_locks", prefix
                         )
                     )
+                    if user != self.user:
+                        counts["ghosts"] += int(
+                            self.node.engine.execute(
+                                user, CAL_SERVICE, "release_ghost_slots",
+                                f"mtg-{self.user}-", live_ids,
+                            )
+                        )
                 except NetworkError:
                     continue
 
@@ -1089,9 +1106,13 @@ class MeetingManager:
                 except NetworkError:
                     continue
 
-        #    Live ones: a committed participant whose slot no longer
-        #    references the meeting lost it to a higher-priority bump
-        #    while we were unreachable.
+        #    Live ones: a committed participant may have missed the
+        #    meeting-copy distribution (we crashed between the commit and
+        #    the ``store_meeting`` legs, or the leg was dropped past the
+        #    retry budget) — re-push our authoritative row where the copy
+        #    is missing or stale. Separately, a participant whose slot no
+        #    longer references the meeting lost it to a higher-priority
+        #    bump while we were unreachable.
         for meeting in list(self.service.calendar.meetings()):
             if meeting.initiator != self.user or meeting.status not in live:
                 continue
@@ -1099,6 +1120,14 @@ class MeetingManager:
                 if user == self.user:
                     continue
                 try:
+                    copy_row = self.node.engine.execute(
+                        user, CAL_SERVICE, "get_meeting", meeting.meeting_id
+                    )
+                    if copy_row != meeting.to_row():
+                        self.node.engine.execute(
+                            user, CAL_SERVICE, "store_meeting", meeting.to_row()
+                        )
+                        counts["repushed"] += 1
                     slot_row = self.node.engine.execute(
                         user, CAL_SERVICE, "get_slot", meeting.slot
                     )

@@ -207,6 +207,37 @@ class CalendarService(SyDDeviceObject):
                 self._notify_bumped(old_meeting, slot_entity)
         return released
 
+    @exported
+    def release_ghost_slots(self, initiator_prefix: str, live_ids: list[str]) -> int:
+        """Free occupied slots held for an initiator's meetings that the
+        initiator no longer (or never) recorded as live.
+
+        The companion of :meth:`release_txn_locks` for *applied* changes:
+        an initiator that crashed mid-negotiation may have reserved slots
+        at peers for a meeting it never got to store locally — the
+        compensating release legs died with it, and no surviving record
+        points at the residue. The initiator is authoritative for its own
+        ``mtg-<user>-`` id namespace, so on reconnect it broadcasts the
+        ids it still considers live; any occupied slot here referencing
+        that namespace outside the live set is released (with availability
+        triggers, as a normal release would fire).
+        """
+        from repro.datastore.predicate import where
+
+        live = set(live_ids)
+        released = 0
+        occupied = self.calendar.store.select(
+            "slots", (where("status") == "reserved") | (where("status") == "held")
+        )
+        for row in sorted(occupied, key=lambda r: r["slot_id"]):
+            mid = row.get("meeting_id")
+            if not mid or not mid.startswith(initiator_prefix) or mid in live:
+                continue
+            self.calendar.release_slot(row["slot_id"])
+            self._fire_availability({"day": row["day"], "hour": row["hour"]})
+            released += 1
+        return released
+
     # -- lifecycle operations invoked by peers -------------------------------------------
 
     @exported

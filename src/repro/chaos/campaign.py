@@ -41,6 +41,16 @@ class ChaosConfig:
     duration: float = 120.0
     intensity: float = 1.0
     retry: bool = True
+    #: receiver-side exactly-once dedup (False = at-least-once ablation;
+    #: requests stay stamped so double executions remain attributable)
+    dedup: bool = True
+    #: fault-kind mix (see repro.chaos.schedule.PROFILES)
+    profile: str = "mixed"
+    #: stamp idempotency keys on RPCs (False = pre-exactly-once wire
+    #: format; bench-only knob for measuring the stamping byte overhead —
+    #: without keys the dedup tables never engage, so this implies the
+    #: at-least-once behaviour of ``dedup=False`` as well)
+    stamp: bool = True
     settle: float = 30.0
     shrink: bool = True
     #: run only this episode index (None = all of range(episodes))
@@ -68,8 +78,13 @@ class EpisodeResult:
     ops_ok: int = 0
     ops_failed: int = 0
     messages: int = 0
+    bytes: int = 0
     retries: int = 0
     retry_successes: int = 0
+    reply_lost: int = 0
+    duplicates: int = 0
+    #: invocations answered from the listeners' dedup reply caches
+    replays: int = 0
     log: list[str] = field(default_factory=list)
 
     @property
@@ -123,7 +138,15 @@ class _FaultInjector:
         self._droppers: dict[str, object] = {}
         self._ghost_bound: set[str] = set()
         self._partitioned: set[str] = set()
-        #: users that were ever crashed or partitioned (reconcile targets)
+        #: active duplicate-delivery windows: id -> probability
+        self._dup_windows: dict[str, float] = {}
+        #: msg_ids already scheduled for redelivery (no re-arming: the
+        #: transport taps fire for the redelivered copy too)
+        self._duplicated: set[str] = set()
+        self._node_to_user = {app.node(u).node_id: u for u in users}
+        #: users with *detected* disturbance — crashed, partitioned, or an
+        #: endpoint of a lost reply (the replier applied a side effect its
+        #: requester never heard about) — reconcile targets
         self.disturbed: set[str] = set()
 
     def arm(self) -> None:
@@ -131,6 +154,36 @@ class _FaultInjector:
             self._handles.append(
                 self.world.scheduler.schedule_at(event.at, self._fire, event)
             )
+        self.world.transport.taps.append(self._dup_tap)
+        self.world.transport.reply_loss_taps.append(self._on_reply_loss)
+
+    def _dup_tap(self, msg) -> None:
+        """While a dup window is open, schedule delayed re-deliveries."""
+        if (
+            not self._dup_windows
+            or msg.is_reply
+            or msg.kind != "invoke"
+            or msg.msg_id in self._duplicated
+        ):
+            return
+        if self.rng.random() < max(self._dup_windows.values()):
+            self._duplicated.add(msg.msg_id)
+            delay = self.rng.uniform(0.1, 4.0)
+            self._handles.append(
+                self.world.scheduler.schedule_at(
+                    self.world.clock.now() + delay,
+                    self.world.transport.redeliver,
+                    msg,
+                )
+            )
+
+    def _on_reply_loss(self, reply) -> None:
+        """A handler executed but its reply never arrived: both endpoints
+        now disagree about what happened — queue them for reconciliation."""
+        for node_id in (reply.src, reply.dst):
+            user = self._node_to_user.get(node_id)
+            if user is not None:
+                self.disturbed.add(user)
 
     def _fire(self, event: FaultEvent) -> None:
         self.log(f"t={self.world.clock.now():8.2f} fault {event.describe()}")
@@ -147,7 +200,10 @@ class _FaultInjector:
         user = params["user"]
         if self.world.is_up(user):
             return
-        self.world.bring_up(user)
+        # restart (not bring_up): the node loses volatile state and its
+        # sender incarnation is bumped, fencing pre-crash requests that a
+        # dup window may still redeliver.
+        self.world.restart(user)
         self._reconcile(user)
 
     def _apply_partition(self, params) -> None:
@@ -183,6 +239,27 @@ class _FaultInjector:
         if remover is not None:
             remover()
 
+    def _apply_reply_drop_start(self, params) -> None:
+        p, rng = params["p"], self.rng
+
+        def rule(msg) -> bool:
+            return (
+                msg.is_reply
+                and msg.kind == "invoke"
+                and rng.random() < p
+            )
+
+        self._droppers[params["id"]] = self.world.transport.faults.add_drop_rule(rule)
+
+    def _apply_reply_drop_stop(self, params) -> None:
+        self._apply_drop_stop(params)
+
+    def _apply_dup_start(self, params) -> None:
+        self._dup_windows[params["id"]] = params["p"]
+
+    def _apply_dup_stop(self, params) -> None:
+        self._dup_windows.pop(params["id"], None)
+
     def _apply_proxy_bind(self, params) -> None:
         self.world.directory_service.set_proxy(params["user"], params["proxy"])
         self._ghost_bound.add(params["user"])
@@ -201,13 +278,14 @@ class _FaultInjector:
         for remover in self._droppers.values():
             remover()
         self._droppers.clear()
+        self._dup_windows.clear()
         self.world.transport.faults.heal_partition()
         for user in sorted(self._ghost_bound):
             self.world.directory_service.set_proxy(user, None)
         self._ghost_bound.clear()
         restarted = [u for u in self.users if not self.world.is_up(u)]
         for user in restarted:
-            self.world.bring_up(user)
+            self.world.restart(user)
         self.log(f"t={self.world.clock.now():8.2f} heal-all restarted={restarted}")
         # Anti-entropy runs where disturbance was *detected* (crashes,
         # partitions). Silent message loss is exactly what the engine's
@@ -254,7 +332,8 @@ class ChaosCampaign:
     ) -> EpisodeResult:
         cfg = self.config
         seed = cfg.episode_seed(index)
-        world = SyDWorld(seed=seed, directory_cache=True)
+        world = SyDWorld(seed=seed, directory_cache=True, dedup=cfg.dedup)
+        world.transport.stamp_dedup = cfg.stamp
         app = SyDCalendarApp(world)
         users = [f"u{i:02d}" for i in range(cfg.users)]
         setup_rng = world.random.get("chaos.setup")
@@ -274,14 +353,19 @@ class ChaosCampaign:
                 schedule = FaultSchedule.from_json(cfg.schedule_json)
             else:
                 schedule = generate_schedule(
-                    world.random.get("chaos.faults"), users, cfg.duration, cfg.intensity
+                    world.random.get("chaos.faults"),
+                    users,
+                    cfg.duration,
+                    cfg.intensity,
+                    profile=cfg.profile,
                 )
 
         log_lines: list[str] = []
         log = log_lines.append
         log(
             f"episode {index} seed {seed} users {cfg.users} ops {cfg.ops} "
-            f"faults {len(schedule)} retry {'on' if cfg.retry else 'off'}"
+            f"faults {len(schedule)} retry {'on' if cfg.retry else 'off'} "
+            f"dedup {'on' if cfg.dedup else 'off'} profile {cfg.profile}"
         )
         injector = _FaultInjector(
             world, app, users, schedule, world.random.get("chaos.drops"), log
@@ -302,11 +386,15 @@ class ChaosCampaign:
         for violation in violations:
             log(f"VIOLATION {violation}")
         stats = world.stats
+        replays = world.directory_listener.replays + sum(
+            world.node(u).listener.replays for u in users
+        )
         log(
             f"episode {index} {'ok' if not violations else 'FAIL'} "
             f"ops {workload.ops_ok}/{cfg.ops} messages {stats.messages} "
             f"retries {stats.retries} recovered {stats.retry_successes} "
-            f"violations {len(violations)}"
+            f"reply-lost {stats.reply_lost} dups {stats.duplicates} "
+            f"replays {replays} violations {len(violations)}"
         )
         return EpisodeResult(
             index=index,
@@ -316,8 +404,12 @@ class ChaosCampaign:
             ops_ok=workload.ops_ok,
             ops_failed=workload.ops_failed,
             messages=stats.messages,
+            bytes=stats.bytes,
             retries=stats.retries,
             retry_successes=stats.retry_successes,
+            reply_lost=stats.reply_lost,
+            duplicates=stats.duplicates,
+            replays=replays,
             log=log_lines,
         )
 
@@ -358,7 +450,9 @@ class ChaosCampaign:
         return (
             f"python -m repro chaos --seed {cfg.seed} --users {cfg.users} "
             f"--ops {cfg.ops} --duration {cfg.duration:g} "
-            f"--intensity {cfg.intensity:g} --episode {index}"
+            f"--intensity {cfg.intensity:g} --profile {cfg.profile} "
+            f"--episode {index}"
             + ("" if cfg.retry else " --no-retry")
+            + ("" if cfg.dedup else " --no-dedup")
             + f" --schedule '{schedule.to_json()}'"
         )

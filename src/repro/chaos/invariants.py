@@ -20,6 +20,9 @@ Checks:
   residue detector).
 * ``dead_meeting_slot``— no slot anywhere still references a cancelled or
   bumped authoritative meeting.
+* ``double_application`` — no idempotency key executed side effects more
+  than once anywhere (the exactly-once dispatch property; duplicates and
+  retried lost-reply requests must replay, not re-execute).
 * ``lock_residue``     — all entity locks are released at quiescence
   (negotiations unlock in ``finally``; a lost unmark leg shows up here).
 * ``directory_cache``  — every node's cached lookups agree with the
@@ -171,6 +174,43 @@ def check_dead_meeting_slots(app: SyDCalendarApp) -> list[Violation]:
     return out
 
 
+def check_double_application(world: SyDWorld) -> list[Violation]:
+    """No idempotency key executed its side effects more than once.
+
+    Every listener counts handler executions per idempotency key in
+    ``listener.effects`` (incremented immediately before the target
+    method runs, and deliberately never cleared — not even by a restart).
+    Under exactly-once dispatch a key executes at most once no matter how
+    often the network re-delivers it; any count above one means a
+    duplicate or a retried lost-reply request re-ran a side effect.
+    """
+    out: list[Violation] = []
+    listeners = [("directory", world.directory_listener)] + [
+        (user, node.listener) for user, node in sorted(world.nodes.items())
+    ]
+    for user, listener in listeners:
+        doubled = sorted(
+            (key, count) for key, count in listener.effects.items() if count > 1
+        )
+        for key, count in doubled[:5]:
+            out.append(
+                Violation(
+                    "double_application",
+                    user,
+                    f"key {key} executed {count} times",
+                )
+            )
+        if len(doubled) > 5:
+            out.append(
+                Violation(
+                    "double_application",
+                    user,
+                    f"... and {len(doubled) - 5} more double-executed keys",
+                )
+            )
+    return out
+
+
 def check_lock_residue(world: SyDWorld) -> list[Violation]:
     return [
         Violation("lock_residue", user, f"{node.locks.locked_count()} locks still held")
@@ -263,6 +303,7 @@ def run_invariant_checks(
     violations += check_commitments(app)
     violations += check_orphaned_slots(app)
     violations += check_dead_meeting_slots(app)
+    violations += check_double_application(world)
     violations += check_lock_residue(world)
     violations += check_directory_cache(world)
     if baselines and journals:

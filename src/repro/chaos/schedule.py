@@ -18,15 +18,35 @@ from typing import Any, Sequence
 
 #: event kinds an injector must understand
 KINDS = (
-    "crash",        # params: user
-    "restart",      # params: user
-    "partition",    # params: groups (list of lists of users)
-    "heal",         # params: {}
-    "drop_start",   # params: p (per-message drop probability), id
-    "drop_stop",    # params: id
-    "proxy_bind",   # params: user, proxy (directory churn / bogus proxy)
-    "proxy_clear",  # params: user
+    "crash",            # params: user
+    "restart",          # params: user
+    "partition",        # params: groups (list of lists of users)
+    "heal",             # params: {}
+    "drop_start",       # params: p (per-message drop probability), id
+    "drop_stop",        # params: id
+    "proxy_bind",       # params: user, proxy (directory churn / bogus proxy)
+    "proxy_clear",      # params: user
+    "reply_drop_start",  # params: p (per-reply drop probability), id
+    "reply_drop_stop",   # params: id
+    "dup_start",        # params: p (per-request duplicate probability), id
+    "dup_stop",         # params: id
 )
+
+#: which fault kinds a profile draws from, with weights
+PROFILES = {
+    # PR 2's availability mix, unchanged — benchmarks (E11) pin this for
+    # comparability across revisions.
+    "classic": (("crash", "drop", "partition", "proxy"), (4, 3, 2, 1)),
+    # Delivery-semantics faults: handler executes but the reply is lost,
+    # or a request is delivered twice — plus crashes so incarnation
+    # fencing is exercised.
+    "delivery": (("reply_drop", "dup", "crash"), (3, 3, 2)),
+    # Everything at once (the default campaign diet).
+    "mixed": (
+        ("crash", "drop", "partition", "proxy", "reply_drop", "dup"),
+        (4, 3, 2, 1, 3, 3),
+    ),
+}
 
 
 @dataclass(frozen=True)
@@ -83,22 +103,30 @@ def generate_schedule(
     users: Sequence[str],
     duration: float,
     intensity: float = 1.0,
+    profile: str = "mixed",
 ) -> FaultSchedule:
     """Draw a seeded fault schedule over ``[0, duration]``.
 
     ``intensity`` scales the number of injected faults (1.0 ≈ six fault
-    windows per episode); 0 produces an empty schedule. Every fault is a
-    start/stop pair and every stop lands before ``0.92 * duration``, so
-    an episode always ends with a healing tail (the runner additionally
-    force-heals before checking invariants).
+    windows per episode); 0 produces an empty schedule. ``profile``
+    picks the fault-kind mix (see :data:`PROFILES`): ``"classic"`` is
+    PR 2's availability mix, ``"delivery"`` focuses on lost replies and
+    duplicate deliveries, ``"mixed"`` draws from everything. Every fault
+    is a start/stop pair and every stop lands before ``0.92 * duration``,
+    so an episode always ends with a healing tail (the runner
+    additionally force-heals before checking invariants).
     """
     users = list(users)
     events: list[FaultEvent] = []
+    try:
+        kinds, weights = PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule profile {profile!r} (choose from {sorted(PROFILES)})"
+        ) from None
     n = int(round(6 * intensity))
     for i in range(n):
-        kind = rng.choices(
-            ("crash", "drop", "partition", "proxy"), weights=(4, 3, 2, 1)
-        )[0]
+        kind = rng.choices(kinds, weights=weights)[0]
         start = rng.uniform(0.05, 0.72) * duration
         end = min(start + rng.uniform(0.04, 0.18) * duration, 0.92 * duration)
         start, end = round(start, 2), round(end, 2)
@@ -116,6 +144,16 @@ def generate_schedule(
             groups = [sorted(shuffled[:cut]), sorted(shuffled[cut:])]
             events.append(FaultEvent(start, "partition", {"groups": groups}))
             events.append(FaultEvent(end, "heal", {}))
+        elif kind == "reply_drop":
+            p = round(rng.uniform(0.15, 0.45), 3)
+            events.append(
+                FaultEvent(start, "reply_drop_start", {"p": p, "id": f"r{i}"})
+            )
+            events.append(FaultEvent(end, "reply_drop_stop", {"id": f"r{i}"}))
+        elif kind == "dup":
+            p = round(rng.uniform(0.2, 0.5), 3)
+            events.append(FaultEvent(start, "dup_start", {"p": p, "id": f"u{i}"}))
+            events.append(FaultEvent(end, "dup_stop", {"id": f"u{i}"}))
         else:
             user = rng.choice(users)
             events.append(

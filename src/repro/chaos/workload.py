@@ -29,6 +29,10 @@ ACTIONS = (
     ("confirm", 1),
     ("drop_out", 1),
     ("group", 1),
+    # Remote read of a peer's slot: side-effect free, so it exercises
+    # the lost-reply path (handler runs, reply dropped, retry replays)
+    # without any state at stake.
+    ("poll", 1),
 )
 
 
@@ -92,7 +96,18 @@ class Workload:
             return self._confirm(user)
         if action == "drop_out":
             return self._drop_out(user)
+        if action == "poll":
+            return self._poll(user)
         return self._group(user, index)
+
+    def _poll(self, user: str) -> str:
+        other = self.rng.choice([u for u in self.users if u != user])
+        day = self.rng.randrange(self.app.days)
+        hour = self.rng.randrange(self.app.day_start, self.app.day_end)
+        slot = self.app.node(user).engine.execute(
+            other, "calendar", "get_slot", {"day": day, "hour": hour}
+        )
+        return f"{other} d{day}h{hour} {slot['status']}"
 
     def _schedule(self, user: str, index: int) -> str:
         others = [u for u in self.users if u != user]

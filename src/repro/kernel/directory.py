@@ -360,11 +360,13 @@ class DirectoryClient:
         from repro.net.retry import retry_call
 
         payload = self._payload(method, args, kwargs)
+        # One idempotency key across the retry loop (see SyDEngine).
+        dedup = self.transport.next_dedup(self.node_id, self.directory_node)
         reply = retry_call(
             self.retry_policy,
             self.transport.stats,
             lambda: self.transport.rpc(
-                self.node_id, self.directory_node, "invoke", payload
+                self.node_id, self.directory_node, "invoke", payload, dedup=dedup
             ),
         )
         return reply.get("result")

@@ -110,10 +110,13 @@ class SyDEngine:
         """Invoke a method on a specific node, no directory resolution."""
         self.calls += 1
         payload = self._payload(object_name, method, args, kwargs)
+        # One idempotency key for the whole retry loop: every re-attempt
+        # carries the same key, so a lost *reply* never double-executes.
+        dedup = self.transport.next_dedup(self.node_id, node_id)
         reply = retry_call(
             self.retry_policy,
             self.transport.stats,
-            lambda: self.transport.rpc(self.node_id, node_id, "invoke", payload),
+            lambda: self.transport.rpc(self.node_id, node_id, "invoke", payload, dedup=dedup),
         )
         return reply.get("result")
 
@@ -138,10 +141,14 @@ class SyDEngine:
             payload = self._payload(object_name, method, args, kwargs)
             payload["for_user"] = user
             self.calls += 1
+            # Fresh key for the proxy attempt: the same key must never be
+            # executable at two different nodes (the home attempt may have
+            # applied before its reply was lost).
+            dedup = self.transport.next_dedup(self.node_id, proxy)
             reply = retry_call(
                 self.retry_policy,
                 self.transport.stats,
-                lambda: self.transport.rpc(self.node_id, proxy, "invoke", payload),
+                lambda: self.transport.rpc(self.node_id, proxy, "invoke", payload, dedup=dedup),
             )
             return reply.get("result")
 

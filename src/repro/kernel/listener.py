@@ -15,14 +15,23 @@ hooks such as :meth:`repro.kernel.links.SyDLinks.after_method`.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable
 
 from repro.device.object import SyDDeviceObject
 from repro.device.registry import MethodRegistry
+from repro.net import dedup as dedup_mod
+from repro.net.dedup import DedupTable
 from repro.net.message import Message
 from repro.security.auth import AuthTable
 from repro.security.envelope import unseal
-from repro.util.errors import AuthenticationError
+from repro.util.errors import (
+    ERRORS_BY_NAME,
+    AuthenticationError,
+    RemoteError,
+    ReproError,
+    StaleMessageError,
+)
 
 #: Hook signature: (object_name, method, args, kwargs, result) -> None
 PostInvokeHook = Callable[[str, str, list, dict, Any], None]
@@ -31,10 +40,12 @@ PostInvokeHook = Callable[[str, str, list, dict, Any], None]
 class SyDListener:
     """Per-node invocation endpoint."""
 
-    def __init__(self, node_id: str, directory=None):
+    def __init__(self, node_id: str, directory=None, dedup: DedupTable | None = None):
         self.node_id = node_id
         self.registry = MethodRegistry()
         self.directory = directory  # DirectoryClient or None (directory node itself)
+        #: receiver-side exactly-once table (None = PR 2 at-least-once)
+        self.dedup = dedup
         self._post_hooks: list[PostInvokeHook] = []
         # Authentication (off until enable_authentication is called).
         self._auth_passphrase: str | None = None
@@ -42,6 +53,12 @@ class SyDListener:
         self._protected: set[str] | None = None  # None = protect everything
         self.invocations = 0
         self.rejected = 0
+        self.replays = 0
+        #: side-effect executions per idempotency key — the chaos
+        #: ``no_double_application`` checker's ground truth. Incremented
+        #: immediately before the target method runs, never cleared (a
+        #: restart must not hide a pre-crash execution from the checker).
+        self.effects: Counter = Counter()
 
     # -- publication ----------------------------------------------------------
 
@@ -115,7 +132,49 @@ class SyDListener:
     # -- dispatch -----------------------------------------------------------------
 
     def handle_invoke(self, msg: Message) -> dict[str, Any]:
-        """Transport handler for ``"invoke"`` messages."""
+        """Transport handler for ``"invoke"`` messages.
+
+        With a dedup table wired, the request's idempotency key is
+        admitted first: duplicates replay the cached outcome (result *or*
+        typed error) without re-executing; keys from fenced sender
+        incarnations or below the pruned watermark are refused with
+        :class:`StaleMessageError`. First sightings execute and their
+        outcome is recorded.
+        """
+        key = msg.dedup
+        if key is not None and self.dedup is not None:
+            verdict, cached = self.dedup.admit(*key)
+            if verdict == dedup_mod.REPLAY:
+                self.replays += 1
+                assert cached is not None
+                return self._replay(cached)
+            if verdict == dedup_mod.FENCED:
+                raise StaleMessageError(
+                    f"invocation {key} refused: sender incarnation is fenced"
+                )
+            if verdict == dedup_mod.SUPPRESS:
+                raise StaleMessageError(
+                    f"invocation {key} refused: already processed, reply pruned"
+                )
+        try:
+            reply = self._execute(msg, key)
+        except ReproError as exc:
+            # Deterministic library errors are part of the invocation's
+            # outcome: cache them so a duplicate raises the same error
+            # without re-running the handler. (RemoteError never
+            # originates in a handler, so single-arg reconstruction in
+            # _replay is always possible.)
+            if key is not None and self.dedup is not None and not isinstance(exc, RemoteError):
+                self.dedup.record(
+                    *key, {"__error__": type(exc).__name__, "message": str(exc)}
+                )
+            raise
+        if key is not None and self.dedup is not None:
+            self.dedup.record(*key, reply)
+        return reply
+
+    def _execute(self, msg: Message, key) -> dict[str, Any]:
+        """Authenticate, look up and run the target method."""
         payload = msg.payload
         object_name = payload["object"]
         method = payload["method"]
@@ -127,8 +186,24 @@ class SyDListener:
             self.rejected += 1
             raise
         fn = self.registry.lookup(object_name, method)
+        if key is not None:
+            self.effects[key] += 1
         result = fn(*args, **kwargs)
         self.invocations += 1
         for hook in list(self._post_hooks):
             hook(object_name, method, list(args), dict(kwargs), result)
         return {"result": result}
+
+    def _replay(self, cached: dict[str, Any]) -> dict[str, Any]:
+        """Re-issue a cached outcome: return a reply copy or raise the error."""
+        if "__error__" in cached:
+            cls = ERRORS_BY_NAME.get(cached["__error__"])
+            if cls is None or cls is RemoteError:
+                raise ReproError(cached["message"])
+            raise cls(cached["message"])
+        return dict(cached)
+
+    def restart(self) -> None:
+        """Node power-cycle: volatile dedup state is lost, watermarks reload."""
+        if self.dedup is not None:
+            self.dedup.restart()

@@ -26,6 +26,7 @@ from repro.kernel.events import SyDEventHandler
 from repro.kernel.links import SyDLinks, SyDLinksService
 from repro.kernel.listener import SyDListener
 from repro.net.address import DeviceClass, NodeAddress
+from repro.net.dedup import DedupPersistence, DedupTable
 from repro.net.message import Message
 from repro.net.transport import Transport
 from repro.security.auth import AuthTable
@@ -53,6 +54,7 @@ class SyDNode:
         tracer: Tracer | None = None,
         credentials: Credentials | None = None,
         auth_passphrase: str | None = None,
+        dedup: bool = True,
     ):
         self.user = user
         self.node_id = node_id or f"{user}-device"
@@ -63,7 +65,13 @@ class SyDNode:
         self.tracer = tracer or Tracer(transport.clock)
 
         self.directory = DirectoryClient(self.node_id, transport, directory_node)
-        self.listener = SyDListener(self.node_id, self.directory)
+        # The dedup watermark table lives in the node's own store so it is
+        # covered by any WAL journal attached later (journals only track
+        # tables that exist at attach time — hence created here, eagerly).
+        dedup_table = (
+            DedupTable(persist=DedupPersistence(store)) if dedup else None
+        )
+        self.listener = SyDListener(self.node_id, self.directory, dedup=dedup_table)
         self.engine = SyDEngine(
             self.node_id,
             transport,

@@ -25,6 +25,7 @@ class FaultPlan:
         # layer separates them.
         self._partitions: list[list[set[str]]] = []
         self._drop_rules: list[DropRule] = []
+        self._duplicate_rules: list[DropRule] = []
 
     # -- node availability --------------------------------------------------
 
@@ -101,7 +102,37 @@ class FaultPlan:
         return remove
 
     def should_drop(self, message: Message) -> bool:
+        # A loopback invocation (a device calling its own listener) never
+        # crosses the network, so network faults cannot touch it. Without
+        # this a drop window could eat e.g. a coordinator's unmark of its
+        # *own* participant — residue no retry or restart could explain.
+        if message.src == message.dst:
+            return False
         return any(rule(message) for rule in self._drop_rules)
+
+    # -- duplicate deliveries ---------------------------------------------------
+
+    def add_duplicate_rule(self, rule: DropRule) -> Callable[[], None]:
+        """Re-dispatch every delivered request for which ``rule`` is True.
+
+        The duplicate executes inline right after the original delivery
+        (its result is discarded and its errors are swallowed — the
+        network, not a caller, produced it). Returns a remover callable.
+        """
+        self._duplicate_rules.append(rule)
+
+        def remove() -> None:
+            try:
+                self._duplicate_rules.remove(rule)
+            except ValueError:
+                pass
+
+        return remove
+
+    def should_duplicate(self, message: Message) -> bool:
+        if message.src == message.dst:  # loopback: see should_drop
+            return False
+        return any(rule(message) for rule in self._duplicate_rules)
 
     # -- verdict ------------------------------------------------------------
 

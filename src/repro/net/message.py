@@ -46,6 +46,11 @@ class Message:
         kind: dispatch discriminator (``"invoke"``, ``"directory"`` ...).
         payload: JSON-like body.
         is_reply: True for RPC response legs (they are counted separately).
+        dedup: idempotency key ``(sender_id, incarnation, seq)`` stamped by
+            the transport on RPC requests (None for replies, one-way sends
+            and transports with stamping disabled). A retried attempt
+            carries the *same* key, which is what lets the receiver's
+            dedup table replay the cached reply instead of re-executing.
     """
 
     msg_id: str
@@ -54,6 +59,7 @@ class Message:
     kind: str
     payload: dict[str, Any] = field(default_factory=dict)
     is_reply: bool = False
+    dedup: tuple[str, int, int] | None = None
 
     _size: int | None = field(default=None, repr=False)
 
@@ -63,4 +69,6 @@ class Message:
         if self._size is None:
             header = 32  # ids, kind, framing
             self._size = header + estimate_size(self.payload)
+            if self.dedup is not None:
+                self._size += estimate_size(list(self.dedup))
         return self._size

@@ -108,7 +108,15 @@ def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy
     follow-up scatter-gather batches after the policy's backoff, until
     they succeed or attempts are exhausted. Returns the final outcome
     list, positionally matching ``legs``.
+
+    Legs are pre-stamped with idempotency keys (when the transport
+    supports it) so every re-send of a leg carries the same key and the
+    receiver's dedup table can replay instead of re-executing — the
+    at-least-once → exactly-once upgrade.
     """
+    stamp = getattr(transport, "stamp_calls", None)
+    if stamp is not None:
+        legs = stamp(src, legs)
     outcomes = transport.rpc_many(src, legs)
     if policy is None:
         return outcomes

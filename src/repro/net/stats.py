@@ -43,6 +43,9 @@ class StatsSnapshot:
     batch_latency_hist: Counter = field(default_factory=Counter)
     retries: int = 0
     retry_successes: int = 0
+    reply_lost: int = 0
+    send_failures: int = 0
+    duplicates: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier``."""
@@ -59,6 +62,9 @@ class StatsSnapshot:
             batch_latency_hist=self.batch_latency_hist - earlier.batch_latency_hist,
             retries=self.retries - earlier.retries,
             retry_successes=self.retry_successes - earlier.retry_successes,
+            reply_lost=self.reply_lost - earlier.reply_lost,
+            send_failures=self.send_failures - earlier.send_failures,
+            duplicates=self.duplicates - earlier.duplicates,
         )
 
 
@@ -79,6 +85,14 @@ class NetworkStats:
         #: legs re-sent by a RetryPolicy / retried legs that then succeeded
         self.retries = 0
         self.retry_successes = 0
+        #: reply legs that never made it back (handler ran, caller sees a
+        #: network error — the at-least-once hazard)
+        self.reply_lost = 0
+        #: one-way sends whose remote handler raised (swallowed at the
+        #: transport; fire-and-forget senders never observe them)
+        self.send_failures = 0
+        #: extra deliveries of an already-delivered request (fault model)
+        self.duplicates = 0
 
     def record_delivery(self, kind: str, size: int, delay: float, is_reply: bool) -> None:
         """Account one successfully delivered message leg."""
@@ -109,6 +123,18 @@ class NetworkStats:
         """Account ``legs`` that succeeded after at least one retry."""
         self.retry_successes += legs
 
+    def record_reply_lost(self) -> None:
+        """Account a reply leg lost after the handler executed."""
+        self.reply_lost += 1
+
+    def record_send_failure(self) -> None:
+        """Account a one-way send whose remote handler raised."""
+        self.send_failures += 1
+
+    def record_duplicate(self) -> None:
+        """Account one duplicate delivery of a request."""
+        self.duplicates += 1
+
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters."""
         return StatsSnapshot(
@@ -124,6 +150,9 @@ class NetworkStats:
             batch_latency_hist=Counter(self.batch_latency_hist),
             retries=self.retries,
             retry_successes=self.retry_successes,
+            reply_lost=self.reply_lost,
+            send_failures=self.send_failures,
+            duplicates=self.duplicates,
         )
 
     def reset(self) -> None:

@@ -24,11 +24,24 @@ Failure semantics (``rpc``; per leg for ``rpc_many``):
   exception when it is a library error (via ``ERRORS_BY_NAME``), else as
   :class:`RemoteError`. This mirrors how the prototype surfaced remote
   Java exceptions to the caller.
+* the *reply* leg is lost           → :class:`UnreachableError` /
+  :class:`MessageDropped` at the caller **after the handler executed and
+  its side effects persisted**. This is the at-least-once hazard; the
+  receiver-side dedup layer (:mod:`repro.net.dedup`) makes the retry
+  safe.
+
+Exactly-once support: the transport stamps every RPC request with an
+idempotency key ``(sender_id, incarnation, seq)`` — ``seq`` counts per
+(sender, destination) pair so each receiver observes a per-sender
+sequence without cross-receiver gaps. Retrying callers allocate the key
+once (:meth:`next_dedup` / :meth:`stamp_calls`) and pass it with every
+attempt. :meth:`bump_incarnation` fences a restarted sender: its old
+keys become stale and its sequence numbering restarts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from repro.net.address import NodeAddress
@@ -40,6 +53,7 @@ from repro.util.clock import VirtualClock
 from repro.util.errors import (
     ERRORS_BY_NAME,
     MessageDropped,
+    NetworkError,
     RemoteError,
     ReproError,
     UnreachableError,
@@ -52,11 +66,17 @@ Handler = Callable[[Message], dict[str, Any]]
 
 @dataclass(frozen=True)
 class RpcCall:
-    """One leg of a scatter-gather batch (see :meth:`Transport.rpc_many`)."""
+    """One leg of a scatter-gather batch (see :meth:`Transport.rpc_many`).
+
+    ``dedup`` carries a pre-allocated idempotency key; retry wrappers
+    stamp legs once (:meth:`Transport.stamp_calls`) so a re-sent leg
+    reuses the same key. Unstamped legs are stamped at send time.
+    """
 
     dst: str
     kind: str
     payload: dict[str, Any] = field(default_factory=dict)
+    dedup: tuple[str, int, int] | None = None
 
 
 @dataclass
@@ -89,17 +109,28 @@ class Transport:
         latency: LatencyModel | None = None,
         faults: FaultPlan | None = None,
         stats: NetworkStats | None = None,
+        stamp_dedup: bool = True,
     ):
         self.clock = clock or VirtualClock()
         self.latency = latency or ConstantLatency(0.001)
         self.faults = faults or FaultPlan()
         self.stats = stats or NetworkStats()
+        #: stamp RPC requests with idempotency keys (off = PR 2 wire format)
+        self.stamp_dedup = stamp_dedup
         self._ids = IdGenerator()
         self._handlers: dict[str, Handler] = {}
         self._addresses: dict[str, NodeAddress] = {}
+        #: per-sender incarnation epoch (bumped on restart; defaults to 1)
+        self._incarnations: dict[str, int] = {}
+        #: per-(sender, destination) sequence counters
+        self._seqs: dict[tuple[str, str], int] = {}
         #: observers called with every successfully delivered message leg
         #: (used by repro.tools.sequence to draw interaction diagrams)
         self.taps: list[Callable[[Message], None]] = []
+        #: observers called with every *lost reply* message (handler ran,
+        #: response never reached the requester) — chaos uses this to mark
+        #: both endpoints for post-episode reconciliation
+        self.reply_loss_taps: list[Callable[[Message], None]] = []
 
     # -- registration ------------------------------------------------------
 
@@ -122,6 +153,55 @@ class Transport:
     def known_nodes(self) -> list[str]:
         """Ids of all registered nodes."""
         return sorted(self._handlers)
+
+    # -- idempotency keys --------------------------------------------------
+
+    def incarnation(self, node_id: str) -> int:
+        """Current incarnation epoch of a sender (1 until first restart)."""
+        return self._incarnations.get(node_id, 1)
+
+    def bump_incarnation(self, node_id: str) -> int:
+        """Fence a restarted sender: new epoch, sequence numbering restarts.
+
+        Pre-restart keys become *stale* at every receiver that has seen
+        the new epoch, so a delayed duplicate of a pre-crash request can
+        never execute against post-restart state — and post-restart seq
+        reuse (1, 2, ...) is never mistaken for a duplicate of the old
+        sequence.
+        """
+        self._incarnations[node_id] = self.incarnation(node_id) + 1
+        for pair in [p for p in self._seqs if p[0] == node_id]:
+            del self._seqs[pair]
+        return self._incarnations[node_id]
+
+    def next_dedup(self, src: str, dst: str) -> tuple[str, int, int] | None:
+        """Allocate the next idempotency key for a ``src → dst`` request.
+
+        Retrying callers allocate the key *above* their retry loop and
+        pass it to every attempt. Returns None with stamping disabled
+        (attempts then go out unstamped, exactly like PR 2).
+        """
+        if not self.stamp_dedup:
+            return None
+        seq = self._seqs.get((src, dst), 0) + 1
+        self._seqs[(src, dst)] = seq
+        return (src, self.incarnation(src), seq)
+
+    def stamp_calls(
+        self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
+    ) -> list[RpcCall]:
+        """Pre-stamp a batch of legs with idempotency keys.
+
+        Used by ``rpc_many_with_retry`` so a re-sent leg carries the same
+        key as the original attempt. Already-stamped legs are kept as-is.
+        """
+        legs = [c if isinstance(c, RpcCall) else RpcCall(*c) for c in calls]
+        if not self.stamp_dedup:
+            return legs
+        return [
+            leg if leg.dedup is not None else replace(leg, dedup=self.next_dedup(src, leg.dst))
+            for leg in legs
+        ]
 
     # -- traffic -----------------------------------------------------------
 
@@ -152,29 +232,61 @@ class Transport:
         return delay
 
     def send(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> None:
-        """One-way message: deliver to the destination handler, ignore result."""
-        msg = Message(self._ids.next("msg"), src, dst, kind, payload)
-        self._deliver(msg)
-        self._handlers[dst](msg)
+        """One-way message: deliver to the destination handler, ignore result.
 
-    def rpc(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> dict[str, Any]:
-        """Request/response round trip; returns the handler's payload.
-
-        Remote library exceptions come back as their own types; anything
-        else as :class:`RemoteError`.
+        A remote handler failure is a *remote* failure: it is counted
+        (``send_failures``) and swallowed, never raised into the sender's
+        stack — a fire-and-forget sender has no reply leg to learn it
+        from. Transport-level failures before delivery (unreachable
+        destination, fault drop) still raise, since the message
+        observably never left. Sends are not dedup-stamped: they carry no
+        reply to replay and their seqs would open permanent watermark
+        gaps at the receiver.
         """
         msg = Message(self._ids.next("msg"), src, dst, kind, payload)
         self._deliver(msg)
         try:
+            self._handlers[dst](msg)
+        except Exception:  # noqa: BLE001 - remote failure, invisible to sender
+            self.stats.record_send_failure()
+
+    def rpc(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: dict[str, Any],
+        dedup: tuple[str, int, int] | None = None,
+    ) -> dict[str, Any]:
+        """Request/response round trip; returns the handler's payload.
+
+        Remote library exceptions come back as their own types; anything
+        else as :class:`RemoteError`. If the *reply* leg is lost the
+        transport raises the loss error (:class:`UnreachableError` /
+        :class:`MessageDropped`) instead — the caller cannot distinguish
+        a lost request from a lost reply, which is exactly the ambiguity
+        the dedup layer resolves on retry.
+
+        ``dedup`` carries a pre-allocated idempotency key (retrying
+        callers re-use one key across attempts); without it the request
+        is stamped with a fresh key automatically.
+        """
+        if dedup is None:
+            dedup = self.next_dedup(src, dst)
+        msg = Message(self._ids.next("msg"), src, dst, kind, payload, dedup=dedup)
+        self._deliver(msg)
+        try:
             result = self._handlers[dst](msg)
         except ReproError as exc:
+            error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
             self._account_reply(msg, {"error": str(exc)})
-            raise type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+            raise error
         except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
             self._account_reply(msg, {"error": str(exc)})
             raise RemoteError(type(exc).__name__, str(exc)) from exc
         if result is None:
             result = {}
+        self._maybe_duplicate(msg)
         self._account_reply(msg, result)
         return result
 
@@ -192,12 +304,13 @@ class Transport:
         time instead of the sum.
 
         Per-leg failures (unreachable destination, fault drop, remote
-        handler error) are captured as failed :class:`RpcOutcome` records
-        rather than raised, so one dead device never aborts the batch.
-        Legs that fail before delivery contribute zero delay; the clock
-        advance equals the max over *attempted* legs. Handlers execute
-        inline in call order (nested traffic they cause is accounted as
-        usual), keeping runs deterministic.
+        handler error, lost reply) are captured as failed
+        :class:`RpcOutcome` records rather than raised, so one dead
+        device never aborts the batch. Legs that fail before delivery
+        contribute zero delay; the clock advance equals the max over
+        *attempted* legs. Handlers execute inline in call order (nested
+        traffic they cause is accounted as usual), keeping runs
+        deterministic.
 
         Only an unattached *source* raises, since no leg could be sent.
         """
@@ -209,7 +322,10 @@ class Transport:
         outcomes: list[RpcOutcome] = []
         max_delay = 0.0
         for call in legs:
-            msg = Message(self._ids.next("msg"), src, call.dst, call.kind, call.payload)
+            dedup = call.dedup if call.dedup is not None else self.next_dedup(src, call.dst)
+            msg = Message(
+                self._ids.next("msg"), src, call.dst, call.kind, call.payload, dedup=dedup
+            )
             try:
                 delay = self._deliver(msg, advance=False)
             except (UnreachableError, MessageDropped) as exc:
@@ -218,36 +334,96 @@ class Transport:
             try:
                 result = self._handlers[call.dst](msg)
             except ReproError as exc:
-                delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
-                error = (
+                error: Exception = (
                     type(exc)(*exc.args)
                     if type(exc).__name__ in ERRORS_BY_NAME
                     else exc
                 )
+                try:
+                    delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
+                except NetworkError as loss:
+                    error = loss
                 outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
             except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
-                delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
-                outcomes.append(
-                    RpcOutcome(
-                        call.dst,
-                        False,
-                        error=RemoteError(type(exc).__name__, str(exc)),
-                        delay=delay,
-                    )
-                )
+                error = RemoteError(type(exc).__name__, str(exc))
+                try:
+                    delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
+                except NetworkError as loss:
+                    error = loss
+                outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
             else:
                 if result is None:
                     result = {}
-                delay += self._account_reply(msg, result, advance=False)
-                outcomes.append(RpcOutcome(call.dst, True, value=result, delay=delay))
+                self._maybe_duplicate(msg)
+                try:
+                    delay += self._account_reply(msg, result, advance=False)
+                except NetworkError as loss:
+                    outcomes.append(RpcOutcome(call.dst, False, error=loss, delay=delay))
+                else:
+                    outcomes.append(RpcOutcome(call.dst, True, value=result, delay=delay))
             max_delay = max(max_delay, delay)
         self.clock.advance(max_delay)
         self.stats.record_batch(len(legs), max_delay)
         return outcomes
 
+    # -- duplicate delivery (fault model) ----------------------------------
+
+    def _maybe_duplicate(self, msg: Message) -> None:
+        """Inline duplicate: re-dispatch a just-delivered request once."""
+        if msg.is_reply or not self.faults.should_duplicate(msg):
+            return
+        self.redeliver(msg, advance=False)
+
+    def redeliver(self, msg: Message, advance: bool = False) -> None:
+        """Deliver an already-delivered request a second time.
+
+        Fault-model entry point: the chaos injector uses it to model a
+        flaky link re-transmitting (possibly long after the original,
+        even across a sender restart — which is what incarnation fencing
+        exists for). The duplicate's result is discarded and its errors
+        are swallowed: the network produced it, no caller is waiting.
+        Never cascades (a redelivery is not itself duplicated).
+        """
+        handler = self._handlers.get(msg.dst)
+        if (
+            handler is None
+            or msg.src not in self._addresses
+            or not self.faults.reachable(msg.src, msg.dst)
+            or self.faults.should_drop(msg)
+        ):
+            return
+        delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
+        if advance:
+            self.clock.advance(delay)
+        self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
+        self.stats.record_duplicate()
+        for tap in self.taps:
+            tap(msg)
+        try:
+            result = handler(msg)
+        except Exception:  # noqa: BLE001 - nobody is waiting for this outcome
+            return
+        try:
+            self._account_reply(msg, result if result is not None else {}, advance=False)
+        except NetworkError:
+            pass
+
+    # -- reply accounting --------------------------------------------------
+
     def _account_reply(
         self, request: Message, payload: dict[str, Any], advance: bool = True
     ) -> float:
+        """Account the reply leg of ``request``; raises if it is lost.
+
+        The reply can fail independently of the request: the requester
+        went down/partitioned away mid-call (``UnreachableError``) or a
+        fault rule drops the reply in flight (``MessageDropped``). In
+        both cases the handler has already executed — the side effect is
+        persisted, only the acknowledgement is gone. ``reply_lost`` is
+        counted (the generic ``dropped``/``unreachable`` counters keep
+        meaning "request legs that failed") and reply-loss taps fire so
+        chaos can queue both endpoints for reconciliation.
+        """
         reply = Message(
             self._ids.next("msg"),
             request.dst,
@@ -256,11 +432,20 @@ class Transport:
             payload,
             is_reply=True,
         )
-        # The reply leg can also fail if the requester went down mid-call;
-        # for the synchronous model we only account it, since the caller is
-        # by construction still waiting.
         if not self.faults.reachable(request.dst, request.src):
-            return 0.0
+            self.stats.record_reply_lost()
+            for tap in self.reply_loss_taps:
+                tap(reply)
+            raise UnreachableError(
+                f"reply to {request.src!r} lost: unreachable from {request.dst!r}"
+            )
+        if self.faults.should_drop(reply):
+            self.stats.record_reply_lost()
+            for tap in self.reply_loss_taps:
+                tap(reply)
+            raise MessageDropped(
+                f"reply {reply.msg_id} ({reply.kind}) dropped by fault rule"
+            )
         delay = self.latency.delay(
             self._addresses[request.dst], self._addresses[request.src], reply
         )

@@ -31,6 +31,15 @@ the Figure-4 trace order are unchanged; a target whose leg fails with a
 network error in the mark phase simply counts as refusing, exactly as in
 the sequential protocol.
 
+Delivery faults: every verb travels as a dedup-stamped RPC, so a
+retried ``mark``/``change``/``unmark`` whose first reply was lost is
+*replayed* from the receiver's cache, never re-executed (see
+:mod:`repro.net.dedup`) — re-marking cannot double-acquire the reentrant
+entity lock. When a mark leg still fails with a network error after
+retries its outcome is unknown (the lock may have landed with only the
+reply lost); the coordinator then sends a compensating unmark, which is
+owner-checked and therefore harmless if the mark never applied.
+
 Known limit (inherited from the paper's optimistic semantics): once the
 constraint holds, the commit loop applies ``change`` at each locked
 participant in turn. A participant that *crashes between its mark and its
@@ -202,13 +211,22 @@ class NegotiationCoordinator:
 
         # Step 1: Mark A for change and Lock A.
         trace.record(initiator.user, "mark", entity=initiator.entity, txn=txn_id)
-        if not self._mark(initiator, txn_id):
+        marked, unknown = self._mark(initiator, txn_id)
+        if not marked:
+            if unknown:
+                # The mark leg failed with a network error *after* retries:
+                # the verb may have applied remotely with only the reply
+                # lost. Compensate with a best-effort unmark (owner-checked
+                # and idempotent, so harmless if the mark never landed).
+                self._unmark(initiator, txn_id)
             result.failure_reason = f"initiator {initiator.user} could not be marked"
             trace.record(initiator.user, "abort", reason="initiator-mark-failed")
             return result
         trace.record(initiator.user, "lock", entity=initiator.entity, txn=txn_id)
 
         locked: list[Participant] = []
+        #: mark legs whose outcome is unknown (network error after retries)
+        unknown_marks: list[Participant] = []
         self._depth += 1
         try:
             # Step 2: Mark every target — one concurrent batch across all
@@ -233,6 +251,12 @@ class NegotiationCoordinator:
                     trace.record(target.user, "mark", entity=target.entity, txn=txn_id)
                     if not outcome.ok and not isinstance(outcome.error, NetworkError):
                         protocol_error = protocol_error or outcome.error
+                    if not outcome.ok and isinstance(outcome.error, NetworkError):
+                        # Unknown outcome: the mark may have locked the
+                        # target with only the reply lost. Queue it for a
+                        # compensating unmark in the unlock batch (unmark
+                        # is owner-checked — a no-op if no lock landed).
+                        unknown_marks.append(target)
                     if outcome.ok and bool(outcome.value):
                         trace.record(target.user, "lock", entity=target.entity, txn=txn_id)
                         group_locked.append(target)
@@ -282,11 +306,14 @@ class NegotiationCoordinator:
             # Step 5: Unlock B and C; Unlock A — on every path, one
             # batch. Unlock is best effort: a participant that vanished
             # after locking drops its locks at reconnect (release_all),
-            # so per-leg failures are ignored.
+            # so per-leg failures are ignored. Targets whose *mark* leg
+            # failed with a network error ride along: their lock may have
+            # landed with only the reply lost, and unmark is owner-checked
+            # so the compensation is a no-op where it did not.
             for target in locked:
                 trace.record(target.user, "unlock", entity=target.entity, txn=txn_id)
             self._batch(
-                locked,
+                locked + unknown_marks,
                 lambda t: CallSpec(t.user, t.service, t.unmark_method, (t.entity, txn_id)),
             )
             trace.record(initiator.user, "unlock", entity=initiator.entity, txn=txn_id)
@@ -299,16 +326,25 @@ class NegotiationCoordinator:
         """One scatter-gather wave of the same verb at every participant."""
         return self.engine.execute_calls([spec(p) for p in participants])
 
-    def _mark(self, p: Participant, txn_id: str) -> bool:
-        """Mark+lock one participant; unreachable or refusing == False."""
+    def _mark(self, p: Participant, txn_id: str) -> tuple[bool, bool]:
+        """Mark+lock one participant.
+
+        Returns ``(locked, unknown)``: a refusal is a definite no; a
+        network error after retries is *unknown* — the verb may have
+        applied remotely with only the reply lost, so the caller owes a
+        compensating unmark.
+        """
         try:
-            return bool(
-                self.engine.execute(
-                    p.user, p.service, p.mark_method, p.entity, txn_id, *p.mark_args
-                )
+            return (
+                bool(
+                    self.engine.execute(
+                        p.user, p.service, p.mark_method, p.entity, txn_id, *p.mark_args
+                    )
+                ),
+                False,
             )
         except NetworkError:
-            return False
+            return False, True
 
     def _change(self, p: Participant, txn_id: str, change: Any) -> None:
         self.engine.execute(p.user, p.service, p.change_method, p.entity, txn_id, change)

@@ -43,6 +43,17 @@ class RemoteError(NetworkError):
         self.remote_message = remote_message
 
 
+class StaleMessageError(NetworkError):
+    """The receiver's dedup layer refused the invocation.
+
+    Raised for a request carrying an idempotency key from a *fenced*
+    sender incarnation (the sender restarted since stamping it) or for a
+    duplicate whose sequence number is at or below the receiver's
+    processed watermark but whose cached reply has been pruned. Not
+    retryable: re-sending the same key can never succeed.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Directory / naming
 # ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.kernel.directory import (
 from repro.kernel.listener import SyDListener
 from repro.kernel.node import SyDNode
 from repro.net.address import DeviceClass, NodeAddress
+from repro.net.dedup import DedupPersistence, DedupTable
 from repro.net.latency import CampusNetworkLatency, LatencyModel, ZeroLatency
 from repro.net.retry import RetryPolicy
 from repro.net.transport import Transport
@@ -59,6 +60,7 @@ class SyDWorld:
         auth_passphrase: str | None = None,
         directory_node: str = DEFAULT_DIRECTORY_NODE,
         directory_cache: bool = False,
+        dedup: bool = True,
     ):
         self.clock = VirtualClock()
         self.scheduler = EventScheduler(self.clock)
@@ -73,12 +75,24 @@ class SyDWorld:
         self.tracer = Tracer(self.clock)
         self.auth_passphrase = auth_passphrase
         self.directory_node = directory_node
+        #: receiver-side exactly-once dedup on every listener. False is the
+        #: chaos ablation: requests stay *stamped* (so the
+        #: no-double-application checker can still attribute executions)
+        #: but nothing suppresses re-execution.
+        self.dedup = dedup
         self.nodes: dict[str, SyDNode] = {}
 
         # The directory lives on a dedicated server node with its own
-        # listener (it is not a user; it only answers invocations).
+        # listener (it is not a user; it only answers invocations). Its
+        # dedup watermarks persist in the directory's own store.
         self.directory_service = SyDDirectoryService()
-        self._directory_listener = SyDListener(directory_node)
+        directory_dedup = (
+            DedupTable(persist=DedupPersistence(self.directory_service.store))
+            if dedup
+            else None
+        )
+        self.directory_listener = SyDListener(directory_node, dedup=directory_dedup)
+        self._directory_listener = self.directory_listener  # backwards-compat alias
         self._directory_listener.publish_object(self.directory_service)
         self.transport.register(
             NodeAddress(directory_node, DeviceClass.SERVER),
@@ -172,6 +186,7 @@ class SyDWorld:
             tracer=self.tracer,
             credentials=credentials,
             auth_passphrase=self.auth_passphrase,
+            dedup=self.dedup,
         )
         self.nodes[user] = node
         if self._directory_cache_enabled:
@@ -214,6 +229,22 @@ class SyDWorld:
         """
         node = self.node(user)
         node.locks.clear()
+        self.transport.faults.set_up(node.node_id)
+
+    def restart(self, user: str) -> None:
+        """Power-cycle recovery: :meth:`bring_up` plus exactly-once fencing.
+
+        The restarted node loses its volatile state (lock table, dedup
+        reply cache — persisted watermarks reload from its store) and its
+        *sender incarnation* is bumped: requests it stamped before the
+        crash are now stale at every receiver, and its fresh sequence
+        numbering cannot be mistaken for duplicates of the old one.
+        ``bring_up`` is the legacy path without fencing.
+        """
+        node = self.node(user)
+        node.locks.clear()
+        node.listener.restart()
+        self.transport.bump_incarnation(node.node_id)
         self.transport.faults.set_up(node.node_id)
 
     def is_up(self, user: str) -> bool:

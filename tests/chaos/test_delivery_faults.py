@@ -1,0 +1,72 @@
+"""Delivery-semantics chaos: reply-loss & duplicate faults, dedup ablation.
+
+The ``delivery`` profile concentrates the campaign on the faults that the
+exactly-once machinery exists for — lost replies (handler ran, answer
+gone) and duplicated requests. With dedup on, the CI acceptance seed must
+come back clean; with ``--no-dedup`` the same seed must leak
+``double_application`` violations with a shrinkable, replayable repro.
+"""
+
+import pytest
+
+from repro.chaos.campaign import ChaosCampaign, ChaosConfig
+from repro.chaos.schedule import FaultSchedule
+
+#: the CI acceptance configuration for the delivery profile (seed 7)
+ACCEPT = dict(seed=7, episodes=25, users=6, ops=40, profile="delivery")
+
+
+@pytest.fixture(scope="module")
+def accept_run():
+    return ChaosCampaign(ChaosConfig(**ACCEPT)).run()
+
+
+@pytest.fixture(scope="module")
+def no_dedup_run():
+    return ChaosCampaign(ChaosConfig(**ACCEPT, dedup=False)).run()
+
+
+def test_delivery_profile_schedules_new_fault_kinds(accept_run):
+    kinds = {e.kind for ep in accept_run.episodes for e in ep.schedule.events}
+    assert "reply_drop_start" in kinds
+    assert "dup_start" in kinds
+    # the profile deliberately excludes the classic network faults
+    assert not kinds & {"drop_start", "partition_start", "proxy_fail"}
+
+
+def test_dedup_on_is_clean_at_the_acceptance_seed(accept_run):
+    assert accept_run.ok, [
+        str(v) for e in accept_run.episodes for v in e.violations
+    ]
+    assert accept_run.survived == 25
+    # the faults actually bit: replies were lost, requests duplicated,
+    # and the reply caches answered the re-sends.
+    assert sum(e.reply_lost for e in accept_run.episodes) > 0
+    assert sum(e.duplicates for e in accept_run.episodes) > 0
+    assert sum(e.replays for e in accept_run.episodes) > 0
+
+
+def test_delivery_campaign_is_deterministic(accept_run):
+    again = ChaosCampaign(ChaosConfig(**ACCEPT)).run()
+    assert again.log_lines() == accept_run.log_lines()
+
+
+def test_no_dedup_leaks_double_application(no_dedup_run):
+    assert not no_dedup_run.ok
+    assert no_dedup_run.survived < no_dedup_run.config.episodes
+    violations = [v for e in no_dedup_run.episodes for v in e.violations]
+    assert any("double_application" in str(v) for v in violations)
+
+
+def test_no_dedup_repro_replays_and_shrinks(no_dedup_run):
+    repro = no_dedup_run.repro
+    assert repro is not None
+    assert "--no-dedup" in repro and "--profile delivery" in repro
+    schedule = FaultSchedule.from_json(repro.split("--schedule '")[1].rstrip("'"))
+    episode = int(repro.split("--episode ")[1].split()[0])
+    assert no_dedup_run.shrunk is not None
+    assert len(schedule) == len(no_dedup_run.shrunk)
+    replay = ChaosCampaign(
+        ChaosConfig(**ACCEPT, dedup=False)
+    ).run_episode(episode, schedule=schedule)
+    assert not replay.ok
