@@ -83,6 +83,7 @@ def chaos_main(args: argparse.Namespace) -> int:
         intensity=args.intensity,
         retry=not args.no_retry,
         dedup=not args.no_dedup,
+        recovery=not args.no_recovery,
         profile=args.profile,
         shrink=not args.no_shrink,
         episode=args.episode,
@@ -103,12 +104,15 @@ def chaos_main(args: argparse.Namespace) -> int:
     reply_lost = sum(e.reply_lost for e in result.episodes)
     duplicates = sum(e.duplicates for e in result.episodes)
     replays = sum(e.replays for e in result.episodes)
+    recoveries = sum(e.recoveries for e in result.episodes)
+    terminations = sum(e.terminations for e in result.episodes)
     print(
         f"campaign: {result.survived}/{total} episodes clean, "
         f"{ops_ok} ops ok / {ops_failed} failed, {messages} messages, "
         f"{retries} retries ({recovered} recovered), "
         f"{reply_lost} replies lost, {duplicates} duplicates, "
-        f"{replays} dedup replays"
+        f"{replays} dedup replays, {recoveries} recoveries, "
+        f"{terminations} lease terminations"
     )
     if not result.ok:
         failing = next(e for e in result.episodes if not e.ok)
@@ -144,8 +148,12 @@ def main(argv: list[str] | None = None) -> int:
     chaos.add_argument("--no-dedup", action="store_true",
                        help="disable receiver-side exactly-once dedup "
                             "(at-least-once ablation; expect violations)")
+    chaos.add_argument("--no-recovery", action="store_true",
+                       help="disable durable intent logs, crash recovery and "
+                            "the lease termination protocol (pre-recovery "
+                            "coordinator ablation; expect violations)")
     chaos.add_argument("--profile", type=str, default="mixed",
-                       choices=("classic", "delivery", "mixed"),
+                       choices=("classic", "delivery", "mixed", "recovery"),
                        help="fault-kind mix for generated schedules")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip bisect-shrinking a failing schedule")

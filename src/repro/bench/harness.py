@@ -832,6 +832,64 @@ def exp_e12_dedup(episodes: int = 10, calls: int = 50, seed: int = 7) -> dict[st
     }
 
 
+def exp_e13_recovery(episodes: int = 10, seed: int = 7) -> dict[str, Any]:
+    """E13 — coordinator crash recovery: the ``recovery`` fault profile
+    (mid-protocol coordinator deaths at targeted phases, plus ordinary
+    crashes and drop windows) with the recovery machinery on vs off.
+
+    * ``recovery-on``  — durable intent logs, presumed-abort replay on
+      restart, and the participant lease-termination sweep (the
+      default). Must be clean.
+    * ``no-recovery``  — the ``--no-recovery`` ablation: the intent log
+      is volatile (a restart wipes it) and no lease sweep runs — the
+      pre-PR coordinator. Must leak ``decision_agreement`` (a change
+      applied with no durable commit record survives the wipe) and
+      ``no_stranded_marks`` (orphaned marks outlive their lease with
+      nobody to terminate them).
+
+    The asymmetry is the evidence that the recovery protocol — not the
+    fault mix being gentle — carries the crash-safety property.
+    """
+    from repro.chaos import ChaosCampaign, ChaosConfig
+
+    rows: list[list[Any]] = []
+    for mode, recovery in (("recovery-on", True), ("no-recovery", False)):
+        config = ChaosConfig(
+            seed=seed,
+            episodes=episodes,
+            profile="recovery",
+            recovery=recovery,
+            shrink=False,
+        )
+        result = ChaosCampaign(config).run()
+        violations = [v for e in result.episodes for v in e.violations]
+        rows.append(
+            [
+                mode,
+                f"{result.survived}/{len(result.episodes)}",
+                len(violations),
+                sum(1 for v in violations if v.check == "decision_agreement"),
+                sum(1 for v in violations if v.check == "no_stranded_marks"),
+                sum(e.recoveries for e in result.episodes),
+                sum(e.terminations for e in result.episodes),
+            ]
+        )
+    return {
+        "id": "E13",
+        "title": "E13 — coordinator crash recovery: intent-log replay on vs off",
+        "columns": [
+            "mode",
+            "clean episodes",
+            "violations",
+            "decision_agreement",
+            "no_stranded_marks",
+            "recoveries",
+            "lease terminations",
+        ],
+        "rows": rows,
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -846,6 +904,7 @@ ALL_EXPERIMENTS = {
     "E10": exp_e10_contention,
     "E11": exp_e11_chaos,
     "E12": exp_e12_dedup,
+    "E13": exp_e13_recovery,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -858,6 +917,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E9": {"bio_sizes": (4,), "quorums": (0.5,)},
     "E11": {"intensities": (1.0,), "episodes": 5},
     "E12": {"episodes": 5, "calls": 20},
+    "E13": {"episodes": 5},
 }
 
 

@@ -41,6 +41,7 @@ from repro.kernel.node import SyDNode
 from repro.txn.coordinator import AND, Participant, at_least
 from repro.util.errors import (
     CalendarError,
+    CoordinatorCrashed,
     NetworkError,
     NotInitiatorError,
     ReproError,
@@ -363,6 +364,12 @@ class MeetingManager:
         referencing other meetings, so compensation is idempotent."""
         try:
             return self.node.coordinator.execute_multi(initiator, groups, change)
+        except CoordinatorCrashed:
+            # Simulated coordinator death: this node is crashing *right
+            # now* — it must not send compensation legs. Crash recovery
+            # (the intent-log replay at restart) and the participants'
+            # lease-based termination own the cleanup.
+            raise
         except ReproError:
             try:
                 self.service.release_slot(slot, meeting_id)
@@ -998,23 +1005,23 @@ class MeetingManager:
 
         counts = {
             "adopted": 0, "released": 0, "pruned": 0, "bumped": 0,
-            "repushed": 0, "unlocked": 0, "ghosts": 0,
+            "repushed": 0, "ghosts": 0,
         }
         live = (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
 
-        # 0. Dead negotiations: a crash mid-negotiation loses the
-        #    best-effort unlock legs, so peers may still hold locks owned
-        #    by our transactions. With no negotiation on the stack, every
-        #    lock carrying our ``txn-<node>-`` prefix is stale — shed
-        #    them fleet-wide (peers that are unreachable right now drop
-        #    theirs on their own restart: the lock table is volatile).
-        #    Slots are the persistent counterpart: a change leg that
-        #    applied before we crashed may have reserved a peer's slot
-        #    for a meeting we never recorded — broadcast the ids of our
-        #    meetings that *are* live so peers release the rest of our
-        #    ``mtg-<user>-`` namespace (release_ghost_slots).
+        # 0. Ghost reservations: a change leg that applied before we
+        #    crashed may have reserved a peer's slot for a meeting we
+        #    never recorded — broadcast the ids of our meetings that *are*
+        #    live so peers release the rest of our ``mtg-<user>-``
+        #    namespace (release_ghost_slots). Stale *locks* are no longer
+        #    swept from here: the blunt ``release_txn_locks`` broadcast
+        #    was decision-blind (it released marks of transactions whose
+        #    outcome it never checked). Leftover marks now terminate via
+        #    the decision-correct protocol — coordinator crash recovery
+        #    replays the durable intent log, and each participant's lease
+        #    sweep (``terminate_stale_marks``) queries ``txn_status``
+        #    before releasing.
         if not self.node.coordinator.busy:
-            prefix = f"txn-{self.node.engine.node_id}-"
             live_ids = [
                 m.meeting_id
                 for m in self.service.calendar.meetings()
@@ -1025,19 +1032,15 @@ class MeetingManager:
             except NetworkError:
                 roster = []  # directory unreachable; retried next reconcile
             for user in roster:
+                if user == self.user:
+                    continue
                 try:
-                    counts["unlocked"] += int(
+                    counts["ghosts"] += int(
                         self.node.engine.execute(
-                            user, CAL_SERVICE, "release_txn_locks", prefix
+                            user, CAL_SERVICE, "release_ghost_slots",
+                            f"mtg-{self.user}-", live_ids,
                         )
                     )
-                    if user != self.user:
-                        counts["ghosts"] += int(
-                            self.node.engine.execute(
-                                user, CAL_SERVICE, "release_ghost_slots",
-                                f"mtg-{self.user}-", live_ids,
-                            )
-                        )
                 except NetworkError:
                     continue
 

@@ -21,6 +21,7 @@ availability" (§5).
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any
 
 from repro.calendar.model import (
@@ -33,10 +34,12 @@ from repro.device.object import SyDDeviceObject, exported
 from repro.kernel.links import SyDLinks
 from repro.kernel.linktypes import LinkSubtype
 from repro.txn.locks import LockManager
+from repro.txn.status import TXN_STATUS_OBJECT, coordinator_node_of
 from repro.util.errors import (
     CalendarError,
     LockNotHeldError,
     NetworkError,
+    ReproError,
     SlotUnavailableError,
 )
 from repro.util.events import EventBus
@@ -64,6 +67,12 @@ class CalendarService(SyDDeviceObject):
         # Bump notifications deferred until the negotiation's unlock phase
         # (notifying mid-negotiation would nest negotiations under held locks).
         self._pending_bumps: dict[str, list[tuple[str, str, dict]]] = {}
+        #: change applications per txn_id — the decision_agreement
+        #: checker's ground truth (never cleared: a restart must not hide
+        #: a pre-crash application from the checker).
+        self.applied_changes: Counter = Counter()
+        #: marks unilaterally released by the termination protocol
+        self.terminated = 0
 
     # -- queries -----------------------------------------------------------------
 
@@ -172,6 +181,7 @@ class CalendarService(SyDDeviceObject):
             )
             if self.calendar.has_meeting(old_meeting):
                 self.calendar.set_meeting_status(old_meeting, MeetingStatus.BUMPED)
+        self.applied_changes[txn_id] += 1
         return self.calendar.set_slot(
             sid,
             SlotStatus(change.get("status", "reserved")),
@@ -237,6 +247,52 @@ class CalendarService(SyDDeviceObject):
             self._fire_availability({"day": row["day"], "hour": row["hour"]})
             released += 1
         return released
+
+    def terminate_stale_marks(self) -> dict[str, int]:
+        """Participant-driven termination: resolve marks held past their
+        lease by asking the owning coordinator's durable log.
+
+        For every expired lock whose owner is a ``txn-<node>-<n>`` id,
+        query that node's ``_syd_txn.txn_status``:
+
+        * ``pending`` — the negotiation is genuinely still running
+          (virtual time was pumped from a retry backoff); renew the lease
+          and keep waiting.
+        * ``commit`` / ``abort`` — the decision is durable and the unlock
+          leg simply never reached us; release the mark (commit keeps the
+          slot contents — only the protocol lock is shed).
+        * unreachable / unparseable owner — the lease already ran out, so
+          release unilaterally (presumed-abort: a coordinator that never
+          logged a commit can only abort).
+
+        Deferred bump notifications of released transactions are flushed,
+        exactly as ``unmark`` would have done. Returns
+        ``{"released": n, "renewed": m}``.
+        """
+        now = self.engine.transport.clock.now()
+        counts = {"released": 0, "renewed": 0}
+        for key, owner, _deadline in self.locks.expired(now):
+            if not isinstance(owner, str):
+                continue
+            node_id = coordinator_node_of(owner)
+            status = "unknown"
+            if node_id is not None:
+                try:
+                    status = self.engine.execute_on_node(
+                        node_id, TXN_STATUS_OBJECT, "txn_status", owner
+                    )
+                except ReproError:
+                    status = "unknown"
+            if status == "pending":
+                self.locks.renew(key, owner)
+                counts["renewed"] += 1
+                continue
+            self.locks.force_release(key)
+            self.terminated += 1
+            counts["released"] += 1
+            for old_meeting, _user, slot_entity in self._pending_bumps.pop(owner, []):
+                self._notify_bumped(old_meeting, slot_entity)
+        return counts
 
     # -- lifecycle operations invoked by peers -------------------------------------------
 

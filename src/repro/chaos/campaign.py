@@ -51,6 +51,12 @@ class ChaosConfig:
     #: without keys the dedup tables never engage, so this implies the
     #: at-least-once behaviour of ``dedup=False`` as well)
     stamp: bool = True
+    #: durable intent logs + restart-time recovery + participant lease
+    #: sweeps (False = pre-recovery coordinator ablation: volatile logs,
+    #: no recovery replay, no termination protocol)
+    recovery: bool = True
+    #: period of each participant's terminate_stale_marks sweep
+    lease_sweep: float = 5.0
     settle: float = 30.0
     shrink: bool = True
     #: run only this episode index (None = all of range(episodes))
@@ -85,6 +91,10 @@ class EpisodeResult:
     duplicates: int = 0
     #: invocations answered from the listeners' dedup reply caches
     replays: int = 0
+    #: in-flight negotiations resolved by restart-time intent-log replay
+    recoveries: int = 0
+    #: stale marks released by the participant termination protocol
+    terminations: int = 0
     log: list[str] = field(default_factory=list)
 
     @property
@@ -206,6 +216,36 @@ class _FaultInjector:
         self.world.restart(user)
         self._reconcile(user)
 
+    def _apply_coord_crash(self, params) -> None:
+        """Arm a mid-protocol coordinator death: the *next* negotiation
+        this user's coordinator drives dies at the targeted phase — the
+        epilogue (unlocks, END record) is skipped and the device goes
+        down with the protocol state stranded."""
+        user, phase = params["user"], params["phase"]
+        coordinator = self.app.node(user).coordinator
+
+        def on_crash(txn_id: str, crash_phase: str, user=user) -> None:
+            self.log(
+                f"t={self.world.clock.now():8.2f} coordinator {user} died "
+                f"{crash_phase} in {txn_id}"
+            )
+            self.world.take_down(user)
+            self.disturbed.add(user)
+
+        coordinator.on_crash = on_crash
+        coordinator.arm_crash(phase)
+
+    def _apply_coord_restart(self, params) -> None:
+        user = params["user"]
+        coordinator = self.app.node(user).coordinator
+        # The armed crash may never have tripped (no negotiation reached
+        # the phase); disarm so post-restart traffic runs clean.
+        coordinator.disarm_crash()
+        coordinator.on_crash = None
+        if not self.world.is_up(user):
+            self.world.restart(user)
+            self._reconcile(user)
+
     def _apply_partition(self, params) -> None:
         groups = [
             [self.app.node(u).node_id for u in group] for group in params["groups"]
@@ -279,6 +319,12 @@ class _FaultInjector:
             remover()
         self._droppers.clear()
         self._dup_windows.clear()
+        for user in self.users:
+            # Leftover armed coordinator crashes must not trip during the
+            # settle window's reconcile traffic.
+            coordinator = self.app.node(user).coordinator
+            coordinator.disarm_crash()
+            coordinator.on_crash = None
         self.world.transport.faults.heal_partition()
         for user in sorted(self._ghost_bound):
             self.world.directory_service.set_proxy(user, None)
@@ -327,12 +373,30 @@ class ChaosCampaign:
 
     # -- episodes -------------------------------------------------------------
 
+    @staticmethod
+    def _lease_sweep_fn(world: SyDWorld, app: SyDCalendarApp, user: str):
+        """One user's periodic terminate_stale_marks job, guarded: skipped
+        while the device is down (a dead node sweeps nothing) or while its
+        own negotiation is mid-backoff (same rug-pull rule as reconcile)."""
+
+        def sweep() -> None:
+            if not world.is_up(user) or app.node(user).coordinator.busy:
+                return
+            try:
+                app.service(user).terminate_stale_marks()
+            except ReproError:
+                pass  # faults mid-sweep; the next period retries
+
+        return sweep
+
     def run_episode(
         self, index: int, schedule: FaultSchedule | None = None, quiet: bool = False
     ) -> EpisodeResult:
         cfg = self.config
         seed = cfg.episode_seed(index)
-        world = SyDWorld(seed=seed, directory_cache=True, dedup=cfg.dedup)
+        world = SyDWorld(
+            seed=seed, directory_cache=True, dedup=cfg.dedup, recovery=cfg.recovery
+        )
         world.transport.stamp_dedup = cfg.stamp
         app = SyDCalendarApp(world)
         users = [f"u{i:02d}" for i in range(cfg.users)]
@@ -340,6 +404,15 @@ class ChaosCampaign:
         for user in users:
             app.add_user(user, priority=setup_rng.choice((0, 0, 0, 1, 2, 5)))
         world.set_retry_policy(cfg.retry_policy())
+        if cfg.recovery:
+            # Participant-driven termination: each device periodically
+            # resolves marks held past their lease against the owning
+            # coordinator's durable decision (skipped while the device is
+            # down; per-sweep failures are retried next period).
+            for user in users:
+                world.node(user).events.monitor_every(
+                    cfg.lease_sweep, self._lease_sweep_fn(world, app, user)
+                )
 
         # WAL baselines: snapshot + journal per store, from here on.
         baselines = {u: export_store(world.node(u).store) for u in users}
@@ -365,7 +438,8 @@ class ChaosCampaign:
         log(
             f"episode {index} seed {seed} users {cfg.users} ops {cfg.ops} "
             f"faults {len(schedule)} retry {'on' if cfg.retry else 'off'} "
-            f"dedup {'on' if cfg.dedup else 'off'} profile {cfg.profile}"
+            f"dedup {'on' if cfg.dedup else 'off'} "
+            f"recovery {'on' if cfg.recovery else 'off'} profile {cfg.profile}"
         )
         injector = _FaultInjector(
             world, app, users, schedule, world.random.get("chaos.drops"), log
@@ -389,12 +463,19 @@ class ChaosCampaign:
         replays = world.directory_listener.replays + sum(
             world.node(u).listener.replays for u in users
         )
+        recoveries = sum(
+            world.node(u).coordinator.recovered_commits
+            + world.node(u).coordinator.recovered_aborts
+            for u in users
+        )
+        terminations = sum(app.service(u).terminated for u in users)
         log(
             f"episode {index} {'ok' if not violations else 'FAIL'} "
             f"ops {workload.ops_ok}/{cfg.ops} messages {stats.messages} "
             f"retries {stats.retries} recovered {stats.retry_successes} "
             f"reply-lost {stats.reply_lost} dups {stats.duplicates} "
-            f"replays {replays} violations {len(violations)}"
+            f"replays {replays} recoveries {recoveries} "
+            f"terminations {terminations} violations {len(violations)}"
         )
         return EpisodeResult(
             index=index,
@@ -410,6 +491,8 @@ class ChaosCampaign:
             reply_lost=stats.reply_lost,
             duplicates=stats.duplicates,
             replays=replays,
+            recoveries=recoveries,
+            terminations=terminations,
             log=log_lines,
         )
 
@@ -454,5 +537,6 @@ class ChaosCampaign:
             f"--episode {index}"
             + ("" if cfg.retry else " --no-retry")
             + ("" if cfg.dedup else " --no-dedup")
+            + ("" if cfg.recovery else " --no-recovery")
             + f" --schedule '{schedule.to_json()}'"
         )

@@ -25,6 +25,12 @@ Checks:
   retried lost-reply requests must replay, not re-execute).
 * ``lock_residue``     — all entity locks are released at quiescence
   (negotiations unlock in ``finally``; a lost unmark leg shows up here).
+* ``decision_agreement`` — every transaction that applied a ``change`` at
+  any participant has a durable commit decision at its coordinator (the
+  presumed-abort safety property: no effect without a logged commit).
+* ``no_stranded_marks`` — once the fleet quiesces, no entity lock is
+  still held past its lease deadline (the participant termination
+  protocol and crash recovery must have resolved them).
 * ``directory_cache``  — every node's cached lookups agree with the
   directory service and the cache epoch matches after heal.
 * ``wal_recovery``     — replaying each store's change journal onto its
@@ -219,6 +225,61 @@ def check_lock_residue(world: SyDWorld) -> list[Violation]:
     ]
 
 
+def check_decision_agreement(app: SyDCalendarApp, world: SyDWorld) -> list[Violation]:
+    """Every applied change belongs to a durably committed transaction.
+
+    Each calendar service counts ``change`` applications per txn_id
+    (``applied_changes``, never cleared). The coordinator that minted the
+    txn id must hold a durable ``DECIDE(commit)`` record for it: a
+    participant that applied a change for a transaction whose coordinator
+    cannot produce a commit record has acted on a decision that was never
+    made durable — exactly the split the intent log exists to prevent.
+    """
+    from repro.txn.status import coordinator_node_of
+
+    out: list[Violation] = []
+    coordinators = {node.node_id: node for node in world.nodes.values()}
+    for user in sorted(app.users):
+        for txn_id in sorted(app.service(user).applied_changes):
+            node_id = coordinator_node_of(txn_id)
+            coordinator = coordinators.get(node_id) if node_id else None
+            if coordinator is None:
+                out.append(
+                    Violation(
+                        "decision_agreement",
+                        user,
+                        f"change applied for {txn_id} with no resolvable coordinator",
+                    )
+                )
+            elif not coordinator.coordinator.intents.has_commit(txn_id):
+                out.append(
+                    Violation(
+                        "decision_agreement",
+                        user,
+                        f"change applied for {txn_id} but coordinator "
+                        f"{node_id} has no durable commit record",
+                    )
+                )
+    return out
+
+
+def check_stranded_marks(world: SyDWorld) -> list[Violation]:
+    """No lock outlives its lease once the fleet quiesces."""
+    now = world.clock.now()
+    out: list[Violation] = []
+    for user, node in sorted(world.nodes.items()):
+        for key, owner, deadline in node.locks.expired(now):
+            out.append(
+                Violation(
+                    "no_stranded_marks",
+                    user,
+                    f"{key!r} held by {owner} past lease "
+                    f"(deadline {deadline:.2f}, now {now:.2f})",
+                )
+            )
+    return out
+
+
 def check_directory_cache(world: SyDWorld) -> list[Violation]:
     out: list[Violation] = []
     service = world.directory_service
@@ -305,6 +366,8 @@ def run_invariant_checks(
     violations += check_dead_meeting_slots(app)
     violations += check_double_application(world)
     violations += check_lock_residue(world)
+    violations += check_decision_agreement(app, world)
+    violations += check_stranded_marks(world)
     violations += check_directory_cache(world)
     if baselines and journals:
         violations += check_wal_recovery(world, baselines, journals)

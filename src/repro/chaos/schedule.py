@@ -30,7 +30,12 @@ KINDS = (
     "reply_drop_stop",   # params: id
     "dup_start",        # params: p (per-request duplicate probability), id
     "dup_stop",         # params: id
+    "coord_crash",      # params: user, phase (arm a mid-protocol coordinator death)
+    "coord_restart",    # params: user (power the crashed coordinator back up)
 )
+
+#: phases a coord_crash can target inside the negotiation protocol
+COORD_CRASH_PHASES = ("after-mark", "after-decide", "after-partial-change")
 
 #: which fault kinds a profile draws from, with weights
 PROFILES = {
@@ -46,6 +51,10 @@ PROFILES = {
         ("crash", "drop", "partition", "proxy", "reply_drop", "dup"),
         (4, 3, 2, 1, 3, 3),
     ),
+    # Coordinator-death mix: mid-protocol coordinator crashes at targeted
+    # phases, plus ordinary crashes and drop windows so recovery runs
+    # against lossy links and restarted participants.
+    "recovery": (("coord_crash", "crash", "drop"), (4, 2, 2)),
 }
 
 
@@ -134,6 +143,13 @@ def generate_schedule(
             user = rng.choice(users)
             events.append(FaultEvent(start, "crash", {"user": user}))
             events.append(FaultEvent(end, "restart", {"user": user}))
+        elif kind == "coord_crash":
+            user = rng.choice(users)
+            phase = rng.choice(COORD_CRASH_PHASES)
+            events.append(
+                FaultEvent(start, "coord_crash", {"user": user, "phase": phase})
+            )
+            events.append(FaultEvent(end, "coord_restart", {"user": user}))
         elif kind == "drop":
             p = round(rng.uniform(0.15, 0.45), 3)
             events.append(FaultEvent(start, "drop_start", {"p": p, "id": f"d{i}"}))

@@ -34,6 +34,8 @@ from repro.security.envelope import Credentials
 from repro.sim.kernel import EventScheduler
 from repro.txn.coordinator import NegotiationCoordinator
 from repro.txn.locks import LockManager
+from repro.txn.log import IntentLog
+from repro.txn.status import TxnStatusService
 from repro.util.errors import NetworkError
 from repro.util.trace import Tracer
 
@@ -55,6 +57,7 @@ class SyDNode:
         credentials: Credentials | None = None,
         auth_passphrase: str | None = None,
         dedup: bool = True,
+        recovery: bool = True,
     ):
         self.user = user
         self.node_id = node_id or f"{user}-device"
@@ -80,14 +83,30 @@ class SyDNode:
             auth_passphrase=auth_passphrase,
         )
         self.events = SyDEventHandler(self.node_id, transport, scheduler)
-        self.locks = LockManager()
+        # Leased locks: a mark that outlives its lease triggers the
+        # participant-driven termination protocol (txn_status query).
+        self.locks = LockManager(clock=transport.clock)
         self.links = SyDLinks(user, store, self.engine, transport.clock, self.events.bus)
         self.links_service = SyDLinksService(self.links)
-        self.coordinator = NegotiationCoordinator(self.engine, self.tracer)
+        # The negotiation intent log lives in the node's own store (same
+        # eager-creation rule as the dedup table: WAL journals only cover
+        # tables that exist at attach time). ``recovery=False`` keeps a
+        # volatile log — the pre-recovery coordinator, for ablations.
+        self.intent_log = IntentLog(
+            store=store if recovery else None, clock=transport.clock
+        )
+        self.coordinator = NegotiationCoordinator(
+            self.engine, self.tracer, intent_log=self.intent_log
+        )
+        # Every node answers termination queries under the well-known
+        # ``_syd_txn`` name (kernel-trusted, auth-exempt; local registry
+        # only — callers address the node directly by txn id).
+        self.txn_status = TxnStatusService(self.coordinator)
         self.auth_table: AuthTable | None = None
 
         transport.register(self.address, self.handle_message)
         self.listener.publish_object(self.links_service)
+        self.listener.publish_object(self.txn_status)
 
     # -- lifecycle -------------------------------------------------------------
 

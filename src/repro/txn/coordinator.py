@@ -40,23 +40,31 @@ retries its outcome is unknown (the lock may have landed with only the
 reply lost); the coordinator then sends a compensating unmark, which is
 owner-checked and therefore harmless if the mark never applied.
 
-Known limit (inherited from the paper's optimistic semantics): once the
-constraint holds, the commit loop applies ``change`` at each locked
-participant in turn. A participant that *crashes between its mark and its
-change* would leave earlier changes applied — unobservable in this
-deterministic simulation (reachability only flips between operations),
-but a real deployment would pair the verbs with the store journal
-(:mod:`repro.datastore.wal`) to make ``change`` redoable.
+Crash safety: each protocol step is preceded by a durable intent record
+(:class:`~repro.txn.log.IntentLog`) — ``BEGIN`` before the first mark,
+``DECIDE(commit)`` before the first change, ``END`` after the unlock
+epilogue. The protocol is *presumed-abort*: a ``BEGIN`` with no durable
+commit decision aborts, so the (common) abort path costs no forced log
+write beyond ``BEGIN``/``END``. A coordinator that dies mid-protocol
+(the chaos ``coord_crash`` fault raises :class:`CoordinatorCrashed` at
+an armed phase) deliberately skips the epilogue; :meth:`recover` — run
+by ``SyDWorld.restart`` — replays the log and resolves every in-flight
+transaction: commit decisions roll forward (re-send ``change`` to the
+recorded locked set, then unlock everywhere), everything else rolls back
+(unlock everywhere). Participants do not have to wait for the
+coordinator: a lock held past its lease triggers the participant-driven
+termination protocol (``txn_status`` query against the durable log — see
+:class:`~repro.txn.status.TxnStatusService`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any
+from typing import Any, Callable
 
 from repro.kernel.engine import CallOutcome, CallSpec, SyDEngine
-from repro.util.errors import NetworkError, ReproError
+from repro.util.errors import CoordinatorCrashed, NetworkError, ReproError
 from repro.util.trace import Tracer
 
 
@@ -151,22 +159,75 @@ class NegotiationResult:
     failure_reason: str | None = None
 
 
+def _ref(p: Participant) -> dict[str, Any]:
+    """JSON-able participant reference for the durable intent log."""
+    return {
+        "user": p.user,
+        "entity": p.entity,
+        "service": p.service,
+        "mark_method": p.mark_method,
+        "change_method": p.change_method,
+        "unmark_method": p.unmark_method,
+    }
+
+
 class NegotiationCoordinator:
     """Drives the mark/lock → constraint check → change → unlock protocol."""
 
-    def __init__(self, engine: SyDEngine, tracer: Tracer | None = None):
+    def __init__(
+        self,
+        engine: SyDEngine,
+        tracer: Tracer | None = None,
+        intent_log=None,
+    ):
+        from repro.txn.log import IntentLog
+
         self.engine = engine
         self.tracer = tracer or Tracer()
+        #: durable (or, without a store, volatile) BEGIN/DECIDE/END log
+        self.intents = intent_log if intent_log is not None else IntentLog()
         self._txn_counter = 0
         self._depth = 0
+        #: txn ids currently on the execute stack (recovery must not touch
+        #: them: a restart pumped from a retry backoff races the live frame)
+        self._active: set[str] = set()
+        #: armed mid-protocol crash phase (chaos ``coord_crash``), one-shot
+        self._crash_phase: str | None = None
+        #: notified with (txn_id, phase) just before the armed crash fires
+        self.on_crash: Callable[[str, str], None] | None = None
         self.executed = 0
         self.committed = 0
+        self.recovered_commits = 0
+        self.recovered_aborts = 0
 
     @property
     def busy(self) -> bool:
         """A negotiation is on the stack (possible when virtual time is
         pumped from inside a retry backoff)."""
         return self._depth > 0
+
+    def active_txns(self) -> frozenset[str]:
+        """Txn ids currently executing (``txn_status`` answers ``pending``)."""
+        return frozenset(self._active)
+
+    # -- crash injection ---------------------------------------------------------
+
+    def arm_crash(self, phase: str) -> None:
+        """Arm a one-shot :class:`CoordinatorCrashed` at ``phase`` —
+        ``after-mark``, ``after-decide``, or ``after-partial-change`` —
+        of the next negotiation that reaches it."""
+        self._crash_phase = phase
+
+    def disarm_crash(self) -> None:
+        self._crash_phase = None
+
+    def _maybe_crash(self, phase: str, txn_id: str) -> None:
+        if self._crash_phase != phase:
+            return
+        self._crash_phase = None  # one-shot: recovery must not re-trip it
+        if self.on_crash is not None:
+            self.on_crash(txn_id, phase)
+        raise CoordinatorCrashed(f"coordinator died {phase} in {txn_id}")
 
     def _next_txn_id(self) -> str:
         self._txn_counter += 1
@@ -208,33 +269,47 @@ class NegotiationCoordinator:
         result = NegotiationResult(ok=False, constraint=described, txn_id=txn_id)
         self.executed += 1
         trace = self.tracer
+        all_targets = [t for targets, _constraint in groups for t in targets]
 
-        # Step 1: Mark A for change and Lock A.
-        trace.record(initiator.user, "mark", entity=initiator.entity, txn=txn_id)
-        marked, unknown = self._mark(initiator, txn_id)
-        if not marked:
-            if unknown:
-                # The mark leg failed with a network error *after* retries:
-                # the verb may have applied remotely with only the reply
-                # lost. Compensate with a best-effort unmark (owner-checked
-                # and idempotent, so harmless if the mark never landed).
-                self._unmark(initiator, txn_id)
-            result.failure_reason = f"initiator {initiator.user} could not be marked"
-            trace.record(initiator.user, "abort", reason="initiator-mark-failed")
-            return result
-        trace.record(initiator.user, "lock", entity=initiator.entity, txn=txn_id)
+        # BEGIN before the first mark: a crash anywhere past this point
+        # leaves a durable in-flight record for recovery to resolve.
+        self.intents.begin(
+            txn_id,
+            {
+                "initiator": _ref(initiator),
+                "targets": [_ref(t) for t in all_targets],
+                "change": change,
+            },
+        )
 
         locked: list[Participant] = []
         #: mark legs whose outcome is unknown (network error after retries)
         unknown_marks: list[Participant] = []
+        initiator_marked = False
+        initiator_unknown = False
+        crashed = False
+        # The depth guard goes up before *any* protocol traffic — the
+        # initiator mark included — so ``busy`` can never read False while
+        # a retry backoff pumps virtual time mid-negotiation, and the
+        # finally-block below makes it impossible for ``busy`` to stick
+        # True after any exception.
         self._depth += 1
+        self._active.add(txn_id)
         try:
+            # Step 1: Mark A for change and Lock A.
+            trace.record(initiator.user, "mark", entity=initiator.entity, txn=txn_id)
+            initiator_marked, initiator_unknown = self._mark(initiator, txn_id)
+            if not initiator_marked:
+                result.failure_reason = f"initiator {initiator.user} could not be marked"
+                trace.record(initiator.user, "abort", reason="initiator-mark-failed")
+                return result
+            trace.record(initiator.user, "lock", entity=initiator.entity, txn=txn_id)
+
             # Step 2: Mark every target — one concurrent batch across all
             # groups — and lock those that can change. A non-network
             # error is protocol-breaking; it is raised *after* the locked
             # set is recorded so the finally-block releases every lock
             # the batch acquired.
-            all_targets = [t for targets, _constraint in groups for t in targets]
             mark_outcomes = self._batch(
                 all_targets,
                 lambda t: CallSpec(
@@ -266,6 +341,7 @@ class NegotiationCoordinator:
                         trace.record(target.user, "refuse", entity=target.entity, txn=txn_id)
                         result.refused.append(target.user)
                 locked_by_group.append(group_locked)
+            self._maybe_crash("after-mark", txn_id)
             if protocol_error is not None:
                 raise protocol_error
 
@@ -279,10 +355,20 @@ class NegotiationCoordinator:
                     trace.record(initiator.user, "abort", reason=result.failure_reason)
                     return result
 
+            # DECIDE(commit) goes durable *before* the first change leg:
+            # once any participant may have applied the change, a restarted
+            # coordinator (and any participant's txn_status query) must
+            # answer commit — never split the decision.
+            self.intents.decide(
+                txn_id, "commit", {"locked": [_ref(t) for t in locked]}
+            )
+            self._maybe_crash("after-decide", txn_id)
+
             # Step 4: Change A; change the locked entities (one batch).
             trace.record(initiator.user, "change", entity=initiator.entity, txn=txn_id)
             self._change(initiator, txn_id, change)
             result.changed.append(initiator.user)
+            self._maybe_crash("after-partial-change", txn_id)
             for target in locked:
                 trace.record(target.user, "change", entity=target.entity, txn=txn_id)
             change_outcomes = self._batch(
@@ -302,23 +388,149 @@ class NegotiationCoordinator:
             result.ok = True
             self.committed += 1
             return result
+        except CoordinatorCrashed:
+            # Simulated coordinator death: skip the epilogue entirely —
+            # no unlocks, no END record. Recovery (or the participants'
+            # lease-based termination protocol) resolves the leftovers.
+            crashed = True
+            raise
         finally:
-            # Step 5: Unlock B and C; Unlock A — on every path, one
-            # batch. Unlock is best effort: a participant that vanished
-            # after locking drops its locks at reconnect (release_all),
-            # so per-leg failures are ignored. Targets whose *mark* leg
-            # failed with a network error ride along: their lock may have
-            # landed with only the reply lost, and unmark is owner-checked
-            # so the compensation is a no-op where it did not.
-            for target in locked:
-                trace.record(target.user, "unlock", entity=target.entity, txn=txn_id)
-            self._batch(
-                locked + unknown_marks,
-                lambda t: CallSpec(t.user, t.service, t.unmark_method, (t.entity, txn_id)),
-            )
-            trace.record(initiator.user, "unlock", entity=initiator.entity, txn=txn_id)
-            self._unmark(initiator, txn_id)
             self._depth -= 1
+            self._active.discard(txn_id)
+            if not crashed:
+                # Step 5: Unlock B and C; Unlock A — on every path, one
+                # batch. Unlock is best effort: a participant that
+                # vanished after locking drops its locks at reconnect
+                # (release_all), so per-leg failures are ignored. Targets
+                # whose *mark* leg failed with a network error ride along:
+                # their lock may have landed with only the reply lost, and
+                # unmark is owner-checked so the compensation is a no-op
+                # where it did not.
+                for target in locked:
+                    trace.record(target.user, "unlock", entity=target.entity, txn=txn_id)
+                if locked or unknown_marks:
+                    self._batch(
+                        locked + unknown_marks,
+                        lambda t: CallSpec(
+                            t.user, t.service, t.unmark_method, (t.entity, txn_id)
+                        ),
+                    )
+                if initiator_marked:
+                    trace.record(
+                        initiator.user, "unlock", entity=initiator.entity, txn=txn_id
+                    )
+                    self._unmark(initiator, txn_id)
+                elif initiator_unknown:
+                    # The initiator's mark leg failed with a network error
+                    # after retries: it may have applied remotely with only
+                    # the reply lost. Compensate with a best-effort unmark
+                    # (owner-checked and idempotent, so harmless if the
+                    # mark never landed).
+                    self._unmark(initiator, txn_id)
+                # END closes the durable record: recovery skips this txn.
+                self.intents.end(txn_id, "commit" if result.ok else "abort")
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def recover(self) -> dict[str, int]:
+        """Resolve every in-flight transaction in the durable intent log.
+
+        Run by ``SyDWorld.restart`` after the node comes back up.
+        Presumed-abort termination: a transaction with a durable
+        ``DECIDE(commit)`` *rolls forward* — re-send ``change`` to the
+        recorded locked set (participants still hold their marks, and
+        re-applying the same change is idempotent at the store), then
+        unlock everywhere; any other in-flight transaction *rolls back* —
+        unlock everywhere, decision recorded as abort. Every remote leg
+        is best-effort: unreachable participants terminate on their own
+        via the lease/txn_status protocol.
+
+        Returns ``{"commits": n, "aborts": m}`` resolved counts.
+        """
+        self.intents.restart()
+        counts = {"commits": 0, "aborts": 0}
+        for txn_id, entry in self.intents.in_flight():
+            if txn_id in self._active:
+                # Still on the execute stack: a restart pumped from inside
+                # a retry backoff must not race the live frame.
+                continue
+            begin = entry["begin"] or {}
+            initiator_ref = begin.get("initiator")
+            target_refs = list(begin.get("targets") or ())
+            decision = entry["decision"]
+            if decision is not None and decision[0] == "commit":
+                locked_refs = list((decision[1] or {}).get("locked") or ())
+                change = begin.get("change")
+                # The restart wiped the coordinator's own (volatile) lock
+                # table, so the initiator's mark is gone while the targets
+                # still hold theirs. Re-mark the initiator only: on the
+                # after-decide path the entity is still free and the mark
+                # re-locks it for the change leg; on the
+                # after-partial-change path the change already applied,
+                # the mark refuses, and the re-sent change is a tolerated
+                # no-op. Re-marking a *target* would double-acquire its
+                # reentrant lock and strand it after the single unmark.
+                if initiator_ref is not None:
+                    self._recover_calls(
+                        [
+                            CallSpec(
+                                initiator_ref["user"],
+                                initiator_ref["service"],
+                                initiator_ref.get("mark_method", "mark"),
+                                (initiator_ref["entity"], txn_id),
+                            )
+                        ]
+                    )
+                # Change A; change the locked entities — re-applying a
+                # change the initiator already ran is idempotent at the
+                # store, so the wave always leads with the initiator.
+                change_refs = (
+                    [initiator_ref] if initiator_ref is not None else []
+                ) + locked_refs
+                self._recover_calls(
+                    [
+                        CallSpec(
+                            r["user"],
+                            r["service"],
+                            r["change_method"],
+                            (r["entity"], txn_id, change),
+                        )
+                        for r in change_refs
+                    ]
+                )
+                self._recover_unmarks(target_refs, initiator_ref, txn_id)
+                self.intents.end(txn_id, "commit")
+                self.committed += 1
+                self.recovered_commits += 1
+                counts["commits"] += 1
+            else:
+                self._recover_unmarks(target_refs, initiator_ref, txn_id)
+                self.intents.end(txn_id, "abort")
+                self.recovered_aborts += 1
+                counts["aborts"] += 1
+        return counts
+
+    def _recover_unmarks(self, target_refs, initiator_ref, txn_id: str) -> None:
+        """One best-effort unmark batch at every possible mark holder."""
+        refs = list(target_refs)
+        if initiator_ref is not None:
+            refs.append(initiator_ref)
+        self._recover_calls(
+            [
+                CallSpec(
+                    r["user"], r["service"], r["unmark_method"], (r["entity"], txn_id)
+                )
+                for r in refs
+            ]
+        )
+
+    def _recover_calls(self, specs: list[CallSpec]) -> list[CallOutcome]:
+        """Scatter-gather a recovery wave; per-leg failures are tolerated
+        (a leg that cannot land now is terminated by the participant's own
+        lease protocol)."""
+        if not specs:
+            return []
+        return self.engine.execute_calls(specs)
 
     # -- protocol verbs over the engine ------------------------------------------
 

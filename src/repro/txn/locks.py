@@ -9,6 +9,13 @@ Locks are owner-tagged and reentrant for the same owner. The synchronous
 simulation never blocks: an unavailable lock is an immediate refusal
 (``try_lock`` → False), which is exactly the paper's "try may not
 succeed" behaviour.
+
+When constructed with a clock, every acquisition also carries a *lease*
+deadline. A lease does not expire a lock by itself — the manager is
+passive — but :meth:`expired` lets the owner's node run the
+participant-driven termination protocol (query the coordinator's durable
+decision, then :meth:`renew` or :meth:`force_release`), so a mark left
+behind by a crashed coordinator cannot outlive its lease.
 """
 
 from __future__ import annotations
@@ -28,21 +35,31 @@ def _canon(entity: Any) -> Any:
 class LockManager:
     """Owner-tagged, reentrant entity locks for one node."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock=None, default_lease: float = 20.0) -> None:
         self._locks: dict[Any, tuple[str, int]] = {}  # entity -> (owner, depth)
+        self._deadlines: dict[Any, float] = {}  # entity -> lease deadline
+        self._clock = clock
+        self.default_lease = default_lease
         self.acquisitions = 0
         self.refusals = 0
+        self.forced_releases = 0
 
     def try_lock(self, entity: Any, owner: str) -> bool:
-        """Acquire if free or already ours; False when held by another."""
+        """Acquire if free or already ours; False when held by another.
+
+        Each (re)acquisition refreshes the lease deadline when the
+        manager has a clock.
+        """
         key = _canon(entity)
         held = self._locks.get(key)
         if held is None:
             self._locks[key] = (owner, 1)
+            self._stamp(key)
             self.acquisitions += 1
             return True
         if held[0] == owner:
             self._locks[key] = (owner, held[1] + 1)
+            self._stamp(key)
             self.acquisitions += 1
             return True
         self.refusals += 1
@@ -58,17 +75,30 @@ class LockManager:
             )
 
     def unlock(self, entity: Any, owner: str) -> None:
-        """Release one level; raises :class:`LockNotHeldError` on misuse."""
+        """Release one level.
+
+        Raises :class:`LockNotHeldError` when the entity is not locked
+        at all, and the narrower :class:`LockOwnerError` when it is
+        locked by a *different* owner — the latter is a protocol bug
+        (stale txn id, mis-routed unmark), not a benign race.
+        """
         key = _canon(entity)
         held = self._locks.get(key)
-        if held is None or held[0] != owner:
+        if held is None:
             from repro.util.errors import LockNotHeldError
 
-            raise LockNotHeldError(f"{owner!r} does not hold {entity!r}")
+            raise LockNotHeldError(f"{owner!r} does not hold {entity!r} (not locked)")
+        if held[0] != owner:
+            from repro.util.errors import LockOwnerError
+
+            raise LockOwnerError(
+                f"{owner!r} does not hold {entity!r} (held by {held[0]!r})"
+            )
         if held[1] > 1:
             self._locks[key] = (owner, held[1] - 1)
         else:
             del self._locks[key]
+            self._deadlines.pop(key, None)
 
     def holder(self, entity: Any) -> Optional[str]:
         """Current owner of the lock, or None."""
@@ -83,6 +113,7 @@ class LockManager:
         keys = [k for k, (o, _) in self._locks.items() if o == owner]
         for k in keys:
             del self._locks[k]
+            self._deadlines.pop(k, None)
         return len(keys)
 
     def release_prefix(self, owner_prefix: str) -> int:
@@ -99,13 +130,57 @@ class LockManager:
         ]
         for k in keys:
             del self._locks[k]
+            self._deadlines.pop(k, None)
         return len(keys)
+
+    def force_release(self, entity: Any) -> Optional[str]:
+        """Drop a lock regardless of owner or depth; returns the evicted
+        owner (None when the entity was not locked).
+
+        This is the termination-protocol verb: the participant has
+        learned (or presumed) the owning transaction aborted, so the
+        whole reentrant stack goes at once.
+        """
+        key = _canon(entity)
+        held = self._locks.pop(key, None)
+        self._deadlines.pop(key, None)
+        if held is None:
+            return None
+        self.forced_releases += 1
+        return held[0]
+
+    def renew(self, entity: Any, owner: str) -> bool:
+        """Push the lease deadline out for a lock we confirmed is still
+        wanted; False when ``owner`` no longer holds it."""
+        key = _canon(entity)
+        held = self._locks.get(key)
+        if held is None or held[0] != owner:
+            return False
+        self._stamp(key)
+        return True
+
+    def expired(self, now: float) -> list[tuple[Any, str, float]]:
+        """Locks whose lease deadline has passed, as sorted
+        ``(entity_key, owner, deadline)`` triples (deterministic order:
+        deadline, then stringified key)."""
+        out = [
+            (key, self._locks[key][0], deadline)
+            for key, deadline in self._deadlines.items()
+            if deadline <= now and key in self._locks
+        ]
+        out.sort(key=lambda item: (item[2], str(item[0])))
+        return out
 
     def clear(self) -> int:
         """Drop the whole table (lock state is volatile: lost on crash)."""
         count = len(self._locks)
         self._locks.clear()
+        self._deadlines.clear()
         return count
 
     def locked_count(self) -> int:
         return len(self._locks)
+
+    def _stamp(self, key: Any) -> None:
+        if self._clock is not None:
+            self._deadlines[key] = self._clock.now() + self.default_lease

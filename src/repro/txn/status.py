@@ -1,0 +1,62 @@
+"""Participant-driven termination: the ``txn_status`` verb.
+
+A participant holding a mark for transaction T past its lease cannot
+tell, on its own, whether T committed (it must keep the reservation) or
+died mid-protocol (it should shed the lock). Blocking forever is the
+classic 2PC in-doubt window; the pre-recovery code papered over it with
+a blunt reconcile sweep that released *every* lock with a dead-looking
+owner — decision-blind, and wrong the moment a slow commit was still in
+flight.
+
+:class:`TxnStatusService` closes the window the decision-correct way:
+every node publishes it under the well-known ``_syd_txn`` object name
+(``_syd``-prefixed, so kernel-trusted and auth-exempt like link
+cascades), and it answers ``txn_status(txn_id)`` straight from the
+coordinator's durable intent log — ``pending`` while the transaction is
+genuinely on the coordinator's stack, else the log's presumed-abort
+verdict (``commit`` iff a durable commit decision exists). Because the
+log survives restarts, a power-cycled coordinator answers exactly as it
+would have before the crash: no split decisions.
+
+The querying side lives in the participant's lease sweep (see
+``CalendarService.terminate_stale_marks``): expired mark → query the
+owning coordinator → ``pending`` renews the lease, ``commit``/``abort``
+or an unreachable coordinator past expiry releases unilaterally.
+"""
+
+from __future__ import annotations
+
+from repro.device.object import SyDDeviceObject, exported
+
+#: Well-known object name every node publishes the service under.
+TXN_STATUS_OBJECT = "_syd_txn"
+
+
+def coordinator_node_of(txn_id: str) -> str | None:
+    """Node id of the coordinator that minted ``txn_id``.
+
+    Txn ids are ``txn-<node_id>-<n>`` where ``<node_id>`` may itself
+    contain dashes; returns None for owners that are not txn ids.
+    """
+    if not txn_id.startswith("txn-"):
+        return None
+    body = txn_id[4:]
+    node_id, sep, _n = body.rpartition("-")
+    return node_id if sep else None
+
+
+class TxnStatusService(SyDDeviceObject):
+    """Answers participants' termination queries from the durable log."""
+
+    def __init__(self, coordinator):
+        super().__init__(TXN_STATUS_OBJECT)
+        self.coordinator = coordinator
+        self.queries = 0
+
+    @exported
+    def txn_status(self, txn_id: str) -> str:
+        """``pending`` | ``commit`` | ``abort`` (presumed-abort default)."""
+        self.queries += 1
+        if txn_id in self.coordinator.active_txns():
+            return "pending"
+        return self.coordinator.intents.status(txn_id)

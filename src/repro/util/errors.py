@@ -154,8 +154,28 @@ class LockNotHeldError(LockError):
     """Release/confirm of a lock the caller does not hold."""
 
 
+class LockOwnerError(LockNotHeldError):
+    """Release of a lock held by a *different* owner.
+
+    Subclass of :class:`LockNotHeldError` so existing handlers keep
+    working, but distinguishable: releasing another owner's lock is a
+    protocol bug (stale txn id, mis-routed unmark), not a benign
+    already-released race.
+    """
+
+
 class TransactionError(ReproError):
     """Group transaction could not complete atomically."""
+
+
+class CoordinatorCrashed(TransactionError):
+    """The negotiation coordinator died mid-protocol (fault injection).
+
+    Raised by an armed crash point inside
+    :class:`~repro.txn.coordinator.NegotiationCoordinator`; the normal
+    unlock/END epilogue is deliberately skipped, leaving the transaction
+    in-flight for crash recovery to resolve.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -61,6 +61,7 @@ class SyDWorld:
         directory_node: str = DEFAULT_DIRECTORY_NODE,
         directory_cache: bool = False,
         dedup: bool = True,
+        recovery: bool = True,
     ):
         self.clock = VirtualClock()
         self.scheduler = EventScheduler(self.clock)
@@ -80,6 +81,11 @@ class SyDWorld:
         #: no-double-application checker can still attribute executions)
         #: but nothing suppresses re-execution.
         self.dedup = dedup
+        #: durable negotiation intent logs + restart-time crash recovery.
+        #: False is the chaos ablation: intent logs stay volatile (wiped
+        #: by restarts) and ``restart`` skips the recovery replay — the
+        #: pre-recovery coordinator.
+        self.recovery = recovery
         self.nodes: dict[str, SyDNode] = {}
 
         # The directory lives on a dedicated server node with its own
@@ -187,6 +193,7 @@ class SyDWorld:
             credentials=credentials,
             auth_passphrase=self.auth_passphrase,
             dedup=self.dedup,
+            recovery=self.recovery,
         )
         self.nodes[user] = node
         if self._directory_cache_enabled:
@@ -239,13 +246,23 @@ class SyDWorld:
         *sender incarnation* is bumped: requests it stamped before the
         crash are now stale at every receiver, and its fresh sequence
         numbering cannot be mistaken for duplicates of the old one.
-        ``bring_up`` is the legacy path without fencing.
+        Once the node is reachable again its coordinator replays the
+        durable intent log and resolves every negotiation it had in
+        flight (presumed-abort; skipped when the world was built with
+        ``recovery=False``). ``bring_up`` is the legacy path without
+        fencing.
         """
         node = self.node(user)
         node.locks.clear()
         node.listener.restart()
         self.transport.bump_incarnation(node.node_id)
         self.transport.faults.set_up(node.node_id)
+        if self.recovery:
+            node.coordinator.recover()
+        else:
+            # No recovery: the volatile intent log is simply lost with the
+            # rest of the node's memory — pre-crash decisions are gone.
+            node.intent_log.restart()
 
     def is_up(self, user: str) -> bool:
         return not self.transport.faults.is_down(self.node(user).node_id)

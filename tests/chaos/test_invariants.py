@@ -8,10 +8,12 @@ from repro.calendar.model import Meeting, MeetingStatus, SlotStatus, entity_to_i
 from repro.chaos.invariants import (
     check_commitments,
     check_dead_meeting_slots,
+    check_decision_agreement,
     check_directory_cache,
     check_double_booking,
     check_lock_residue,
     check_orphaned_slots,
+    check_stranded_marks,
     check_wal_recovery,
     run_invariant_checks,
 )
@@ -109,6 +111,45 @@ def test_directory_cache_catches_poisoned_entry(app, meeting):
     node.directory.cache.put(("user", "u2"), bogus)
     found = check_directory_cache(app.world)
     assert any(v.user == "u1" and "diverges" in v.detail for v in found)
+
+
+def test_decision_agreement_clean_after_real_negotiation(app, meeting):
+    # schedule_meeting applied changes at u1/u2 and the coordinator holds
+    # a durable commit for each applied txn.
+    assert sum(len(app.service(u).applied_changes) for u in USERS) > 0
+    assert check_decision_agreement(app, app.world) == []
+
+
+def test_decision_agreement_catches_commit_without_durable_record(app, meeting):
+    txn = f"txn-{app.node('u0').engine.node_id}-999"
+    # u1 applied a change for a transaction whose coordinator never made
+    # the decision durable (the split the intent log exists to prevent).
+    app.service("u1").applied_changes[txn] += 1
+    found = check_decision_agreement(app, app.world)
+    assert any(
+        v.user == "u1" and "no durable commit record" in v.detail for v in found
+    )
+    # Once the coordinator logs DECIDE(commit) the checker is satisfied.
+    app.node("u0").coordinator.intents.decide(txn, "commit")
+    assert check_decision_agreement(app, app.world) == []
+
+
+def test_decision_agreement_catches_unresolvable_coordinator(app, meeting):
+    app.service("u1").applied_changes["txn-nonexistent-node-1"] += 1
+    found = check_decision_agreement(app, app.world)
+    assert any("no resolvable coordinator" in v.detail for v in found)
+
+
+def test_stranded_marks_catches_lock_past_lease(app, meeting):
+    app.node("u1").locks.try_lock("slot-x", "txn-whoever-1")
+    assert check_stranded_marks(app.world) == []  # inside the lease
+    app.world.run_for(25.0)  # past the 20 s default lease
+    found = check_stranded_marks(app.world)
+    assert [v.user for v in found] == ["u1"]
+    assert all(v.check == "no_stranded_marks" for v in found)
+    # Termination (or renewal) silences it.
+    app.node("u1").locks.force_release("slot-x")
+    assert check_stranded_marks(app.world) == []
 
 
 def test_wal_recovery_clean_and_tampered(app):

@@ -82,17 +82,51 @@ def test_orphaned_reservation_with_live_meeting_is_adopted(app):
     assert run_invariant_checks(app, app.world) == []
 
 
-def test_reconcile_sheds_own_dead_transaction_locks(app):
+def test_dead_transaction_marks_resolved_by_lease_termination(app):
     prefix = f"txn-{app.node('u0').engine.node_id}-"
     app.node("u1").locks.try_lock("slot-a", f"{prefix}42")
     app.node("u2").locks.try_lock("slot-b", f"{prefix}42")
-    app.node("u1").locks.try_lock("slot-c", "txn-other-node-1")
+    # Reconcile no longer sweeps peer locks by roster broadcast — the
+    # decision-correct path is the participant termination protocol.
     counts = app.manager("u0").reconcile()
-    assert counts["unlocked"] == 2
+    assert "unlocked" not in counts
+    assert app.node("u1").locks.is_locked("slot-a")
+    assert app.node("u2").locks.is_locked("slot-b")
+    # Inside the lease the sweep leaves the marks alone.
+    assert app.service("u1").terminate_stale_marks() == {"released": 0, "renewed": 0}
+    app.world.run_for(25.0)  # past the 20 s default lease
+    # u0's durable intent log has no commit for txn 42 -> presumed abort.
+    assert app.service("u1").terminate_stale_marks()["released"] == 1
+    assert app.service("u2").terminate_stale_marks()["released"] == 1
     assert not app.node("u1").locks.is_locked("slot-a")
     assert not app.node("u2").locks.is_locked("slot-b")
-    # foreign transactions' locks are untouched
-    assert app.node("u1").locks.is_locked("slot-c")
+
+
+def test_pending_transaction_mark_renewed_not_released(app):
+    owner = f"txn-{app.node('u0').engine.node_id}-77"
+    # The coordinator still has the txn on its execute stack (virtual
+    # time pumped from a retry backoff): txn_status answers pending.
+    app.node("u0").coordinator._active.add(owner)
+    app.node("u1").locks.try_lock("slot-p", owner)
+    app.world.run_for(25.0)
+    assert app.service("u1").terminate_stale_marks() == {"released": 0, "renewed": 1}
+    assert app.node("u1").locks.is_locked("slot-p")
+    # Once the frame resolves, the next sweep past the renewed lease
+    # gets the durable answer (no commit -> abort) and releases.
+    app.node("u0").coordinator._active.discard(owner)
+    app.world.run_for(25.0)
+    assert app.service("u1").terminate_stale_marks()["released"] == 1
+    assert not app.node("u1").locks.is_locked("slot-p")
+
+
+def test_unreachable_coordinator_mark_released_after_lease(app):
+    # An owner whose coordinator node does not resolve (foreign or
+    # garbage txn id) is released unilaterally once the lease runs out:
+    # a coordinator that never logged a commit can only have aborted.
+    app.node("u1").locks.try_lock("slot-c", "txn-other-node-1")
+    app.world.run_for(25.0)
+    assert app.service("u1").terminate_stale_marks()["released"] == 1
+    assert not app.node("u1").locks.is_locked("slot-c")
 
 
 def test_restart_clears_volatile_lock_table(app):

@@ -1,0 +1,170 @@
+"""Coordinator crash recovery: durable intents, presumed abort, roll-forward.
+
+A ``coord_crash`` arms :class:`CoordinatorCrashed` at a protocol phase;
+the coordinator then skips its unlock/END epilogue exactly as a process
+death would. ``SyDWorld.restart`` replays the durable intent log:
+transactions with a ``DECIDE(commit)`` roll forward, everything else
+rolls back (presumed abort). ``txn_status`` must answer consistently
+with the pre-crash decisions before *and* after the restart.
+"""
+
+import pytest
+
+from repro.device.object import exported
+from repro.device.resource import ResourceObject
+from repro.txn.coordinator import AND, Participant
+from repro.txn.status import TXN_STATUS_OBJECT, coordinator_node_of
+from repro.util.errors import CoordinatorCrashed, TransactionError
+
+
+def part(user, entity="slot1"):
+    return Participant(user, entity, "res")
+
+
+def status_of(nodes, user, key="slot1"):
+    return nodes[user].store.get("resources", key)["status"]
+
+
+def crash_at(trio, phase):
+    """Arm ``phase``, run one a->{b,c} negotiation into the wall, and
+    return the txn id it died holding."""
+    a = trio["a"]
+    a.coordinator.arm_crash(phase)
+    with pytest.raises(CoordinatorCrashed):
+        a.coordinator.execute(part("a"), [part("b"), part("c")], AND)
+    return f"txn-{a.engine.node_id}-{a.coordinator._txn_counter}"
+
+
+def test_coordinator_node_of():
+    assert coordinator_node_of("txn-u0-device-42") == "u0-device"
+    assert coordinator_node_of("txn-a-device-1") == "a-device"
+    assert coordinator_node_of("mtg-u0-7") is None
+    assert coordinator_node_of("garbage") is None
+
+
+class TestCrashAfterMark:
+    def test_locks_stranded_then_presumed_abort(self, trio, world):
+        txn = crash_at(trio, "after-mark")
+        # The epilogue was skipped: every mark is still locked.
+        for user in "abc":
+            assert trio[user].locks.locked_count() == 1
+        world.restart("a")
+        assert trio["a"].coordinator.recovered_aborts == 1
+        assert trio["a"].coordinator.intents.status(txn) == "abort"
+        for user in "abc":
+            assert trio[user].locks.locked_count() == 0
+            assert status_of(trio, user) == "free"
+
+    def test_busy_never_sticks_after_crash(self, trio):
+        crash_at(trio, "after-mark")
+        assert not trio["a"].coordinator.busy
+        assert trio["a"].coordinator.active_txns() == frozenset()
+
+
+class TestCrashAfterDecide:
+    def test_commit_rolls_forward(self, trio, world):
+        txn = crash_at(trio, "after-decide")
+        # Decision went durable before any change leg ran.
+        assert trio["a"].coordinator.intents.has_commit(txn)
+        assert status_of(trio, "b") == "free"
+        world.restart("a")
+        assert trio["a"].coordinator.recovered_commits == 1
+        # Roll-forward re-sent the change wave and unlocked everywhere.
+        for user in "abc":
+            assert status_of(trio, user) == "reserved"
+            assert trio[user].locks.locked_count() == 0
+        assert trio["a"].coordinator.intents.status(txn) == "commit"
+
+    def test_recovery_is_idempotent(self, trio, world):
+        crash_at(trio, "after-decide")
+        world.restart("a")
+        # A second power-cycle finds no in-flight transactions.
+        world.restart("a")
+        assert trio["a"].coordinator.recovered_commits == 1
+        for user in "abc":
+            assert status_of(trio, user) == "reserved"
+
+
+class TestCrashAfterPartialChange:
+    def test_partial_change_completes(self, trio, world):
+        crash_at(trio, "after-partial-change")
+        # The initiator changed before dying; the targets did not.
+        assert status_of(trio, "a") == "reserved"
+        assert status_of(trio, "b") == "free"
+        world.restart("a")
+        for user in "abc":
+            assert status_of(trio, user) == "reserved"
+            assert trio[user].locks.locked_count() == 0
+
+
+class TestTxnStatusAcrossRestart:
+    def test_answers_match_pre_crash_decisions(self, trio, world):
+        a = trio["a"]
+        for user in "ab":
+            trio[user].res_obj.add("slot3")
+        committed = a.coordinator.execute(part("a"), [part("b")], AND)
+        assert committed.ok
+        a.coordinator.arm_crash("after-mark")
+        with pytest.raises(CoordinatorCrashed):
+            a.coordinator.execute(part("a", "slot2"), [part("b", "slot2")], AND)
+        crashed = f"txn-{a.engine.node_id}-{a.coordinator._txn_counter}"
+        a.coordinator.arm_crash("after-decide")
+        with pytest.raises(CoordinatorCrashed):
+            a.coordinator.execute(part("a", "slot3"), [part("b", "slot3")], AND)
+        decided = f"txn-{a.engine.node_id}-{a.coordinator._txn_counter}"
+
+        def ask(txn_id):
+            return trio["b"].engine.execute_on_node(
+                a.engine.node_id, TXN_STATUS_OBJECT, "txn_status", txn_id
+            )
+
+        before = {t: ask(t) for t in (committed.txn_id, crashed, decided)}
+        assert before == {
+            committed.txn_id: "commit", crashed: "abort", decided: "commit"
+        }
+        world.restart("a")
+        after = {t: ask(t) for t in (committed.txn_id, crashed, decided)}
+        assert after == before
+        # Never-begun transactions are presumed aborted.
+        assert ask(f"txn-{a.engine.node_id}-999") == "abort"
+
+    def test_service_counts_queries(self, trio):
+        a = trio["a"]
+        trio["b"].engine.execute_on_node(
+            a.engine.node_id, TXN_STATUS_OBJECT, "txn_status", "txn-x-1"
+        )
+        assert a.txn_status.queries == 1
+
+
+class TestProtocolErrorEpilogue:
+    def test_busy_clears_and_log_ends_on_protocol_error(self, trio, world):
+        class ExplodingResource(ResourceObject):
+            @exported
+            def mark(self, key, txn_id):
+                raise TransactionError("mark exploded")
+
+        node = world.add_node("d")
+        obj = ExplodingResource("d_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id="d", service="res")
+        obj.add("slot1")
+        a = trio["a"]
+        with pytest.raises(TransactionError):
+            a.coordinator.execute(part("a"), [part("d")], AND)
+        # The depth guard unwound and the epilogue ran: no stuck busy
+        # flag, no leaked locks, a closed (aborted) intent record.
+        assert not a.coordinator.busy
+        assert a.locks.locked_count() == 0
+        txn = f"txn-{a.engine.node_id}-{a.coordinator._txn_counter}"
+        assert a.coordinator.intents.in_flight() == []
+        assert a.coordinator.intents.status(txn) == "abort"
+
+
+class TestAbortNeedsNoDecideRecord:
+    def test_refused_negotiation_logs_begin_end_only(self, trio):
+        trio["b"].store.update("resources", None, {"status": "busy"})
+        a = trio["a"]
+        result = a.coordinator.execute(part("a"), [part("b")], AND)
+        assert not result.ok
+        entry = dict(a.coordinator.intents._txns[result.txn_id])
+        assert entry["decision"] is None        # presumed abort: no DECIDE
+        assert entry["ended"] == "abort"
