@@ -1,0 +1,43 @@
+"""E14 — causal tracing: wire overhead and span cost."""
+
+from repro.bench.harness import exp_e14_obs
+from repro.bench.metrics import format_table
+
+
+def test_e14_shapes():
+    table = exp_e14_obs(calls=20)
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    rows = {r[0]: r for r in table["rows"]}
+    off, sampled, on = rows["tracing off"], rows["sampled 1/4"], rows["tracing on"]
+
+    # Same workload, same number of round trips in every mode.
+    assert off[1] == sampled[1] == on[1]
+
+    # Disabled tracing is free on the wire by construction (it is the
+    # baseline row), and records no spans.
+    assert off[3] == "+0.0%"
+    assert off[4] == 0
+
+    # Full tracing stamps every message; the acceptance bar is a modest
+    # wire overhead — at most ~15% bytes/msg over the untraced format.
+    assert on[2] > off[2]
+    assert on[2] / off[2] <= 1.15
+    assert on[4] > 0
+
+    # Sampling lands strictly between: fewer spans and fewer stamped
+    # messages than full tracing, more than none.
+    assert 0 < sampled[4] < on[4]
+    assert off[2] < sampled[2] < on[2]
+
+    # Spans cost no virtual time of their own — the sim-latency column
+    # moves only through the extra header bytes on the byte-sensitive
+    # campus link, so the spread stays tiny.
+    assert abs(on[5] - off[5]) / off[5] < 0.05
+
+
+def test_e14_is_deterministic():
+    a = exp_e14_obs(calls=10, seed=3)
+    b = exp_e14_obs(calls=10, seed=3)
+    # The wall-clock column is the only nondeterministic cell.
+    strip = lambda rows: [r[:6] for r in rows]
+    assert strip(a["rows"]) == strip(b["rows"])

@@ -5,6 +5,10 @@ happened; handy as a smoke test of an installation.
 
 ``python -m repro chaos`` runs a deterministic chaos campaign instead
 (seeded fault schedules + invariant checkers; see repro.chaos).
+
+``python -m repro obs`` runs a traced scenario — or replays one chaos
+episode — and exports its causal timeline (Perfetto-loadable Chrome
+trace JSON), span tree and metrics (see repro.obs).
 """
 
 from __future__ import annotations
@@ -88,6 +92,8 @@ def chaos_main(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         episode=args.episode,
         schedule_json=args.schedule,
+        tracing=not args.no_tracing,
+        trace_dir=args.trace_dir,
     )
     result = ChaosCampaign(config).run()
     lines = result.log_lines()
@@ -121,9 +127,91 @@ def chaos_main(args: argparse.Namespace) -> int:
         if result.shrunk is not None:
             print(f"minimal failing prefix: {len(result.shrunk)}/"
                   f"{len(failing.schedule)} fault events")
+        for episode in result.episodes:
+            if episode.trace_path:
+                print(f"trace: episode {episode.index} -> {episode.trace_path}")
         print(f"repro: {result.repro}")
         return 1
     return 0
+
+
+def obs_main(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        chrome_trace,
+        render_span_tree,
+        validate_chrome_trace,
+        write_timeline,
+    )
+
+    if args.episode is not None:
+        # Replay one chaos episode under full tracing and export it.
+        from repro.chaos import ChaosCampaign, ChaosConfig
+
+        config = ChaosConfig(
+            seed=args.seed,
+            users=args.users,
+            ops=args.ops,
+            duration=args.duration,
+            intensity=args.intensity,
+            profile=args.profile,
+            retry=not args.no_retry,
+            dedup=not args.no_dedup,
+            recovery=not args.no_recovery,
+            shrink=False,
+            schedule_json=args.schedule,
+        )
+        campaign = ChaosCampaign(config)
+        episode = campaign.run_episode(args.episode, quiet=True)
+        world = campaign.last_world
+        label = f"chaos episode {args.episode} (seed {args.seed})"
+        print(
+            f"episode {args.episode}: {'clean' if episode.ok else 'FAILED'}, "
+            f"{episode.messages} messages, {len(episode.violations)} violations"
+        )
+        for violation in episode.violations:
+            print(f"  VIOLATION {violation}")
+    else:
+        world = _obs_scenario(args.seed, args.sample)
+        label = f"calendar scenario (seed {args.seed})"
+
+    spans = world.tracer.spans()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "timeline.trace.json"
+    validate_chrome_trace(chrome_trace(spans, label=label))
+    write_timeline(str(path), spans, label=label)
+    closed = sum(1 for s in spans if s.end is not None)
+    traces = len({s.trace_id for s in spans})
+    print(f"timeline: {path} ({closed} spans, {traces} traces) — "
+          f"load in Perfetto / chrome://tracing")
+    if args.tree:
+        tree = render_span_tree(spans)
+        tree_path = out / "spans.txt"
+        tree_path.write_text(tree + "\n")
+        print(f"span tree: {tree_path}")
+        print(tree)
+    if args.metrics:
+        print(world.metrics.render())
+    return 0
+
+
+def _obs_scenario(seed: int, sample: int) -> SyDWorld:
+    """A compact traced scenario: negotiation, trigger-driven promotion,
+    and a cancel cascade — the three protocol shapes worth a timeline."""
+    world = SyDWorld(seed=seed, trace_sample=sample)
+    app = SyDCalendarApp(world)
+    for user in ("phil", "andy", "suzy", "raj"):
+        app.add_user(user)
+    meeting = app.manager("phil").schedule_meeting("Budget", ["andy", "suzy"])
+    for row in app.calendar("raj").free_slots(0, 4):
+        app.service("raj").block({"day": row["day"], "hour": row["hour"]})
+    tentative = app.manager("andy").schedule_meeting("Thesis talk", ["raj"])
+    app.service("raj").unblock(tentative.slot)
+    app.manager("phil").cancel_meeting(meeting.meeting_id)
+    world.run_for(5.0)
+    return world
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -163,11 +251,48 @@ def main(argv: list[str] | None = None) -> int:
                        help="JSON fault schedule (from a repro command)")
     chaos.add_argument("--log", type=str, default=None,
                        help="also write the episode log to this file")
+    chaos.add_argument("--no-tracing", action="store_true",
+                       help="disable span tracing in episode worlds "
+                            "(drops the trace headers from the wire)")
+    chaos.add_argument("--trace-dir", type=str, default=None,
+                       help="export failing episodes' Perfetto timelines "
+                            "into this directory")
+
+    obs = sub.add_parser(
+        "obs", help="trace a scenario (or replay a chaos episode) and "
+                    "export its causal timeline"
+    )
+    obs.add_argument("--seed", type=int, default=2003, help="world/campaign seed")
+    obs.add_argument("--out", type=str, default="obs_out",
+                     help="output directory for the exports")
+    obs.add_argument("--sample", type=int, default=1,
+                     help="record every k-th root trace (scenario mode)")
+    obs.add_argument("--tree", action="store_true",
+                     help="also write and print the plain-text span tree")
+    obs.add_argument("--metrics", action="store_true",
+                     help="print the per-node metrics registry")
+    obs.add_argument("--episode", type=int, default=None,
+                     help="replay this chaos episode index instead of the "
+                          "scenario (combine with the chaos knobs below)")
+    obs.add_argument("--users", type=int, default=6)
+    obs.add_argument("--ops", type=int, default=40)
+    obs.add_argument("--duration", type=float, default=120.0)
+    obs.add_argument("--intensity", type=float, default=1.0)
+    obs.add_argument("--profile", type=str, default="mixed",
+                     choices=("classic", "delivery", "mixed", "recovery"))
+    obs.add_argument("--no-retry", action="store_true")
+    obs.add_argument("--no-dedup", action="store_true")
+    obs.add_argument("--no-recovery", action="store_true")
+    obs.add_argument("--schedule", type=str, default=None,
+                     help="JSON fault schedule (from a repro command)")
+
     args = parser.parse_args(argv)
     if args.command == "chaos":
         if args.schedule is not None and args.episode is None:
             args.episode = 0
         return chaos_main(args)
+    if args.command == "obs":
+        return obs_main(args)
     return tour()
 
 

@@ -40,9 +40,11 @@ from repro.world import SyDWorld
 
 # --------------------------------------------------------------------------- helpers
 
-def _resource_world(n_users: int, seed: int = 1) -> tuple[SyDWorld, list[str]]:
+def _resource_world(
+    n_users: int, seed: int = 1, tracing: bool = True, trace_sample: int = 1
+) -> tuple[SyDWorld, list[str]]:
     """World with n resource-service users, one free entity 'slot'."""
-    world = SyDWorld(seed=seed)
+    world = SyDWorld(seed=seed, tracing=tracing, trace_sample=trace_sample)
     users = [f"u{i:03d}" for i in range(n_users)]
     for user in users:
         node = world.add_node(user)
@@ -757,9 +759,19 @@ def exp_e12_dedup(episodes: int = 10, calls: int = 50, seed: int = 7) -> dict[st
     * ``pre-PR wire``   — no keys at all (byte-for-byte the old wire
       format; the dedup machinery cannot engage).
 
-    The exactly-once rows must be clean; both ablations must leak
-    ``double_application`` violations — that asymmetry is the evidence
-    the dedup layer (and not luck) carries the exactly-once property.
+    The exactly-once rows must be clean and the ``at-least-once`` rows
+    must leak ``double_application`` violations — that asymmetry is the
+    evidence the dedup layer (and not luck) carries the exactly-once
+    property. The ``pre-PR wire`` rows are the byte baseline only: their
+    duplicates re-execute just as blindly, but without keys the
+    accounting invariant cannot attribute executions, and since the
+    recovery/termination machinery landed the semantic residue heals
+    before the checkers run.
+
+    The whole experiment runs with span tracing *off*: it isolates the
+    dedup-stamp overhead, so "pre-PR wire" has to be byte-for-byte the
+    pre-exactly-once format with no trace headers muddying the bytes/msg
+    column (E14 measures the tracing overhead on its own).
     """
     from repro.chaos import ChaosCampaign, ChaosConfig
 
@@ -767,7 +779,7 @@ def exp_e12_dedup(episodes: int = 10, calls: int = 50, seed: int = 7) -> dict[st
 
     # -- micro: wire overhead of stamping ---------------------------------
     for stamp in (False, True):
-        world, users = _resource_world(2, seed)
+        world, users = _resource_world(2, seed, tracing=False)
         world.transport.stamp_dedup = stamp
         node = world.node(users[0])
         with measure(world) as m:
@@ -799,6 +811,7 @@ def exp_e12_dedup(episodes: int = 10, calls: int = 50, seed: int = 7) -> dict[st
             dedup=dedup,
             stamp=stamp,
             shrink=False,
+            tracing=False,
         )
         result = ChaosCampaign(config).run()
         violations = sum(len(e.violations) for e in result.episodes)
@@ -890,6 +903,77 @@ def exp_e13_recovery(episodes: int = 10, seed: int = 7) -> dict[str, Any]:
     }
 
 
+def exp_e14_obs(calls: int = 50, seed: int = 1, sample: int = 4) -> dict[str, Any]:
+    """E14 — causal tracing: wire overhead and span cost.
+
+    The same two-node micro workload as E12's micro rows (``calls``
+    cross-node reads), run three ways:
+
+    * ``tracing off``  — ``SyDWorld(tracing=False)``: no tracer, no
+      trace headers on the wire.  This is the baseline; it must be
+      byte-for-byte the stamped (exactly-once) wire format, i.e. the
+      observability layer costs nothing when disabled.
+    * ``sampled 1/k``  — tracing on with root sampling: only every
+      k-th root trace is recorded, and unsampled roots suppress their
+      subtree *and its wire stamps*, so both the span count and the
+      byte overhead scale down with the sampling rate.
+    * ``tracing on``   — every root recorded, every message stamped
+      with ``(trace_id, parent_span_id)``.
+
+    Span creation costs no virtual time (the clock only advances on
+    network hops), so the sim per-call column is identical across rows
+    up to jitter draws; the wire column is the honest price.  The
+    acceptance bar: tracing on adds at most ~15% bytes/msg over the
+    baseline, and disabled tracing adds nothing at all.
+    """
+    rows: list[list[Any]] = []
+    base_bpm: float | None = None
+    modes = (
+        ("tracing off", False, 1),
+        (f"sampled 1/{sample}", True, sample),
+        ("tracing on", True, 1),
+    )
+    for mode, tracing, k in modes:
+        world, users = _resource_world(2, seed, tracing=tracing, trace_sample=k)
+        node = world.node(users[0])
+        spans_before = len(world.tracer.spans()) if tracing else 0
+        wall0 = time.perf_counter()
+        with measure(world) as m:
+            for _ in range(calls):
+                node.engine.execute(users[1], "res", "read", "slot")
+        wall = time.perf_counter() - wall0
+        spans = (len(world.tracer.spans()) - spans_before) if tracing else 0
+        bpm = m.bytes / m.messages
+        if base_bpm is None:
+            base_bpm = bpm
+        overhead = (bpm / base_bpm - 1.0) * 100.0
+        rows.append(
+            [
+                mode,
+                m.messages,
+                round(bpm, 1),
+                f"{overhead:+.1f}%",
+                spans,
+                m.sim_elapsed / calls * 1e3,
+                round(wall / calls * 1e6, 1),
+            ]
+        )
+    return {
+        "id": "E14",
+        "title": "E14 — causal tracing: wire overhead and span cost",
+        "columns": [
+            "mode",
+            "messages",
+            "bytes/msg",
+            "overhead",
+            "spans",
+            "per-call (ms, sim)",
+            "per-call (µs, wall)",
+        ],
+        "rows": rows,
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -905,6 +989,7 @@ ALL_EXPERIMENTS = {
     "E11": exp_e11_chaos,
     "E12": exp_e12_dedup,
     "E13": exp_e13_recovery,
+    "E14": exp_e14_obs,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -918,6 +1003,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E11": {"intensities": (1.0,), "episodes": 5},
     "E12": {"episodes": 5, "calls": 20},
     "E13": {"episodes": 5},
+    "E14": {"calls": 20},
 }
 
 

@@ -25,6 +25,7 @@ through coordination links and negotiations:
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Sequence
 
 from repro.calendar.model import (
@@ -52,6 +53,28 @@ from repro.util.idgen import IdGenerator
 CAL_SERVICE = "calendar"
 
 
+def _traced(name: str, key: str | None = None):
+    """Wrap a MeetingManager entry point in a span.
+
+    These are the application's top-level operations: when nothing else
+    is open (direct API use) the span roots a fresh trace; under a
+    workload driver it nests below the driver's step span. ``key`` names
+    the span attribute for the first positional argument (meeting id or
+    title).
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            attrs = {key: args[0]} if key is not None and args else {}
+            with self.node.tracer.span(name, self.user, **attrs):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return deco
+
+
 class MeetingManager:
     """Per-user driver of the calendar application."""
 
@@ -77,6 +100,7 @@ class MeetingManager:
 
     # ------------------------------------------------------------------ schedule
 
+    @_traced("cal.schedule", key="title")
     def schedule_meeting(
         self,
         title: str,
@@ -534,6 +558,7 @@ class MeetingManager:
 
     # ------------------------------------------------------------------ cancel (§4.4)
 
+    @_traced("cal.cancel", key="meeting")
     def cancel_meeting(self, meeting_id: str) -> Meeting:
         """Cancel one of this user's own meetings (initiator only).
 
@@ -580,6 +605,7 @@ class MeetingManager:
 
     # ------------------------------------------------------------------ promotion
 
+    @_traced("cal.confirm", key="meeting")
     def confirm_tentative(self, meeting_id: str) -> bool:
         """Try to convert a tentative meeting to confirmed (§5).
 
@@ -723,6 +749,7 @@ class MeetingManager:
 
     # ------------------------------------------------------------------ move (§3.2 / §5)
 
+    @_traced("cal.move", key="meeting")
     def move_meeting(
         self, meeting_id: str, new_slot: dict[str, int] | None = None
     ) -> Meeting | None:
@@ -896,6 +923,7 @@ class MeetingManager:
 
     # ------------------------------------------------------------------ drop-out
 
+    @_traced("cal.drop_out", key="meeting")
     def drop_out(self, meeting_id: str) -> bool:
         """Leave a meeting this user participates in (non-initiators).
 
@@ -982,6 +1010,7 @@ class MeetingManager:
 
     # ------------------------------------------------------------------ reconcile
 
+    @_traced("cal.reconcile")
     def reconcile(self) -> dict[str, int]:
         """Pull-based anti-entropy after downtime or a partition heal.
 

@@ -269,29 +269,39 @@ class CalendarService(SyDDeviceObject):
         exactly as ``unmark`` would have done. Returns
         ``{"released": n, "renewed": m}``.
         """
+        from repro.util.trace import maybe_span
+
         now = self.engine.transport.clock.now()
         counts = {"released": 0, "renewed": 0}
-        for key, owner, _deadline in self.locks.expired(now):
-            if not isinstance(owner, str):
-                continue
-            node_id = coordinator_node_of(owner)
-            status = "unknown"
-            if node_id is not None:
-                try:
-                    status = self.engine.execute_on_node(
-                        node_id, TXN_STATUS_OBJECT, "txn_status", owner
-                    )
-                except ReproError:
-                    status = "unknown"
-            if status == "pending":
-                self.locks.renew(key, owner)
-                counts["renewed"] += 1
-                continue
-            self.locks.force_release(key)
-            self.terminated += 1
-            counts["released"] += 1
-            for old_meeting, _user, slot_entity in self._pending_bumps.pop(owner, []):
-                self._notify_bumped(old_meeting, slot_entity)
+        stale = self.locks.expired(now)
+        if not stale:
+            return counts
+        tracer = getattr(self.engine.transport, "tracer", None)
+        with maybe_span(
+            tracer, "cal.terminate_sweep", self.user, stale=len(stale)
+        ) as span:
+            for key, owner, _deadline in stale:
+                if not isinstance(owner, str):
+                    continue
+                node_id = coordinator_node_of(owner)
+                status = "unknown"
+                if node_id is not None:
+                    try:
+                        status = self.engine.execute_on_node(
+                            node_id, TXN_STATUS_OBJECT, "txn_status", owner
+                        )
+                    except ReproError:
+                        status = "unknown"
+                if status == "pending":
+                    self.locks.renew(key, owner)
+                    counts["renewed"] += 1
+                    continue
+                self.locks.force_release(key)
+                self.terminated += 1
+                counts["released"] += 1
+                for old_meeting, _user, slot_entity in self._pending_bumps.pop(owner, []):
+                    self._notify_bumped(old_meeting, slot_entity)
+            span.set(**counts)
         return counts
 
     # -- lifecycle operations invoked by peers -------------------------------------------

@@ -63,6 +63,14 @@ class ChaosConfig:
     episode: int | None = None
     #: verbatim fault schedule (JSON) overriding generation — repro mode
     schedule_json: str | None = None
+    #: span tracing in episode worlds. Off removes the trace headers
+    #: from the wire (bench ablations that measure *other* overheads
+    #: byte-for-byte run with this off), and timing shifts slightly, so
+    #: the flag is part of the repro command.
+    tracing: bool = True
+    #: directory to write failing episodes' Perfetto timelines into
+    #: (None = no export); requires ``tracing``
+    trace_dir: str | None = None
 
     def episode_seed(self, index: int) -> int:
         return self.seed * 100_003 + index
@@ -95,6 +103,8 @@ class EpisodeResult:
     recoveries: int = 0
     #: stale marks released by the participant termination protocol
     terminations: int = 0
+    #: Perfetto timeline written for this episode (failures only)
+    trace_path: str | None = None
     log: list[str] = field(default_factory=list)
 
     @property
@@ -370,6 +380,10 @@ class ChaosCampaign:
 
     def __init__(self, config: ChaosConfig):
         self.config = config
+        #: world of the most recent episode (kept for post-mortem export:
+        #: ``python -m repro obs`` replays an episode and reads its spans
+        #: and metrics off this)
+        self.last_world: SyDWorld | None = None
 
     # -- episodes -------------------------------------------------------------
 
@@ -395,8 +409,13 @@ class ChaosCampaign:
         cfg = self.config
         seed = cfg.episode_seed(index)
         world = SyDWorld(
-            seed=seed, directory_cache=True, dedup=cfg.dedup, recovery=cfg.recovery
+            seed=seed,
+            directory_cache=True,
+            dedup=cfg.dedup,
+            recovery=cfg.recovery,
+            tracing=cfg.tracing,
         )
+        self.last_world = world
         world.transport.stamp_dedup = cfg.stamp
         app = SyDCalendarApp(world)
         users = [f"u{i:02d}" for i in range(cfg.users)]
@@ -418,7 +437,7 @@ class ChaosCampaign:
         baselines = {u: export_store(world.node(u).store) for u in users}
         journals: dict[str, ChangeJournal] = {}
         for user in users:
-            journals[user] = ChangeJournal()
+            journals[user] = ChangeJournal(metrics=world.metrics, metrics_node=user)
             attach_journal(world.node(user).store, journals[user])
 
         if schedule is None:
@@ -459,6 +478,19 @@ class ChaosCampaign:
         violations = run_invariant_checks(app, world, baselines, journals)
         for violation in violations:
             log(f"VIOLATION {violation}")
+        trace_path: str | None = None
+        if violations and cfg.trace_dir and cfg.tracing:
+            from pathlib import Path
+
+            from repro.obs.export import write_timeline
+
+            out = Path(cfg.trace_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            trace_path = str(out / f"episode_{index:03d}.trace.json")
+            write_timeline(
+                trace_path, world.tracer.spans(), label=f"chaos episode {index}"
+            )
+            log(f"trace -> {trace_path}")
         stats = world.stats
         replays = world.directory_listener.replays + sum(
             world.node(u).listener.replays for u in users
@@ -493,6 +525,7 @@ class ChaosCampaign:
             replays=replays,
             recoveries=recoveries,
             terminations=terminations,
+            trace_path=trace_path,
             log=log_lines,
         )
 
@@ -538,5 +571,6 @@ class ChaosCampaign:
             + ("" if cfg.retry else " --no-retry")
             + ("" if cfg.dedup else " --no-dedup")
             + ("" if cfg.recovery else " --no-recovery")
+            + ("" if cfg.tracing else " --no-tracing")
             + f" --schedule '{schedule.to_json()}'"
         )

@@ -56,14 +56,23 @@ LIVE = (MeetingStatus.CONFIRMED, MeetingStatus.TENTATIVE)
 
 @dataclass(frozen=True)
 class Violation:
-    """One invariant breach at one user."""
+    """One invariant breach at one user.
+
+    ``trace_id`` names the trace of the operation that produced the bad
+    state, when the checker can attribute it (via the coordinator's
+    ``txn_traces`` or a listener's ``effect_traces``) — load the
+    episode's exported timeline and filter on it to see the failing
+    protocol run end to end.
+    """
 
     check: str
     user: str
     detail: str
+    trace_id: str | None = None
 
     def __str__(self) -> str:
-        return f"{self.check} @ {self.user}: {self.detail}"
+        base = f"{self.check} @ {self.user}: {self.detail}"
+        return f"{base} [trace {self.trace_id}]" if self.trace_id else base
 
 
 def _authoritative_meetings(app: SyDCalendarApp):
@@ -204,6 +213,7 @@ def check_double_application(world: SyDWorld) -> list[Violation]:
                     "double_application",
                     user,
                     f"key {key} executed {count} times",
+                    trace_id=listener.effect_traces.get(key),
                 )
             )
         if len(doubled) > 5:
@@ -258,6 +268,7 @@ def check_decision_agreement(app: SyDCalendarApp, world: SyDWorld) -> list[Viola
                         user,
                         f"change applied for {txn_id} but coordinator "
                         f"{node_id} has no durable commit record",
+                        trace_id=coordinator.coordinator.txn_traces.get(txn_id),
                     )
                 )
     return out
@@ -265,16 +276,25 @@ def check_decision_agreement(app: SyDCalendarApp, world: SyDWorld) -> list[Viola
 
 def check_stranded_marks(world: SyDWorld) -> list[Violation]:
     """No lock outlives its lease once the fleet quiesces."""
+    from repro.txn.status import coordinator_node_of
+
     now = world.clock.now()
+    coordinators = {node.node_id: node for node in world.nodes.values()}
     out: list[Violation] = []
     for user, node in sorted(world.nodes.items()):
         for key, owner, deadline in node.locks.expired(now):
+            # The lock owner is a txn id; its coordinator (if it still
+            # exists) remembers which trace ran the negotiation.
+            coord_id = coordinator_node_of(owner)
+            coord = coordinators.get(coord_id) if coord_id else None
+            trace_id = coord.coordinator.txn_traces.get(owner) if coord else None
             out.append(
                 Violation(
                     "no_stranded_marks",
                     user,
                     f"{key!r} held by {owner} past lease "
                     f"(deadline {deadline:.2f}, now {now:.2f})",
+                    trace_id=trace_id,
                 )
             )
     return out

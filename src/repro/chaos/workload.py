@@ -70,8 +70,13 @@ class Workload:
             self.ops_skipped += 1
             self.log(f"t={now:8.2f} op {index:3d} {user} {action} ~~ device down")
             return
+        tracer = self.app.world.tracer
         try:
-            detail = self._apply(action, user, index)
+            # Each workload op is its own root trace: everything the op
+            # causes (negotiation legs, link cascades, retries, remote
+            # handler work) hangs off this span in the exported timeline.
+            with tracer.span("chaos.step", user, op=index, action=action):
+                detail = self._apply(action, user, index)
         except ReproError as exc:
             self.ops_failed += 1
             self.log(f"t={now:8.2f} op {index:3d} {user} {action} !! {type(exc).__name__}")

@@ -50,17 +50,27 @@ class JournalEntry:
 
 
 class ChangeJournal:
-    """Append-only log of mutations."""
+    """Append-only log of mutations.
 
-    def __init__(self) -> None:
+    ``metrics``/``metrics_node`` optionally mirror appends into a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``store.wal_appends``
+    and per-op ``store.wal_appends.<op>`` under the owning node).
+    """
+
+    def __init__(self, metrics=None, metrics_node: str = "") -> None:
         self._entries: list[JournalEntry] = []
         self._seq = 0
+        self._metrics = metrics
+        self._metrics_node = metrics_node
 
     def append(self, op: str, table: str, pk: Any, row: dict[str, Any]) -> JournalEntry:
         """Record one mutation; returns the entry."""
         self._seq += 1
         entry = JournalEntry(self._seq, op, table, pk, dict(row))
         self._entries.append(entry)
+        if self._metrics is not None:
+            self._metrics.inc(self._metrics_node, "store.wal_appends")
+            self._metrics.inc(self._metrics_node, f"store.wal_appends.{op}")
         return entry
 
     def entries(self, since_seq: int = 0) -> list[JournalEntry]:

@@ -280,19 +280,33 @@ class DirectoryCache:
     reassignment or an unregister is visible on the next lookup.
     """
 
-    def __init__(self, epoch_source: Callable[[], int]):
+    def __init__(
+        self,
+        epoch_source: Callable[[], int],
+        metrics=None,
+        metrics_node: str = "",
+    ):
         self.epoch_source = epoch_source
         self._entries: dict[tuple, Any] = {}
         self._filled_epoch: int | None = None
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        #: optional MetricsRegistry mirror (dir.cache_hits / _misses /
+        #: _flushes under the owning node)
+        self._metrics = metrics
+        self._metrics_node = metrics_node
+
+    def _metric(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(self._metrics_node, name)
 
     def _validate(self) -> None:
         current = self.epoch_source()
         if current != self._filled_epoch:
             if self._entries:
                 self.flushes += 1
+                self._metric("dir.cache_flushes")
             self._entries.clear()
             self._filled_epoch = current
 
@@ -301,6 +315,7 @@ class DirectoryCache:
         self._validate()
         if key in self._entries:
             self.hits += 1
+            self._metric("dir.cache_hits")
             value = self._entries[key]
             # Rows are mutable dicts/lists; hand out copies so callers
             # cannot corrupt the cache.
@@ -310,6 +325,7 @@ class DirectoryCache:
                 return list(value)
             return value
         self.misses += 1
+        self._metric("dir.cache_misses")
         return _MISS
 
     def put(self, key: tuple, value: Any) -> None:
@@ -368,6 +384,8 @@ class DirectoryClient:
             lambda: self.transport.rpc(
                 self.node_id, self.directory_node, "invoke", payload, dedup=dedup
             ),
+            tracer=getattr(self.transport, "tracer", None),
+            node=self.node_id,
         )
         return reply.get("result")
 

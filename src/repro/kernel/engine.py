@@ -117,6 +117,8 @@ class SyDEngine:
             self.retry_policy,
             self.transport.stats,
             lambda: self.transport.rpc(self.node_id, node_id, "invoke", payload, dedup=dedup),
+            tracer=self.transport.tracer,
+            node=self.node_id,
         )
         return reply.get("result")
 
@@ -149,6 +151,8 @@ class SyDEngine:
                 self.retry_policy,
                 self.transport.stats,
                 lambda: self.transport.rpc(self.node_id, proxy, "invoke", payload, dedup=dedup),
+                tracer=self.transport.tracer,
+                node=self.node_id,
             )
             return reply.get("result")
 

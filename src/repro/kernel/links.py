@@ -37,6 +37,7 @@ from repro.util.clock import VirtualClock
 from repro.util.errors import NetworkError, ReproError, UnknownLinkError
 from repro.util.events import EventBus
 from repro.util.idgen import IdGenerator
+from repro.util.trace import maybe_span
 
 LINKS_TABLE = "SyD_Links"
 WAITING_TABLE = "SyD_WaitingLink"
@@ -111,6 +112,10 @@ class SyDLinks:
         self.expired = 0
         self.cascades_received = 0
         self._ensure_tables()
+
+    @property
+    def _tracer(self):
+        return getattr(self.engine.transport, "tracer", None)
 
     # -- op 1: link database creation ------------------------------------------
 
@@ -229,18 +234,19 @@ class SyDLinks:
 
     def promote_link(self, link_id: str) -> Link:
         """Flip a local tentative link to permanent and announce it."""
-        link = self.get_link(link_id)
-        promoted = link.promoted()
-        self.store.update(
-            LINKS_TABLE,
-            where("link_id") == link_id,
-            {"subtype": promoted.subtype.value, "waiting_on": None},
-        )
-        # Drop any waiting entries *for* this link (it no longer waits).
-        self.store.delete(WAITING_TABLE, where("waiting_link") == link_id)
-        self.promoted += 1
-        self.bus.publish("link.promoted", link=promoted)
-        return promoted
+        with maybe_span(self._tracer, "links.promote", self.user, link=link_id):
+            link = self.get_link(link_id)
+            promoted = link.promoted()
+            self.store.update(
+                LINKS_TABLE,
+                where("link_id") == link_id,
+                {"subtype": promoted.subtype.value, "waiting_on": None},
+            )
+            # Drop any waiting entries *for* this link (it no longer waits).
+            self.store.delete(WAITING_TABLE, where("waiting_link") == link_id)
+            self.promoted += 1
+            self.bus.publish("link.promoted", link=promoted)
+            return promoted
 
     def _promote_waiters(self, blocking_link: str) -> list[str]:
         """Promote the highest-priority waiting entry/group (op 3–4).
@@ -315,6 +321,14 @@ class SyDLinks:
         if self.user not in visited:
             visited.append(self.user)
 
+        with maybe_span(
+            self._tracer, "links.delete", self.user, link=link_id, cascade=cascade
+        ) as span:
+            return self._delete_link_traced(link, link_id, cascade, visited, span)
+
+    def _delete_link_traced(
+        self, link: Link, link_id: str, cascade: bool, visited: list[str], span
+    ) -> list[str]:
         promoted = self._promote_waiters(link_id)
         self.store.delete(LINKS_TABLE, where("link_id") == link_id)
         # This link no longer waits on anything (if it was tentative).
@@ -333,6 +347,7 @@ class SyDLinks:
                     continue
                 peers.append(ref.user)
             visited.extend(peers)
+            span.set(peers=len(peers), promoted=len(promoted))
             outcomes = self.engine.execute_calls(
                 [
                     CallSpec(peer, LINKS_SERVICE, "cascade_delete", (link.cascade_id, visited))
@@ -362,15 +377,19 @@ class SyDLinks:
     def cascade_delete(self, cascade_id: str, visited: list[str]) -> int:
         """Delete every owned link with ``cascade_id`` and keep cascading."""
         self.cascades_received += 1
-        doomed = self.links_by_context("cascade_id", cascade_id) + [
-            ln for ln in self.all_links() if ln.link_id == cascade_id
-        ]
-        count = 0
-        for link in doomed:
-            if self.has_link(link.link_id):
-                self.delete_link(link.link_id, cascade=True, _visited=visited)
-                count += 1
-        return count
+        with maybe_span(
+            self._tracer, "links.cascade", self.user, cascade=cascade_id
+        ) as span:
+            doomed = self.links_by_context("cascade_id", cascade_id) + [
+                ln for ln in self.all_links() if ln.link_id == cascade_id
+            ]
+            count = 0
+            for link in doomed:
+                if self.has_link(link.link_id):
+                    self.delete_link(link.link_id, cascade=True, _visited=visited)
+                    count += 1
+            span.set(deleted=count)
+            return count
 
     # -- op 5: method invocation mapping ----------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.device.registry import MethodRegistry
 from repro.net import dedup as dedup_mod
 from repro.net.dedup import DedupTable
 from repro.net.message import Message
+from repro.obs.metrics import MetricsRegistry
 from repro.security.auth import AuthTable
 from repro.security.envelope import unseal
 from repro.util.errors import (
@@ -32,6 +33,7 @@ from repro.util.errors import (
     ReproError,
     StaleMessageError,
 )
+from repro.util.trace import NULL_SPAN, Tracer
 
 #: Hook signature: (object_name, method, args, kwargs, result) -> None
 PostInvokeHook = Callable[[str, str, list, dict, Any], None]
@@ -40,12 +42,24 @@ PostInvokeHook = Callable[[str, str, list, dict, Any], None]
 class SyDListener:
     """Per-node invocation endpoint."""
 
-    def __init__(self, node_id: str, directory=None, dedup: DedupTable | None = None):
+    def __init__(
+        self,
+        node_id: str,
+        directory=None,
+        dedup: DedupTable | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.node_id = node_id
         self.registry = MethodRegistry()
         self.directory = directory  # DirectoryClient or None (directory node itself)
         #: receiver-side exactly-once table (None = PR 2 at-least-once)
         self.dedup = dedup
+        #: causal tracer: dispatch re-enters the context stamped on the
+        #: message, so handler work nests under the remote caller's span
+        self.tracer = tracer
+        #: per-node metrics sink (dispatch latency, replay/reject counts)
+        self.metrics = metrics
         self._post_hooks: list[PostInvokeHook] = []
         # Authentication (off until enable_authentication is called).
         self._auth_passphrase: str | None = None
@@ -59,6 +73,10 @@ class SyDListener:
         #: immediately before the target method runs, never cleared (a
         #: restart must not hide a pre-crash execution from the checker).
         self.effects: Counter = Counter()
+        #: trace_id of the last *execution* per idempotency key (replays
+        #: excluded) — lets invariant violations name the offending trace.
+        #: Observability state, never cleared, like ``effects``.
+        self.effect_traces: dict[tuple[str, int, int], str] = {}
 
     # -- publication ----------------------------------------------------------
 
@@ -140,19 +158,36 @@ class SyDListener:
         incarnations or below the pruned watermark are refused with
         :class:`StaleMessageError`. First sightings execute and their
         outcome is recorded.
+
+        With a tracer wired, dispatch re-enters the context stamped on
+        the message, so everything below — including the dedup verdict —
+        lands as a child span of the caller's RPC span.
         """
+        if self.tracer is None:
+            return self._dispatch(msg, NULL_SPAN)
+        payload = msg.payload
+        name = f"handle:{payload.get('object', '?')}.{payload.get('method', '?')}"
+        with self.tracer.activate(msg.trace):
+            with self.tracer.span(name, self.node_id, src=msg.src) as span:
+                return self._dispatch(msg, span)
+
+    def _dispatch(self, msg: Message, span) -> dict[str, Any]:
         key = msg.dedup
         if key is not None and self.dedup is not None:
             verdict, cached = self.dedup.admit(*key)
+            span.set(verdict=verdict)
             if verdict == dedup_mod.REPLAY:
                 self.replays += 1
+                self._metric("kernel.replays")
                 assert cached is not None
                 return self._replay(cached)
             if verdict == dedup_mod.FENCED:
+                self._metric("kernel.fenced")
                 raise StaleMessageError(
                     f"invocation {key} refused: sender incarnation is fenced"
                 )
             if verdict == dedup_mod.SUPPRESS:
+                self._metric("kernel.suppressed")
                 raise StaleMessageError(
                     f"invocation {key} refused: already processed, reply pruned"
                 )
@@ -173,6 +208,10 @@ class SyDListener:
             self.dedup.record(*key, reply)
         return reply
 
+    def _metric(self, name: str, value: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(self.node_id, name, value)
+
     def _execute(self, msg: Message, key) -> dict[str, Any]:
         """Authenticate, look up and run the target method."""
         payload = msg.payload
@@ -184,12 +223,22 @@ class SyDListener:
             self._check_auth(object_name, payload)
         except AuthenticationError:
             self.rejected += 1
+            self._metric("kernel.rejected")
             raise
         fn = self.registry.lookup(object_name, method)
         if key is not None:
             self.effects[key] += 1
-        result = fn(*args, **kwargs)
+            if self.tracer is not None:
+                ctx = self.tracer.current_context()
+                if ctx is not None:
+                    self.effect_traces[key] = ctx[0]
+        if self.metrics is not None:
+            with self.metrics.timer(self.node_id, f"kernel.dispatch.{method}"):
+                result = fn(*args, **kwargs)
+        else:
+            result = fn(*args, **kwargs)
         self.invocations += 1
+        self._metric("kernel.invocations")
         for hook in list(self._post_hooks):
             hook(object_name, method, list(args), dict(kwargs), result)
         return {"result": result}

@@ -29,6 +29,7 @@ from repro.net.address import DeviceClass, NodeAddress
 from repro.net.dedup import DedupPersistence, DedupTable
 from repro.net.message import Message
 from repro.net.transport import Transport
+from repro.obs.metrics import MetricsRegistry
 from repro.security.auth import AuthTable
 from repro.security.envelope import Credentials
 from repro.sim.kernel import EventScheduler
@@ -58,6 +59,7 @@ class SyDNode:
         auth_passphrase: str | None = None,
         dedup: bool = True,
         recovery: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self.user = user
         self.node_id = node_id or f"{user}-device"
@@ -66,6 +68,7 @@ class SyDNode:
         self.transport = transport
         self.scheduler = scheduler
         self.tracer = tracer or Tracer(transport.clock)
+        self.metrics = metrics
 
         self.directory = DirectoryClient(self.node_id, transport, directory_node)
         # The dedup watermark table lives in the node's own store so it is
@@ -74,7 +77,13 @@ class SyDNode:
         dedup_table = (
             DedupTable(persist=DedupPersistence(store)) if dedup else None
         )
-        self.listener = SyDListener(self.node_id, self.directory, dedup=dedup_table)
+        self.listener = SyDListener(
+            self.node_id,
+            self.directory,
+            dedup=dedup_table,
+            tracer=self.tracer,
+            metrics=metrics,
+        )
         self.engine = SyDEngine(
             self.node_id,
             transport,
@@ -85,7 +94,9 @@ class SyDNode:
         self.events = SyDEventHandler(self.node_id, transport, scheduler)
         # Leased locks: a mark that outlives its lease triggers the
         # participant-driven termination protocol (txn_status query).
-        self.locks = LockManager(clock=transport.clock)
+        self.locks = LockManager(
+            clock=transport.clock, metrics=metrics, metrics_node=self.node_id
+        )
         self.links = SyDLinks(user, store, self.engine, transport.clock, self.events.bus)
         self.links_service = SyDLinksService(self.links)
         # The negotiation intent log lives in the node's own store (same
@@ -93,7 +104,10 @@ class SyDNode:
         # tables that exist at attach time). ``recovery=False`` keeps a
         # volatile log — the pre-recovery coordinator, for ablations.
         self.intent_log = IntentLog(
-            store=store if recovery else None, clock=transport.clock
+            store=store if recovery else None,
+            clock=transport.clock,
+            metrics=metrics,
+            metrics_node=self.node_id,
         )
         self.coordinator = NegotiationCoordinator(
             self.engine, self.tracer, intent_log=self.intent_log

@@ -51,6 +51,11 @@ class Message:
             and transports with stamping disabled). A retried attempt
             carries the *same* key, which is what lets the receiver's
             dedup table replay the cached reply instead of re-executing.
+        trace: causal-context header ``(trace_id, parent_span_id)`` stamped
+            on requests when tracing is on; the receiving listener
+            re-enters that context so remote handler work lands as child
+            spans of the caller's span. None for replies, unstamped legs
+            and disabled/sampled-out tracers.
     """
 
     msg_id: str
@@ -60,6 +65,7 @@ class Message:
     payload: dict[str, Any] = field(default_factory=dict)
     is_reply: bool = False
     dedup: tuple[str, int, int] | None = None
+    trace: tuple[str, str] | None = None
 
     _size: int | None = field(default=None, repr=False)
 
@@ -71,4 +77,6 @@ class Message:
             self._size = header + estimate_size(self.payload)
             if self.dedup is not None:
                 self._size += estimate_size(list(self.dedup))
+            if self.trace is not None:
+                self._size += estimate_size(list(self.trace))
         return self._size

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.util.errors import MessageDropped, UnreachableError
+from repro.util.trace import maybe_span
 
 
 @dataclass
@@ -72,33 +73,48 @@ class RetryPolicy:
             self.sleep(self.backoff(attempt))
 
 
-def retry_call(policy: RetryPolicy | None, stats, fn: Callable[[], object]):
+def retry_call(
+    policy: RetryPolicy | None,
+    stats,
+    fn: Callable[[], object],
+    tracer=None,
+    node: str = "",
+):
     """Run ``fn`` under ``policy``, re-invoking on transient failures.
 
     ``stats`` (a :class:`~repro.net.stats.NetworkStats` or None) gets one
     ``record_retry`` per re-attempt and one ``record_retry_success`` when
     a retried call eventually succeeds. With ``policy=None`` this is a
     plain call.
+
+    When a ``tracer`` is given, the whole loop runs inside one
+    ``net.call`` span and each try inside a ``net.attempt`` child — so
+    every re-send of a leg lands in the *same* trace as the first
+    attempt, numbered by its ``attempt`` attribute.
     """
     attempt = 1
-    while True:
-        try:
-            value = fn()
-        except (MessageDropped, UnreachableError) as exc:
-            if (
-                policy is None
-                or attempt >= policy.max_attempts
-                or not policy.retryable(exc)
-            ):
-                raise
-            policy.pause(attempt)
-            if stats is not None:
-                stats.record_retry()
-            attempt += 1
-        else:
-            if attempt > 1 and stats is not None:
-                stats.record_retry_success()
-            return value
+    with maybe_span(tracer, "net.call", node) as call_span:
+        while True:
+            try:
+                with maybe_span(tracer, "net.attempt", node, attempt=attempt):
+                    value = fn()
+            except (MessageDropped, UnreachableError) as exc:
+                if (
+                    policy is None
+                    or attempt >= policy.max_attempts
+                    or not policy.retryable(exc)
+                ):
+                    call_span.set(attempts=attempt, exhausted=policy is not None)
+                    raise
+                policy.pause(attempt)
+                if stats is not None:
+                    stats.record_retry()
+                attempt += 1
+            else:
+                if attempt > 1 and stats is not None:
+                    stats.record_retry_success()
+                call_span.set(attempts=attempt)
+                return value
 
 
 def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy | None):
@@ -120,6 +136,7 @@ def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy
     outcomes = transport.rpc_many(src, legs)
     if policy is None:
         return outcomes
+    tracer = getattr(transport, "tracer", None)
     attempt = 1
     while attempt < policy.max_attempts:
         pending = [
@@ -129,7 +146,13 @@ def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy
             break
         policy.pause(attempt)
         transport.stats.record_retry(len(pending))
-        redone = transport.rpc_many(src, [legs[i] for i in pending])
+        # Re-send waves join the trace of the original batch's caller;
+        # each wave is one span so the timeline shows scatter-gather
+        # shrinking toward the stragglers.
+        with maybe_span(
+            tracer, "net.retry_wave", src, attempt=attempt + 1, legs=len(pending)
+        ):
+            redone = transport.rpc_many(src, [legs[i] for i in pending])
         for i, outcome in zip(pending, redone):
             outcomes[i] = outcome
             if outcome.ok:

@@ -5,6 +5,15 @@ simulated network latency; :class:`NetworkStats` collects those as the
 transport delivers traffic. ``snapshot``/``delta`` let harness code
 measure a single operation inside a longer-running world.
 
+Since the observability PR, :class:`NetworkStats` is a **view** over the
+shared :class:`~repro.obs.metrics.MetricsRegistry`: each ``record_*``
+call lands in registry counters under the pseudo-node ``"net"``
+(``net.messages``, ``net.bytes``, ``net.by_kind.<kind>`` ...), so network
+traffic shows up next to kernel/txn/store metrics in one snapshot. The
+scalar attributes (``stats.messages`` etc.) remain available as
+properties reading the registry, so existing tests and harness code are
+unchanged.
+
 Scatter-gather batches (``Transport.rpc_many``) are accounted twice:
 every leg's delay lands in the ordinary per-message counters (so
 ``latency`` remains total network *busy time*, independent of
@@ -14,17 +23,23 @@ concurrency), and the batch itself increments ``concurrent_batches`` /
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry, latency_bucket
 
-def latency_bucket(delay: float) -> str:
-    """Power-of-two millisecond bucket label for a batch delay."""
-    ms = delay * 1e3
-    if ms <= 1.0:
-        return "<=1ms"
-    return f"<={2 ** math.ceil(math.log2(ms))}ms"
+__all__ = ["latency_bucket", "StatsSnapshot", "NetworkStats"]
+
+
+def _counter_delta(later: Counter, earlier: Counter) -> Counter:
+    """Key-preserving ``later - earlier``.
+
+    Plain ``Counter`` subtraction drops zero and negative results, so a
+    delta would silently lose kinds whose count did not increase. Every
+    key present on either side survives here, with its exact difference.
+    """
+    keys = set(later) | set(earlier)
+    return Counter({k: later.get(k, 0) - earlier.get(k, 0) for k in keys})
 
 
 @dataclass
@@ -48,7 +63,7 @@ class StatsSnapshot:
     duplicates: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
-        """Counters accumulated since ``earlier``."""
+        """Counters accumulated since ``earlier`` (keys never dropped)."""
         return StatsSnapshot(
             messages=self.messages - earlier.messages,
             replies=self.replies - earlier.replies,
@@ -56,10 +71,12 @@ class StatsSnapshot:
             latency=self.latency - earlier.latency,
             dropped=self.dropped - earlier.dropped,
             unreachable=self.unreachable - earlier.unreachable,
-            by_kind=self.by_kind - earlier.by_kind,
+            by_kind=_counter_delta(self.by_kind, earlier.by_kind),
             concurrent_batches=self.concurrent_batches - earlier.concurrent_batches,
             batched_legs=self.batched_legs - earlier.batched_legs,
-            batch_latency_hist=self.batch_latency_hist - earlier.batch_latency_hist,
+            batch_latency_hist=_counter_delta(
+                self.batch_latency_hist, earlier.batch_latency_hist
+            ),
             retries=self.retries - earlier.retries,
             retry_successes=self.retry_successes - earlier.retry_successes,
             reply_lost=self.reply_lost - earlier.reply_lost,
@@ -69,71 +86,134 @@ class StatsSnapshot:
 
 
 class NetworkStats:
-    """Mutable counters updated by the transport."""
+    """Registry-backed counters updated by the transport.
 
-    def __init__(self) -> None:
-        self.messages = 0
-        self.replies = 0
-        self.bytes = 0
-        self.latency = 0.0
-        self.dropped = 0
-        self.unreachable = 0
+    A standalone ``NetworkStats()`` owns a private registry; a world
+    passes its shared one so traffic counters appear in the fleet-wide
+    snapshot. ``by_kind`` / ``batch_latency_hist`` stay real ``Counter``
+    objects (tests compare them directly) and are mirrored into the
+    registry as ``net.by_kind.<kind>`` counters and the
+    ``net.batch_latency`` histogram buckets.
+    """
+
+    NODE = "net"
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.by_kind: Counter = Counter()
-        self.concurrent_batches = 0
-        self.batched_legs = 0
         self.batch_latency_hist: Counter = Counter()
-        #: legs re-sent by a RetryPolicy / retried legs that then succeeded
-        self.retries = 0
-        self.retry_successes = 0
-        #: reply legs that never made it back (handler ran, caller sees a
-        #: network error — the at-least-once hazard)
-        self.reply_lost = 0
-        #: one-way sends whose remote handler raised (swallowed at the
-        #: transport; fire-and-forget senders never observe them)
-        self.send_failures = 0
-        #: extra deliveries of an already-delivered request (fault model)
-        self.duplicates = 0
+
+    # -- registry plumbing -------------------------------------------------
+
+    def _inc(self, name: str, value: float = 1) -> None:
+        self.registry.inc(self.NODE, f"net.{name}", value)
+
+    def _get(self, name: str) -> int:
+        return int(self.registry.counter(self.NODE, f"net.{name}"))
+
+    @property
+    def messages(self) -> int:
+        return self._get("messages")
+
+    @property
+    def replies(self) -> int:
+        return self._get("replies")
+
+    @property
+    def bytes(self) -> int:
+        return self._get("bytes")
+
+    @property
+    def latency(self) -> float:
+        return float(self.registry.counter(self.NODE, "net.latency"))
+
+    @property
+    def dropped(self) -> int:
+        return self._get("dropped")
+
+    @property
+    def unreachable(self) -> int:
+        return self._get("unreachable")
+
+    @property
+    def concurrent_batches(self) -> int:
+        return self._get("concurrent_batches")
+
+    @property
+    def batched_legs(self) -> int:
+        return self._get("batched_legs")
+
+    @property
+    def retries(self) -> int:
+        """Legs re-sent by a RetryPolicy."""
+        return self._get("retries")
+
+    @property
+    def retry_successes(self) -> int:
+        """Retried legs that then succeeded."""
+        return self._get("retry_successes")
+
+    @property
+    def reply_lost(self) -> int:
+        """Reply legs that never made it back (handler ran, caller sees a
+        network error — the at-least-once hazard)."""
+        return self._get("reply_lost")
+
+    @property
+    def send_failures(self) -> int:
+        """One-way sends whose remote handler raised (swallowed at the
+        transport; fire-and-forget senders never observe them)."""
+        return self._get("send_failures")
+
+    @property
+    def duplicates(self) -> int:
+        """Extra deliveries of an already-delivered request (fault model)."""
+        return self._get("duplicates")
+
+    # -- recorders ---------------------------------------------------------
 
     def record_delivery(self, kind: str, size: int, delay: float, is_reply: bool) -> None:
         """Account one successfully delivered message leg."""
-        self.messages += 1
+        self._inc("messages")
         if is_reply:
-            self.replies += 1
-        self.bytes += size
-        self.latency += delay
+            self._inc("replies")
+        self._inc("bytes", size)
+        self._inc("latency", delay)
         self.by_kind[kind] += 1
+        self.registry.inc(self.NODE, f"net.by_kind.{kind}")
 
     def record_dropped(self) -> None:
-        self.dropped += 1
+        self._inc("dropped")
 
     def record_unreachable(self) -> None:
-        self.unreachable += 1
+        self._inc("unreachable")
 
     def record_batch(self, legs: int, max_delay: float) -> None:
         """Account one scatter-gather batch of ``legs`` concurrent calls."""
-        self.concurrent_batches += 1
-        self.batched_legs += legs
+        self._inc("concurrent_batches")
+        self._inc("batched_legs", legs)
         self.batch_latency_hist[latency_bucket(max_delay)] += 1
+        self.registry.observe(self.NODE, "net.batch_latency", max_delay)
 
     def record_retry(self, legs: int = 1) -> None:
         """Account ``legs`` re-sent under a retry policy."""
-        self.retries += legs
+        self._inc("retries", legs)
 
     def record_retry_success(self, legs: int = 1) -> None:
         """Account ``legs`` that succeeded after at least one retry."""
-        self.retry_successes += legs
+        self._inc("retry_successes", legs)
 
     def record_reply_lost(self) -> None:
         """Account a reply leg lost after the handler executed."""
-        self.reply_lost += 1
+        self._inc("reply_lost")
 
     def record_send_failure(self) -> None:
         """Account a one-way send whose remote handler raised."""
-        self.send_failures += 1
+        self._inc("send_failures")
 
     def record_duplicate(self) -> None:
         """Account one duplicate delivery of a request."""
-        self.duplicates += 1
+        self._inc("duplicates")
 
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters."""
@@ -156,5 +236,7 @@ class NetworkStats:
         )
 
     def reset(self) -> None:
-        """Zero all counters."""
-        self.__init__()
+        """Zero all counters (registry metrics under ``"net"`` included)."""
+        self.registry.reset_node(self.NODE)
+        self.by_kind.clear()
+        self.batch_latency_hist.clear()

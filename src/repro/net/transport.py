@@ -41,6 +41,7 @@ keys become stale and its sequence numbering restarts.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
@@ -59,6 +60,7 @@ from repro.util.errors import (
     UnreachableError,
 )
 from repro.util.idgen import IdGenerator
+from repro.util.trace import Tracer, maybe_span
 
 #: A node-side dispatcher: receives (message) and returns a payload dict.
 Handler = Callable[[Message], dict[str, Any]]
@@ -110,6 +112,7 @@ class Transport:
         faults: FaultPlan | None = None,
         stats: NetworkStats | None = None,
         stamp_dedup: bool = True,
+        tracer: Tracer | None = None,
     ):
         self.clock = clock or VirtualClock()
         self.latency = latency or ConstantLatency(0.001)
@@ -117,6 +120,10 @@ class Transport:
         self.stats = stats or NetworkStats()
         #: stamp RPC requests with idempotency keys (off = PR 2 wire format)
         self.stamp_dedup = stamp_dedup
+        #: causal-trace recorder; when set (and enabled), RPC/send request
+        #: legs are stamped with ``(trace_id, parent_span_id)`` headers and
+        #: each call gets a span (see repro.obs)
+        self.tracer = tracer
         self._ids = IdGenerator()
         self._handlers: dict[str, Handler] = {}
         self._addresses: dict[str, NodeAddress] = {}
@@ -203,6 +210,14 @@ class Transport:
             for leg in legs
         ]
 
+    # -- trace stamping ----------------------------------------------------
+
+    def _trace_ctx(self) -> tuple[str, str] | None:
+        """Current ``(trace_id, span_id)`` to stamp on a request leg."""
+        if self.tracer is None or not self.tracer.enabled:
+            return None
+        return self.tracer.current_context()
+
     # -- traffic -----------------------------------------------------------
 
     def _deliver(self, msg: Message, advance: bool = True) -> float:
@@ -243,12 +258,19 @@ class Transport:
         reply to replay and their seqs would open permanent watermark
         gaps at the receiver.
         """
-        msg = Message(self._ids.next("msg"), src, dst, kind, payload)
-        self._deliver(msg)
-        try:
-            self._handlers[dst](msg)
-        except Exception:  # noqa: BLE001 - remote failure, invisible to sender
-            self.stats.record_send_failure()
+        with maybe_span(self.tracer, f"send:{kind}", src, dst=dst) as span:
+            msg = Message(
+                self._ids.next("msg"), src, dst, kind, payload, trace=self._trace_ctx()
+            )
+            self._deliver(msg)
+            span.set(bytes=msg.size_bytes)
+            try:
+                self._handlers[dst](msg)
+            except Exception:  # noqa: BLE001 - remote failure, invisible to sender
+                self.stats.record_send_failure()
+                span.set(outcome="remote_error")
+            else:
+                span.set(outcome="ok")
 
     def rpc(
         self,
@@ -273,22 +295,36 @@ class Transport:
         """
         if dedup is None:
             dedup = self.next_dedup(src, dst)
-        msg = Message(self._ids.next("msg"), src, dst, kind, payload, dedup=dedup)
-        self._deliver(msg)
-        try:
-            result = self._handlers[dst](msg)
-        except ReproError as exc:
-            error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
-            self._account_reply(msg, {"error": str(exc)})
-            raise error
-        except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
-            self._account_reply(msg, {"error": str(exc)})
-            raise RemoteError(type(exc).__name__, str(exc)) from exc
-        if result is None:
-            result = {}
-        self._maybe_duplicate(msg)
-        self._account_reply(msg, result)
-        return result
+        with maybe_span(self.tracer, f"rpc:{kind}", src, dst=dst) as span:
+            start = self.clock.now()
+            msg = Message(
+                self._ids.next("msg"),
+                src,
+                dst,
+                kind,
+                payload,
+                dedup=dedup,
+                trace=self._trace_ctx(),
+            )
+            self._deliver(msg)
+            span.set(bytes=msg.size_bytes)
+            try:
+                result = self._handlers[dst](msg)
+            except ReproError as exc:
+                error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+                span.set(outcome="remote_error")
+                self._account_reply(msg, {"error": str(exc)})
+                raise error
+            except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+                span.set(outcome="remote_error")
+                self._account_reply(msg, {"error": str(exc)})
+                raise RemoteError(type(exc).__name__, str(exc)) from exc
+            if result is None:
+                result = {}
+            self._maybe_duplicate(msg)
+            self._account_reply(msg, result)
+            span.set(outcome="ok", delay=round(self.clock.now() - start, 9))
+            return result
 
     def rpc_many(
         self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
@@ -321,48 +357,73 @@ class Transport:
             raise UnreachableError(f"source node {src!r} not attached")
         outcomes: list[RpcOutcome] = []
         max_delay = 0.0
-        for call in legs:
-            dedup = call.dedup if call.dedup is not None else self.next_dedup(src, call.dst)
-            msg = Message(
-                self._ids.next("msg"), src, call.dst, call.kind, call.payload, dedup=dedup
-            )
-            try:
-                delay = self._deliver(msg, advance=False)
-            except (UnreachableError, MessageDropped) as exc:
-                outcomes.append(RpcOutcome(call.dst, False, error=exc))
-                continue
-            try:
-                result = self._handlers[call.dst](msg)
-            except ReproError as exc:
-                error: Exception = (
-                    type(exc)(*exc.args)
-                    if type(exc).__name__ in ERRORS_BY_NAME
-                    else exc
-                )
-                try:
-                    delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
-                except NetworkError as loss:
-                    error = loss
-                outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
-            except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
-                error = RemoteError(type(exc).__name__, str(exc))
-                try:
-                    delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
-                except NetworkError as loss:
-                    error = loss
-                outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
-            else:
-                if result is None:
-                    result = {}
-                self._maybe_duplicate(msg)
-                try:
-                    delay += self._account_reply(msg, result, advance=False)
-                except NetworkError as loss:
-                    outcomes.append(RpcOutcome(call.dst, False, error=loss, delay=delay))
-                else:
-                    outcomes.append(RpcOutcome(call.dst, True, value=result, delay=delay))
-            max_delay = max(max_delay, delay)
-        self.clock.advance(max_delay)
+        with maybe_span(self.tracer, "net.batch", src, legs=len(legs)) as batch:
+            for call in legs:
+                dedup = call.dedup if call.dedup is not None else self.next_dedup(src, call.dst)
+                with maybe_span(
+                    self.tracer, f"rpc:{call.kind}", src, dst=call.dst
+                ) as span:
+                    msg = Message(
+                        self._ids.next("msg"),
+                        src,
+                        call.dst,
+                        call.kind,
+                        call.payload,
+                        dedup=dedup,
+                        trace=self._trace_ctx(),
+                    )
+                    try:
+                        delay = self._deliver(msg, advance=False)
+                    except (UnreachableError, MessageDropped) as exc:
+                        span.set(outcome="undeliverable")
+                        outcomes.append(RpcOutcome(call.dst, False, error=exc))
+                        continue
+                    span.set(bytes=msg.size_bytes)
+                    try:
+                        result = self._handlers[call.dst](msg)
+                    except ReproError as exc:
+                        error: Exception = (
+                            type(exc)(*exc.args)
+                            if type(exc).__name__ in ERRORS_BY_NAME
+                            else exc
+                        )
+                        try:
+                            delay += self._account_reply(
+                                msg, {"error": str(exc)}, advance=False
+                            )
+                        except NetworkError as loss:
+                            error = loss
+                        span.set(outcome="remote_error", delay=round(delay, 9))
+                        outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
+                    except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+                        error = RemoteError(type(exc).__name__, str(exc))
+                        try:
+                            delay += self._account_reply(
+                                msg, {"error": str(exc)}, advance=False
+                            )
+                        except NetworkError as loss:
+                            error = loss
+                        span.set(outcome="remote_error", delay=round(delay, 9))
+                        outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
+                    else:
+                        if result is None:
+                            result = {}
+                        self._maybe_duplicate(msg)
+                        try:
+                            delay += self._account_reply(msg, result, advance=False)
+                        except NetworkError as loss:
+                            span.set(outcome="reply_lost", delay=round(delay, 9))
+                            outcomes.append(
+                                RpcOutcome(call.dst, False, error=loss, delay=delay)
+                            )
+                        else:
+                            span.set(outcome="ok", delay=round(delay, 9))
+                            outcomes.append(
+                                RpcOutcome(call.dst, True, value=result, delay=delay)
+                            )
+                    max_delay = max(max_delay, delay)
+            self.clock.advance(max_delay)
+            batch.set(max_delay=round(max_delay, 9))
         self.stats.record_batch(len(legs), max_delay)
         return outcomes
 
@@ -399,14 +460,22 @@ class Transport:
         self.stats.record_duplicate()
         for tap in self.taps:
             tap(msg)
-        try:
-            result = handler(msg)
-        except Exception:  # noqa: BLE001 - nobody is waiting for this outcome
-            return
-        try:
-            self._account_reply(msg, result if result is not None else {}, advance=False)
-        except NetworkError:
-            pass
+        # A duplicate belongs to the trace of the original request: re-enter
+        # its context (a scheduler-fired redelivery otherwise has no parent).
+        activate = (
+            self.tracer.activate(msg.trace) if self.tracer is not None else nullcontext()
+        )
+        with activate, maybe_span(
+            self.tracer, "net.redeliver", msg.src, dst=msg.dst, kind=msg.kind
+        ):
+            try:
+                result = handler(msg)
+            except Exception:  # noqa: BLE001 - nobody is waiting for this outcome
+                return
+            try:
+                self._account_reply(msg, result if result is not None else {}, advance=False)
+            except NetworkError:
+                pass
 
     # -- reply accounting --------------------------------------------------
 

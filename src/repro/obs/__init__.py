@@ -1,0 +1,35 @@
+"""repro.obs — causal observability over the simulated deployment.
+
+Three pieces (DESIGN.md §5.10):
+
+* a span model in :mod:`repro.util.trace` (re-exported here) giving every
+  top-level operation a ``trace_id`` that propagates across simulated
+  RPC hops;
+* :class:`MetricsRegistry` — per-node, per-subsystem counters, gauges
+  and virtual-time histograms that absorb the ad-hoc counters scattered
+  through the stack (``NetworkStats`` is a view over it);
+* deterministic exporters (:mod:`repro.obs.export`) — Chrome
+  ``trace_event`` JSON loadable in Perfetto, and a plain-text span tree —
+  driven by the ``python -m repro obs`` CLI.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    render_span_tree,
+    validate_chrome_trace,
+    write_timeline,
+)
+from repro.obs.metrics import MetricsRegistry, latency_bucket
+from repro.util.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "latency_bucket",
+    "chrome_trace",
+    "render_span_tree",
+    "validate_chrome_trace",
+    "write_timeline",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+]

@@ -1,0 +1,155 @@
+"""Deterministic timeline exporters.
+
+Two formats over the same :class:`~repro.util.trace.Span` list:
+
+* :func:`chrome_trace` — Chrome ``trace_event`` JSON (the ``ph:"X"``
+  complete-event flavour), loadable in Perfetto / ``chrome://tracing``.
+  Virtual-clock seconds map to microseconds; each simulated node becomes
+  a ``tid`` with a ``thread_name`` metadata record so the UI shows one
+  lane per node.
+* :func:`render_span_tree` — indented plain text, one span per line,
+  children under parents, for terminals and CI logs.
+
+Both sort deterministically (start time, then span id) and serialise
+with ``sort_keys=True`` so the same seeded run exports byte-identical
+output — the CI ``obs-smoke`` job ``cmp``s two exports to enforce it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.util.trace import Span
+
+#: pid used for every event — the whole fleet is one simulated process
+_PID = 1
+
+
+def _node_lanes(spans: Iterable[Span]) -> dict[str, int]:
+    """Stable node → tid mapping (sorted node names, 1-based)."""
+    nodes = sorted({s.node or "?" for s in spans})
+    return {node: i + 1 for i, node in enumerate(nodes)}
+
+
+def chrome_trace(spans: Iterable[Span], *, label: str = "repro") -> dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from closed spans."""
+    spans = [s for s in spans if s.end is not None]
+    lanes = _node_lanes(spans)
+    events: list[dict[str, Any]] = []
+    for node, tid in lanes.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"node:{node}"},
+            }
+        )
+    for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+        args: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "status": span.status,
+        }
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        for key in sorted(span.attrs):
+            args[key] = span.attrs[key]
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": lanes[span.node or "?"],
+                "name": span.name,
+                "cat": span.trace_id,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round((span.end - span.start) * 1e6, 3),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": label, "clock": "virtual"},
+    }
+
+
+def dumps_chrome_trace(doc: dict[str, Any]) -> str:
+    """Serialise a trace document deterministically."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_timeline(path: str, spans: Iterable[Span], *, label: str = "repro") -> str:
+    """Write a Perfetto-loadable timeline to ``path``; returns the path."""
+    doc = chrome_trace(spans, label=label)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_chrome_trace(doc))
+    return path
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> None:
+    """Minimal schema check for the ``trace_event`` JSON we emit.
+
+    Raises ``ValueError`` on the first problem — used by the CI
+    ``obs-smoke`` job as a cheap Perfetto-compatibility guard.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("missing traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            raise ValueError(f"event {i}: unsupported ph {ph!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            raise ValueError(f"event {i}: pid/tid must be ints")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"event {i}: missing name")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(ev.get(field), (int, float)):
+                    raise ValueError(f"event {i}: {field} must be a number")
+            if ev["dur"] < 0:
+                raise ValueError(f"event {i}: negative dur")
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"event {i}: args must be an object")
+
+
+def render_span_tree(spans: Iterable[Span], *, attrs: bool = True) -> str:
+    """Indented text rendering of the span forest, one span per line."""
+    spans = [s for s in spans if s.end is not None]
+    by_parent: dict[str | None, list[Span]] = {}
+    ids = {s.span_id for s in spans}
+    for span in spans:
+        # a parent recorded on a sampled-out or cleared trace may be
+        # missing — promote such spans to roots instead of dropping them
+        parent = span.parent_id if span.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        dur_ms = (span.end - span.start) * 1e3
+        line = (
+            f"{'  ' * depth}{span.name} [{span.node or '?'}] "
+            f"{span.start:.4f}s +{dur_ms:.2f}ms ({span.trace_id}/{span.span_id})"
+        )
+        if span.status != "ok":
+            line += f" !{span.status}"
+        if attrs and span.attrs:
+            parts = " ".join(f"{k}={span.attrs[k]}" for k in sorted(span.attrs))
+            line += f" {{{parts}}}"
+        lines.append(line)
+        for child in by_parent.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        emit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Per-node, per-subsystem metrics registry.
+
+Before this module every subsystem grew its own ad-hoc counters
+(``NetworkStats``, ``DirectoryCache.hits``, ``listener.replays`` ...),
+none of which were visible in one place or attributable to a node.
+:class:`MetricsRegistry` gives the simulated deployment one sink:
+
+* **counters** — monotone event counts (``net.messages``,
+  ``txn.intent_writes``, ``store.wal_appends``);
+* **gauges** — last-write-wins values (``txn.locks_held``);
+* **histograms** — virtual-time distributions using the power-of-two
+  millisecond buckets the benchmarks already report
+  (``kernel.dispatch.<verb>``, ``txn.lock_hold``).
+
+Metric names follow ``subsystem.metric[.qualifier]`` — e.g.
+``net.bytes``, ``dir.cache_hits``, ``kernel.dispatch.change`` — and are
+keyed by ``(node, name)`` so fleets aggregate naturally.  Everything is
+plain dict/Counter state updated synchronously from simulation code, so
+snapshots are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.util.clock import VirtualClock
+
+
+def latency_bucket(delay: float) -> str:
+    """Power-of-two millisecond bucket label for a delay in seconds."""
+    ms = delay * 1e3
+    if ms <= 1.0:
+        return "<=1ms"
+    return f"<={2 ** math.ceil(math.log2(ms))}ms"
+
+
+class MetricsRegistry:
+    """Counters, gauges and virtual-time histograms keyed by ``(node, name)``."""
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self._clock = clock or VirtualClock()
+        self._counters: dict[tuple[str, str], float] = {}
+        self._gauges: dict[tuple[str, str], float] = {}
+        self._hists: dict[tuple[str, str], dict[str, Any]] = {}
+
+    # -- writers ---------------------------------------------------------
+
+    def inc(self, node: str, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` on ``node``."""
+        key = (node, name)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, node: str, name: str, value: float) -> None:
+        """Set gauge ``name`` on ``node`` to ``value``."""
+        self._gauges[(node, name)] = value
+
+    def observe(self, node: str, name: str, value: float) -> None:
+        """Record one sample into histogram ``name`` on ``node``.
+
+        ``value`` is in seconds; buckets are power-of-two milliseconds.
+        """
+        hist = self._hists.setdefault(
+            (node, name), {"count": 0, "sum": 0.0, "buckets": Counter()}
+        )
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["buckets"][latency_bucket(value)] += 1
+
+    @contextmanager
+    def timer(self, node: str, name: str) -> Iterator[None]:
+        """Observe the virtual-clock duration of the enclosed block."""
+        start = self._clock.now()
+        try:
+            yield
+        finally:
+            self.observe(node, name, self._clock.now() - start)
+
+    # -- readers ---------------------------------------------------------
+
+    def counter(self, node: str, name: str) -> float:
+        """Current value of a counter (0 if never written)."""
+        return self._counters.get((node, name), 0)
+
+    def gauge(self, node: str, name: str) -> float | None:
+        """Current value of a gauge (None if never written)."""
+        return self._gauges.get((node, name))
+
+    def histogram(self, node: str, name: str) -> dict[str, Any]:
+        """``{"count", "sum", "buckets"}`` for a histogram (zeroes if unset)."""
+        hist = self._hists.get((node, name))
+        if hist is None:
+            return {"count": 0, "sum": 0.0, "buckets": Counter()}
+        return {
+            "count": hist["count"],
+            "sum": hist["sum"],
+            "buckets": Counter(hist["buckets"]),
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministically ordered, JSON-able copy of every metric."""
+        counters = {
+            f"{node}/{name}": value
+            for (node, name), value in sorted(self._counters.items())
+        }
+        gauges = {
+            f"{node}/{name}": value
+            for (node, name), value in sorted(self._gauges.items())
+        }
+        hists = {
+            f"{node}/{name}": {
+                "count": h["count"],
+                "sum": round(h["sum"], 9),
+                "buckets": dict(sorted(h["buckets"].items())),
+            }
+            for (node, name), h in sorted(self._hists.items())
+        }
+        return {"counters": counters, "gauges": gauges, "histograms": hists}
+
+    def render(self) -> str:
+        """Human-readable dump, one metric per line, sorted."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        for key, value in snap["counters"].items():
+            lines.append(f"counter {key} = {value}")
+        for key, value in snap["gauges"].items():
+            lines.append(f"gauge   {key} = {value}")
+        for key, h in snap["histograms"].items():
+            buckets = " ".join(f"{b}:{n}" for b, n in h["buckets"].items())
+            lines.append(
+                f"hist    {key} count={h['count']} sum={h['sum']:.6f} {buckets}"
+            )
+        return "\n".join(lines)
+
+    def reset_node(self, node: str) -> None:
+        """Drop every metric recorded under ``node``."""
+        for store in (self._counters, self._gauges, self._hists):
+            for key in [k for k in store if k[0] == node]:
+                del store[key]
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._hists.clear()

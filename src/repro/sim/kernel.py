@@ -60,6 +60,19 @@ class EventScheduler:
         self._queue: list[_Entry] = []
         self._seq = itertools.count()
         self._fired = 0
+        #: optional context-manager factory wrapped around every callback
+        #: execution. The world installs the tracer's ``detached`` here so
+        #: scheduler-fired work (lease sweeps, chaos events) starts fresh
+        #: root spans instead of nesting under whatever span happened to be
+        #: open while a retry backoff pumped the clock.
+        self.callback_wrapper: Callable[[], Any] | None = None
+
+    def _fire(self, entry: _Entry) -> None:
+        if self.callback_wrapper is None:
+            entry.fn(*entry.args)
+        else:
+            with self.callback_wrapper():
+                entry.fn(*entry.args)
 
     # -- scheduling -------------------------------------------------------
 
@@ -128,7 +141,7 @@ class EventScheduler:
             # advanced it past this event's due time, in which case the
             # event simply fires late (never move the clock backwards).
             self.clock.advance_to(max(entry.when, self.clock.now()))
-            entry.fn(*entry.args)
+            self._fire(entry)
             self._fired += 1
             fired += 1
         self.clock.advance_to(max(t, self.clock.now()))
@@ -148,7 +161,7 @@ class EventScheduler:
             if fired >= max_events:
                 raise RuntimeError(f"run_all exceeded {max_events} events")
             self.clock.advance_to(max(entry.when, self.clock.now()))
-            entry.fn(*entry.args)
+            self._fire(entry)
             self._fired += 1
             fired += 1
         return fired

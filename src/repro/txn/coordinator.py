@@ -199,6 +199,10 @@ class NegotiationCoordinator:
         self.committed = 0
         self.recovered_commits = 0
         self.recovered_aborts = 0
+        #: txn_id -> trace_id of the negotiation that ran it. Observability
+        #: state (like ``SyDListener.effects``): never cleared, so invariant
+        #: violations found after a crash can still name the trace.
+        self.txn_traces: dict[str, str] = {}
 
     @property
     def busy(self) -> bool:
@@ -271,16 +275,35 @@ class NegotiationCoordinator:
         trace = self.tracer
         all_targets = [t for targets, _constraint in groups for t in targets]
 
-        # BEGIN before the first mark: a crash anywhere past this point
-        # leaves a durable in-flight record for recovery to resolve.
-        self.intents.begin(
-            txn_id,
-            {
-                "initiator": _ref(initiator),
-                "targets": [_ref(t) for t in all_targets],
-                "change": change,
-            },
+        # The whole protocol runs under one span (closed in the finally
+        # block, after the unlock epilogue). Its trace id is remembered in
+        # ``txn_traces`` and written into the durable BEGIN payload, so a
+        # recovery replay — possibly on a different incarnation, long
+        # after this span closed — can link back to the original trace.
+        span = trace.start_span(
+            "txn.negotiate", self.engine.node_id, txn=txn_id, constraint=described
         )
+        ctx = trace.current_context()
+        if ctx is not None:
+            self.txn_traces[txn_id] = ctx[0]
+
+        # BEGIN before the first mark: a crash anywhere past this point
+        # leaves a durable in-flight record for recovery to resolve. (The
+        # guard keeps the span stack balanced if the durable write itself
+        # fails — the main finally block below is not armed yet.)
+        try:
+            self.intents.begin(
+                txn_id,
+                {
+                    "initiator": _ref(initiator),
+                    "targets": [_ref(t) for t in all_targets],
+                    "change": change,
+                    "trace_id": self.txn_traces.get(txn_id),
+                },
+            )
+        except BaseException as exc:
+            trace.end_span(span, error=type(exc).__name__)
+            raise
 
         locked: list[Participant] = []
         #: mark legs whose outcome is unknown (network error after retries)
@@ -429,6 +452,13 @@ class NegotiationCoordinator:
                     self._unmark(initiator, txn_id)
                 # END closes the durable record: recovery skips this txn.
                 self.intents.end(txn_id, "commit" if result.ok else "abort")
+            span.set(
+                ok=result.ok,
+                locked=len(result.locked),
+                refused=len(result.refused),
+                changed=len(result.changed),
+            )
+            trace.end_span(span, error="CoordinatorCrashed" if crashed else None)
 
     # -- crash recovery ----------------------------------------------------------
 
@@ -449,16 +479,40 @@ class NegotiationCoordinator:
         """
         self.intents.restart()
         counts = {"commits": 0, "aborts": 0}
-        for txn_id, entry in self.intents.in_flight():
-            if txn_id in self._active:
-                # Still on the execute stack: a restart pumped from inside
-                # a retry backoff must not race the live frame.
-                continue
-            begin = entry["begin"] or {}
-            initiator_ref = begin.get("initiator")
-            target_refs = list(begin.get("targets") or ())
-            decision = entry["decision"]
-            if decision is not None and decision[0] == "commit":
+        pending = [
+            (txn_id, entry)
+            for txn_id, entry in self.intents.in_flight()
+            # Still on the execute stack: a restart pumped from inside
+            # a retry backoff must not race the live frame.
+            if txn_id not in self._active
+        ]
+        with self.tracer.span(
+            "txn.recover", self.engine.node_id, pending=len(pending)
+        ):
+            for txn_id, entry in pending:
+                self._recover_one(txn_id, entry, counts)
+        return counts
+
+    def _recover_one(self, txn_id: str, entry: dict[str, Any], counts: dict[str, int]) -> None:
+        """Resolve one in-flight transaction (roll forward or back).
+
+        The replay span carries ``origin_trace`` — the trace id the
+        original negotiation wrote into its durable BEGIN — linking the
+        post-crash resolution back to the execution that started it.
+        """
+        begin = entry["begin"] or {}
+        initiator_ref = begin.get("initiator")
+        target_refs = list(begin.get("targets") or ())
+        decision = entry["decision"]
+        rolled_forward = decision is not None and decision[0] == "commit"
+        with self.tracer.span(
+            "txn.replay",
+            self.engine.node_id,
+            txn=txn_id,
+            origin_trace=begin.get("trace_id") or "?",
+            resolution="commit" if rolled_forward else "abort",
+        ):
+            if rolled_forward:
                 locked_refs = list((decision[1] or {}).get("locked") or ())
                 change = begin.get("change")
                 # The restart wiped the coordinator's own (volatile) lock
@@ -508,7 +562,6 @@ class NegotiationCoordinator:
                 self.intents.end(txn_id, "abort")
                 self.recovered_aborts += 1
                 counts["aborts"] += 1
-        return counts
 
     def _recover_unmarks(self, target_refs, initiator_ref, txn_id: str) -> None:
         """One best-effort unmark batch at every possible mark holder."""

@@ -35,14 +35,43 @@ def _canon(entity: Any) -> Any:
 class LockManager:
     """Owner-tagged, reentrant entity locks for one node."""
 
-    def __init__(self, clock=None, default_lease: float = 20.0) -> None:
+    def __init__(
+        self,
+        clock=None,
+        default_lease: float = 20.0,
+        metrics=None,
+        metrics_node: str = "",
+    ) -> None:
         self._locks: dict[Any, tuple[str, int]] = {}  # entity -> (owner, depth)
         self._deadlines: dict[Any, float] = {}  # entity -> lease deadline
+        self._acquired_at: dict[Any, float] = {}  # entity -> first-acquire time
         self._clock = clock
         self.default_lease = default_lease
+        #: optional MetricsRegistry sink (txn.lock_* counters, hold-time hist)
+        self._metrics = metrics
+        self._metrics_node = metrics_node
         self.acquisitions = 0
         self.refusals = 0
         self.forced_releases = 0
+
+    def _metric(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(self._metrics_node, name)
+
+    def _note_held(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set_gauge(
+                self._metrics_node, "txn.locks_held", len(self._locks)
+            )
+
+    def _note_release(self, key: Any) -> None:
+        """Observe the hold time of a fully released lock."""
+        start = self._acquired_at.pop(key, None)
+        if self._metrics is not None and start is not None and self._clock is not None:
+            self._metrics.observe(
+                self._metrics_node, "txn.lock_hold", self._clock.now() - start
+            )
+        self._note_held()
 
     def try_lock(self, entity: Any, owner: str) -> bool:
         """Acquire if free or already ours; False when held by another.
@@ -55,14 +84,20 @@ class LockManager:
         if held is None:
             self._locks[key] = (owner, 1)
             self._stamp(key)
+            if self._clock is not None:
+                self._acquired_at[key] = self._clock.now()
             self.acquisitions += 1
+            self._metric("txn.lock_acquisitions")
+            self._note_held()
             return True
         if held[0] == owner:
             self._locks[key] = (owner, held[1] + 1)
             self._stamp(key)
             self.acquisitions += 1
+            self._metric("txn.lock_acquisitions")
             return True
         self.refusals += 1
+        self._metric("txn.lock_refusals")
         return False
 
     def lock(self, entity: Any, owner: str) -> None:
@@ -99,6 +134,7 @@ class LockManager:
         else:
             del self._locks[key]
             self._deadlines.pop(key, None)
+            self._note_release(key)
 
     def holder(self, entity: Any) -> Optional[str]:
         """Current owner of the lock, or None."""
@@ -114,6 +150,7 @@ class LockManager:
         for k in keys:
             del self._locks[k]
             self._deadlines.pop(k, None)
+            self._note_release(k)
         return len(keys)
 
     def release_prefix(self, owner_prefix: str) -> int:
@@ -131,6 +168,7 @@ class LockManager:
         for k in keys:
             del self._locks[k]
             self._deadlines.pop(k, None)
+            self._note_release(k)
         return len(keys)
 
     def force_release(self, entity: Any) -> Optional[str]:
@@ -145,8 +183,11 @@ class LockManager:
         held = self._locks.pop(key, None)
         self._deadlines.pop(key, None)
         if held is None:
+            self._acquired_at.pop(key, None)
             return None
+        self._note_release(key)
         self.forced_releases += 1
+        self._metric("txn.forced_releases")
         return held[0]
 
     def renew(self, entity: Any, owner: str) -> bool:
@@ -176,6 +217,10 @@ class LockManager:
         count = len(self._locks)
         self._locks.clear()
         self._deadlines.clear()
+        # A crash loses hold-time baselines without observing them: the
+        # lock did not end, the node did.
+        self._acquired_at.clear()
+        self._note_held()
         return count
 
     def locked_count(self) -> int:

@@ -106,9 +106,12 @@ class IntentLog:
 
     TABLE = "_syd_txn_intents"
 
-    def __init__(self, store=None, clock=None):
+    def __init__(self, store=None, clock=None, metrics=None, metrics_node: str = ""):
         self.store = store
         self._clock = clock
+        #: optional MetricsRegistry sink (txn.intent_writes counter)
+        self._metrics = metrics
+        self._metrics_node = metrics_node
         self._seq = 0
         #: txn_id -> {"begin": payload, "decision": (decision, payload) | None,
         #:            "ended": outcome | None}
@@ -209,6 +212,9 @@ class IntentLog:
 
     def _append(self, txn_id: str, kind: str, decision: str | None, payload: Any) -> None:
         self._seq += 1
+        if self._metrics is not None:
+            self._metrics.inc(self._metrics_node, "txn.intent_writes")
+            self._metrics.inc(self._metrics_node, f"txn.intent_writes.{kind}")
         if self.store is not None:
             self.store.insert(
                 self.TABLE,

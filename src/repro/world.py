@@ -35,7 +35,9 @@ from repro.net.address import DeviceClass, NodeAddress
 from repro.net.dedup import DedupPersistence, DedupTable
 from repro.net.latency import CampusNetworkLatency, LatencyModel, ZeroLatency
 from repro.net.retry import RetryPolicy
+from repro.net.stats import NetworkStats
 from repro.net.transport import Transport
+from repro.obs.metrics import MetricsRegistry
 from repro.security.envelope import Credentials
 from repro.sim.kernel import EventScheduler
 from repro.sim.random import RandomStreams
@@ -62,18 +64,37 @@ class SyDWorld:
         directory_cache: bool = False,
         dedup: bool = True,
         recovery: bool = True,
+        tracing: bool = True,
+        trace_sample: int = 1,
     ):
         self.clock = VirtualClock()
         self.scheduler = EventScheduler(self.clock)
         self.random = RandomStreams(seed)
+        #: fleet-wide metrics sink (per-node counters/gauges/histograms);
+        #: ``transport.stats`` is a view over it under the "net" node
+        self.metrics = MetricsRegistry(self.clock)
         if latency == "campus":
             latency = CampusNetworkLatency(rng=self.random.get("net"))
         elif latency == "zero":
             latency = ZeroLatency()
         elif isinstance(latency, str):
             raise ReproError(f"unknown latency preset {latency!r}")
-        self.transport = Transport(clock=self.clock, latency=latency)
-        self.tracer = Tracer(self.clock)
+        #: span-model tracer. ``tracing=False`` turns the layer fully off
+        #: (no spans, no trace headers on the wire — zero byte overhead);
+        #: ``trace_sample=k`` records every k-th root trace only.
+        self.tracer = Tracer(self.clock, sample=trace_sample)
+        self.tracer.enabled = tracing
+        self.transport = Transport(
+            clock=self.clock,
+            latency=latency,
+            stats=NetworkStats(self.metrics),
+            tracer=self.tracer,
+        )
+        # Scheduler-fired callbacks (lease sweeps, chaos fault events,
+        # redeliveries) run with a detached span stack: they are their own
+        # root traces, not children of whichever span was open while a
+        # retry backoff pumped the clock.
+        self.scheduler.callback_wrapper = self.tracer.detached
         self.auth_passphrase = auth_passphrase
         self.directory_node = directory_node
         #: receiver-side exactly-once dedup on every listener. False is the
@@ -97,7 +118,9 @@ class SyDWorld:
             if dedup
             else None
         )
-        self.directory_listener = SyDListener(directory_node, dedup=directory_dedup)
+        self.directory_listener = SyDListener(
+            directory_node, dedup=directory_dedup, tracer=self.tracer, metrics=self.metrics
+        )
         self._directory_listener = self.directory_listener  # backwards-compat alias
         self._directory_listener.publish_object(self.directory_service)
         self.transport.register(
@@ -146,12 +169,16 @@ class SyDWorld:
         """Give every node (current and future) an epoch-validated
         directory cache (opt-in; see :class:`DirectoryCache`)."""
         self._directory_cache_enabled = True
-        for node in self.nodes.values():
+        for user, node in self.nodes.items():
             if node.directory.cache is None:
-                node.directory.attach_cache(self._new_directory_cache())
+                node.directory.attach_cache(self._new_directory_cache(user))
 
-    def _new_directory_cache(self) -> DirectoryCache:
-        return DirectoryCache(lambda: self.directory_service.epoch)
+    def _new_directory_cache(self, user: str) -> DirectoryCache:
+        return DirectoryCache(
+            lambda: self.directory_service.epoch,
+            metrics=self.metrics,
+            metrics_node=user,
+        )
 
     # -- topology -----------------------------------------------------------------
 
@@ -194,10 +221,11 @@ class SyDWorld:
             auth_passphrase=self.auth_passphrase,
             dedup=self.dedup,
             recovery=self.recovery,
+            metrics=self.metrics,
         )
         self.nodes[user] = node
         if self._directory_cache_enabled:
-            node.directory.attach_cache(self._new_directory_cache())
+            node.directory.attach_cache(self._new_directory_cache(user))
         if self._retry_template is not None:
             self._install_retry_policy(user, node)
         if join:

@@ -98,7 +98,29 @@ class TestSnapshotDelta:
         assert delta.latency == pytest.approx(0.004)
         assert delta.dropped == 0
         assert delta.unreachable == 1
-        assert delta.by_kind == {"reply": 1}
+        # Unchanged kinds survive with an explicit 0 (key-preserving delta)
+        assert delta.by_kind == {"reply": 1, "invoke": 0}
         assert delta.concurrent_batches == 1
         assert delta.batched_legs == 4
         assert delta.batch_latency_hist == {"<=2ms": 1}
+
+    def test_delta_preserves_zero_and_negative_keys(self):
+        """Regression: plain Counter subtraction silently drops zero and
+        negative entries, losing kinds/buckets from deltas."""
+        stats = NetworkStats()
+        stats.record_delivery("invoke", 10, 0.001, is_reply=False)
+        stats.record_delivery("directory", 10, 0.001, is_reply=False)
+        stats.record_batch(2, 0.0005)
+        before = stats.snapshot()
+        stats.record_delivery("invoke", 10, 0.001, is_reply=False)
+        delta = stats.snapshot().delta(before)
+        # "directory" did not move but must still appear, with count 0.
+        assert delta.by_kind == {"invoke": 1, "directory": 0}
+        assert "directory" in delta.by_kind
+        assert delta.batch_latency_hist == {"<=1ms": 0}
+        assert "<=1ms" in delta.batch_latency_hist
+        # A reset between snapshots yields *negative* entries, not silence.
+        stats.reset()
+        gone = stats.snapshot().delta(before)
+        assert gone.by_kind["invoke"] == -1
+        assert gone.by_kind["directory"] == -1

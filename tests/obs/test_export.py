@@ -1,0 +1,119 @@
+"""Timeline exporters: Chrome trace JSON, span tree, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    dumps_chrome_trace,
+    render_span_tree,
+    validate_chrome_trace,
+    write_timeline,
+)
+from repro.util.clock import VirtualClock
+from repro.util.trace import Tracer
+
+
+def sample_spans():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("outer", "node-a", op="x"):
+        clock.advance(0.010)
+        with tracer.span("inner", "node-b"):
+            clock.advance(0.005)
+    with tracer.span("other", "node-a"):
+        clock.advance(0.001)
+    return tracer.spans()
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = chrome_trace(sample_spans(), label="unit")
+        validate_chrome_trace(doc)
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        # One lane per node, named for the UI.
+        assert {m["args"]["name"] for m in meta} == {"node:node-a", "node:node-b"}
+        assert len(slices) == 3
+        outer = next(e for e in slices if e["name"] == "outer")
+        inner = next(e for e in slices if e["name"] == "inner")
+        # Virtual seconds became microseconds.
+        assert outer["ts"] == 0.0 and outer["dur"] == 15000.0
+        assert inner["ts"] == 10000.0
+        # Causality and attrs ride in args.
+        assert inner["args"]["parent"] == outer["args"]["span_id"]
+        assert inner["cat"] == outer["cat"]
+        assert outer["args"]["op"] == "x"
+        assert doc["otherData"]["source"] == "unit"
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        tracer.start_span("never-closed", "n")
+        doc = chrome_trace(tracer.spans())
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+
+    def test_serialisation_is_deterministic(self):
+        a = dumps_chrome_trace(chrome_trace(sample_spans()))
+        b = dumps_chrome_trace(chrome_trace(sample_spans()))
+        assert a == b
+        json.loads(a)  # round-trips
+
+    def test_write_timeline_returns_path(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        returned = write_timeline(str(path), sample_spans())
+        assert returned == str(path)
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+
+
+class TestValidate:
+    def test_accepts_our_own_output(self):
+        validate_chrome_trace(chrome_trace(sample_spans()))
+
+    @pytest.mark.parametrize(
+        "doc,match",
+        [
+            ({}, "missing traceEvents"),
+            ({"traceEvents": {}}, "must be a list"),
+            ({"traceEvents": ["x"]}, "not an object"),
+            ({"traceEvents": [{"ph": "B", "pid": 1, "tid": 1, "name": "n"}]},
+             "unsupported ph"),
+            ({"traceEvents": [{"ph": "M", "pid": "1", "tid": 1, "name": "n"}]},
+             "pid/tid"),
+            ({"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "n",
+                               "ts": 0.0, "dur": -1.0, "args": {}}]},
+             "negative dur"),
+            ({"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "n",
+                               "ts": 0.0, "dur": 1.0, "args": None}]},
+             "args"),
+        ],
+    )
+    def test_rejects_malformed_documents(self, doc, match):
+        with pytest.raises(ValueError, match=match):
+            validate_chrome_trace(doc)
+
+
+class TestSpanTree:
+    def test_children_indent_under_parents(self):
+        tree = render_span_tree(sample_spans())
+        lines = tree.splitlines()
+        assert lines[0].startswith("outer [node-a]")
+        assert lines[1].startswith("  inner [node-b]")
+        assert lines[2].startswith("other [node-a]")
+        assert "{op=x}" in lines[0]
+
+    def test_orphans_promote_to_roots(self):
+        spans = sample_spans()
+        # Drop the root: its child's parent id no longer resolves.
+        orphaned = [s for s in spans if s.name != "outer"]
+        tree = render_span_tree(orphaned)
+        assert tree.splitlines()[0].startswith("inner")
+
+    def test_error_status_is_flagged(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad", "n"):
+                raise RuntimeError("x")
+        assert "!RuntimeError" in render_span_tree(tracer.spans())

@@ -1,0 +1,125 @@
+"""MetricsRegistry semantics and its integration into the world."""
+
+from collections import Counter
+
+from repro.device.resource import ResourceObject
+from repro.net.stats import NetworkStats
+from repro.obs.metrics import MetricsRegistry, latency_bucket
+from repro.util.clock import VirtualClock
+from repro.world import SyDWorld
+
+
+class TestRegistry:
+    def test_counters_accumulate_per_node(self):
+        reg = MetricsRegistry()
+        reg.inc("a", "kernel.invokes")
+        reg.inc("a", "kernel.invokes", 2)
+        reg.inc("b", "kernel.invokes")
+        assert reg.counter("a", "kernel.invokes") == 3
+        assert reg.counter("b", "kernel.invokes") == 1
+        assert reg.counter("c", "kernel.invokes") == 0
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("a", "txn.locks_held") is None
+        reg.set_gauge("a", "txn.locks_held", 3)
+        reg.set_gauge("a", "txn.locks_held", 1)
+        assert reg.gauge("a", "txn.locks_held") == 1
+
+    def test_histogram_buckets_are_power_of_two_ms(self):
+        reg = MetricsRegistry()
+        for delay in (0.0005, 0.003, 0.020, 0.020):
+            reg.observe("a", "net.rpc", delay)
+        hist = reg.histogram("a", "net.rpc")
+        assert hist["count"] == 4
+        assert hist["buckets"] == Counter({"<=1ms": 1, "<=4ms": 1, "<=32ms": 2})
+        assert abs(hist["sum"] - 0.0435) < 1e-9
+        # Unset histograms read as empty, not KeyError.
+        assert reg.histogram("a", "nope")["count"] == 0
+
+    def test_timer_observes_virtual_time(self):
+        clock = VirtualClock()
+        reg = MetricsRegistry(clock)
+        with reg.timer("a", "kernel.dispatch.read"):
+            clock.advance(0.002)
+        hist = reg.histogram("a", "kernel.dispatch.read")
+        assert hist["count"] == 1
+        assert hist["buckets"] == Counter({"<=2ms": 1})
+
+    def test_snapshot_is_sorted_and_jsonable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("b", "x")
+        reg.inc("a", "x")
+        reg.set_gauge("a", "g", 1.5)
+        reg.observe("a", "h", 0.004)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a/x", "b/x"]
+        json.dumps(snap)  # no Counter leaks through
+        rendered = reg.render()
+        assert "counter a/x = 1" in rendered
+        assert "gauge   a/g = 1.5" in rendered
+        assert "hist    a/h count=1" in rendered
+
+    def test_reset_node_only_drops_that_node(self):
+        reg = MetricsRegistry()
+        reg.inc("a", "x")
+        reg.inc("b", "x")
+        reg.reset_node("a")
+        assert reg.counter("a", "x") == 0
+        assert reg.counter("b", "x") == 1
+
+    def test_latency_bucket_edges(self):
+        assert latency_bucket(0.001) == "<=1ms"
+        assert latency_bucket(0.0011) == "<=2ms"
+        assert latency_bucket(0.002) == "<=2ms"
+        assert latency_bucket(0.1) == "<=128ms"
+
+
+class TestNetworkStatsView:
+    def test_stats_land_in_the_shared_registry(self):
+        reg = MetricsRegistry()
+        stats = NetworkStats(reg)
+        stats.record_delivery("invoke", 100, 0.02, is_reply=False)
+        stats.record_delivery("reply", 40, 0.01, is_reply=True)
+        assert stats.messages == 2 and stats.replies == 1
+        assert stats.bytes == 140
+        assert reg.counter("net", "net.messages") == 2
+        assert reg.counter("net", "net.by_kind.invoke") == 1
+        assert stats.by_kind == Counter({"invoke": 1, "reply": 1})
+
+    def test_standalone_stats_own_a_private_registry(self):
+        stats = NetworkStats()
+        stats.record_retry()
+        assert stats.retries == 1
+        assert stats.registry.counter("net", "net.retries") == 1
+
+
+class TestWorldIntegration:
+    def _world(self):
+        world = SyDWorld(seed=3, directory_cache=True)
+        for user in ("a", "b"):
+            node = world.add_node(user)
+            obj = ResourceObject(f"{user}_res", node.store, node.locks)
+            node.listener.publish_object(obj, user_id=user, service="res")
+            obj.add("slot1")
+        return world
+
+    def test_traffic_kernel_and_cache_metrics_share_one_registry(self):
+        world = self._world()
+        node = world.node("a")
+        node.engine.execute("b", "res", "read", "slot1")
+        node.engine.execute("b", "res", "read", "slot1")
+        reg = world.metrics
+        # Network counters under the pseudo-node mirror world.stats.
+        assert reg.counter("net", "net.messages") == world.stats.messages > 0
+        # The remote listener timed its dispatches (keyed by node id —
+        # the listener doesn't know user names).
+        b_id = world.node("b").node_id
+        assert reg.histogram(b_id, "kernel.dispatch.read")["count"] == 2
+        # The second lookup hit the directory cache.
+        assert reg.counter("a", "dir.cache_hits") >= 1
+        snap = reg.snapshot()
+        assert any(k.startswith("net/") for k in snap["counters"])
+        assert any(k.startswith(f"{b_id}/") for k in snap["counters"])

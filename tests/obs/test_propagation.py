@@ -1,0 +1,192 @@
+"""Trace context survives the awkward paths: retries, dedup replays,
+crash-recovery replays.
+
+These are the propagation edges the span model exists for — a timeline
+where each retry attempt, replayed reply, or post-crash resolution shows
+up under (or linked to) the operation that caused it.
+"""
+
+import pytest
+
+from repro.device.resource import ResourceObject
+from repro.net.retry import RetryPolicy
+from repro.txn.coordinator import AND, Participant
+from repro.util.errors import CoordinatorCrashed
+from repro.world import SyDWorld
+
+
+def make_world(retry=True):
+    # Directory cache on, warmed by one untraced call, so the spans
+    # inside a test's root span are exactly the operation under test —
+    # no directory-lookup rpc legs muddying the filters.
+    world = SyDWorld(seed=5, directory_cache=True)
+    for user in ("a", "b"):
+        node = world.add_node(user)
+        obj = ResourceObject(f"{user}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=user, service="res")
+        obj.add("slot1")
+    if retry:
+        world.set_retry_policy(RetryPolicy(max_attempts=4))
+    world.node("a").engine.execute("b", "res", "read", "slot1")
+    return world
+
+
+def spans_named(world, name):
+    return [s for s in world.tracer.spans() if s.name == name]
+
+
+class TestCrossNodeContext:
+    def test_handler_work_is_a_child_of_the_callers_rpc(self):
+        world = make_world(retry=False)
+        with world.tracer.span("op", "test") as root:
+            world.node("a").engine.execute("b", "res", "read", "slot1")
+        (handle,) = [
+            s for s in world.tracer.spans()
+            if s.name.startswith("handle:") and s.trace_id == root.trace_id
+        ]
+        (rpc,) = [
+            s for s in spans_named(world, "rpc:invoke")
+            if s.trace_id == root.trace_id
+        ]
+        # The handler span was recorded on node b but belongs to the
+        # caller's trace, parented on the rpc leg that carried it.
+        assert handle.node == world.node("b").node_id
+        assert handle.trace_id == root.trace_id
+        assert handle.parent_id == rpc.span_id
+        assert handle.attrs["verdict"] == "execute"
+
+
+class TestRetryPropagation:
+    def test_every_attempt_stays_in_the_original_trace(self):
+        world = make_world()
+        b_id = world.node("b").node_id
+        dropped = {"left": 1}
+        world.transport.faults.add_drop_rule(
+            lambda m: not m.is_reply
+            and m.dst == b_id
+            and dropped.pop("left", None) is not None
+        )
+        with world.tracer.span("op", "test") as root:
+            world.node("a").engine.execute("b", "res", "set_status", "slot1", "busy")
+
+        calls = [s for s in spans_named(world, "net.call") if s.trace_id == root.trace_id]
+        (call,) = calls
+        assert call.attrs["attempts"] == 2
+        attempts = [
+            s for s in spans_named(world, "net.attempt")
+            if s.parent_id == call.span_id
+        ]
+        # Both attempts recorded, numbered, in the same trace.
+        assert [s.attrs["attempt"] for s in attempts] == [1, 2]
+        assert {s.trace_id for s in attempts} == {root.trace_id}
+        # The first attempt's rpc leg failed and says so.
+        first_rpc = [s for s in world.tracer.spans()
+                     if s.parent_id == attempts[0].span_id]
+        assert first_rpc and first_rpc[0].status == "MessageDropped"
+
+    def test_exhausted_call_is_marked(self):
+        world = make_world()
+        b_id = world.node("b").node_id
+        world.transport.faults.add_drop_rule(
+            lambda m: not m.is_reply and m.dst == b_id
+        )
+        from repro.util.errors import MessageDropped
+
+        with world.tracer.span("op", "test") as root:
+            with pytest.raises(MessageDropped):
+                world.node("a").engine.execute("b", "res", "read", "slot1")
+        (call,) = [s for s in spans_named(world, "net.call")
+                   if s.trace_id == root.trace_id]
+        assert call.attrs["attempts"] == 4
+        assert call.attrs["exhausted"] is True
+        assert call.status == "MessageDropped"
+
+
+class TestDedupReplayPropagation:
+    def test_replay_verdict_lands_under_the_retrying_caller(self):
+        world = make_world()
+        b_id = world.node("b").node_id
+        dropped = {"left": 1}
+        world.transport.faults.add_drop_rule(
+            lambda m: m.is_reply
+            and m.src == b_id
+            and dropped.pop("left", None) is not None
+        )
+        with world.tracer.span("op", "test") as root:
+            world.node("a").engine.execute("b", "res", "set_status", "slot1", "busy")
+        handles = [
+            s for s in world.tracer.spans()
+            if s.name.startswith("handle:") and s.trace_id == root.trace_id
+        ]
+        verdicts = [s.attrs["verdict"] for s in handles]
+        # First delivery executed; the retried delivery was answered from
+        # the reply cache — and both are children of the same trace.
+        assert verdicts == ["execute", "replay"]
+        assert world.node("b").listener.replays == 1
+
+
+class TestTerminationSweepSpans:
+    def test_sweep_opens_a_span_only_when_marks_are_stale(self):
+        from repro.calendar.app import SyDCalendarApp
+
+        world = SyDWorld(seed=29, directory_cache=True)
+        app = SyDCalendarApp(world)
+        for user in ("u0", "u1"):
+            app.add_user(user)
+        # A mark from a coordinator that never logged a commit.
+        owner = f"txn-{app.node('u0').engine.node_id}-42"
+        app.node("u1").locks.try_lock("slot-a", owner)
+
+        # Inside the lease: the sweep is a cheap no-op, no span at all.
+        assert app.service("u1").terminate_stale_marks()["released"] == 0
+        assert spans_named(world, "cal.terminate_sweep") == []
+
+        world.run_for(25.0)  # past the 20 s default lease
+        assert app.service("u1").terminate_stale_marks()["released"] == 1
+        (sweep,) = spans_named(world, "cal.terminate_sweep")
+        # A root trace of its own, annotated with what it found and did.
+        assert sweep.parent_id is None
+        assert sweep.attrs["stale"] == 1
+        assert sweep.attrs["released"] == 1
+
+
+class TestRecoveryPropagation:
+    def _trio_world(self):
+        world = SyDWorld(seed=7)
+        nodes = {}
+        for user in ("a", "b", "c"):
+            node = world.add_node(user)
+            obj = ResourceObject(f"{user}_res", node.store, node.locks)
+            node.listener.publish_object(obj, user_id=user, service="res")
+            obj.add("slot1")
+            nodes[user] = node
+        return world, nodes
+
+    def test_replay_span_links_back_to_the_original_trace(self):
+        world, nodes = self._trio_world()
+        a = nodes["a"]
+        part = lambda u: Participant(u, "slot1", "res")
+        a.coordinator.arm_crash("after-decide")
+        with pytest.raises(CoordinatorCrashed):
+            a.coordinator.execute(part("a"), [part("b"), part("c")], AND)
+        txn = f"txn-{a.engine.node_id}-{a.coordinator._txn_counter}"
+        origin = a.coordinator.txn_traces[txn]
+
+        world.restart("a")
+
+        (recover,) = spans_named(world, "txn.recover")
+        (replay,) = spans_named(world, "txn.replay")
+        # The recovery sweep is its own root trace (the original span
+        # closed when the coordinator died) ...
+        assert recover.parent_id is None
+        assert recover.trace_id != origin
+        # ... but the replay names the trace that started the txn, read
+        # back from the durable BEGIN record.
+        assert replay.parent_id == recover.span_id
+        assert replay.attrs["origin_trace"] == origin
+        assert replay.attrs["resolution"] == "commit"
+        assert replay.attrs["txn"] == txn
+        # The original negotiation recorded its crash.
+        (negotiate,) = [s for s in spans_named(world, "txn.negotiate")
+                        if s.trace_id == origin]
+        assert negotiate.status == "CoordinatorCrashed"

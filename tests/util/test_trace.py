@@ -78,3 +78,122 @@ def test_assert_order_rejects_missing_step():
     tracer.record("A", "mark")
     with pytest.raises(AssertionError):
         tracer.assert_order([("A", "unlock")])
+
+
+def test_assert_order_failure_truncates_large_traces():
+    # Satellite fix: a failing assert_order on a big trace used to dump
+    # every step into the exception message. Past _DUMP_LIMIT steps the
+    # dump now shows head + tail with an omission marker, and names the
+    # index where subsequence matching stalled.
+    tracer = Tracer()
+    for i in range(100):
+        tracer.record("A", f"step{i}")
+    with pytest.raises(AssertionError) as exc:
+        tracer.assert_order([("A", "step5"), ("A", "nope")])
+    msg = str(exc.value)
+    assert "steps omitted" in msg
+    assert "last matched step at index 5" in msg
+    # Head and tail survive; the middle does not.
+    assert "step0" in msg and "step99" in msg
+    assert "('A', 'step50')" not in msg
+
+
+def test_assert_order_failure_small_trace_dumps_everything():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.record("A", f"step{i}")
+    with pytest.raises(AssertionError) as exc:
+        tracer.assert_order([("A", "nope")])
+    msg = str(exc.value)
+    assert "steps omitted" not in msg
+    assert "last matched step at index -1" in msg
+
+
+# -- span layer --------------------------------------------------------------
+
+
+def test_spans_nest_and_share_a_trace_id():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("outer", "n1", op=1) as outer:
+        clock.advance(1.0)
+        with tracer.span("inner", "n1") as inner:
+            clock.advance(0.5)
+    spans = tracer.spans()
+    assert [s.name for s in spans] == ["outer", "inner"]
+    assert inner.trace_id == outer.trace_id
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.start == 0.0 and outer.end == 1.5
+    assert inner.start == 1.0 and inner.end == 1.5
+    assert outer.attrs == {"op": 1}
+
+
+def test_sibling_roots_get_fresh_trace_ids():
+    tracer = Tracer()
+    with tracer.span("a", "n"):
+        pass
+    with tracer.span("b", "n"):
+        pass
+    ids = [s.trace_id for s in tracer.spans()]
+    assert len(set(ids)) == 2
+
+
+def test_exception_marks_span_status():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom", "n"):
+            raise ValueError("x")
+    (span,) = tracer.spans()
+    assert span.status == "ValueError"
+    assert span.end is not None
+
+
+def test_disabled_tracer_pushes_null_spans_balanced():
+    tracer = Tracer()
+    tracer.enabled = False
+    with tracer.span("outer", "n") as span:
+        span.set(ignored=True)  # NULL_SPAN tolerates set()
+        with tracer.span("inner", "n"):
+            pass
+    assert tracer.spans() == []
+    assert tracer.current_context() is None
+
+
+def test_sampling_suppresses_whole_subtrees():
+    tracer = Tracer(sample=2)
+    for i in range(4):
+        with tracer.span("root", "n", i=i):
+            with tracer.span("child", "n"):
+                pass
+    spans = tracer.spans()
+    # Roots 0 and 2 recorded (with their children); 1 and 3 fully null.
+    assert [s.attrs.get("i") for s in spans if s.name == "root"] == [0, 2]
+    assert sum(1 for s in spans if s.name == "child") == 2
+
+
+def test_activate_reparents_under_remote_context():
+    tracer = Tracer()
+    with tracer.span("local", "n") as caller:
+        ctx = tracer.current_context()
+    remote = Tracer()
+    with remote.activate(ctx):
+        with remote.span("handler", "m") as handler:
+            pass
+    assert handler.trace_id == caller.trace_id
+    assert handler.parent_id == caller.span_id
+    # activate(None) is a passthrough.
+    with remote.activate(None):
+        with remote.span("rootish", "m") as span:
+            pass
+    assert span.parent_id is None
+
+
+def test_detached_blocks_start_fresh_roots():
+    tracer = Tracer()
+    with tracer.span("op", "n"):
+        with tracer.detached():
+            with tracer.span("sweep", "n") as sweep:
+                pass
+        assert tracer.current_span_id() is not None
+    assert sweep.parent_id is None
