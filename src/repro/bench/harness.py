@@ -41,10 +41,14 @@ from repro.world import SyDWorld
 # --------------------------------------------------------------------------- helpers
 
 def _resource_world(
-    n_users: int, seed: int = 1, tracing: bool = True, trace_sample: int = 1
+    n_users: int,
+    seed: int = 1,
+    tracing: bool = True,
+    trace_sample: int = 1,
+    fast: bool = False,
 ) -> tuple[SyDWorld, list[str]]:
     """World with n resource-service users, one free entity 'slot'."""
-    world = SyDWorld(seed=seed, tracing=tracing, trace_sample=trace_sample)
+    world = SyDWorld(seed=seed, tracing=tracing, trace_sample=trace_sample, fast=fast)
     users = [f"u{i:03d}" for i in range(n_users)]
     for user in users:
         node = world.add_node(user)
@@ -974,6 +978,151 @@ def exp_e14_obs(calls: int = 50, seed: int = 1, sample: int = 4) -> dict[str, An
     }
 
 
+def exp_e15_throughput(
+    rpc_calls: int = 20000,
+    batches: int = 250,
+    batch_size: int = 64,
+    engine_calls: int = 400,
+    chaos_ops: int = 15,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """E15 — raw simulation throughput: the fast path's messages/sec gate.
+
+    Four workloads, each run three ways:
+
+    * ``rpc``            — raw transport round trips, two server nodes,
+      ``ConstantLatency``: the purest hot-path measurement.
+    * ``rpc_many n=64``  — scatter-gather batches: the group-operation
+      hot path.
+    * ``engine (E14 micro)`` — the same two-node engine workload E14
+      measures; its **default** row is the E14 tracing-off baseline the
+      ROADMAP's ≥10× success metric is measured against.
+    * ``chaos replay``   — one seeded chaos episode end to end: the
+      honest row, since active faults force the fast bindings onto the
+      default path for the affected stretches.
+
+    Modes: ``fast`` (``fast=True``, tracing off), ``default`` (tracing
+    off), ``tracing on``. The regression gate is behavioral: within a
+    workload the ``messages`` column must be identical between fast and
+    default — fast mode may change wall-clock only, never virtual time,
+    wire bytes, or ordering (``meta.fast_default_counts_equal``; the
+    equivalence suite in tests/net/test_fast_mode.py checks the stronger
+    byte-level property). ``meta.vs_e14_baseline_x`` records the
+    headline metric: fast raw-rpc messages/sec over the E14-baseline
+    engine default.
+    """
+    from repro.chaos.campaign import ChaosCampaign, ChaosConfig
+    from repro.net.address import DeviceClass, NodeAddress
+    from repro.net.latency import ConstantLatency
+    from repro.net.transport import Transport
+    from repro.util.clock import VirtualClock
+    from repro.util.trace import Tracer
+
+    def raw_transport(fast: bool, tracing: bool) -> Transport:
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        tracer.enabled = tracing
+        transport = Transport(
+            clock=clock, latency=ConstantLatency(0.001), tracer=tracer, fast=fast
+        )
+        for i in range(batch_size + 1):
+            transport.register(
+                NodeAddress(f"n{i:03d}", DeviceClass.SERVER), lambda m: {"ok": 1}
+            )
+        return transport
+
+    def run_rpc(fast: bool, tracing: bool) -> tuple[int, float]:
+        transport = raw_transport(fast, tracing)
+        t0 = time.perf_counter()
+        for _ in range(rpc_calls):
+            transport.rpc("n000", "n001", "read", {"k": "slot"})
+        wall = time.perf_counter() - t0
+        return transport.stats.messages, wall
+
+    def run_rpc_many(fast: bool, tracing: bool) -> tuple[int, float]:
+        transport = raw_transport(fast, tracing)
+        legs = [(f"n{i + 1:03d}", "read", {"k": "slot"}) for i in range(batch_size)]
+        t0 = time.perf_counter()
+        for _ in range(batches):
+            transport.rpc_many("n000", legs)
+        wall = time.perf_counter() - t0
+        return transport.stats.messages, wall
+
+    def run_engine(fast: bool, tracing: bool) -> tuple[int, float]:
+        world, users = _resource_world(2, seed, tracing=tracing, fast=fast)
+        node = world.node(users[0])
+        t0 = time.perf_counter()
+        for _ in range(engine_calls):
+            node.engine.execute(users[1], "res", "read", "slot")
+        wall = time.perf_counter() - t0
+        return world.transport.stats.messages, wall
+
+    def run_chaos(fast: bool, tracing: bool) -> tuple[int, float]:
+        cfg = ChaosConfig(
+            seed=seed,
+            episodes=1,
+            users=4,
+            ops=chaos_ops,
+            duration=60.0,
+            shrink=False,
+            tracing=tracing,
+            fast=fast,
+        )
+        t0 = time.perf_counter()
+        episode = ChaosCampaign(cfg).run_episode(0, quiet=True)
+        wall = time.perf_counter() - t0
+        return episode.messages, wall
+
+    workloads = [
+        ("rpc", run_rpc),
+        (f"rpc_many n={batch_size}", run_rpc_many),
+        ("engine (E14 micro)", run_engine),
+        ("chaos replay", run_chaos),
+    ]
+    modes = [("fast", True, False), ("default", False, False), ("tracing on", False, True)]
+    rows: list[list[Any]] = []
+    rates: dict[tuple[str, str], float] = {}
+    counts_equal = True
+    for wname, fn in workloads:
+        counts: dict[str, int] = {}
+        for mname, fast, tracing in modes:
+            msgs, wall = fn(fast, tracing)
+            rate = msgs / wall if wall > 0 else 0.0
+            rates[(wname, mname)] = rate
+            counts[mname] = msgs
+            rows.append(
+                [
+                    wname,
+                    mname,
+                    msgs,
+                    round(wall, 4),
+                    int(rate),
+                    round(wall / msgs * 1e6, 2) if msgs else 0.0,
+                ]
+            )
+        if counts["fast"] != counts["default"]:
+            counts_equal = False
+    baseline = rates[("engine (E14 micro)", "default")]
+    return {
+        "id": "E15",
+        "title": "E15 — raw simulation throughput (simulated messages/sec of wall time)",
+        "columns": ["workload", "mode", "messages", "wall (s)", "msgs/sec", "µs/msg"],
+        "rows": rows,
+        "artifact": "BENCH_throughput.json",
+        "meta": {
+            "fast_default_counts_equal": counts_equal,
+            "speedup_fast_vs_default": {
+                wname: round(rates[(wname, "fast")] / rates[(wname, "default")], 2)
+                for wname, _ in workloads
+                if rates[(wname, "default")]
+            },
+            "vs_e14_baseline_x": round(rates[("rpc", "fast")] / baseline, 1)
+            if baseline
+            else None,
+        },
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -990,6 +1139,7 @@ ALL_EXPERIMENTS = {
     "E12": exp_e12_dedup,
     "E13": exp_e13_recovery,
     "E14": exp_e14_obs,
+    "E15": exp_e15_throughput,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -1004,6 +1154,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E12": {"episodes": 5, "calls": 20},
     "E13": {"episodes": 5},
     "E14": {"calls": 20},
+    "E15": {"rpc_calls": 4000, "batches": 40, "engine_calls": 100, "chaos_ops": 8},
 }
 
 
@@ -1019,15 +1170,20 @@ def run_experiment(exp_id: str, fast: bool = False) -> dict[str, Any]:
 
 
 def write_json(table: dict[str, Any], wall_time_s: float, json_dir: str, fast: bool) -> Path:
-    """Write one experiment's table as ``BENCH_<id>.json``; returns the path."""
-    path = Path(json_dir) / f"BENCH_{table['id'].lower()}.json"
+    """Write one experiment's table as ``BENCH_<id>.json``; returns the path.
+
+    An experiment may name its artifact explicitly via an ``"artifact"``
+    key (E15 writes ``BENCH_throughput.json``) and contribute extra
+    ``"meta"`` entries, merged alongside the harness's own.
+    """
+    path = Path(json_dir) / table.get("artifact", f"BENCH_{table['id'].lower()}.json")
     payload = {
         "id": table["id"],
         "title": table["title"],
         "columns": table["columns"],
         "rows": table["rows"],
         "wall_time_s": round(wall_time_s, 3),
-        "meta": {"fast": fast},
+        "meta": {"fast": fast, **table.get("meta", {})},
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path
@@ -1043,13 +1199,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-json", action="store_true", help="skip writing BENCH_<id>.json"
     )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=15,
+        default=None,
+        metavar="N",
+        help="run each experiment under cProfile and print the top N "
+        "functions by internal time (default N=15)",
+    )
     args = parser.parse_args(argv)
     targets = args.exp or sorted(ALL_EXPERIMENTS)
     for exp_id in targets:
         t0 = time.perf_counter()
-        table = run_experiment(exp_id.upper(), fast=args.fast)
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            table = run_experiment(exp_id.upper(), fast=args.fast)
+            profiler.disable()
+        else:
+            table = run_experiment(exp_id.upper(), fast=args.fast)
         wall = time.perf_counter() - t0
         print(format_table(table["title"], table["columns"], table["rows"]))
+        if args.profile:
+            buf = io.StringIO()
+            pstats.Stats(profiler, stream=buf).sort_stats("tottime").print_stats(
+                args.profile
+            )
+            print(buf.getvalue().rstrip())
         if not args.no_json:
             print(f"[wrote {write_json(table, wall, args.json_dir, args.fast)}]")
         print()

@@ -71,6 +71,11 @@ class ChaosConfig:
     #: directory to write failing episodes' Perfetto timelines into
     #: (None = no export); requires ``tracing``
     trace_dir: str | None = None
+    #: bind the transport's fast path in episode worlds (DESIGN.md §5.11).
+    #: Never affects outcomes — episode logs are byte-identical either
+    #: way (the CI perf-smoke job diffs them) — so it is *not* part of
+    #: the episode log header, only of the repro command.
+    fast: bool = False
 
     def episode_seed(self, index: int) -> int:
         return self.seed * 100_003 + index
@@ -414,6 +419,7 @@ class ChaosCampaign:
             dedup=cfg.dedup,
             recovery=cfg.recovery,
             tracing=cfg.tracing,
+            fast=cfg.fast,
         )
         self.last_world = world
         world.transport.stamp_dedup = cfg.stamp
@@ -572,5 +578,6 @@ class ChaosCampaign:
             + ("" if cfg.dedup else " --no-dedup")
             + ("" if cfg.recovery else " --no-recovery")
             + ("" if cfg.tracing else " --no-tracing")
+            + (" --fast" if cfg.fast else "")
             + f" --schedule '{schedule.to_json()}'"
         )

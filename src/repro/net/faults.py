@@ -27,6 +27,20 @@ class FaultPlan:
         self._drop_rules: list[DropRule] = []
         self._duplicate_rules: list[DropRule] = []
 
+    @property
+    def active(self) -> bool:
+        """True when *anything* is currently broken.
+
+        The transport's fast path checks this once per call: a default
+        (inert) fault plan means every registered pair is reachable and
+        no drop/duplicate rule can match, so the per-message reachability
+        walk can be skipped wholesale. Cheap by construction — four
+        truthiness checks on the underlying containers.
+        """
+        return bool(
+            self._down or self._partitions or self._drop_rules or self._duplicate_rules
+        )
+
     # -- node availability --------------------------------------------------
 
     def set_down(self, node_id: str) -> None:

@@ -27,11 +27,24 @@ class LatencyModel(ABC):
     def delay(self, src: NodeAddress, dst: NodeAddress, message: Message) -> float:
         """One-way delay in simulated seconds (must be >= 0)."""
 
+    def flat_delay(self) -> float | None:
+        """The constant delay this model always returns, if it has one.
+
+        Endpoint-, size- and draw-independent models return their
+        constant here so the transport's fast path can skip the
+        ``delay()`` call (and the address lookups feeding it) entirely.
+        Everything else returns None and is consulted per message.
+        """
+        return None
+
 
 class ZeroLatency(LatencyModel):
     """No delay at all — for logic-only unit tests."""
 
     def delay(self, src: NodeAddress, dst: NodeAddress, message: Message) -> float:
+        return 0.0
+
+    def flat_delay(self) -> float | None:
         return 0.0
 
 
@@ -44,6 +57,9 @@ class ConstantLatency(LatencyModel):
         self.seconds = seconds
 
     def delay(self, src: NodeAddress, dst: NodeAddress, message: Message) -> float:
+        return self.seconds
+
+    def flat_delay(self) -> float | None:
         return self.seconds
 
 
@@ -83,12 +99,18 @@ class CampusNetworkLatency(LatencyModel):
             raise ValueError("jitter_fraction must be in [0, 1)")
         self.jitter_fraction = jitter_fraction
         self.rng = rng or random.Random(0)
+        #: (src class, dst class) -> (base, bandwidth), memoized — the
+        #: per-pair parameters never change, only size and jitter do
+        self._pair_params: dict[tuple[DeviceClass, DeviceClass], tuple[float, float]] = {}
 
     def delay(self, src: NodeAddress, dst: NodeAddress, message: Message) -> float:
-        src_base, src_bw = _CLASS_PROFILE[src.device_class]
-        dst_base, dst_bw = _CLASS_PROFILE[dst.device_class]
-        base = src_base + dst_base
-        bandwidth = min(src_bw, dst_bw)
+        pair = (src.device_class, dst.device_class)
+        params = self._pair_params.get(pair)
+        if params is None:
+            src_base, src_bw = _CLASS_PROFILE[pair[0]]
+            dst_base, dst_bw = _CLASS_PROFILE[pair[1]]
+            params = self._pair_params[pair] = (src_base + dst_base, min(src_bw, dst_bw))
+        base, bandwidth = params
         deterministic = base + message.size_bytes / bandwidth
         if self.jitter_fraction == 0:
             return deterministic

@@ -5,42 +5,111 @@ dict, and an estimated wire size used by byte-sensitive latency models.
 The size estimator approximates what a compact binary encoding of the
 payload would cost; it exists so experiments can report bytes moved, not
 to be an exact serializer.
+
+Hot-path notes (DESIGN.md §5.11): :class:`Message` is a ``__slots__``
+class, its wire size is computed **eagerly at construction** (a lazy
+cache would go stale if a payload dict were mutated after first access),
+and the transport may pass the id as a ``(prefix, counter)`` pair so the
+``"msg-1234"`` string is only formatted if something actually reads
+``msg_id`` (error messages, chaos dup tracking, diagrams). Size
+estimation walks containers with an explicit stack instead of recursion,
+so deeply nested payloads cannot hit the interpreter recursion limit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
+#: fixed per-message framing cost: ids, kind, length fields
+_HEADER_BYTES = 32
 
 def estimate_size(value: Any) -> int:
-    """Rough wire size in bytes of a JSON-like value."""
-    if value is None:
-        return 1
-    if isinstance(value, bool):
-        return 1
-    if isinstance(value, int):
-        return 8
-    if isinstance(value, float):
-        return 8
-    if isinstance(value, str):
-        return 2 + len(value.encode("utf-8"))
-    if isinstance(value, bytes):
-        return 2 + len(value)
-    if isinstance(value, (list, tuple)):
-        return 2 + sum(estimate_size(v) for v in value)
-    if isinstance(value, dict):
-        return 2 + sum(estimate_size(k) + estimate_size(v) for k, v in value.items())
-    # Fallback for dataclasses / misc objects: use repr length.
-    return 2 + len(repr(value))
+    """Rough wire size in bytes of a JSON-like value.
+
+    Iterative (explicit work stack) so arbitrarily deep payloads are
+    safe; byte totals are identical to the old recursive walk because
+    every node contributes a fixed local cost and addition commutes.
+    The branch chain tests exact types inline (no dispatch-table calls);
+    exact-type tests keep bool (an int subclass) in its own 1-byte
+    branch, and subclasses of the builtin types fall through to the
+    isinstance ladder the recursive version used.
+    """
+    if value.__class__ is dict:
+        # Fast pre-scan for the dominant shape: a flat dict with str keys
+        # and scalar values. Bails to the general walk (from scratch, so
+        # nothing is double-counted) on the first non-scalar entry.
+        total = 2
+        for k, v in value.items():
+            tv = v.__class__
+            if k.__class__ is str and (
+                tv is str or tv is int or tv is float or tv is bool or v is None
+            ):
+                total += 2 + len(k.encode("utf-8"))
+                if tv is str:
+                    total += 2 + len(v.encode("utf-8"))
+                elif tv is bool or v is None:
+                    total += 1
+                else:
+                    total += 8
+            else:
+                break
+        else:
+            return total
+    total = 0
+    stack = [value]
+    pop = stack.pop
+    while stack:
+        v = pop()
+        t = v.__class__
+        if t is str:
+            total += 2 + len(v.encode("utf-8"))
+        elif t is int or t is float:
+            total += 8
+        elif t is dict:
+            total += 2
+            stack.extend(v.keys())
+            stack.extend(v.values())
+        elif v is None or t is bool:
+            total += 1
+        elif t is list or t is tuple:
+            total += 2
+            stack.extend(v)
+        elif t is bytes:
+            total += 2 + len(v)
+        elif isinstance(v, bool):
+            total += 1
+        elif isinstance(v, (int, float)):
+            total += 8
+        elif isinstance(v, str):
+            total += 2 + len(v.encode("utf-8"))
+        elif isinstance(v, bytes):
+            total += 2 + len(v)
+        elif isinstance(v, (list, tuple)):
+            total += 2
+            stack.extend(v)
+        elif isinstance(v, dict):
+            total += 2
+            stack.extend(v.keys())
+            stack.extend(v.values())
+        else:
+            # Fallback for dataclasses / misc objects: use repr length.
+            total += 2 + len(repr(v))
+    return total
 
 
-@dataclass
+#: wire size of an idempotency key, interned per sender id. A dedup key
+#: is always ``(sender_id, incarnation, seq)`` and sender ids form a
+#: small bounded set, so the per-message cost collapses to one dict get.
+_DEDUP_SRC_SIZES: dict[str, int] = {}
+
+
 class Message:
     """One unit of simulated network traffic.
 
     Attributes:
-        msg_id: unique id assigned by the transport.
+        msg_id: unique id assigned by the transport. Constructed either
+            from a ready string or from a ``(prefix, counter)`` tuple;
+            the latter defers the f-string cost until the id is read.
         src: sender node id.
         dst: destination node id.
         kind: dispatch discriminator (``"invoke"``, ``"directory"`` ...).
@@ -56,27 +125,83 @@ class Message:
             re-enters that context so remote handler work lands as child
             spans of the caller's span. None for replies, unstamped legs
             and disabled/sampled-out tracers.
+        size_bytes: estimated wire size, fixed at construction. Mutating
+            the payload afterwards does not change it — the size models
+            what was put on the wire, not the dict's later life.
     """
 
-    msg_id: str
-    src: str
-    dst: str
-    kind: str
-    payload: dict[str, Any] = field(default_factory=dict)
-    is_reply: bool = False
-    dedup: tuple[str, int, int] | None = None
-    trace: tuple[str, str] | None = None
+    __slots__ = (
+        "_msg_id",
+        "_id_pair",
+        "src",
+        "dst",
+        "kind",
+        "payload",
+        "is_reply",
+        "dedup",
+        "trace",
+        "size_bytes",
+    )
 
-    _size: int | None = field(default=None, repr=False)
+    def __init__(
+        self,
+        msg_id: str | tuple[str, int],
+        src: str,
+        dst: str,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+        is_reply: bool = False,
+        dedup: tuple[str, int, int] | None = None,
+        trace: tuple[str, str] | None = None,
+    ):
+        if type(msg_id) is tuple:
+            self._msg_id = None
+            self._id_pair = msg_id
+        else:
+            self._msg_id = msg_id
+            self._id_pair = None
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload if payload is not None else {}
+        self.is_reply = is_reply
+        self.dedup = dedup
+        self.trace = trace
+        size = _HEADER_BYTES + estimate_size(self.payload)
+        if dedup is not None:
+            # Fast branch for the canonical (str, int, int) key shape:
+            # list(2) + str(2 + utf8) + 8 + 8 — identical to the general
+            # estimator, minus the walk.
+            sender = dedup[0]
+            if (
+                len(dedup) == 3
+                and type(sender) is str
+                and type(dedup[1]) is int
+                and type(dedup[2]) is int
+            ):
+                extra = _DEDUP_SRC_SIZES.get(sender)
+                if extra is None:
+                    extra = _DEDUP_SRC_SIZES[sender] = 20 + len(sender.encode("utf-8"))
+                size += extra
+            else:
+                size += estimate_size(list(dedup))
+        if trace is not None:
+            size += estimate_size(list(trace))
+        self.size_bytes = size
 
     @property
-    def size_bytes(self) -> int:
-        """Estimated wire size (computed once, cached)."""
-        if self._size is None:
-            header = 32  # ids, kind, framing
-            self._size = header + estimate_size(self.payload)
-            if self.dedup is not None:
-                self._size += estimate_size(list(self.dedup))
-            if self.trace is not None:
-                self._size += estimate_size(list(self.trace))
-        return self._size
+    def msg_id(self) -> str:
+        """The message id, formatted on first access for lazy pairs."""
+        mid = self._msg_id
+        if mid is None:
+            prefix, num = self._id_pair
+            mid = f"{prefix}-{num}"
+            self._msg_id = mid
+        return mid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(msg_id={self.msg_id!r}, src={self.src!r}, dst={self.dst!r}, "
+            f"kind={self.kind!r}, payload={self.payload!r}, is_reply={self.is_reply!r}, "
+            f"dedup={self.dedup!r}, trace={self.trace!r})"
+        )

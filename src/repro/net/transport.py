@@ -37,6 +37,16 @@ sequence without cross-receiver gaps. Retrying callers allocate the key
 once (:meth:`next_dedup` / :meth:`stamp_calls`) and pass it with every
 attempt. :meth:`bump_incarnation` fences a restarted sender: its old
 keys become stale and its sequence numbering restarts.
+
+Fast path (DESIGN.md §5.11): ``Transport(fast=True)`` rebinds
+``rpc``/``rpc_many``/``send`` at construction to allocation-lean
+implementations that engage whenever tracing is off and the fault plan
+is inert — no span context managers, no per-call trace-context probes,
+lazy message ids, and a single constant-latency lookup when the model
+admits one. The fast implementations fall back to the default ones the
+moment tracing is enabled or any fault is active, so fast mode can only
+ever change wall-clock time: virtual time, wire bytes, stats and
+ordering are byte-identical by construction.
 """
 
 from __future__ import annotations
@@ -66,7 +76,7 @@ from repro.util.trace import Tracer, maybe_span
 Handler = Callable[[Message], dict[str, Any]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RpcCall:
     """One leg of a scatter-gather batch (see :meth:`Transport.rpc_many`).
 
@@ -103,6 +113,10 @@ class Transport:
     Nodes register a handler under their address; peers call
     :meth:`rpc` / :meth:`send`. The transport owns clock advancement for
     network delays and all traffic accounting.
+
+    ``fast=True`` binds the allocation-lean implementations of the
+    traffic methods at construction (see the module docstring); the
+    default binding keeps the fully-instrumented path.
     """
 
     def __init__(
@@ -113,6 +127,7 @@ class Transport:
         stats: NetworkStats | None = None,
         stamp_dedup: bool = True,
         tracer: Tracer | None = None,
+        fast: bool = False,
     ):
         self.clock = clock or VirtualClock()
         self.latency = latency or ConstantLatency(0.001)
@@ -138,6 +153,16 @@ class Transport:
         #: response never reached the requester) — chaos uses this to mark
         #: both endpoints for post-episode reconciliation
         self.reply_loss_taps: list[Callable[[Message], None]] = []
+        #: fast mode: the cheap implementations are bound once, here, so
+        #: the hot path carries no per-call mode branch of its own
+        self.fast = fast
+        #: the latency model's endpoint-independent constant, probed once —
+        #: None means the model must be consulted per message
+        self._flat_delay = self.latency.flat_delay()
+        if fast:
+            self.rpc = self._rpc_fast  # type: ignore[method-assign]
+            self.rpc_many = self._rpc_many_fast  # type: ignore[method-assign]
+            self.send = self._send_fast  # type: ignore[method-assign]
 
     # -- registration ------------------------------------------------------
 
@@ -190,9 +215,10 @@ class Transport:
         """
         if not self.stamp_dedup:
             return None
-        seq = self._seqs.get((src, dst), 0) + 1
-        self._seqs[(src, dst)] = seq
-        return (src, self.incarnation(src), seq)
+        pair = (src, dst)
+        seq = self._seqs.get(pair, 0) + 1
+        self._seqs[pair] = seq
+        return (src, self._incarnations.get(src, 1), seq)
 
     def stamp_calls(
         self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
@@ -218,7 +244,33 @@ class Transport:
             return None
         return self.tracer.current_context()
 
-    # -- traffic -----------------------------------------------------------
+    # -- shared delivery internals ----------------------------------------
+
+    def _undeliverable(self, msg: Message) -> Exception | None:
+        """Why ``msg`` cannot be delivered, or None if it can.
+
+        The one reachability/drop sequence shared by first deliveries
+        (:meth:`_deliver`, which raises and counts) and redeliveries
+        (:meth:`redeliver`, which silently gives up) — a fix or a
+        fast-mode optimization to either applies to both.
+        """
+        if msg.dst not in self._handlers:
+            return UnreachableError(f"node {msg.dst!r} is not attached to the network")
+        if not self.faults.reachable(msg.src, msg.dst):
+            return UnreachableError(f"node {msg.dst!r} is unreachable from {msg.src!r}")
+        if self.faults.should_drop(msg):
+            return MessageDropped(f"message {msg.msg_id} ({msg.kind}) dropped by fault rule")
+        return None
+
+    def _account_delivery(self, msg: Message, advance: bool) -> float:
+        """Charge one deliverable leg: delay, clock, stats, taps."""
+        delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
+        if advance:
+            self.clock.advance(delay)
+        self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
+        for tap in self.taps:
+            tap(msg)
+        return delay
 
     def _deliver(self, msg: Message, advance: bool = True) -> float:
         """Account one message leg (or raise); returns its delay.
@@ -229,22 +281,14 @@ class Transport:
         """
         if msg.src not in self._addresses:
             raise UnreachableError(f"source node {msg.src!r} not attached")
-        if msg.dst not in self._handlers:
-            self.stats.record_unreachable()
-            raise UnreachableError(f"node {msg.dst!r} is not attached to the network")
-        if not self.faults.reachable(msg.src, msg.dst):
-            self.stats.record_unreachable()
-            raise UnreachableError(f"node {msg.dst!r} is unreachable from {msg.src!r}")
-        if self.faults.should_drop(msg):
-            self.stats.record_dropped()
-            raise MessageDropped(f"message {msg.msg_id} ({msg.kind}) dropped by fault rule")
-        delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
-        if advance:
-            self.clock.advance(delay)
-        self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
-        for tap in self.taps:
-            tap(msg)
-        return delay
+        failure = self._undeliverable(msg)
+        if failure is not None:
+            if isinstance(failure, MessageDropped):
+                self.stats.record_dropped()
+            else:
+                self.stats.record_unreachable()
+            raise failure
+        return self._account_delivery(msg, advance)
 
     def send(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> None:
         """One-way message: deliver to the destination handler, ignore result.
@@ -260,7 +304,12 @@ class Transport:
         """
         with maybe_span(self.tracer, f"send:{kind}", src, dst=dst) as span:
             msg = Message(
-                self._ids.next("msg"), src, dst, kind, payload, trace=self._trace_ctx()
+                ("msg", self._ids.next_num("msg")),
+                src,
+                dst,
+                kind,
+                payload,
+                trace=self._trace_ctx(),
             )
             self._deliver(msg)
             span.set(bytes=msg.size_bytes)
@@ -298,7 +347,7 @@ class Transport:
         with maybe_span(self.tracer, f"rpc:{kind}", src, dst=dst) as span:
             start = self.clock.now()
             msg = Message(
-                self._ids.next("msg"),
+                ("msg", self._ids.next_num("msg")),
                 src,
                 dst,
                 kind,
@@ -364,7 +413,7 @@ class Transport:
                     self.tracer, f"rpc:{call.kind}", src, dst=call.dst
                 ) as span:
                     msg = Message(
-                        self._ids.next("msg"),
+                        ("msg", self._ids.next_num("msg")),
                         src,
                         call.dst,
                         call.kind,
@@ -427,6 +476,193 @@ class Transport:
         self.stats.record_batch(len(legs), max_delay)
         return outcomes
 
+    # -- fast-path implementations -----------------------------------------
+
+    # Bound over rpc/rpc_many/send by ``Transport(fast=True)``. Contract
+    # (DESIGN.md §5.11): engage only when tracing is off AND the fault
+    # plan is inert; otherwise delegate to the default implementation.
+    # Within that window every observable — virtual time, wire bytes,
+    # stats/registry state, id sequences, tap order, dedup keys — is
+    # identical to the default path; only Python-level overhead differs.
+
+    def _fast_eligible(self) -> bool:
+        """Can the cheap path run right now? (tracing off, faults inert)"""
+        tracer = self.tracer
+        return (tracer is None or not tracer.enabled) and not self.faults.active
+
+    def _rpc_fast(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: dict[str, Any],
+        dedup: tuple[str, int, int] | None = None,
+    ) -> dict[str, Any]:
+        """Allocation-lean :meth:`rpc` for the tracing-off, no-fault window."""
+        tracer = self.tracer
+        if (tracer is not None and tracer.enabled) or self.faults.active:
+            return Transport.rpc(self, src, dst, kind, payload, dedup)
+        # Id/seq allocation strictly precedes the reachability checks, as in
+        # the default path — an unreachable call must consume the same
+        # dedup seq and message id in both modes.
+        if dedup is None and self.stamp_dedup:
+            pair = (src, dst)
+            seq = self._seqs.get(pair, 0) + 1
+            self._seqs[pair] = seq
+            dedup = (src, self._incarnations.get(src, 1), seq)
+        ids = self._ids
+        clock = self.clock
+        stats = self.stats
+        msg = Message(("msg", ids.next_num("msg")), src, dst, kind, payload, dedup=dedup)
+        addresses = self._addresses
+        if src not in addresses:
+            raise UnreachableError(f"source node {src!r} not attached")
+        handler = self._handlers.get(dst)
+        if handler is None:
+            stats.record_unreachable()
+            raise UnreachableError(f"node {dst!r} is not attached to the network")
+        flat = self._flat_delay
+        delay = flat if flat is not None else self.latency.delay(
+            addresses[src], addresses[dst], msg
+        )
+        clock.advance(delay)
+        stats.record_delivery(kind, msg.size_bytes, delay, False)
+        for tap in self.taps:
+            tap(msg)
+        try:
+            result = handler(msg)
+        except ReproError as exc:
+            error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+            self._account_reply(msg, {"error": str(exc)})
+            raise error
+        except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+            self._account_reply(msg, {"error": str(exc)})
+            raise RemoteError(type(exc).__name__, str(exc)) from exc
+        if result is None:
+            result = {}
+        # No duplicate-delivery probe: an inert fault plan has no dup rules.
+        reply = Message(("msg", ids.next_num("msg")), dst, src, kind, result, is_reply=True)
+        delay = flat if flat is not None else self.latency.delay(
+            addresses[dst], addresses[src], reply
+        )
+        clock.advance(delay)
+        stats.record_delivery(kind, reply.size_bytes, delay, True)
+        for tap in self.taps:
+            tap(reply)
+        return result
+
+    def _send_fast(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> None:
+        """Allocation-lean :meth:`send` for the tracing-off, no-fault window."""
+        tracer = self.tracer
+        if (tracer is not None and tracer.enabled) or self.faults.active:
+            return Transport.send(self, src, dst, kind, payload)
+        # Message id allocated before the checks — see _rpc_fast.
+        msg = Message(("msg", self._ids.next_num("msg")), src, dst, kind, payload)
+        addresses = self._addresses
+        if src not in addresses:
+            raise UnreachableError(f"source node {src!r} not attached")
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.record_unreachable()
+            raise UnreachableError(f"node {dst!r} is not attached to the network")
+        flat = self._flat_delay
+        delay = flat if flat is not None else self.latency.delay(
+            addresses[src], addresses[dst], msg
+        )
+        self.clock.advance(delay)
+        self.stats.record_delivery(kind, msg.size_bytes, delay, False)
+        for tap in self.taps:
+            tap(msg)
+        try:
+            handler(msg)
+        except Exception:  # noqa: BLE001 - remote failure, invisible to sender
+            self.stats.record_send_failure()
+
+    def _rpc_many_fast(
+        self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
+    ) -> list[RpcOutcome]:
+        """Allocation-lean :meth:`rpc_many` for the tracing-off, no-fault window."""
+        tracer = self.tracer
+        if (tracer is not None and tracer.enabled) or self.faults.active:
+            return Transport.rpc_many(self, src, calls)
+        legs = [c if isinstance(c, RpcCall) else RpcCall(*c) for c in calls]
+        if not legs:
+            return []
+        addresses = self._addresses
+        if src not in addresses:
+            raise UnreachableError(f"source node {src!r} not attached")
+        handlers = self._handlers
+        ids = self._ids
+        stats = self.stats
+        taps = self.taps
+        stamp = self.stamp_dedup
+        seqs = self._seqs
+        incarnation = self._incarnations.get(src, 1)
+        flat = self._flat_delay
+        outcomes: list[RpcOutcome] = []
+        max_delay = 0.0
+        for call in legs:
+            dst = call.dst
+            dedup = call.dedup
+            if dedup is None and stamp:
+                pair = (src, dst)
+                seq = seqs.get(pair, 0) + 1
+                seqs[pair] = seq
+                dedup = (src, incarnation, seq)
+            msg = Message(
+                ("msg", ids.next_num("msg")), src, dst, call.kind, call.payload, dedup=dedup
+            )
+            handler = handlers.get(dst)
+            if handler is None:
+                stats.record_unreachable()
+                outcomes.append(
+                    RpcOutcome(
+                        dst,
+                        False,
+                        error=UnreachableError(
+                            f"node {dst!r} is not attached to the network"
+                        ),
+                    )
+                )
+                continue
+            delay = flat if flat is not None else self.latency.delay(
+                addresses[src], addresses[dst], msg
+            )
+            stats.record_delivery(call.kind, msg.size_bytes, delay, False)
+            for tap in taps:
+                tap(msg)
+            try:
+                result = handler(msg)
+            except ReproError as exc:
+                error: Exception = (
+                    type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+                )
+                delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
+                outcomes.append(RpcOutcome(dst, False, error=error, delay=delay))
+            except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+                error = RemoteError(type(exc).__name__, str(exc))
+                delay += self._account_reply(msg, {"error": str(exc)}, advance=False)
+                outcomes.append(RpcOutcome(dst, False, error=error, delay=delay))
+            else:
+                if result is None:
+                    result = {}
+                reply = Message(
+                    ("msg", ids.next_num("msg")), dst, src, call.kind, result, is_reply=True
+                )
+                rdelay = flat if flat is not None else self.latency.delay(
+                    addresses[dst], addresses[src], reply
+                )
+                delay += rdelay
+                stats.record_delivery(call.kind, reply.size_bytes, rdelay, True)
+                for tap in taps:
+                    tap(reply)
+                outcomes.append(RpcOutcome(dst, True, value=result, delay=delay))
+            if delay > max_delay:
+                max_delay = delay
+        self.clock.advance(max_delay)
+        stats.record_batch(len(legs), max_delay)
+        return outcomes
+
     # -- duplicate delivery (fault model) ----------------------------------
 
     def _maybe_duplicate(self, msg: Message) -> None:
@@ -444,22 +680,16 @@ class Transport:
         exists for). The duplicate's result is discarded and its errors
         are swallowed: the network produced it, no caller is waiting.
         Never cascades (a redelivery is not itself duplicated).
+
+        Shares :meth:`_undeliverable` / :meth:`_account_delivery` with
+        the first-delivery path; the only differences are the silent
+        give-up (no raise, no dropped/unreachable counters — nobody is
+        waiting) and the extra ``duplicates`` counter.
         """
-        handler = self._handlers.get(msg.dst)
-        if (
-            handler is None
-            or msg.src not in self._addresses
-            or not self.faults.reachable(msg.src, msg.dst)
-            or self.faults.should_drop(msg)
-        ):
+        if msg.src not in self._addresses or self._undeliverable(msg) is not None:
             return
-        delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
-        if advance:
-            self.clock.advance(delay)
-        self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
+        self._account_delivery(msg, advance)
         self.stats.record_duplicate()
-        for tap in self.taps:
-            tap(msg)
         # A duplicate belongs to the trace of the original request: re-enter
         # its context (a scheduler-fired redelivery otherwise has no parent).
         activate = (
@@ -469,7 +699,7 @@ class Transport:
             self.tracer, "net.redeliver", msg.src, dst=msg.dst, kind=msg.kind
         ):
             try:
-                result = handler(msg)
+                result = self._handlers[msg.dst](msg)
             except Exception:  # noqa: BLE001 - nobody is waiting for this outcome
                 return
             try:
@@ -494,7 +724,7 @@ class Transport:
         chaos can queue both endpoints for reconciliation.
         """
         reply = Message(
-            self._ids.next("msg"),
+            ("msg", self._ids.next_num("msg")),
             request.dst,
             request.src,
             request.kind,

@@ -29,12 +29,27 @@ from typing import Any, Iterator
 from repro.util.clock import VirtualClock
 
 
+#: interned bucket labels, keyed by power-of-two exponent
+_BUCKET_LABELS: dict[int, str] = {}
+
+
 def latency_bucket(delay: float) -> str:
-    """Power-of-two millisecond bucket label for a delay in seconds."""
+    """Power-of-two millisecond bucket label for a delay in seconds.
+
+    Computed via ``math.frexp`` (one float decompose) rather than
+    ``log2``/``ceil`` method chains; labels are interned per exponent so
+    the hot path never re-formats a string it has produced before.
+    """
     ms = delay * 1e3
     if ms <= 1.0:
         return "<=1ms"
-    return f"<={2 ** math.ceil(math.log2(ms))}ms"
+    mantissa, exp = math.frexp(ms)  # ms == mantissa * 2**exp, 0.5 <= mantissa < 1
+    if mantissa == 0.5:  # exact power of two belongs in its own bucket
+        exp -= 1
+    label = _BUCKET_LABELS.get(exp)
+    if label is None:
+        label = _BUCKET_LABELS[exp] = f"<={1 << exp}ms"
+    return label
 
 
 class MetricsRegistry:
@@ -52,6 +67,17 @@ class MetricsRegistry:
         """Add ``value`` to counter ``name`` on ``node``."""
         key = (node, name)
         self._counters[key] = self._counters.get(key, 0) + value
+
+    def counter_map(self) -> dict[tuple[str, str], float]:
+        """The live counter dict, for hot-path accumulators.
+
+        Trusted recorders (:class:`~repro.net.stats.NetworkStats`) update
+        this directly with precomputed ``(node, name)`` key tuples —
+        identical end state to calling :meth:`inc` per event, without a
+        method call and f-string per counter bump. Readers should stick
+        to :meth:`counter`/:meth:`snapshot`.
+        """
+        return self._counters
 
     def set_gauge(self, node: str, name: str, value: float) -> None:
         """Set gauge ``name`` on ``node`` to ``value``."""

@@ -4,27 +4,45 @@ The paper's prototype names entities like ``Phil_calendar_SyD`` and link
 rows by opaque ids. We generate ids from per-prefix counters so that two
 runs of the same scenario produce identical ids — essential for
 reproducible traces and golden tests.
+
+The counters are plain integers and formatting is separable from
+allocation: hot paths (the transport allocates two message ids per RPC)
+call :meth:`IdGenerator.next_num` and let the consumer format
+``<prefix>-<n>`` lazily, only if the id is ever observed (error
+messages, logs, diagrams). :meth:`IdGenerator.next` remains the
+everything-included form and emits byte-identical ids either way.
 """
 
 from __future__ import annotations
-
-from collections import defaultdict
 
 
 class IdGenerator:
     """Produces ids of the form ``<prefix>-<counter>`` per prefix."""
 
+    __slots__ = ("_counters",)
+
     def __init__(self) -> None:
-        self._counters: dict[str, int] = defaultdict(int)
+        self._counters: dict[str, int] = {}
 
     def next(self, prefix: str) -> str:
         """Return the next id for ``prefix`` (``prefix-1``, ``prefix-2``...)."""
-        self._counters[prefix] += 1
-        return f"{prefix}-{self._counters[prefix]}"
+        return f"{prefix}-{self.next_num(prefix)}"
+
+    def next_num(self, prefix: str) -> int:
+        """Allocate the next counter value for ``prefix`` without formatting.
+
+        ``next(p)`` and ``f"{p}-{next_num(p)}"`` are interchangeable —
+        both draw from the same counter, so mixing them never skips or
+        repeats an id.
+        """
+        counters = self._counters
+        n = counters.get(prefix, 0) + 1
+        counters[prefix] = n
+        return n
 
     def peek(self, prefix: str) -> int:
         """Return how many ids have been issued for ``prefix``."""
-        return self._counters[prefix]
+        return self._counters.get(prefix, 0)
 
     def reset(self, prefix: str | None = None) -> None:
         """Reset one prefix counter, or all counters when ``prefix`` is None."""

@@ -100,6 +100,28 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _NullSpanContext:
+    """Reusable ``with``-target yielding :data:`NULL_SPAN`.
+
+    The hot path enters this instead of ``contextlib`` generator
+    machinery when tracing is off: no generator frame, no stack push,
+    no per-call allocation. It is stateless, so one shared instance
+    serves every call site.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+#: precomputed no-op span context shared by every suppressed maybe_span
+NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
 @dataclass(frozen=True)
 class _RemoteRef:
     """Stack frame for a context activated from a message header.
@@ -314,13 +336,17 @@ class Tracer:
         return list(self._spans)
 
 
-@contextmanager
-def maybe_span(
-    tracer: Tracer | None, name: str, node: str = "", **attrs: Any
-) -> Iterator[Span | _NullSpan]:
-    """``tracer.span(...)`` that tolerates ``tracer=None``."""
-    if tracer is None:
-        yield NULL_SPAN
-        return
-    with tracer.span(name, node, **attrs) as span:
-        yield span
+def maybe_span(tracer: Tracer | None, name: str, node: str = "", **attrs: Any):
+    """``tracer.span(...)`` that tolerates ``tracer=None``.
+
+    When the tracer is absent *or disabled* this returns the shared
+    :data:`NULL_SPAN_CONTEXT` and never touches the span stack — a
+    disabled-tracing run pays one attribute check per call site instead
+    of two context-manager frames. (``Tracer.span`` itself still pushes
+    balanced NULL frames when called directly on a disabled tracer; only
+    this helper short-circuits, and a tracer re-enabled mid-operation
+    simply starts a fresh root at the next call site.)
+    """
+    if tracer is None or not tracer.enabled:
+        return NULL_SPAN_CONTEXT
+    return tracer.span(name, node, **attrs)

@@ -1,0 +1,96 @@
+"""Fast-mode equivalence: ``fast=True`` may only change wall-clock time.
+
+The contract (DESIGN.md §5.11): a fast-mode world produces *identical*
+observables to a default one — byte-identical chaos episode logs, equal
+``StatsSnapshot``s, equal virtual-clock end times, identical message
+ids — under every chaos profile and with tracing both on and off. With
+tracing off and no faults armed the fast bindings actually execute; with
+tracing on (or faults active) they must fall back to the default path
+without changing anything either.
+"""
+
+import pytest
+
+from repro.calendar.app import SyDCalendarApp
+from repro.chaos.campaign import ChaosCampaign, ChaosConfig
+from repro.chaos.schedule import PROFILES
+from repro.world import SyDWorld
+
+
+def _episode(profile: str, fast: bool, tracing: bool):
+    cfg = ChaosConfig(
+        seed=7,
+        episodes=1,
+        users=4,
+        ops=12,
+        duration=60.0,
+        profile=profile,
+        shrink=False,
+        tracing=tracing,
+        fast=fast,
+    )
+    campaign = ChaosCampaign(cfg)
+    episode = campaign.run_episode(0, quiet=True)
+    world = campaign.last_world
+    return episode, world.transport.stats.snapshot(), world.clock.now()
+
+
+class TestChaosEpisodeEquivalence:
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    @pytest.mark.parametrize("tracing", (True, False), ids=("tracing", "no-tracing"))
+    def test_episode_is_identical_fast_vs_default(self, profile, tracing):
+        default_ep, default_stats, default_clock = _episode(profile, False, tracing)
+        fast_ep, fast_stats, fast_clock = _episode(profile, True, tracing)
+        # Byte-identical episode logs: same ops, same fault injections,
+        # same retries/dups/recoveries, same final counters.
+        assert fast_ep.log == default_ep.log
+        assert fast_stats == default_stats
+        assert fast_clock == default_clock
+        assert fast_ep.violations == default_ep.violations
+
+
+def _negotiation_run(fast: bool, tracing: bool):
+    world = SyDWorld(seed=11, tracing=tracing, fast=fast)
+    app = SyDCalendarApp(world)
+    users = ("a", "b", "c", "d")
+    for user in users:
+        app.add_user(user)
+    first = app.manager("a").schedule_meeting("m1", ["b", "c"])
+    app.manager("b").schedule_meeting("m2", ["c", "d"])
+    if first is not None:
+        app.manager("a").cancel_meeting(first.meeting_id)
+    return world.transport.stats.snapshot(), world.clock.now(), world
+
+
+class TestNegotiationEquivalence:
+    @pytest.mark.parametrize("tracing", (True, False), ids=("tracing", "no-tracing"))
+    def test_negotiation_scenario_is_identical(self, tracing):
+        default_stats, default_clock, _ = _negotiation_run(False, tracing)
+        fast_stats, fast_clock, _ = _negotiation_run(True, tracing)
+        assert fast_stats == default_stats
+        assert fast_clock == default_clock
+
+    def test_fast_world_moves_real_traffic(self):
+        stats, clock_end, world = _negotiation_run(True, False)
+        assert stats.messages > 0
+        assert clock_end > 0
+        assert world.transport.fast is True
+        # The fast bindings are instance attributes shadowing the class
+        # methods (bound once at construction, no per-call mode branch).
+        assert "rpc" in vars(world.transport)
+
+
+class TestFastBindingFallback:
+    def test_enabling_tracing_midway_falls_back_per_call(self):
+        """The binding is construction-time but the *eligibility* is
+        per-call: flipping the tracer on routes through the default path
+        and produces spans, flipping it off re-engages the cheap one."""
+        world = SyDWorld(seed=3, tracing=False, fast=True)
+        app = SyDCalendarApp(world)
+        app.add_user("a")
+        app.add_user("b")
+        app.manager("a").schedule_meeting("m1", ["b"])
+        assert world.tracer.spans() == []
+        world.tracer.enabled = True
+        app.manager("b").schedule_meeting("m2", ["a"])
+        assert len(world.tracer.spans()) > 0

@@ -34,3 +34,67 @@ def test_bigger_payload_bigger_message():
     small = Message("1", "a", "b", "k", {"x": "hi"})
     large = Message("2", "a", "b", "k", {"x": "hi" * 100})
     assert large.size_bytes > small.size_bytes
+
+
+def test_size_fixed_at_construction_despite_payload_mutation():
+    # Regression for the lazy-size era: the wire size models what was
+    # put on the wire, so mutating the payload afterwards (handlers do
+    # reuse dicts) must not change size_bytes.
+    payload = {"x": 1}
+    m = Message("m-1", "a", "b", "k", payload)
+    before = m.size_bytes
+    payload["huge"] = "y" * 10_000
+    assert m.size_bytes == before
+
+
+def test_deeply_nested_payload_does_not_recurse():
+    deep = {"v": 0}
+    for _ in range(5_000):
+        deep = {"inner": deep}
+    m = Message("m-1", "a", "b", "k", deep)  # would RecursionError if recursive
+    assert m.size_bytes > 5_000 * 2
+
+
+def test_lazy_id_pair_formats_on_first_access():
+    m = Message(("msg", 42), "a", "b", "k", {})
+    assert m._msg_id is None  # not formatted yet
+    assert m.msg_id == "msg-42"
+    assert m._msg_id == "msg-42"  # memoized
+
+
+def test_lazy_and_eager_ids_are_interchangeable():
+    eager = Message("msg-7", "a", "b", "k", {"x": 1})
+    lazy = Message(("msg", 7), "a", "b", "k", {"x": 1})
+    assert eager.msg_id == lazy.msg_id
+    assert eager.size_bytes == lazy.size_bytes
+
+
+def test_dedup_fast_branch_matches_general_estimator():
+    # The canonical (str, int, int) key takes an interned shortcut; it
+    # must price identically to the general walk, for any sender id.
+    for sender in ("a", "u00", "host-é"):
+        key = (sender, 1, 42)
+        with_key = Message("m-1", "a", "b", "k", {}, dedup=key)
+        bare = Message("m-2", "a", "b", "k", {})
+        assert with_key.size_bytes - bare.size_bytes == estimate_size(list(key))
+
+
+def test_noncanonical_dedup_shapes_use_general_estimator():
+    key = ("a", "weird", 1)  # str where incarnation should be
+    m = Message("m-1", "a", "b", "k", {}, dedup=key)
+    bare = Message("m-2", "a", "b", "k", {})
+    assert m.size_bytes - bare.size_bytes == estimate_size(list(key))
+
+
+def test_mixed_flat_and_nested_dicts_price_identically():
+    # The flat-dict pre-scan bails to the general walk without double
+    # counting; a dict that is flat except one nested value must equal
+    # the sum of its parts.
+    flat_part = {"a": 1, "b": "x"}
+    nested = dict(flat_part)
+    nested["c"] = [1, 2]
+    assert estimate_size(nested) == estimate_size(flat_part) + 2 + len("c") + 2 + 16
+
+
+def test_bool_and_none_sizes_survive_the_fast_scan():
+    assert estimate_size({"t": True, "f": False, "n": None}) == 2 + 3 * (2 + 1 + 1)

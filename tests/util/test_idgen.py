@@ -41,3 +41,19 @@ def test_reset_all():
     gen.reset()
     assert gen.next("a") == "a-1"
     assert gen.next("b") == "b-1"
+
+
+def test_next_num_returns_integers():
+    gen = IdGenerator()
+    assert gen.next_num("msg") == 1
+    assert gen.next_num("msg") == 2
+
+
+def test_next_and_next_num_share_one_counter():
+    # The transport's fast path draws raw numbers while slower code
+    # draws formatted ids; both must advance the same sequence.
+    gen = IdGenerator()
+    assert gen.next("msg") == "msg-1"
+    assert gen.next_num("msg") == 2
+    assert gen.next("msg") == "msg-3"
+    assert gen.peek("msg") == 3
