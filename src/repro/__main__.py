@@ -95,6 +95,8 @@ def chaos_main(args: argparse.Namespace) -> int:
         tracing=not args.no_tracing,
         trace_dir=args.trace_dir,
         fast=args.fast,
+        directory_shards=args.directory_shards,
+        directory_replicas=args.directory_replicas,
     )
     result = ChaosCampaign(config).run()
     lines = result.log_lines()
@@ -242,8 +244,15 @@ def main(argv: list[str] | None = None) -> int:
                             "the lease termination protocol (pre-recovery "
                             "coordinator ablation; expect violations)")
     chaos.add_argument("--profile", type=str, default="mixed",
-                       choices=("classic", "delivery", "mixed", "recovery"),
+                       choices=("classic", "delivery", "mixed", "recovery",
+                                "sharded"),
                        help="fault-kind mix for generated schedules")
+    chaos.add_argument("--directory-shards", type=int, default=1,
+                       help="directory shard count (1 = single-node "
+                            "directory, byte-identical to pre-sharding)")
+    chaos.add_argument("--directory-replicas", type=int, default=1,
+                       help="replicas per directory key (capped at the "
+                            "shard count)")
     chaos.add_argument("--no-shrink", action="store_true",
                        help="skip bisect-shrinking a failing schedule")
     chaos.add_argument("--episode", type=int, default=None,
@@ -284,7 +293,8 @@ def main(argv: list[str] | None = None) -> int:
     obs.add_argument("--duration", type=float, default=120.0)
     obs.add_argument("--intensity", type=float, default=1.0)
     obs.add_argument("--profile", type=str, default="mixed",
-                     choices=("classic", "delivery", "mixed", "recovery"))
+                     choices=("classic", "delivery", "mixed", "recovery",
+                              "sharded"))
     obs.add_argument("--no-retry", action="store_true")
     obs.add_argument("--no-dedup", action="store_true")
     obs.add_argument("--no-recovery", action="store_true")

@@ -1123,6 +1123,140 @@ def exp_e15_throughput(
     }
 
 
+def exp_e16_scale(
+    populations=(1_000, 10_000, 100_000),
+    big_population: int = 1_000_000,
+    lookups: int = 400,
+    batch_size: int = 32,
+    batches: int = 10,
+    per_shard: int = 25_000,
+    seed: int = 16,
+) -> dict[str, Any]:
+    """E16 — population scale: directory lookups vs device count.
+
+    For each population the directory is seeded with that many device
+    registrations — bulk-loaded straight into the shard stores, the way
+    a control-plane restore would, since driving a million
+    ``publish_user`` RPCs would measure the seeding loop, not the
+    lookups. Shard count scales proportionally (one shard per
+    ``per_shard`` devices, R=2 once sharded; N=1 below the threshold,
+    exercising the plain single-node path), then a probe node issues
+    ``lookups`` uniformly-sampled ``lookup_user`` calls and ``batches``
+    ``lookup_users_many`` batches.
+
+    Reported per row: p50/p95 wall-clock per lookup, messages per
+    lookup, and batch messages per key. The headline claim
+    (``meta.flat_within_2x``) is that p50 per-op latency at 100k devices
+    stays within 2× of the 1k row — consistent hashing makes each
+    lookup a single-shard conversation, so latency tracks shard-local
+    store size (O(1) hash index), not population. The ``big_population``
+    row (1M devices, 40 shards) runs on the fast transport path
+    (DESIGN.md §5.11) and is excluded from the committed-artifact gate's
+    flatness pair; set it to 0 to skip (the fast sweep does).
+    """
+    import statistics
+
+    def seed_directory(world: SyDWorld, population: int) -> float:
+        """Bulk-load ``population`` device registrations; returns wall s."""
+        t0 = time.perf_counter()
+        topology = world.directory_topology
+        if topology is None:
+            store = world.directory_service.store
+            owners_of = lambda uid: [store]  # noqa: E731
+        else:
+            shard_stores = {s.name: s.service.store for s in topology.shard_list()}
+            owners_of = lambda uid: [  # noqa: E731
+                shard_stores[n] for n in topology.ring.owners(f"u:{uid}")
+            ]
+        for i in range(population):
+            uid = f"u{i:07d}"
+            for store in owners_of(uid):
+                store.insert(
+                    "users",
+                    {
+                        "user_id": uid,
+                        "node_id": f"{uid}-dev",
+                        "proxy_node": None,
+                        "online": True,
+                        "info": None,
+                    },
+                )
+        return time.perf_counter() - t0
+
+    def run_row(population: int, fast: bool) -> list[Any]:
+        shards = max(1, min(40, population // per_shard))
+        replicas = 2 if shards > 1 else 1
+        world = SyDWorld(
+            seed=seed,
+            latency="zero",
+            tracing=False,
+            fast=fast,
+            directory_shards=shards,
+            directory_replicas=replicas,
+        )
+        seed_s = seed_directory(world, population)
+        world.add_node("probe")
+        probe = world.node("probe").directory
+        rng = __import__("random").Random(seed + population)
+        targets = [f"u{rng.randrange(population):07d}" for _ in range(lookups)]
+        m0 = world.stats.messages
+        samples = []
+        for uid in targets:
+            t0 = time.perf_counter()
+            probe.lookup_user(uid)
+            samples.append((time.perf_counter() - t0) * 1e6)
+        per_lookup_msgs = (world.stats.messages - m0) / lookups
+        m0 = world.stats.messages
+        for b in range(batches):
+            keys = [f"u{rng.randrange(population):07d}" for _ in range(batch_size)]
+            for _, err in probe.lookup_users_many(keys):
+                assert err is None
+        batch_msgs_per_key = (world.stats.messages - m0) / (batches * batch_size)
+        return [
+            population,
+            shards,
+            replicas,
+            "fast" if fast else "default",
+            round(seed_s, 2),
+            round(statistics.median(samples), 1),
+            round(statistics.quantiles(samples, n=20)[18], 1),
+            round(per_lookup_msgs, 2),
+            round(batch_msgs_per_key, 2),
+        ]
+
+    rows = [run_row(p, fast=False) for p in sorted(populations)]
+    if big_population:
+        rows.append(run_row(big_population, fast=True))
+
+    by_pop = {row[0]: row for row in rows}
+    p50_index = 5
+    lo = min(by_pop)
+    hi = max(p for p in by_pop if by_pop[p][3] == "default")
+    flat = by_pop[hi][p50_index] <= 2 * by_pop[lo][p50_index]
+    return {
+        "id": "E16",
+        "title": "E16 — population scale: directory lookup latency vs device count",
+        "columns": [
+            "devices",
+            "shards",
+            "replicas",
+            "mode",
+            "seed (s)",
+            "p50 lookup (µs)",
+            "p95 lookup (µs)",
+            "msgs/lookup",
+            "batch msgs/key",
+        ],
+        "rows": rows,
+        "artifact": "BENCH_scale.json",
+        "meta": {
+            "flat_within_2x": flat,
+            "flat_pair": [lo, hi],
+            "per_shard_devices": per_shard,
+        },
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -1140,6 +1274,7 @@ ALL_EXPERIMENTS = {
     "E13": exp_e13_recovery,
     "E14": exp_e14_obs,
     "E15": exp_e15_throughput,
+    "E16": exp_e16_scale,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -1155,6 +1290,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E13": {"episodes": 5},
     "E14": {"calls": 20},
     "E15": {"rpc_calls": 4000, "batches": 40, "engine_calls": 100, "chaos_ops": 8},
+    "E16": {"populations": (1_000, 10_000), "big_population": 0, "lookups": 120, "batches": 4},
 }
 
 

@@ -76,6 +76,11 @@ class ChaosConfig:
     #: way (the CI perf-smoke job diffs them) — so it is *not* part of
     #: the episode log header, only of the repro command.
     fast: bool = False
+    #: directory shard count (1 = the single-node directory; episode
+    #: worlds and logs are then byte-identical to pre-sharding builds)
+    directory_shards: int = 1
+    #: replicas per directory key (capped at the shard count)
+    directory_replicas: int = 1
 
     def episode_seed(self, index: int) -> int:
         return self.seed * 100_003 + index
@@ -163,6 +168,9 @@ class _FaultInjector:
         self._droppers: dict[str, object] = {}
         self._ghost_bound: set[str] = set()
         self._partitioned: set[str] = set()
+        #: directory shards currently powered off (at most one at a time:
+        #: the injector never takes a key's last reachable copy down)
+        self._downed_shards: set[str] = set()
         #: active duplicate-delivery windows: id -> probability
         self._dup_windows: dict[str, float] = {}
         #: msg_ids already scheduled for redelivery (no re-arming: the
@@ -315,6 +323,50 @@ class _FaultInjector:
     def _apply_dup_stop(self, params) -> None:
         self._dup_windows.pop(params["id"], None)
 
+    def _apply_shard_crash(self, params) -> None:
+        names = self.world.directory_shard_names()
+        if not names or self._downed_shards:
+            return
+        name = names[params["shard"] % len(names)]
+        self.world.crash_directory_shard(name)
+        self._downed_shards.add(name)
+
+    def _apply_shard_restart(self, params) -> None:
+        # One shard down at a time (see _apply_shard_crash), so restart
+        # whatever is down: restart + anti-entropy repair from co-owners.
+        for name in sorted(self._downed_shards):
+            if name in self.world.directory_shard_names():
+                restored = self.world.restart_directory_shard(name)
+                self.log(
+                    f"t={self.world.clock.now():8.2f} shard {name} repaired "
+                    f"records={restored}"
+                )
+        self._downed_shards.clear()
+
+    def _apply_shard_join(self, params) -> None:
+        topology = self.world.directory_topology
+        if topology is None or self._downed_shards:
+            return
+        before = topology.keys_moved
+        name = self.world.add_directory_shard()
+        self.log(
+            f"t={self.world.clock.now():8.2f} shard {name} joined "
+            f"moved={topology.keys_moved - before} version={topology.version}"
+        )
+
+    def _apply_shard_leave(self, params) -> None:
+        topology = self.world.directory_topology
+        if topology is None or self._downed_shards:
+            return
+        if len(topology.shards) <= max(2, topology.ring.replicas):
+            return  # never drain below the replication factor
+        before = topology.keys_moved
+        name = self.world.remove_directory_shard()
+        self.log(
+            f"t={self.world.clock.now():8.2f} shard {name} left "
+            f"moved={topology.keys_moved - before} version={topology.version}"
+        )
+
     def _apply_proxy_bind(self, params) -> None:
         self.world.directory_service.set_proxy(params["user"], params["proxy"])
         self._ghost_bound.add(params["user"])
@@ -344,6 +396,12 @@ class _FaultInjector:
         for user in sorted(self._ghost_bound):
             self.world.directory_service.set_proxy(user, None)
         self._ghost_bound.clear()
+        # Downed directory shards come back (with repair) before user
+        # reconciliation needs directory reads.
+        for name in sorted(self._downed_shards):
+            if name in self.world.directory_shard_names():
+                self.world.restart_directory_shard(name)
+        self._downed_shards.clear()
         restarted = [u for u in self.users if not self.world.is_up(u)]
         for user in restarted:
             self.world.restart(user)
@@ -420,6 +478,8 @@ class ChaosCampaign:
             recovery=cfg.recovery,
             tracing=cfg.tracing,
             fast=cfg.fast,
+            directory_shards=cfg.directory_shards,
+            directory_replicas=cfg.directory_replicas,
         )
         self.last_world = world
         world.transport.stamp_dedup = cfg.stamp
@@ -465,6 +525,13 @@ class ChaosCampaign:
             f"faults {len(schedule)} retry {'on' if cfg.retry else 'off'} "
             f"dedup {'on' if cfg.dedup else 'off'} "
             f"recovery {'on' if cfg.recovery else 'off'} profile {cfg.profile}"
+            # Shard info only when sharded: single-node logs stay
+            # byte-identical to pre-sharding builds.
+            + (
+                f" shards {cfg.directory_shards}x{cfg.directory_replicas}"
+                if cfg.directory_shards > 1
+                else ""
+            )
         )
         injector = _FaultInjector(
             world, app, users, schedule, world.random.get("chaos.drops"), log
@@ -498,7 +565,7 @@ class ChaosCampaign:
             )
             log(f"trace -> {trace_path}")
         stats = world.stats
-        replays = world.directory_listener.replays + sum(
+        replays = world.directory_replays() + sum(
             world.node(u).listener.replays for u in users
         )
         recoveries = sum(
@@ -579,5 +646,11 @@ class ChaosCampaign:
             + ("" if cfg.recovery else " --no-recovery")
             + ("" if cfg.tracing else " --no-tracing")
             + (" --fast" if cfg.fast else "")
+            + (
+                f" --directory-shards {cfg.directory_shards}"
+                f" --directory-replicas {cfg.directory_replicas}"
+                if cfg.directory_shards > 1
+                else ""
+            )
             + f" --schedule '{schedule.to_json()}'"
         )

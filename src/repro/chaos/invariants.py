@@ -200,7 +200,7 @@ def check_double_application(world: SyDWorld) -> list[Violation]:
     duplicate or a retried lost-reply request re-ran a side effect.
     """
     out: list[Violation] = []
-    listeners = [("directory", world.directory_listener)] + [
+    listeners = world.directory_listeners() + [
         (user, node.listener) for user, node in sorted(world.nodes.items())
     ]
     for user, listener in listeners:
@@ -301,12 +301,23 @@ def check_stranded_marks(world: SyDWorld) -> list[Violation]:
 
 
 def check_directory_cache(world: SyDWorld) -> list[Violation]:
+    """Cached lookups agree with directory truth; fill epochs are current.
+
+    Sharded worlds generalize both halves: truth is the *primary owner's*
+    record (read through the in-process facade), and the epoch check runs
+    per shard — for every shard bucket the loop's lookups touched, the
+    cache's fill epoch must equal that shard's own epoch. Buckets the
+    loop did not touch are allowed to lag (per-shard invalidation is
+    lazy: they flush on their next access).
+    """
     out: list[Violation] = []
     service = world.directory_service
+    topology = world.directory_topology
     for user, node in sorted(world.nodes.items()):
         cache = node.directory.cache
         if cache is None:
             continue
+        touched: set[str] = set()
         for target in sorted(world.nodes):
             try:
                 cached = node.directory.lookup_user(target)
@@ -316,6 +327,9 @@ def check_directory_cache(world: SyDWorld) -> list[Violation]:
                     Violation("directory_cache", user, f"lookup {target}: {type(exc).__name__}")
                 )
                 continue
+            touched.add(
+                topology.primary_shard_for(("user", target)) if topology else ""
+            )
             if cached != truth:
                 out.append(
                     Violation(
@@ -324,14 +338,19 @@ def check_directory_cache(world: SyDWorld) -> list[Violation]:
                         f"cached record for {target} diverges: {cached} != {truth}",
                     )
                 )
-        if cache._filled_epoch is not None and cache._filled_epoch != service.epoch:
-            out.append(
-                Violation(
-                    "directory_cache",
-                    user,
-                    f"cache epoch {cache._filled_epoch} != directory epoch {service.epoch}",
+        filled = cache.filled_epochs()
+        for bucket in sorted(touched):
+            want = topology.epoch_of(bucket) if topology else service.epoch
+            got = filled.get(bucket)
+            if got is not None and got != want:
+                label = f"shard {bucket}" if topology else "directory"
+                out.append(
+                    Violation(
+                        "directory_cache",
+                        user,
+                        f"cache epoch {got} != {label} epoch {want}",
+                    )
                 )
-            )
     return out
 
 

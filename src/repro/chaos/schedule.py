@@ -32,6 +32,10 @@ KINDS = (
     "dup_stop",         # params: id
     "coord_crash",      # params: user, phase (arm a mid-protocol coordinator death)
     "coord_restart",    # params: user (power the crashed coordinator back up)
+    "shard_crash",      # params: shard (index mod live shard count; sharded worlds)
+    "shard_restart",    # params: shard (restart + anti-entropy repair)
+    "shard_join",       # params: {} (rebalance in: spawn a shard, migrate keys)
+    "shard_leave",      # params: {} (rebalance out: drain + retire newest shard)
 )
 
 #: phases a coord_crash can target inside the negotiation protocol
@@ -55,6 +59,11 @@ PROFILES = {
     # phases, plus ordinary crashes and drop windows so recovery runs
     # against lossy links and restarted participants.
     "recovery": (("coord_crash", "crash", "drop"), (4, 2, 2)),
+    # Sharded-directory mix: shard crashes (replica failover + repair)
+    # and live rebalances, against a background of device crashes and
+    # request drops. Meaningful in worlds built with directory_shards>1;
+    # shard events no-op quietly elsewhere.
+    "sharded": (("shard_crash", "rebalance", "crash", "drop"), (3, 2, 2, 2)),
 }
 
 
@@ -170,6 +179,15 @@ def generate_schedule(
             p = round(rng.uniform(0.2, 0.5), 3)
             events.append(FaultEvent(start, "dup_start", {"p": p, "id": f"u{i}"}))
             events.append(FaultEvent(end, "dup_stop", {"id": f"u{i}"}))
+        elif kind == "shard_crash":
+            # The injector maps the index onto the live shard list (the
+            # generator cannot know the world's shard count).
+            shard = rng.randrange(0, 8)
+            events.append(FaultEvent(start, "shard_crash", {"shard": shard}))
+            events.append(FaultEvent(end, "shard_restart", {"shard": shard}))
+        elif kind == "rebalance":
+            events.append(FaultEvent(start, "shard_join", {}))
+            events.append(FaultEvent(end, "shard_leave", {}))
         else:
             user = rng.choice(users)
             events.append(

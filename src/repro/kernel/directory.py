@@ -207,13 +207,25 @@ class SyDDirectoryService(SyDDeviceObject):
     # -- groups ----------------------------------------------------------------
 
     @exported
-    def form_group(self, group_id: str, owner: str, members: list[str]) -> None:
-        """Create a dynamic group of users (paper: committees, departments)."""
+    def form_group(
+        self,
+        group_id: str,
+        owner: str,
+        members: list[str],
+        validate_members: bool = True,
+    ) -> None:
+        """Create a dynamic group of users (paper: committees, departments).
+
+        ``validate_members=False`` skips the member-existence check: the
+        sharded client pre-validates members against their *own* shards
+        (this shard only holds users co-located with the group key).
+        """
         if self.store.get("groups", group_id) is not None:
             raise DuplicateRegistrationError(f"group {group_id!r} already exists")
-        for member in members:
-            if self.store.get("users", member) is None:
-                raise UnknownUserError(f"group member {member!r} is not published")
+        if validate_members:
+            for member in members:
+                if self.store.get("users", member) is None:
+                    raise UnknownUserError(f"group member {member!r} is not published")
         self._bump()
         self.store.insert(
             "groups", {"group_id": group_id, "owner": owner, "members": list(members)}
@@ -228,10 +240,14 @@ class SyDDirectoryService(SyDDeviceObject):
         return list(row["members"])
 
     @exported
-    def add_member(self, group_id: str, user_id: str) -> None:
-        """Add a user to a group (idempotent)."""
+    def add_member(self, group_id: str, user_id: str, validate_member: bool = True) -> None:
+        """Add a user to a group (idempotent).
+
+        ``validate_member=False``: same contract as ``form_group`` — the
+        sharded client has already checked the user on their own shard.
+        """
         members = self.group_members(group_id)
-        if self.store.get("users", user_id) is None:
+        if validate_member and self.store.get("users", user_id) is None:
             raise UnknownUserError(f"user {user_id!r} is not published")
         if user_id not in members:
             members.append(user_id)
@@ -268,6 +284,10 @@ class SyDDirectoryService(SyDDeviceObject):
 _MISS = object()
 
 
+#: bucket id used when the cache fronts a single (unsharded) directory
+_SINGLE = ""
+
+
 class DirectoryCache:
     """Client-side cache of directory lookups with epoch invalidation.
 
@@ -275,20 +295,30 @@ class DirectoryCache:
     simulated world wires it to the in-process service counter, modeling
     the out-of-band invalidation channel (lease/push multicast) a real
     deployment would use — validation therefore costs no simulated
-    messages. Whenever the observed epoch differs from the epoch the
-    entries were filled at, the whole cache is flushed, so a proxy
-    reassignment or an unregister is visible on the next lookup.
+    messages.
+
+    Entries live in per-shard *buckets*. ``shard_of`` maps a cache key to
+    the shard that owns it (``None`` — the default — keeps every entry in
+    one bucket, fronting an unsharded directory). A stale epoch flushes
+    only the affected shard's bucket: a proxy reassignment on shard A is
+    visible on the very next lookup of an A-owned key, while shard B's
+    cached entries stay live. With ``shard_of`` set, ``epoch_source`` is
+    called with the shard id; without it, with no arguments.
     """
 
     def __init__(
         self,
-        epoch_source: Callable[[], int],
+        epoch_source: Callable[..., int],
         metrics=None,
         metrics_node: str = "",
+        shard_of: Callable[[tuple], str] | None = None,
     ):
         self.epoch_source = epoch_source
-        self._entries: dict[tuple, Any] = {}
-        self._filled_epoch: int | None = None
+        self.shard_of = shard_of
+        #: shard bucket -> {cache key -> value}
+        self._entries: dict[str, dict[tuple, Any]] = {}
+        #: shard bucket -> epoch its entries were filled at
+        self._epochs: dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.flushes = 0
@@ -301,22 +331,42 @@ class DirectoryCache:
         if self._metrics is not None:
             self._metrics.inc(self._metrics_node, name)
 
-    def _validate(self) -> None:
-        current = self.epoch_source()
-        if current != self._filled_epoch:
-            if self._entries:
+    @property
+    def _filled_epoch(self) -> int | None:
+        """Single-bucket fill epoch (unsharded diagnostics/back-compat)."""
+        return self._epochs.get(_SINGLE)
+
+    def filled_epochs(self) -> dict[str, int]:
+        """Per-shard fill epochs (keyed ``""`` when unsharded)."""
+        return dict(self._epochs)
+
+    def _bucket_of(self, key: tuple) -> str:
+        return self.shard_of(key) if self.shard_of is not None else _SINGLE
+
+    def _validate(self, bucket: str) -> dict[tuple, Any]:
+        current = (
+            self.epoch_source(bucket)
+            if self.shard_of is not None
+            else self.epoch_source()
+        )
+        entries = self._entries.get(bucket)
+        if entries is None:
+            entries = self._entries[bucket] = {}
+        if current != self._epochs.get(bucket):
+            if entries:
                 self.flushes += 1
                 self._metric("dir.cache_flushes")
-            self._entries.clear()
-            self._filled_epoch = current
+                entries.clear()
+            self._epochs[bucket] = current
+        return entries
 
     def get(self, key: tuple) -> Any:
         """Cached value for ``key``, or the ``_MISS`` sentinel."""
-        self._validate()
-        if key in self._entries:
+        entries = self._validate(self._bucket_of(key))
+        if key in entries:
             self.hits += 1
             self._metric("dir.cache_hits")
-            value = self._entries[key]
+            value = entries[key]
             # Rows are mutable dicts/lists; hand out copies so callers
             # cannot corrupt the cache.
             if isinstance(value, dict):
@@ -329,15 +379,15 @@ class DirectoryCache:
         return _MISS
 
     def put(self, key: tuple, value: Any) -> None:
-        self._validate()
+        entries = self._validate(self._bucket_of(key))
         if isinstance(value, dict):
             value = dict(value)
         elif isinstance(value, list):
             value = list(value)
-        self._entries[key] = value
+        entries[key] = value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(entries) for entries in self._entries.values())
 
 
 class DirectoryClient:

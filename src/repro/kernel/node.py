@@ -60,6 +60,7 @@ class SyDNode:
         dedup: bool = True,
         recovery: bool = True,
         metrics: MetricsRegistry | None = None,
+        directory_factory=None,
     ):
         self.user = user
         self.node_id = node_id or f"{user}-device"
@@ -70,7 +71,13 @@ class SyDNode:
         self.tracer = tracer or Tracer(transport.clock)
         self.metrics = metrics
 
-        self.directory = DirectoryClient(self.node_id, transport, directory_node)
+        # ``directory_factory`` (node_id -> client) lets the world inject
+        # a ShardedDirectoryClient; standalone nodes build the plain stub.
+        self.directory = (
+            directory_factory(self.node_id)
+            if directory_factory is not None
+            else DirectoryClient(self.node_id, transport, directory_node)
+        )
         # The dedup watermark table lives in the node's own store so it is
         # covered by any WAL journal attached later (journals only track
         # tables that exist at attach time — hence created here, eagerly).

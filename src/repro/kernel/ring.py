@@ -1,0 +1,138 @@
+"""Seeded consistent-hash ring for directory sharding.
+
+Maps directory keys (``u:<user_id>`` / ``g:<group_id>``; service records
+co-locate with their owning user) onto N shard names with R-way
+replication. The ring is the classic virtual-node construction: every
+shard contributes ``vnodes`` points drawn from a keyed blake2b hash, a
+key is owned by the first ``replicas`` *distinct* shards found walking
+clockwise from the key's own hash.
+
+Design properties the tests pin down (``tests/kernel/test_ring.py``):
+
+* **deterministic** — placement is a pure function of (seed, shard set,
+  key); Python's salted ``hash()`` is never used;
+* **bounded churn** — adding a shard only moves keys *to* the new shard,
+  removing one only moves keys it owned;
+* **distinct replicas** — the R owners of a key are R different shards
+  (capped at the shard count);
+* **balanced** — with the default vnode count, 5k keys over 4 shards
+  stay within a fixed max/min skew bound.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.util.errors import ReproError
+
+#: vnodes per shard. 96 keeps the 5k-key max/min skew comfortably under
+#: the 2.0 bound asserted in tests while ring rebuilds stay cheap.
+DEFAULT_VNODES = 96
+
+
+def _digest(seed: int, label: str) -> int:
+    """Stable 64-bit point for ``label`` under ``seed``."""
+    raw = hashlib.blake2b(f"{seed}|{label}".encode(), digest_size=8).digest()
+    return int.from_bytes(raw, "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes and R-way replication."""
+
+    def __init__(
+        self,
+        shards: tuple[str, ...] | list[str] = (),
+        replicas: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ):
+        if replicas < 1:
+            raise ReproError(f"replicas must be >= 1, got {replicas}")
+        if vnodes < 1:
+            raise ReproError(f"vnodes must be >= 1, got {vnodes}")
+        self.replicas = replicas
+        self.vnodes = vnodes
+        self.seed = seed
+        self._shards: set[str] = set()
+        #: sorted ring points; ``_hashes`` is the parallel bisect index
+        self._points: list[tuple[int, str]] = []
+        self._hashes: list[int] = []
+        for name in shards:
+            self.add_shard(name)
+
+    # -- membership -----------------------------------------------------------
+
+    def shard_names(self) -> list[str]:
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    def add_shard(self, name: str) -> None:
+        if name in self._shards:
+            raise ReproError(f"shard {name!r} already on the ring")
+        self._shards.add(name)
+        for i in range(self.vnodes):
+            point = (_digest(self.seed, f"v|{name}#{i}"), name)
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+        self._hashes = [p[0] for p in self._points]
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._shards:
+            raise ReproError(f"shard {name!r} is not on the ring")
+        self._shards.discard(name)
+        self._points = [p for p in self._points if p[1] != name]
+        self._hashes = [p[0] for p in self._points]
+
+    def with_shard(self, name: str) -> "HashRing":
+        """A copy of this ring with ``name`` added (for rebalance planning)."""
+        ring = self.copy()
+        ring.add_shard(name)
+        return ring
+
+    def without_shard(self, name: str) -> "HashRing":
+        """A copy of this ring with ``name`` removed."""
+        ring = self.copy()
+        ring.remove_shard(name)
+        return ring
+
+    def copy(self) -> "HashRing":
+        ring = HashRing(replicas=self.replicas, vnodes=self.vnodes, seed=self.seed)
+        ring._shards = set(self._shards)
+        ring._points = list(self._points)
+        ring._hashes = list(self._hashes)
+        return ring
+
+    # -- placement ------------------------------------------------------------
+
+    def key_hash(self, key: str) -> int:
+        # "k|" namespaces key hashes away from vnode labels.
+        return _digest(self.seed, f"k|{key}")
+
+    def owners(self, key: str) -> list[str]:
+        """The first ``replicas`` distinct shards clockwise from ``key``.
+
+        ``owners(key)[0]`` is the primary. Returns fewer than R owners
+        only when the ring has fewer than R shards.
+        """
+        if not self._points:
+            raise ReproError("ring has no shards")
+        want = min(self.replicas, len(self._shards))
+        start = bisect.bisect(self._hashes, self.key_hash(key))
+        found: list[str] = []
+        n = len(self._points)
+        for step in range(n):
+            name = self._points[(start + step) % n][1]
+            if name not in found:
+                found.append(name)
+                if len(found) == want:
+                    break
+        return found
+
+    def primary(self, key: str) -> str:
+        return self.owners(key)[0]

@@ -67,6 +67,8 @@ class SyDWorld:
         tracing: bool = True,
         trace_sample: int = 1,
         fast: bool = False,
+        directory_shards: int = 1,
+        directory_replicas: int = 1,
     ):
         self.clock = VirtualClock()
         self.scheduler = EventScheduler(self.clock)
@@ -115,24 +117,47 @@ class SyDWorld:
         self.recovery = recovery
         self.nodes: dict[str, SyDNode] = {}
 
-        # The directory lives on a dedicated server node with its own
-        # listener (it is not a user; it only answers invocations). Its
-        # dedup watermarks persist in the directory's own store.
-        self.directory_service = SyDDirectoryService()
-        directory_dedup = (
-            DedupTable(persist=DedupPersistence(self.directory_service.store))
-            if dedup
-            else None
-        )
-        self.directory_listener = SyDListener(
-            directory_node, dedup=directory_dedup, tracer=self.tracer, metrics=self.metrics
-        )
-        self._directory_listener = self.directory_listener  # backwards-compat alias
-        self._directory_listener.publish_object(self.directory_service)
-        self.transport.register(
-            NodeAddress(directory_node, DeviceClass.SERVER),
-            lambda msg: self._directory_listener.handle_invoke(msg),
-        )
+        #: ShardedDirectory controller when ``directory_shards > 1``;
+        #: None keeps the single-node directory (byte-identical to the
+        #: pre-sharding world — the default).
+        self.directory_topology = None
+        if directory_shards <= 1:
+            # The directory lives on a dedicated server node with its own
+            # listener (it is not a user; it only answers invocations). Its
+            # dedup watermarks persist in the directory's own store.
+            self.directory_service = SyDDirectoryService()
+            directory_dedup = (
+                DedupTable(persist=DedupPersistence(self.directory_service.store))
+                if dedup
+                else None
+            )
+            self.directory_listener = SyDListener(
+                directory_node, dedup=directory_dedup, tracer=self.tracer, metrics=self.metrics
+            )
+            self._directory_listener = self.directory_listener  # backwards-compat alias
+            self._directory_listener.publish_object(self.directory_service)
+            self.transport.register(
+                NodeAddress(directory_node, DeviceClass.SERVER),
+                lambda msg: self._directory_listener.handle_invoke(msg),
+            )
+        else:
+            from repro.kernel.sharding import ShardedDirectory
+
+            self.directory_topology = ShardedDirectory(
+                self.transport,
+                shards=directory_shards,
+                replicas=directory_replicas,
+                node_prefix=directory_node,
+                ring_seed=seed,
+                dedup=dedup,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            # The controller doubles as the in-process facade chaos
+            # injectors and invariant checkers read as ground truth.
+            self.directory_service = self.directory_topology
+            self.directory_listener = None
+            self._directory_listener = None
         self._directory_cache_enabled = False
         self._retry_template: RetryPolicy | None = None
         if directory_cache:
@@ -180,11 +205,76 @@ class SyDWorld:
                 node.directory.attach_cache(self._new_directory_cache(user))
 
     def _new_directory_cache(self, user: str) -> DirectoryCache:
+        if self.directory_topology is not None:
+            # Per-shard buckets: a mutation on one shard flushes only
+            # that shard's cached entries.
+            return DirectoryCache(
+                self.directory_topology.epoch_of,
+                metrics=self.metrics,
+                metrics_node=user,
+                shard_of=self.directory_topology.primary_shard_for,
+            )
         return DirectoryCache(
             lambda: self.directory_service.epoch,
             metrics=self.metrics,
             metrics_node=user,
         )
+
+    def _make_directory_client(self, node_id: str):
+        if self.directory_topology is not None:
+            from repro.kernel.sharding import ShardedDirectoryClient
+
+            return ShardedDirectoryClient(node_id, self.transport, self.directory_topology)
+        from repro.kernel.directory import DirectoryClient
+
+        return DirectoryClient(node_id, self.transport, self.directory_node)
+
+    # -- directory shards ---------------------------------------------------------
+
+    def directory_listeners(self) -> list[tuple[str, SyDListener]]:
+        """(label, listener) for every directory node, sharded or not."""
+        if self.directory_topology is None:
+            return [("directory", self.directory_listener)]
+        return [
+            (shard.node_id, shard.listener)
+            for shard in self.directory_topology.shard_list()
+        ]
+
+    def directory_replays(self) -> int:
+        """Dedup replays answered across all directory listeners."""
+        return sum(listener.replays for _label, listener in self.directory_listeners())
+
+    def directory_shard_names(self) -> list[str]:
+        return [] if self.directory_topology is None else self.directory_topology.shard_names()
+
+    def _require_topology(self):
+        if self.directory_topology is None:
+            raise ReproError("world was not built with directory_shards > 1")
+        return self.directory_topology
+
+    def add_directory_shard(self) -> str:
+        """Join a fresh shard and rebalance its key share onto it."""
+        return self._require_topology().add_shard()
+
+    def remove_directory_shard(self, name: str | None = None) -> str:
+        """Drain and retire a shard (newest by default)."""
+        return self._require_topology().remove_shard(name)
+
+    def crash_directory_shard(self, name: str) -> None:
+        """Power off one directory shard node (lookups fail over)."""
+        self.transport.faults.set_down(self._require_topology().node_of(name))
+
+    def restart_directory_shard(self, name: str) -> int:
+        """Power a shard back on: fresh listener state + anti-entropy
+        repair from its live co-owners. Returns records restored."""
+        topology = self._require_topology()
+        shard = topology.shards[name]
+        shard.listener.restart()
+        self.transport.faults.set_up(shard.node_id)
+        return topology.repair_shard(name)
+
+    def directory_shard_is_up(self, name: str) -> bool:
+        return not self.transport.faults.is_down(self._require_topology().node_of(name))
 
     # -- topology -----------------------------------------------------------------
 
@@ -228,6 +318,7 @@ class SyDWorld:
             dedup=self.dedup,
             recovery=self.recovery,
             metrics=self.metrics,
+            directory_factory=self._make_directory_client,
         )
         self.nodes[user] = node
         if self._directory_cache_enabled:

@@ -1,0 +1,181 @@
+"""Targeted shard-fault scenarios: crash failover, fenced rebalancing
+under a publish storm, per-shard cache epochs, and repair convergence.
+
+These are the deterministic single-scenario counterparts to the seeded
+``sharded`` chaos profile: each test manufactures one fault shape and
+asserts the exact recovery behavior.
+"""
+
+import pytest
+
+from repro.chaos.invariants import check_directory_cache
+from repro.util.errors import ReproError, UnknownUserError
+from repro.world import SyDWorld
+
+USERS = ["alice", "bob", "carol", "dave", "erin", "fred"]
+
+
+def _sharded_world(**kwargs):
+    world = SyDWorld(seed=21, directory_shards=4, directory_replicas=2, **kwargs)
+    for user in USERS:
+        world.add_node(user)
+    return world
+
+
+def _rows_holding(topology, table, key_field, key):
+    """Shard names whose store holds a row for ``key`` in ``table``."""
+    return sorted(
+        shard.name
+        for shard in topology.shard_list()
+        if any(row[key_field] == key for row in shard.service.store.select(table))
+    )
+
+
+def test_shard_crash_fails_over_to_replica():
+    """A lookup whose primary shard is down succeeds from the replica,
+    inside the node's ordinary retry policy (no exception surfaces)."""
+    world = _sharded_world()
+    topology = world.directory_topology
+    primary, replica = topology.user_owners("alice")
+    world.crash_directory_shard(primary)
+    assert not world.directory_shard_is_up(primary)
+
+    record = world.node("bob").directory.lookup_user("alice")
+    assert record["user_id"] == "alice"
+    # Batched lookups fail over per-leg the same way.
+    results = world.node("bob").directory.lookup_users_many(["alice", "carol"])
+    assert [err for _, err in results] == [None, None]
+    # The replica is where the read landed; it holds the row.
+    assert replica in _rows_holding(topology, "users", "user_id", "alice")
+    world.restart_directory_shard(primary)
+    assert world.directory_shard_is_up(primary)
+
+
+def test_write_adopted_by_replica_while_primary_down():
+    world = _sharded_world()
+    topology = world.directory_topology
+    primary, _replica = topology.user_owners("carol")
+    world.crash_directory_shard(primary)
+    world.node("carol").directory.set_proxy("carol", "dave-device")
+    # Served from the replica while the primary is dark.
+    assert world.node("erin").directory.lookup_user("carol")["proxy_node"] == "dave-device"
+    world.restart_directory_shard(primary)
+
+
+def test_rebalance_with_publish_storm_loses_nothing():
+    """Lookups at every rebalance fence succeed, writes landing mid-
+    rebalance survive, and afterwards each key's rows sit on exactly its
+    ``owners()`` shards — nothing lost, nothing duplicated."""
+    world = _sharded_world()
+    topology = world.directory_topology
+    observer = world.node("alice").directory
+    storm_log: list[str] = []
+
+    def storm(phase):
+        storm_log.append(phase)
+        # The fence lookups: a registered key must resolve at *every*
+        # phase — old ring until publish, new ring after.
+        for user in USERS:
+            assert observer.lookup_user(user)["user_id"] == user
+        if phase == "publish":
+            # Publish storm concurrent with the rebalance: new
+            # registrations land after the ring swap, before prune.
+            for i in range(3):
+                world.node("bob").directory.publish_user(f"storm-{i}", f"storm-{i}-dev")
+
+    topology.phase_hook = storm
+    try:
+        joined = world.add_directory_shard()
+    finally:
+        topology.phase_hook = None
+    assert storm_log == ["copy", "publish", "prune"]
+    assert joined in topology.shards and len(topology.shards) == 5
+
+    everyone = USERS + [f"storm-{i}" for i in range(3)]
+    for user in everyone:
+        # Nothing lost: every registration still resolves...
+        assert observer.lookup_user(user)["user_id"] == user
+        # ...and nothing duplicated: rows on exactly the owner set.
+        assert _rows_holding(topology, "users", "user_id", user) == sorted(
+            topology.user_owners(user)
+        )
+
+    # Drain the shard back out under the same storm of fence lookups.
+    topology.phase_hook = lambda phase: [observer.lookup_user(u) for u in everyone]
+    try:
+        world.remove_directory_shard(joined)
+    finally:
+        topology.phase_hook = None
+    for user in everyone:
+        assert observer.lookup_user(user)["user_id"] == user
+        assert _rows_holding(topology, "users", "user_id", user) == sorted(
+            topology.user_owners(user)
+        )
+
+
+def test_rebalance_bumps_only_touched_shard_epochs():
+    world = _sharded_world()
+    topology = world.directory_topology
+    before = {name: topology.epoch_of(name) for name in topology.shard_names()}
+    world.add_directory_shard()
+    after = {name: topology.epoch_of(name) for name in before}
+    assert any(after[name] > before[name] for name in before), "no shard saw migration"
+
+
+def test_per_shard_cache_invariant_clean_run():
+    """check_directory_cache passes on a cached sharded world after
+    mixed traffic (the per-shard epoch generalization holds)."""
+    world = _sharded_world(directory_cache=True)
+    for observer in USERS[:3]:
+        for target in USERS:
+            world.node(observer).directory.lookup_user(target)
+    world.node("alice").directory.set_proxy("bob", "carol-device")
+    world.node("dave").directory.register_service("dave", "cal", "calendar", ["query"])
+    world.add_directory_shard()
+    assert check_directory_cache(world) == []
+
+
+def test_per_shard_cache_invariant_detects_poisoned_entry():
+    """The checker is not vacuous: a manufactured stale cache entry is
+    reported as a divergence violation."""
+    world = _sharded_world(directory_cache=True)
+    observer = world.node("erin")
+    observer.directory.lookup_user("alice")  # fill the bucket at current epoch
+    poisoned = dict(observer.directory.lookup_user("alice"))
+    poisoned["node_id"] = "wrong-device"
+    observer.directory.cache.put(("user", "alice"), poisoned)
+    violations = check_directory_cache(world)
+    assert any(
+        v.check == "directory_cache" and "diverges" in v.detail for v in violations
+    ), violations
+
+
+def test_crash_restart_repair_converges():
+    """Mutations made while a shard is dark reach it on restart via
+    anti-entropy repair; afterwards its store matches its co-owners."""
+    world = _sharded_world()
+    topology = world.directory_topology
+    primary, _ = topology.user_owners("fred")
+    world.crash_directory_shard(primary)
+    world.node("fred").directory.set_proxy("fred", "erin-device")
+    world.node("fred").directory.register_service("fred", "cal", "calendar", ["query"])
+    restored = world.restart_directory_shard(primary)
+    assert restored > 0  # repair re-copied the rows it missed
+    store = topology.shards[primary].service.store
+    row = store.get("users", "fred")
+    assert row is not None and row["proxy_node"] == "erin-device"
+    assert any(r["user_id"] == "fred" for r in store.select("services"))
+    # End-to-end: a primary-path read now sees the mutation.
+    assert world.node("bob").directory.lookup_user("fred")["proxy_node"] == "erin-device"
+
+
+def test_shard_fault_guards():
+    world = _sharded_world()
+    with pytest.raises(ReproError):
+        world.remove_directory_shard("not-a-shard")
+    with pytest.raises(UnknownUserError):
+        world.node("alice").directory.lookup_user("ghost")
+    single = SyDWorld(seed=5)
+    single.add_node("solo")
+    with pytest.raises(ReproError):
+        single.add_directory_shard()
