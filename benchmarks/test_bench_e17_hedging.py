@@ -1,0 +1,63 @@
+"""E17 — hedged directory reads cut the slow-shard tail.
+
+Two layers: a reduced live run (the experiment code and both gates
+exercised in CI) and schema/claim validation of the committed
+``BENCH_e17.json`` artifact from the full 400-lookup sweep.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import exp_e17_hedging
+from repro.bench.metrics import format_table
+
+COLUMNS = [
+    "mode",
+    "lookups",
+    "p50 (sim ms)",
+    "p99 (sim ms)",
+    "msgs/lookup",
+    "hedges",
+    "hedge wins",
+]
+MODES = ["hedged", "no-hedge", "no-health"]
+
+
+def test_e17_live_run_shape_and_gates():
+    table = exp_e17_hedging(population=120, lookups=120)
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    assert table["id"] == "E17"
+    assert table["artifact"] == "BENCH_e17.json"
+    assert table["columns"] == COLUMNS
+    assert [row[0] for row in table["rows"]] == MODES
+    by_mode = {row[0]: row for row in table["rows"]}
+    # Hedges fire only in hedged mode, and every fired hedge was
+    # answered (the slow primary loses the race to the healthy backup).
+    assert by_mode["hedged"][5] > 0
+    assert by_mode["no-hedge"][5] == by_mode["no-health"][5] == 0
+    # The two headline gates.
+    assert table["meta"]["hedged_p99_2x"] is True, table["meta"]
+    assert table["meta"]["msgs_within_1p15"] is True, table["meta"]
+
+
+def test_e17_committed_artifact():
+    path = Path(__file__).resolve().parent.parent / "BENCH_e17.json"
+    payload = json.loads(path.read_text())
+    assert payload["id"] == "E17"
+    assert payload["columns"] == COLUMNS
+    assert [row[0] for row in payload["rows"]] == MODES
+    by_mode = {row[0]: row for row in payload["rows"]}
+    p99, msgs = 3, 4
+    # Hedging beats the unhedged stack ≥2x on p99 tail latency...
+    assert by_mode["hedged"][p99] * 2 <= by_mode["no-hedge"][p99], (
+        f"hedged p99 {by_mode['hedged'][p99]}ms not 2x better than "
+        f"unhedged {by_mode['no-hedge'][p99]}ms"
+    )
+    # ...for at most 15% more messages per lookup.
+    assert by_mode["hedged"][msgs] <= 1.15 * by_mode["no-hedge"][msgs]
+    # Without hedging the detector alone cannot cut the tail of a
+    # born-slow shard (its RTTs never *degrade* relative to its own
+    # history), so the no-hedge row tracks the no-health row.
+    assert by_mode["no-hedge"][p99] >= 0.5 * by_mode["no-health"][p99]
+    assert payload["meta"]["hedged_p99_2x"] is True
+    assert payload["meta"]["msgs_within_1p15"] is True

@@ -97,6 +97,8 @@ def chaos_main(args: argparse.Namespace) -> int:
         fast=args.fast,
         directory_shards=args.directory_shards,
         directory_replicas=args.directory_replicas,
+        health=not args.no_health,
+        hedge=not args.no_hedge,
     )
     result = ChaosCampaign(config).run()
     lines = result.log_lines()
@@ -162,6 +164,8 @@ def obs_main(args: argparse.Namespace) -> int:
             retry=not args.no_retry,
             dedup=not args.no_dedup,
             recovery=not args.no_recovery,
+            health=not args.no_health,
+            hedge=not args.no_hedge,
             shrink=False,
             schedule_json=args.schedule,
         )
@@ -245,8 +249,16 @@ def main(argv: list[str] | None = None) -> int:
                             "coordinator ablation; expect violations)")
     chaos.add_argument("--profile", type=str, default="mixed",
                        choices=("classic", "delivery", "mixed", "recovery",
-                                "sharded"),
+                                "sharded", "gray"),
                        help="fault-kind mix for generated schedules")
+    chaos.add_argument("--no-health", action="store_true",
+                       help="disable the adaptive gray-failure layer "
+                            "(phi-accrual detection, deadline budgets, "
+                            "suspicion-ordered failover; expect "
+                            "no_lease_overrun under the gray profile)")
+    chaos.add_argument("--no-hedge", action="store_true",
+                       help="disable hedged directory reads (keeps the "
+                            "rest of the health layer on)")
     chaos.add_argument("--directory-shards", type=int, default=1,
                        help="directory shard count (1 = single-node "
                             "directory, byte-identical to pre-sharding)")
@@ -294,10 +306,12 @@ def main(argv: list[str] | None = None) -> int:
     obs.add_argument("--intensity", type=float, default=1.0)
     obs.add_argument("--profile", type=str, default="mixed",
                      choices=("classic", "delivery", "mixed", "recovery",
-                              "sharded"))
+                              "sharded", "gray"))
     obs.add_argument("--no-retry", action="store_true")
     obs.add_argument("--no-dedup", action="store_true")
     obs.add_argument("--no-recovery", action="store_true")
+    obs.add_argument("--no-health", action="store_true")
+    obs.add_argument("--no-hedge", action="store_true")
     obs.add_argument("--schedule", type=str, default=None,
                      help="JSON fault schedule (from a repro command)")
 

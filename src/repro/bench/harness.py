@@ -1257,6 +1257,124 @@ def exp_e16_scale(
     }
 
 
+def exp_e17_hedging(
+    population: int = 240,
+    lookups: int = 400,
+    shards: int = 8,
+    replicas: int = 2,
+    slow_scale: float = 0.4,
+    slow_shape: float = 1.5,
+    seed: int = 17,
+) -> dict[str, Any]:
+    """E17 — hedged reads: tail latency under a slow-but-alive shard.
+
+    One directory shard gets gray ``slow_node`` inflation (seeded
+    Pareto-tailed extra delay on every leg it touches — it still
+    answers, just late), then a probe issues ``lookups`` uniformly
+    sampled ``lookup_user`` calls under three configurations: the full
+    stack (health monitor + hedged reads), ``--no-hedge`` (detector on,
+    hedging off) and ``--no-health`` (neither — PR 8's behaviour).
+
+    With hedging on, a lookup whose ranked primary is the slow shard
+    fires a backup leg at the next ring owner after a suspicion-scaled
+    delay (base 0.25 s) and the first reply wins, so the slow shard's
+    Pareto tail is cut at roughly the hedge delay plus one healthy
+    round trip. The cost is two extra messages per fired hedge — and
+    hedges only fire for the ~1/``shards`` of keys whose primary is
+    slow (healthy primaries answer well under the hedge timer), which
+    is what keeps the message overhead bounded.
+
+    Gates (``meta``): hedged p99 must be ≥2× better than the unhedged
+    (``no-hedge``) row, for ≤1.15× its messages per lookup.
+    """
+    import statistics
+
+    def seed_directory(world: SyDWorld) -> None:
+        topology = world.directory_topology
+        shard_stores = {s.name: s.service.store for s in topology.shard_list()}
+        for i in range(population):
+            uid = f"u{i:07d}"
+            for name in topology.ring.owners(f"u:{uid}"):
+                shard_stores[name].insert(
+                    "users",
+                    {
+                        "user_id": uid,
+                        "node_id": f"{uid}-dev",
+                        "proxy_node": None,
+                        "online": True,
+                        "info": None,
+                    },
+                )
+
+    def run_mode(mode: str, health: bool, hedge: bool) -> list[Any]:
+        world = SyDWorld(
+            seed=seed,
+            tracing=False,
+            health=health,
+            hedge=hedge,
+            directory_shards=shards,
+            directory_replicas=replicas,
+        )
+        seed_directory(world)
+        world.add_node("probe")
+        probe = world.node("probe").directory
+        slow = world.directory_topology.shard_list()[0].node_id
+        world.transport.faults.slow_node(
+            slow,
+            rng=__import__("random").Random(seed + 1),
+            scale=slow_scale,
+            shape=slow_shape,
+        )
+        rng = __import__("random").Random(seed + 2)
+        targets = [f"u{rng.randrange(population):07d}" for _ in range(lookups)]
+        m0 = world.stats.messages
+        samples = []
+        for uid in targets:
+            t0 = world.clock.now()
+            probe.lookup_user(uid)
+            samples.append((world.clock.now() - t0) * 1000.0)
+        return [
+            mode,
+            lookups,
+            round(statistics.median(samples), 2),
+            round(statistics.quantiles(samples, n=100)[98], 2),
+            round((world.stats.messages - m0) / lookups, 3),
+            world.stats.hedges,
+            world.stats.hedge_wins,
+        ]
+
+    rows = [
+        run_mode("hedged", health=True, hedge=True),
+        run_mode("no-hedge", health=True, hedge=False),
+        run_mode("no-health", health=False, hedge=False),
+    ]
+    by_mode = {row[0]: row for row in rows}
+    p99, msgs = 3, 4
+    p99_x = by_mode["no-hedge"][p99] / max(by_mode["hedged"][p99], 1e-9)
+    msg_ratio = by_mode["hedged"][msgs] / max(by_mode["no-hedge"][msgs], 1e-9)
+    return {
+        "id": "E17",
+        "title": "E17 — hedged directory reads under a slow-but-alive shard",
+        "columns": [
+            "mode",
+            "lookups",
+            "p50 (sim ms)",
+            "p99 (sim ms)",
+            "msgs/lookup",
+            "hedges",
+            "hedge wins",
+        ],
+        "rows": rows,
+        "artifact": "BENCH_e17.json",
+        "meta": {
+            "p99_improvement_x": round(p99_x, 2),
+            "hedged_p99_2x": p99_x >= 2.0,
+            "msg_ratio": round(msg_ratio, 3),
+            "msgs_within_1p15": msg_ratio <= 1.15,
+        },
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -1275,6 +1393,7 @@ ALL_EXPERIMENTS = {
     "E14": exp_e14_obs,
     "E15": exp_e15_throughput,
     "E16": exp_e16_scale,
+    "E17": exp_e17_hedging,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -1291,6 +1410,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E14": {"calls": 20},
     "E15": {"rpc_calls": 4000, "batches": 40, "engine_calls": 100, "chaos_ops": 8},
     "E16": {"populations": (1_000, 10_000), "big_population": 0, "lookups": 120, "batches": 4},
+    "E17": {"population": 120, "lookups": 120},
 }
 
 

@@ -81,6 +81,14 @@ class ChaosConfig:
     directory_shards: int = 1
     #: replicas per directory key (capped at the shard count)
     directory_replicas: int = 1
+    #: adaptive gray-failure layer: phi-accrual failure detection,
+    #: lease-derived deadline budgets and suspicion-ordered failover
+    #: (False = pre-adaptive ablation — a stalled participant can eat a
+    #: whole lock lease and overruns surface as no_lease_overrun)
+    health: bool = True
+    #: hedged directory reads (needs ``health`` and 2+ replicas to bite;
+    #: False isolates the hedging contribution for E17)
+    hedge: bool = True
 
     def episode_seed(self, index: int) -> int:
         return self.seed * 100_003 + index
@@ -171,6 +179,9 @@ class _FaultInjector:
         #: directory shards currently powered off (at most one at a time:
         #: the injector never takes a key's last reachable copy down)
         self._downed_shards: set[str] = set()
+        #: active gray faults: "kind:target" -> stop callable (removers
+        #: returned by the FaultPlan, plus skew's lock-manager unwiring)
+        self._gray: dict[str, object] = {}
         #: active duplicate-delivery windows: id -> probability
         self._dup_windows: dict[str, float] = {}
         #: msg_ids already scheduled for redelivery (no re-arming: the
@@ -367,6 +378,88 @@ class _FaultInjector:
             f"moved={topology.keys_moved - before} version={topology.version}"
         )
 
+    def _apply_slow_start(self, params) -> None:
+        user = params["user"]
+        key = f"slow:{user}"
+        if key in self._gray:
+            return
+        # Private seeded stream for the per-leg pareto draws: forked off
+        # the injector rng so adding a slow window never perturbs the
+        # drop/dup draws of later windows beyond this one fork.
+        rng = random.Random(self.rng.getrandbits(64))
+        self._gray[key] = self.world.transport.faults.slow_node(
+            self.app.node(user).node_id,
+            rng=rng,
+            scale=params["scale"],
+            shape=params["shape"],
+        )
+
+    def _apply_slow_stop(self, params) -> None:
+        remover = self._gray.pop(f"slow:{params['user']}", None)
+        if remover is not None:
+            remover()
+
+    def _apply_degrade_start(self, params) -> None:
+        a, b = params["a"], params["b"]
+        key = f"degrade:{a}:{b}"
+        if key in self._gray:
+            return
+        rng = random.Random(self.rng.getrandbits(64))
+        self._gray[key] = self.world.transport.faults.degrade_link(
+            self.app.node(a).node_id,
+            self.app.node(b).node_id,
+            rng=rng,
+            loss=params["loss"],
+            jitter=params["jitter"],
+        )
+
+    def _apply_degrade_stop(self, params) -> None:
+        remover = self._gray.pop(f"degrade:{params['a']}:{params['b']}", None)
+        if remover is not None:
+            remover()
+
+    def _apply_stall_start(self, params) -> None:
+        user = params["user"]
+        key = f"stall:{user}"
+        if key in self._gray:
+            return
+        self._gray[key] = self.world.transport.faults.stall_node(
+            self.app.node(user).node_id, delay=params["delay"]
+        )
+        # Replies from a stalled node land after the caller's budget: the
+        # callee applied side effects its caller never heard about — the
+        # same both-sides disagreement as a lost reply.
+        self.disturbed.add(user)
+
+    def _apply_stall_stop(self, params) -> None:
+        remover = self._gray.pop(f"stall:{params['user']}", None)
+        if remover is not None:
+            remover()
+
+    def _apply_skew_start(self, params) -> None:
+        user = params["user"]
+        key = f"skew:{user}"
+        if key in self._gray:
+            return
+        node = self.app.node(user)
+        faults = self.world.transport.faults
+        remover = faults.set_clock_skew(node.node_id, params["offset"])
+        # The skew bends *lease stamping only* (never the simulation
+        # clock): wire the lock manager's skew hook for the window, so
+        # honest expiry checks drift against skewed deadlines.
+        node.locks.skew = lambda node_id=node.node_id: faults.clock_skew_of(node_id)
+
+        def stop(node=node, remover=remover) -> None:
+            remover()
+            node.locks.skew = None
+
+        self._gray[key] = stop
+
+    def _apply_skew_stop(self, params) -> None:
+        stop = self._gray.pop(f"skew:{params['user']}", None)
+        if stop is not None:
+            stop()
+
     def _apply_proxy_bind(self, params) -> None:
         self.world.directory_service.set_proxy(params["user"], params["proxy"])
         self._ghost_bound.add(params["user"])
@@ -385,6 +478,9 @@ class _FaultInjector:
         for remover in self._droppers.values():
             remover()
         self._droppers.clear()
+        for key in sorted(self._gray):
+            self._gray.pop(key)()
+        self.world.transport.faults.heal_gray()
         self._dup_windows.clear()
         for user in self.users:
             # Leftover armed coordinator crashes must not trip during the
@@ -480,6 +576,8 @@ class ChaosCampaign:
             fast=cfg.fast,
             directory_shards=cfg.directory_shards,
             directory_replicas=cfg.directory_replicas,
+            health=cfg.health,
+            hedge=cfg.health and cfg.hedge,
         )
         self.last_world = world
         world.transport.stamp_dedup = cfg.stamp
@@ -532,6 +630,10 @@ class ChaosCampaign:
                 if cfg.directory_shards > 1
                 else ""
             )
+            # Ablation markers only when non-default, so default-config
+            # logs stay byte-identical across the flags' introduction.
+            + ("" if cfg.health else " no-health")
+            + ("" if cfg.hedge or not cfg.health else " no-hedge")
         )
         injector = _FaultInjector(
             world, app, users, schedule, world.random.get("chaos.drops"), log
@@ -644,6 +746,8 @@ class ChaosCampaign:
             + ("" if cfg.retry else " --no-retry")
             + ("" if cfg.dedup else " --no-dedup")
             + ("" if cfg.recovery else " --no-recovery")
+            + ("" if cfg.health else " --no-health")
+            + ("" if cfg.hedge else " --no-hedge")
             + ("" if cfg.tracing else " --no-tracing")
             + (" --fast" if cfg.fast else "")
             + (

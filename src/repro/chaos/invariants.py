@@ -31,6 +31,11 @@ Checks:
 * ``no_stranded_marks`` — once the fleet quiesces, no entity lock is
   still held past its lease deadline (the participant termination
   protocol and crash recovery must have resolved them).
+* ``no_lease_overrun`` — no negotiation held its locks past the
+  coordinator's lease limit (deadline budgets must abort first even
+  against stalled or pareto-slow participants).
+* ``no_false_deaths``  — the phi-accrual detector never quarantined a
+  node that was healthy by fault-plan ground truth.
 * ``directory_cache``  — every node's cached lookups agree with the
   directory service and the cache epoch matches after heal.
 * ``wal_recovery``     — replaying each store's change journal onto its
@@ -300,6 +305,52 @@ def check_stranded_marks(world: SyDWorld) -> list[Violation]:
     return out
 
 
+def check_lease_overrun(world: SyDWorld) -> list[Violation]:
+    """No negotiation held its entity locks past the coordinator's lease.
+
+    Each coordinator audits every completed negotiation's wall (virtual)
+    hold time against ``lease_limit`` into ``lease_overruns``. With
+    deadline budgets on, a coordinator must abort before its lease runs
+    out no matter how sick a participant is — an overrun means a gray
+    node (a stall, a pareto tail) ate the whole lease, which is exactly
+    what the budget arithmetic exists to prevent.
+    """
+    out: list[Violation] = []
+    for user, node in sorted(world.nodes.items()):
+        for txn_id, held, limit in node.coordinator.lease_overruns:
+            out.append(
+                Violation(
+                    "no_lease_overrun",
+                    user,
+                    f"{txn_id} held locks {held:.3f}s > lease {limit:.1f}s",
+                    trace_id=node.coordinator.txn_traces.get(txn_id),
+                )
+            )
+    return out
+
+
+def check_no_false_deaths(world: SyDWorld) -> list[Violation]:
+    """The failure detector never quarantined a genuinely healthy node.
+
+    Every time suspicion crosses the quarantine bar and a caller skips a
+    node outright, the engine records a verdict stamped with fault-plan
+    ground truth. A verdict against a node that was reachable, unstalled,
+    unslowed and undegraded at that moment is a false death — adaptive
+    routing turned into a self-inflicted outage.
+    """
+    if world.health is None:
+        return []
+    return [
+        Violation(
+            "no_false_deaths",
+            node_id,
+            f"quarantined healthy node at t={when:.2f} (phi {phi:.2f})",
+        )
+        for when, node_id, phi, healthy in world.health.verdicts
+        if healthy
+    ]
+
+
 def check_directory_cache(world: SyDWorld) -> list[Violation]:
     """Cached lookups agree with directory truth; fill epochs are current.
 
@@ -407,6 +458,8 @@ def run_invariant_checks(
     violations += check_lock_residue(world)
     violations += check_decision_agreement(app, world)
     violations += check_stranded_marks(world)
+    violations += check_lease_overrun(world)
+    violations += check_no_false_deaths(world)
     violations += check_directory_cache(world)
     if baselines and journals:
         violations += check_wal_recovery(world, baselines, journals)

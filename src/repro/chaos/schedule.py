@@ -36,6 +36,14 @@ KINDS = (
     "shard_restart",    # params: shard (restart + anti-entropy repair)
     "shard_join",       # params: {} (rebalance in: spawn a shard, migrate keys)
     "shard_leave",      # params: {} (rebalance out: drain + retire newest shard)
+    "slow_start",       # params: user, scale, shape (pareto latency inflation)
+    "slow_stop",        # params: user
+    "degrade_start",    # params: a, b (users), loss, jitter (lossy flaky link)
+    "degrade_stop",     # params: a, b
+    "stall_start",      # params: user, delay (alive to probes, replies stall)
+    "stall_stop",       # params: user
+    "skew_start",       # params: user, offset (lease-clock skew, seconds)
+    "skew_stop",        # params: user
 )
 
 #: phases a coord_crash can target inside the negotiation protocol
@@ -64,6 +72,16 @@ PROFILES = {
     # request drops. Meaningful in worlds built with directory_shards>1;
     # shard events no-op quietly elsewhere.
     "sharded": (("shard_crash", "rebalance", "crash", "drop"), (3, 2, 2, 2)),
+    # Gray failures: nodes that are *up* but sick — pareto-tailed slow
+    # nodes, lossy jittery links, stalls (alive to probes, useless to
+    # callers) and lease-clock skew — plus a thin tail of outright
+    # crashes so the adaptive layer is exercised alongside the fail-stop
+    # mode it must not regress. (Degraded links already subsume classic
+    # drop windows: loss is per-traversal on the lossy pair.)
+    "gray": (
+        ("slow", "degrade", "stall", "skew", "crash"),
+        (3, 3, 2, 2, 1),
+    ),
 }
 
 
@@ -188,6 +206,45 @@ def generate_schedule(
         elif kind == "rebalance":
             events.append(FaultEvent(start, "shard_join", {}))
             events.append(FaultEvent(end, "shard_leave", {}))
+        elif kind == "slow":
+            user = rng.choice(users)
+            scale = round(rng.uniform(0.2, 0.6), 3)
+            shape = round(rng.uniform(1.3, 1.8), 2)
+            events.append(
+                FaultEvent(
+                    start, "slow_start", {"user": user, "scale": scale, "shape": shape}
+                )
+            )
+            events.append(FaultEvent(end, "slow_stop", {"user": user}))
+        elif kind == "degrade":
+            a, b = sorted(rng.sample(users, 2))
+            loss = round(rng.uniform(0.05, 0.3), 3)
+            jitter = round(rng.uniform(0.1, 0.5), 3)
+            events.append(
+                FaultEvent(
+                    start,
+                    "degrade_start",
+                    {"a": a, "b": b, "loss": loss, "jitter": jitter},
+                )
+            )
+            events.append(FaultEvent(end, "degrade_stop", {"a": a, "b": b}))
+        elif kind == "stall":
+            user = rng.choice(users)
+            delay = round(rng.uniform(30.0, 60.0), 1)
+            events.append(
+                FaultEvent(start, "stall_start", {"user": user, "delay": delay})
+            )
+            events.append(FaultEvent(end, "stall_stop", {"user": user}))
+        elif kind == "skew":
+            # Capped at ±6s: a positive skew larger than the settle
+            # window would keep honest leases "unexpired" past episode
+            # end and read as false lock residue.
+            user = rng.choice(users)
+            offset = round(rng.uniform(-6.0, 6.0), 2)
+            events.append(
+                FaultEvent(start, "skew_start", {"user": user, "offset": offset})
+            )
+            events.append(FaultEvent(end, "skew_stop", {"user": user}))
         else:
             user = rng.choice(users)
             events.append(

@@ -79,6 +79,13 @@ class SyDEngine:
         self.directory = directory
         self.credentials = credentials
         self.auth_passphrase = auth_passphrase
+        #: optional :class:`~repro.net.health.HealthMonitor` — when set,
+        #: proxy failover consults suspicion *ordering* (a device whose phi
+        #: dwarfs its proxy's is tried second, not first) and quarantined
+        #: devices (phi past the hard bar) are skipped outright; every
+        #: outright skip is audited against ground truth for the
+        #: ``no_false_deaths`` invariant
+        self.health = None
         #: count of calls that were served by a proxy instead of the device
         self.proxy_fallbacks = 0
         self.calls = 0
@@ -105,9 +112,22 @@ class SyDEngine:
         return payload
 
     def execute_on_node(
-        self, node_id: str, object_name: str, method: str, *args: Any, **kwargs: Any
+        self,
+        node_id: str,
+        object_name: str,
+        method: str,
+        *args: Any,
+        deadline: float | None = None,
+        **kwargs: Any,
     ) -> Any:
-        """Invoke a method on a specific node, no directory resolution."""
+        """Invoke a method on a specific node, no directory resolution.
+
+        ``deadline`` (absolute simulated time) caps the call *and* its
+        retry loop: attempts that would land past it fail with
+        :class:`~repro.util.errors.DeadlineExceeded`, and the retry loop
+        gives up as soon as the remaining budget cannot cover the next
+        backoff.
+        """
         self.calls += 1
         payload = self._payload(object_name, method, args, kwargs)
         # One idempotency key for the whole retry loop: every re-attempt
@@ -116,52 +136,131 @@ class SyDEngine:
         reply = retry_call(
             self.retry_policy,
             self.transport.stats,
-            lambda: self.transport.rpc(self.node_id, node_id, "invoke", payload, dedup=dedup),
+            lambda: self.transport.rpc(
+                self.node_id, node_id, "invoke", payload, dedup=dedup, deadline=deadline
+            ),
             tracer=self.transport.tracer,
             node=self.node_id,
+            deadline=deadline,
+            clock=self.transport.clock,
         )
         return reply.get("result")
 
     # -- single execution ----------------------------------------------------------
 
     def execute(
-        self, user: str, service: str, method: str, *args: Any, **kwargs: Any
+        self,
+        user: str,
+        service: str,
+        method: str,
+        *args: Any,
+        deadline: float | None = None,
+        **kwargs: Any,
     ) -> Any:
-        """Invoke ``service.method`` of ``user`` with proxy failover."""
+        """Invoke ``service.method`` of ``user`` with proxy failover.
+
+        With a :class:`HealthMonitor` installed, failover consults
+        suspicion *ordering*: when the user's proxy looks markedly
+        healthier than the home device, the proxy is tried first and the
+        home device second — reordered, never shed. Only a device past
+        the hard quarantine bar is skipped outright, and every such skip
+        is audited against fault-plan ground truth so a wrongly condemned
+        healthy device shows up as a ``no_false_deaths`` violation.
+        """
         record = self.directory.lookup_user(user)
         svc = self.directory.lookup_service(user, service)
         object_name = svc["object_name"]
+        home = record["node_id"]
+        proxy = record.get("proxy_node")
+        proxy_first = False
+        if self.health is not None and proxy and self._proxy_fallback_enabled():
+            if self.health.is_quarantined(home):
+                self.health.record_verdict(
+                    home, actually_healthy=self._ground_truth_healthy(home)
+                )
+                proxy_first = True
+            else:
+                proxy_first = self.health.rank([home, proxy])[0] == proxy
         try:
-            return self.execute_on_node(record["node_id"], object_name, method, *args, **kwargs)
+            if proxy_first:
+                self.proxy_fallbacks += 1
+                return self._invoke_via_proxy(
+                    user, proxy, object_name, method, args, kwargs, deadline
+                )
+            return self.execute_on_node(
+                home, object_name, method, *args, deadline=deadline, **kwargs
+            )
         except UnreachableError:
-            proxy = record.get("proxy_node")
+            if proxy_first:
+                # The preferred proxy was unreachable after all. The home
+                # device is still a candidate: suspicion reorders the
+                # attempt sequence, it never sheds a reachable node.
+                return self.execute_on_node(
+                    home, object_name, method, *args, deadline=deadline, **kwargs
+                )
             if not proxy or not self._proxy_fallback_enabled():
                 raise
             self.proxy_fallbacks += 1
-            # The proxy accepts the same invoke payload, plus the user id it
-            # should impersonate.
-            payload = self._payload(object_name, method, args, kwargs)
-            payload["for_user"] = user
-            self.calls += 1
-            # Fresh key for the proxy attempt: the same key must never be
-            # executable at two different nodes (the home attempt may have
-            # applied before its reply was lost).
-            dedup = self.transport.next_dedup(self.node_id, proxy)
-            reply = retry_call(
-                self.retry_policy,
-                self.transport.stats,
-                lambda: self.transport.rpc(self.node_id, proxy, "invoke", payload, dedup=dedup),
-                tracer=self.transport.tracer,
-                node=self.node_id,
+            return self._invoke_via_proxy(
+                user, proxy, object_name, method, args, kwargs, deadline
             )
-            return reply.get("result")
+
+    def _invoke_via_proxy(
+        self,
+        user: str,
+        proxy: str,
+        object_name: str,
+        method: str,
+        args: tuple,
+        kwargs: dict,
+        deadline: float | None = None,
+    ) -> Any:
+        # The proxy accepts the same invoke payload, plus the user id it
+        # should impersonate.
+        payload = self._payload(object_name, method, args, kwargs)
+        payload["for_user"] = user
+        self.calls += 1
+        # Fresh key for the proxy attempt: the same key must never be
+        # executable at two different nodes (the home attempt may have
+        # applied before its reply was lost).
+        dedup = self.transport.next_dedup(self.node_id, proxy)
+        reply = retry_call(
+            self.retry_policy,
+            self.transport.stats,
+            lambda: self.transport.rpc(
+                self.node_id, proxy, "invoke", payload, dedup=dedup, deadline=deadline
+            ),
+            tracer=self.transport.tracer,
+            node=self.node_id,
+            deadline=deadline,
+            clock=self.transport.clock,
+        )
+        return reply.get("result")
+
+    def _ground_truth_healthy(self, node_id: str) -> bool:
+        """Fault-plan ground truth for quarantine audits only.
+
+        Protocol code never reads fault state to make decisions; this
+        exists so every quarantine skip can be judged after the fact by
+        the ``no_false_deaths`` invariant. A node is "actually healthy"
+        when it is reachable and not under any gray rule.
+        """
+        faults = self.transport.faults
+        return (
+            faults.reachable(self.node_id, node_id)
+            and faults.stall_delay(node_id) == 0.0
+            and node_id not in faults.slow_nodes()
+            and not any(node_id in pair for pair in faults.degraded_pairs())
+        )
 
     def _proxy_fallback_enabled(self) -> bool:
         return self.retry_policy is None or self.retry_policy.proxy_fallback
 
     # -- batched execution -----------------------------------------------------------
 
-    def execute_calls(self, specs: Sequence[CallSpec]) -> list[CallOutcome]:
+    def execute_calls(
+        self, specs: Sequence[CallSpec], deadline: float | None = None
+    ) -> list[CallOutcome]:
         """Run every spec with per-member outcomes (never raises per member).
 
         Batched mode resolves and invokes in scatter-gather waves:
@@ -171,6 +270,12 @@ class SyDEngine:
         member's proxy in one second batched wave. Sequential mode
         (``batching = False``) loops :meth:`execute`, capturing the same
         errors; both modes move the same messages.
+
+        ``deadline`` caps the invoke waves and their retry loops; a leg
+        that cannot land in budget fails with
+        :class:`~repro.util.errors.DeadlineExceeded` (not retryable).
+        Directory resolution is not deadlined — lookups ride the replica
+        failover/hedging machinery instead.
         """
         if not specs:
             return []
@@ -179,7 +284,12 @@ class SyDEngine:
             for spec in specs:
                 try:
                     value = self.execute(
-                        spec.user, spec.service, spec.method, *spec.args, **spec.kwargs
+                        spec.user,
+                        spec.service,
+                        spec.method,
+                        *spec.args,
+                        deadline=deadline,
+                        **spec.kwargs,
                     )
                     outcomes.append(CallOutcome(spec.user, True, value))
                 except ReproError as exc:
@@ -218,7 +328,9 @@ class SyDEngine:
             for i, record, object_name in pending
         ]
         self.calls += len(legs)
-        results = rpc_many_with_retry(self.transport, self.node_id, legs, self.retry_policy)
+        results = rpc_many_with_retry(
+            self.transport, self.node_id, legs, self.retry_policy, deadline
+        )
 
         retry: list[tuple[int, dict[str, Any], str]] = []
         proxy_ok = self._proxy_fallback_enabled()
@@ -248,7 +360,7 @@ class SyDEngine:
             self.calls += len(proxy_legs)
             self.proxy_fallbacks += len(proxy_legs)
             proxy_results = rpc_many_with_retry(
-                self.transport, self.node_id, proxy_legs, self.retry_policy
+                self.transport, self.node_id, proxy_legs, self.retry_policy, deadline
             )
             for (i, _record, _object_name), outcome in zip(retry, proxy_results):
                 if outcome.ok:

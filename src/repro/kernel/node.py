@@ -117,7 +117,11 @@ class SyDNode:
             metrics_node=self.node_id,
         )
         self.coordinator = NegotiationCoordinator(
-            self.engine, self.tracer, intent_log=self.intent_log
+            self.engine,
+            self.tracer,
+            intent_log=self.intent_log,
+            metrics=metrics,
+            metrics_node=self.node_id,
         )
         # Every node answers termination queries under the well-known
         # ``_syd_txn`` name (kernel-trusted, auth-exempt; local registry

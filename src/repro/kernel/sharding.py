@@ -386,6 +386,19 @@ class ShardedDirectoryClient(DirectoryClient):
     def __init__(self, node_id: str, transport, topology: ShardedDirectory):
         super().__init__(node_id, transport, directory_node=topology.node_prefix)
         self.topology = topology
+        #: optional :class:`~repro.net.health.HealthMonitor`, wired by the
+        #: world: reads then try replica owners in suspicion order (stable
+        #: rank — ring order is preserved among equally-healthy shards)
+        self.health = None
+        #: hedged reads: with a health monitor installed, a read launches
+        #: a second leg at the next ring owner after a suspicion-scaled
+        #: delay, first reply wins (see :meth:`Transport.rpc_hedged`)
+        self.hedge = False
+        #: hedge timer base in simulated seconds — a healthy primary gets
+        #: the full base before the second leg fires, a suspected one
+        #: proportionally less; ordinary round trips finish well under it,
+        #: so healthy reads never send a hedge leg
+        self.hedge_base = 0.25
 
     # -- plumbing -------------------------------------------------------------
 
@@ -405,7 +418,33 @@ class ShardedDirectoryClient(DirectoryClient):
         )
         return reply.get("result")
 
+    def _ranked(self, owner_nodes: list[str]) -> list[str]:
+        """Owners in suspicion order (ring order when health is off)."""
+        if self.health is None:
+            return owner_nodes
+        return self.health.rank(owner_nodes)
+
     def _read(self, owner_nodes: list[str], method: str, *args: Any) -> Any:
+        owner_nodes = self._ranked(owner_nodes)
+        if self.hedge and self.health is not None and len(owner_nodes) >= 2:
+            # Hedged first attempt: primary leg now, second leg at the
+            # next-ranked owner after a suspicion-scaled delay, first
+            # reply wins. Failures fall through to the plain sequential
+            # failover below (which retries under the node's policy).
+            delay = self.health.hedge_delay(owner_nodes[0], self.hedge_base)
+            try:
+                reply = self.transport.rpc_hedged(
+                    self.node_id,
+                    owner_nodes[0],
+                    owner_nodes[1],
+                    "invoke",
+                    self._payload(method, args, {}),
+                    delay,
+                )
+            except (MessageDropped, UnreachableError):
+                pass
+            else:
+                return (reply or {}).get("result")
         last: Exception | None = None
         for node in owner_nodes:
             try:

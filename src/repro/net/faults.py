@@ -8,6 +8,7 @@ to take nodes down, create partitions, or drop specific messages.
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from repro.net.message import Message
@@ -26,6 +27,15 @@ class FaultPlan:
         self._partitions: list[list[set[str]]] = []
         self._drop_rules: list[DropRule] = []
         self._duplicate_rules: list[DropRule] = []
+        # Gray failures: degraded-but-alive components. Each entry keeps
+        # its own seeded RNG so injection order, not wall time, decides
+        # every draw (determinism gate).
+        self._slow_nodes: dict[str, tuple[random.Random, float, float]] = {}
+        self._degraded_links: dict[
+            frozenset[str], tuple[random.Random, float, float]
+        ] = {}
+        self._stalled: dict[str, float] = {}
+        self._clock_skew: dict[str, float] = {}
 
     @property
     def active(self) -> bool:
@@ -33,12 +43,19 @@ class FaultPlan:
 
         The transport's fast path checks this once per call: a default
         (inert) fault plan means every registered pair is reachable and
-        no drop/duplicate rule can match, so the per-message reachability
-        walk can be skipped wholesale. Cheap by construction — four
-        truthiness checks on the underlying containers.
+        no drop/duplicate/gray rule can match, so the per-message
+        reachability walk can be skipped wholesale. Cheap by
+        construction — truthiness checks on the underlying containers.
         """
         return bool(
-            self._down or self._partitions or self._drop_rules or self._duplicate_rules
+            self._down
+            or self._partitions
+            or self._drop_rules
+            or self._duplicate_rules
+            or self._slow_nodes
+            or self._degraded_links
+            or self._stalled
+            or self._clock_skew
         )
 
     # -- node availability --------------------------------------------------
@@ -122,6 +139,10 @@ class FaultPlan:
         # *own* participant — residue no retry or restart could explain.
         if message.src == message.dst:
             return False
+        # Degraded links lose traffic probabilistically (one seeded draw
+        # per traversal), on top of any targeted drop rules.
+        if self._degraded_links and self.gray_drop(message.src, message.dst):
+            return True
         return any(rule(message) for rule in self._drop_rules)
 
     # -- duplicate deliveries ---------------------------------------------------
@@ -147,6 +168,143 @@ class FaultPlan:
         if message.src == message.dst:  # loopback: see should_drop
             return False
         return any(rule(message) for rule in self._duplicate_rules)
+
+    # -- gray failures ----------------------------------------------------------
+    #
+    # Degraded-but-alive components: the node/link still answers (so it
+    # looks healthy to binary liveness checks) but latency, loss, or its
+    # notion of time is wrong. Every rule keeps a private seeded RNG so
+    # draws depend only on injection + delivery order.
+
+    def slow_node(
+        self,
+        node_id: str,
+        *,
+        rng: random.Random,
+        scale: float = 0.4,
+        shape: float = 1.5,
+    ) -> Callable[[], None]:
+        """Inflate every RPC leg touching ``node_id`` by a heavy-tailed delay.
+
+        The extra delay per leg is ``scale * (paretovariate(shape) - 1)``:
+        usually small, occasionally enormous — the canonical gray radio.
+        Returns a remover callable.
+        """
+        self._slow_nodes[node_id] = (rng, scale, shape)
+
+        def remove() -> None:
+            self._slow_nodes.pop(node_id, None)
+
+        return remove
+
+    def degrade_link(
+        self,
+        a: str,
+        b: str,
+        *,
+        rng: random.Random,
+        loss: float = 0.15,
+        jitter: float = 0.3,
+    ) -> Callable[[], None]:
+        """Make the (symmetric) pair lossy and jittery without severing it.
+
+        Each traversal independently drops with probability ``loss`` and
+        otherwise gains ``uniform(0, jitter)`` seconds. Layers like
+        partitions do: multiple calls on the same pair compose (the last
+        registration wins for that pair; distinct pairs are independent).
+        Returns a remover callable.
+        """
+        self._degraded_links[frozenset((a, b))] = (rng, loss, jitter)
+
+        def remove() -> None:
+            self._degraded_links.pop(frozenset((a, b)), None)
+
+        return remove
+
+    def stall_node(self, node_id: str, delay: float = 45.0) -> Callable[[], None]:
+        """Make ``node_id`` accept requests but reply after a huge delay.
+
+        The handler still runs (side effects land, heartbeat probes that
+        only check reachability still pass) but every reply leg out of
+        the node gains ``delay`` seconds — alive to liveness checks,
+        useless to callers. Returns a remover callable.
+        """
+        self._stalled[node_id] = delay
+
+        def remove() -> None:
+            self._stalled.pop(node_id, None)
+
+        return remove
+
+    def set_clock_skew(self, node_id: str, offset: float) -> Callable[[], None]:
+        """Skew ``node_id``'s *perceived* time by ``offset`` seconds.
+
+        Consumed only by lease/timeout arithmetic (lock manager, deadline
+        budgets) — never by the simulation clock, so event ordering and
+        message logs are untouched. Returns a remover callable.
+        """
+        self._clock_skew[node_id] = offset
+
+        def remove() -> None:
+            self._clock_skew.pop(node_id, None)
+
+        return remove
+
+    def clock_skew_of(self, node_id: str) -> float:
+        """Current perceived-time offset for ``node_id`` (0.0 = honest)."""
+        return self._clock_skew.get(node_id, 0.0)
+
+    def gray_delay(self, src: str, dst: str) -> float:
+        """Extra one-way delay for a ``src`` → ``dst`` traversal right now.
+
+        Sums slow-node inflation for both endpoints and degraded-link
+        jitter for the pair. Loopback traffic is exempt (see
+        ``should_drop``).
+        """
+        if src == dst:
+            return 0.0
+        extra = 0.0
+        for node in (src, dst):
+            rule = self._slow_nodes.get(node)
+            if rule is not None:
+                rng, scale, shape = rule
+                extra += scale * (rng.paretovariate(shape) - 1.0)
+        link = self._degraded_links.get(frozenset((src, dst)))
+        if link is not None:
+            rng, _loss, jitter = link
+            if jitter > 0.0:
+                extra += rng.uniform(0.0, jitter)
+        return extra
+
+    def gray_drop(self, src: str, dst: str) -> bool:
+        """Did the degraded link eat this traversal? (One seeded draw.)"""
+        if src == dst:
+            return False
+        link = self._degraded_links.get(frozenset((src, dst)))
+        if link is None:
+            return False
+        rng, loss, _jitter = link
+        return loss > 0.0 and rng.random() < loss
+
+    def stall_delay(self, node_id: str) -> float:
+        """Reply-leg delay inflicted by a stalled node (0.0 = not stalled)."""
+        return self._stalled.get(node_id, 0.0)
+
+    def stalled_nodes(self) -> set[str]:
+        return set(self._stalled)
+
+    def slow_nodes(self) -> set[str]:
+        return set(self._slow_nodes)
+
+    def degraded_pairs(self) -> set[frozenset[str]]:
+        return set(self._degraded_links)
+
+    def heal_gray(self) -> None:
+        """Remove every gray rule (slow, degraded, stalled, skewed)."""
+        self._slow_nodes.clear()
+        self._degraded_links.clear()
+        self._stalled.clear()
+        self._clock_skew.clear()
 
     # -- verdict ------------------------------------------------------------
 

@@ -125,6 +125,11 @@ class Message:
             re-enters that context so remote handler work lands as child
             spans of the caller's span. None for replies, unstamped legs
             and disabled/sampled-out tracers.
+        deadline: absolute simulated time by which the *caller* stops
+            waiting for this call chain (None = unbounded). Stamped on
+            request legs by deadline-budgeted callers; downstream hops
+            inherit the same absolute value, so the remaining budget
+            shrinks naturally as the clock advances across hops.
         size_bytes: estimated wire size, fixed at construction. Mutating
             the payload afterwards does not change it — the size models
             what was put on the wire, not the dict's later life.
@@ -140,6 +145,7 @@ class Message:
         "is_reply",
         "dedup",
         "trace",
+        "deadline",
         "size_bytes",
     )
 
@@ -153,6 +159,7 @@ class Message:
         is_reply: bool = False,
         dedup: tuple[str, int, int] | None = None,
         trace: tuple[str, str] | None = None,
+        deadline: float | None = None,
     ):
         if type(msg_id) is tuple:
             self._msg_id = None
@@ -167,7 +174,10 @@ class Message:
         self.is_reply = is_reply
         self.dedup = dedup
         self.trace = trace
+        self.deadline = deadline
         size = _HEADER_BYTES + estimate_size(self.payload)
+        if deadline is not None:
+            size += 8  # one float header field
         if dedup is not None:
             # Fast branch for the canonical (str, int, int) key shape:
             # list(2) + str(2 + utf8) + 8 + 8 — identical to the general

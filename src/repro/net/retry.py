@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.util.errors import MessageDropped, UnreachableError
+from repro.util.errors import DeadlineExceeded, MessageDropped, UnreachableError
 from repro.util.trace import maybe_span
 
 
@@ -72,6 +72,11 @@ class RetryPolicy:
         if self.sleep is not None:
             self.sleep(self.backoff(attempt))
 
+    def pause_for(self, delay: float) -> None:
+        """Sleep out a pre-computed backoff (keeps the jitter draw single)."""
+        if self.sleep is not None:
+            self.sleep(delay)
+
 
 def retry_call(
     policy: RetryPolicy | None,
@@ -79,6 +84,8 @@ def retry_call(
     fn: Callable[[], object],
     tracer=None,
     node: str = "",
+    deadline: float | None = None,
+    clock=None,
 ):
     """Run ``fn`` under ``policy``, re-invoking on transient failures.
 
@@ -87,12 +94,20 @@ def retry_call(
     a retried call eventually succeeds. With ``policy=None`` this is a
     plain call.
 
+    With a ``deadline`` (absolute simulated time; requires ``clock``),
+    the loop gives up with :class:`DeadlineExceeded` as soon as the
+    remaining budget cannot cover the next backoff — retrying into a
+    budget that is already gone only wastes the sickest node's time.
+    Note :class:`DeadlineExceeded` raised *by an attempt* is never
+    retried either: the policy only retries dropped/unreachable legs.
+
     When a ``tracer`` is given, the whole loop runs inside one
     ``net.call`` span and each try inside a ``net.attempt`` child — so
     every re-send of a leg lands in the *same* trace as the first
     attempt, numbered by its ``attempt`` attribute.
     """
     attempt = 1
+    started = clock.now() if (clock is not None and deadline is not None) else None
     with maybe_span(tracer, "net.call", node) as call_span:
         while True:
             try:
@@ -106,7 +121,15 @@ def retry_call(
                 ):
                     call_span.set(attempts=attempt, exhausted=policy is not None)
                     raise
-                policy.pause(attempt)
+                backoff = policy.backoff(attempt)
+                if started is not None and clock.now() + backoff >= deadline:
+                    call_span.set(attempts=attempt, budget_exhausted=True)
+                    raise DeadlineExceeded(
+                        clock.now() - started,
+                        deadline - started,
+                        detail=f"retry budget for {node or 'call'}",
+                    ) from exc
+                policy.pause_for(backoff)
                 if stats is not None:
                     stats.record_retry()
                 attempt += 1
@@ -117,23 +140,42 @@ def retry_call(
                 return value
 
 
-def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy | None):
+def rpc_many_with_retry(
+    transport,
+    src: str,
+    legs: Sequence,
+    policy: RetryPolicy | None,
+    deadline: float | None = None,
+):
     """``Transport.rpc_many`` with per-leg retries under ``policy``.
 
     Failed legs whose error is retryable are re-sent (only those legs) in
     follow-up scatter-gather batches after the policy's backoff, until
-    they succeed or attempts are exhausted. Returns the final outcome
-    list, positionally matching ``legs``.
+    they succeed or attempts are exhausted. Surviving legs are never
+    re-issued: each retry wave carries exactly the still-failed legs,
+    re-using their pre-stamped idempotency keys. Returns the final
+    outcome list, positionally matching ``legs``.
 
     Legs are pre-stamped with idempotency keys (when the transport
     supports it) so every re-send of a leg carries the same key and the
     receiver's dedup table can replay instead of re-executing — the
     at-least-once → exactly-once upgrade.
+
+    With a ``deadline``, every wave inherits it (legs that would land
+    past it fail with :class:`DeadlineExceeded`, which is not
+    retryable), and the wave loop stops as soon as the remaining budget
+    cannot cover the next backoff.
     """
     stamp = getattr(transport, "stamp_calls", None)
     if stamp is not None:
         legs = stamp(src, legs)
-    outcomes = transport.rpc_many(src, legs)
+    # Deadline passed positionally only when set: duck-typed transports
+    # (test doubles, wrappers) keep working unchanged without one.
+    outcomes = (
+        transport.rpc_many(src, legs)
+        if deadline is None
+        else transport.rpc_many(src, legs, deadline)
+    )
     if policy is None:
         return outcomes
     tracer = getattr(transport, "tracer", None)
@@ -144,7 +186,10 @@ def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy
         ]
         if not pending:
             break
-        policy.pause(attempt)
+        backoff = policy.backoff(attempt)
+        if deadline is not None and transport.clock.now() + backoff >= deadline:
+            break
+        policy.pause_for(backoff)
         transport.stats.record_retry(len(pending))
         # Re-send waves join the trace of the original batch's caller;
         # each wave is one span so the timeline shows scatter-gather
@@ -152,7 +197,12 @@ def rpc_many_with_retry(transport, src: str, legs: Sequence, policy: RetryPolicy
         with maybe_span(
             tracer, "net.retry_wave", src, attempt=attempt + 1, legs=len(pending)
         ):
-            redone = transport.rpc_many(src, [legs[i] for i in pending])
+            wave = [legs[i] for i in pending]
+            redone = (
+                transport.rpc_many(src, wave)
+                if deadline is None
+                else transport.rpc_many(src, wave, deadline)
+            )
         for i, outcome in zip(pending, redone):
             outcomes[i] = outcome
             if outcome.ok:

@@ -61,6 +61,8 @@ class StatsSnapshot:
     reply_lost: int = 0
     send_failures: int = 0
     duplicates: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier`` (keys never dropped)."""
@@ -82,6 +84,8 @@ class StatsSnapshot:
             reply_lost=self.reply_lost - earlier.reply_lost,
             send_failures=self.send_failures - earlier.send_failures,
             duplicates=self.duplicates - earlier.duplicates,
+            hedges=self.hedges - earlier.hedges,
+            hedge_wins=self.hedge_wins - earlier.hedge_wins,
         )
 
 
@@ -182,6 +186,16 @@ class NetworkStats:
         """Extra deliveries of an already-delivered request (fault model)."""
         return self._get("duplicates")
 
+    @property
+    def hedges(self) -> int:
+        """Hedged second legs launched after a suspicion-scaled delay."""
+        return self._get("hedges")
+
+    @property
+    def hedge_wins(self) -> int:
+        """Hedged legs whose reply beat the primary's."""
+        return self._get("hedge_wins")
+
     # -- recorders ---------------------------------------------------------
 
     def record_delivery(self, kind: str, size: int, delay: float, is_reply: bool) -> None:
@@ -232,6 +246,14 @@ class NetworkStats:
         """Account one duplicate delivery of a request."""
         self._inc("duplicates")
 
+    def record_hedge(self) -> None:
+        """Account one hedged second leg (the primary looked slow)."""
+        self._inc("hedges")
+
+    def record_hedge_win(self) -> None:
+        """Account a hedged leg that answered before the primary."""
+        self._inc("hedge_wins")
+
     def snapshot(self) -> StatsSnapshot:
         """Copy the current counters."""
         return StatsSnapshot(
@@ -250,6 +272,8 @@ class NetworkStats:
             reply_lost=self.reply_lost,
             send_failures=self.send_failures,
             duplicates=self.duplicates,
+            hedges=self.hedges,
+            hedge_wins=self.hedge_wins,
         )
 
     def reset(self) -> None:

@@ -63,6 +63,7 @@ from repro.net.stats import NetworkStats
 from repro.util.clock import VirtualClock
 from repro.util.errors import (
     ERRORS_BY_NAME,
+    DeadlineExceeded,
     MessageDropped,
     NetworkError,
     RemoteError,
@@ -153,6 +154,13 @@ class Transport:
         #: response never reached the requester) — chaos uses this to mark
         #: both endpoints for post-episode reconciliation
         self.reply_loss_taps: list[Callable[[Message], None]] = []
+        #: optional phi-accrual detector (repro.net.health): when set, the
+        #: transport piggybacks RPC outcomes into it — every successful
+        #: round trip is a sign of life with a network-only RTT sample,
+        #: every request-leg failure and deadline overrun is evidence
+        #: against the destination. Fed identically by the default and
+        #: fast paths so suspicion trajectories never depend on the mode.
+        self.health = None
         #: fast mode: the cheap implementations are bound once, here, so
         #: the hot path carries no per-call mode branch of its own
         self.fast = fast
@@ -265,6 +273,11 @@ class Transport:
     def _account_delivery(self, msg: Message, advance: bool) -> float:
         """Charge one deliverable leg: delay, clock, stats, taps."""
         delay = self.latency.delay(self._addresses[msg.src], self._addresses[msg.dst], msg)
+        if self.faults.active:
+            # Gray inflation: slow-node / degraded-link rules add seeded
+            # extra delay on top of the latency model. Zero-cost when no
+            # gray rule exists (empty-dict lookups).
+            delay += self.faults.gray_delay(msg.src, msg.dst)
         if advance:
             self.clock.advance(delay)
         self.stats.record_delivery(msg.kind, msg.size_bytes, delay, msg.is_reply)
@@ -328,6 +341,7 @@ class Transport:
         kind: str,
         payload: dict[str, Any],
         dedup: tuple[str, int, int] | None = None,
+        deadline: float | None = None,
     ) -> dict[str, Any]:
         """Request/response round trip; returns the handler's payload.
 
@@ -341,9 +355,18 @@ class Transport:
         ``dedup`` carries a pre-allocated idempotency key (retrying
         callers re-use one key across attempts); without it the request
         is stamped with a fresh key automatically.
+
+        ``deadline`` is an absolute simulated time past which the caller
+        stops waiting: the clock never advances beyond it on this call,
+        and :class:`DeadlineExceeded` is raised instead of the result.
+        The wire traffic is still accounted at its real delay — the
+        network was busy whether or not anyone kept listening.
         """
         if dedup is None:
             dedup = self.next_dedup(src, dst)
+        if deadline is not None:
+            return self._rpc_deadline(src, dst, kind, payload, dedup, deadline)
+        health = self.health
         with maybe_span(self.tracer, f"rpc:{kind}", src, dst=dst) as span:
             start = self.clock.now()
             msg = Message(
@@ -355,7 +378,12 @@ class Transport:
                 dedup=dedup,
                 trace=self._trace_ctx(),
             )
-            self._deliver(msg)
+            try:
+                dlv = self._deliver(msg)
+            except (UnreachableError, MessageDropped):
+                if health is not None:
+                    health.record_failure(dst)
+                raise
             span.set(bytes=msg.size_bytes)
             try:
                 result = self._handlers[dst](msg)
@@ -371,12 +399,296 @@ class Transport:
             if result is None:
                 result = {}
             self._maybe_duplicate(msg)
-            self._account_reply(msg, result)
+            rpl = self._account_reply(msg, result)
+            if health is not None:
+                health.record_success(dst, dlv + rpl)
             span.set(outcome="ok", delay=round(self.clock.now() - start, 9))
             return result
 
+    def _rpc_deadline(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: dict[str, Any],
+        dedup: tuple[str, int, int] | None,
+        deadline: float,
+    ) -> dict[str, Any]:
+        """:meth:`rpc` under a deadline budget.
+
+        Identical accounting to the unbounded path (stats charge real
+        delays), except the clock advance for any leg is capped at the
+        deadline and :class:`DeadlineExceeded` is raised the moment the
+        budget cannot absorb the leg. A request leg that overruns never
+        executes the handler (the caller gave up while it was in
+        flight); a reply leg that overruns raises *after* the handler's
+        side effects landed — the usual at-least-once hazard, resolved
+        by the dedup layer on retry.
+        """
+        health = self.health
+        with maybe_span(self.tracer, f"rpc:{kind}", src, dst=dst) as span:
+            start = self.clock.now()
+            if start >= deadline:
+                span.set(outcome="deadline")
+                raise DeadlineExceeded(0.0, 0.0, detail=f"rpc:{kind} to {dst} not sent")
+            msg = Message(
+                ("msg", self._ids.next_num("msg")),
+                src,
+                dst,
+                kind,
+                payload,
+                dedup=dedup,
+                trace=self._trace_ctx(),
+                deadline=deadline,
+            )
+            try:
+                dlv = self._deliver(msg, advance=False)
+            except (UnreachableError, MessageDropped):
+                if health is not None:
+                    health.record_failure(dst)
+                raise
+            span.set(bytes=msg.size_bytes)
+            if start + dlv > deadline:
+                self.clock.advance(deadline - start)
+                span.set(outcome="deadline")
+                if health is not None:
+                    health.record_failure(dst)
+                raise DeadlineExceeded(
+                    deadline - start,
+                    deadline - start,
+                    detail=f"request leg rpc:{kind} to {dst}",
+                )
+            self.clock.advance(dlv)
+            try:
+                result = self._handlers[dst](msg)
+            except ReproError as exc:
+                error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+                span.set(outcome="remote_error")
+                rpl = self._account_reply(msg, {"error": str(exc)}, advance=False)
+                self._advance_within(rpl, start, deadline, span, health, dst, kind)
+                raise error
+            except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+                span.set(outcome="remote_error")
+                rpl = self._account_reply(msg, {"error": str(exc)}, advance=False)
+                self._advance_within(rpl, start, deadline, span, health, dst, kind)
+                raise RemoteError(type(exc).__name__, str(exc)) from exc
+            if result is None:
+                result = {}
+            self._maybe_duplicate(msg)
+            rpl = self._account_reply(msg, result, advance=False)
+            self._advance_within(rpl, start, deadline, span, health, dst, kind)
+            if health is not None:
+                health.record_success(dst, dlv + rpl)
+            span.set(outcome="ok", delay=round(self.clock.now() - start, 9))
+            return result
+
+    def _advance_within(
+        self, delay: float, start: float, deadline: float, span, health, dst: str, kind: str
+    ) -> None:
+        """Advance by ``delay`` but never past ``deadline``; raise on overrun."""
+        now = self.clock.now()
+        if now + delay > deadline:
+            if deadline > now:
+                self.clock.advance(deadline - now)
+            span.set(outcome="deadline")
+            if health is not None:
+                health.record_failure(dst)
+            raise DeadlineExceeded(
+                self.clock.now() - start,
+                deadline - start,
+                detail=f"reply leg rpc:{kind} from {dst}",
+            )
+        self.clock.advance(delay)
+
+    def rpc_hedged(
+        self,
+        src: str,
+        primary: str,
+        backup: str,
+        kind: str,
+        payload: dict[str, Any],
+        hedge_delay: float,
+    ) -> dict[str, Any]:
+        """First-wins hedged round trip for idempotent reads.
+
+        The request goes to ``primary`` immediately; if its round trip
+        has not completed after ``hedge_delay`` the same request is
+        launched at ``backup`` and whichever reply arrives first decides
+        (ties favor the primary). The caller's clock advances only to
+        the winner's arrival — the loser's reply lands later and is
+        discarded, exactly the tail-latency cut hedging buys — while
+        stats charge both legs' real traffic.
+
+        Both handlers may execute (the hedge is for *idempotent* reads;
+        each leg carries its own fresh idempotency key so the receivers'
+        dedup tables never conflate them). A primary failure known
+        before the hedge timer (unreachable, drop, typed remote error)
+        is raised immediately — hedging cuts latency tails, it is not an
+        error-failover mechanism; the caller's replica failover handles
+        those. A primary whose *reply* is lost never completes, so the
+        hedge always fires for it.
+
+        There is one implementation — never rebound by fast mode — so
+        hedged traffic is byte-identical across transport modes.
+        """
+        health = self.health
+        with maybe_span(
+            self.tracer, f"rpc:{kind}", src, dst=primary, hedge=backup
+        ) as span:
+            start = self.clock.now()
+            msg = Message(
+                ("msg", self._ids.next_num("msg")),
+                src,
+                primary,
+                kind,
+                payload,
+                dedup=self.next_dedup(src, primary),
+                trace=self._trace_ctx(),
+            )
+            p_result: dict[str, Any] | None = None
+            p_error: Exception | None = None
+            p_total: float | None = None  # None = reply lost, never completes
+            try:
+                dlv = self._deliver(msg, advance=False)
+            except (UnreachableError, MessageDropped):
+                if health is not None:
+                    health.record_failure(primary)
+                span.set(outcome="undeliverable")
+                raise
+            span.set(bytes=msg.size_bytes)
+            try:
+                result = self._handlers[primary](msg)
+            except ReproError as exc:
+                p_error = (
+                    type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
+                )
+                try:
+                    p_total = dlv + self._account_reply(
+                        msg, {"error": str(exc)}, advance=False
+                    )
+                except NetworkError as loss:
+                    p_error, p_total = loss, None
+            except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
+                p_error = RemoteError(type(exc).__name__, str(exc))
+                try:
+                    p_total = dlv + self._account_reply(
+                        msg, {"error": str(exc)}, advance=False
+                    )
+                except NetworkError as loss:
+                    p_error, p_total = loss, None
+            else:
+                if result is None:
+                    result = {}
+                self._maybe_duplicate(msg)
+                try:
+                    p_total = dlv + self._account_reply(msg, result, advance=False)
+                except NetworkError as loss:
+                    p_error, p_total = loss, None
+                else:
+                    p_result = result
+            if p_total is not None and p_total <= hedge_delay:
+                # The primary answered (or errored) before the hedge
+                # timer: no second leg is ever sent.
+                self.clock.advance(p_total)
+                if p_error is not None:
+                    span.set(outcome="remote_error")
+                    raise p_error
+                if health is not None:
+                    health.record_success(primary, p_total)
+                span.set(outcome="ok", delay=round(p_total, 9))
+                return p_result  # type: ignore[return-value]
+
+            # Hedge fires: the same request at the backup owner, its
+            # round trip starting hedge_delay after the primary's.
+            self.stats.record_hedge()
+            b_msg = Message(
+                ("msg", self._ids.next_num("msg")),
+                src,
+                backup,
+                kind,
+                payload,
+                dedup=self.next_dedup(src, backup),
+                trace=self._trace_ctx(),
+            )
+            b_result: dict[str, Any] | None = None
+            b_error: Exception | None = None
+            b_total: float | None = None
+            try:
+                bdlv = self._deliver(b_msg, advance=False)
+            except (UnreachableError, MessageDropped) as exc:
+                if health is not None:
+                    health.record_failure(backup)
+                b_error, b_total = exc, hedge_delay
+            else:
+                try:
+                    bres = self._handlers[backup](b_msg)
+                except ReproError as exc:
+                    b_error = (
+                        type(exc)(*exc.args)
+                        if type(exc).__name__ in ERRORS_BY_NAME
+                        else exc
+                    )
+                    try:
+                        b_total = hedge_delay + bdlv + self._account_reply(
+                            b_msg, {"error": str(exc)}, advance=False
+                        )
+                    except NetworkError as loss:
+                        b_error, b_total = loss, None
+                except Exception as exc:  # noqa: BLE001 - marshal remote failure
+                    b_error = RemoteError(type(exc).__name__, str(exc))
+                    try:
+                        b_total = hedge_delay + bdlv + self._account_reply(
+                            b_msg, {"error": str(exc)}, advance=False
+                        )
+                    except NetworkError as loss:
+                        b_error, b_total = loss, None
+                else:
+                    if bres is None:
+                        bres = {}
+                    self._maybe_duplicate(b_msg)
+                    try:
+                        b_total = hedge_delay + bdlv + self._account_reply(
+                            b_msg, bres, advance=False
+                        )
+                    except NetworkError as loss:
+                        b_error, b_total = loss, None
+                    else:
+                        b_result = bres
+
+            # First successful reply wins; ties favor the primary.
+            winners = []
+            if p_result is not None and p_total is not None:
+                winners.append((p_total, 0))
+            if b_result is not None and b_total is not None:
+                winners.append((b_total, 1))
+            if winners:
+                total, which = min(winners)
+                self.clock.advance(total)
+                if health is not None:
+                    # Both replies eventually arrive; both are RTT samples.
+                    if p_result is not None and p_total is not None:
+                        health.record_success(primary, p_total)
+                    if b_result is not None and b_total is not None:
+                        health.record_success(backup, b_total - hedge_delay)
+                if which == 1:
+                    self.stats.record_hedge_win()
+                    span.set(outcome="hedge_win", delay=round(total, 9))
+                    return b_result  # type: ignore[return-value]
+                span.set(outcome="ok", delay=round(total, 9))
+                return p_result  # type: ignore[return-value]
+
+            # Neither leg produced a result: the caller learns of the
+            # failure at the later of the two known completion times.
+            known = [t for t in (p_total, b_total) if t is not None]
+            self.clock.advance(max(known) if known else hedge_delay)
+            span.set(outcome="failed", delay=round(self.clock.now() - start, 9))
+            raise p_error if p_error is not None else b_error  # type: ignore[misc]
+
     def rpc_many(
-        self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
+        self,
+        src: str,
+        calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]],
+        deadline: float | None = None,
     ) -> list[RpcOutcome]:
         """Scatter-gather: issue every call as a concurrent in-flight leg.
 
@@ -398,15 +710,25 @@ class Transport:
         deterministic.
 
         Only an unattached *source* raises, since no leg could be sent.
+
+        With a ``deadline``, legs whose request+reply delay would land
+        past it come back as failed outcomes carrying
+        :class:`DeadlineExceeded`, their clock contribution capped at
+        the remaining budget (stats still charge real delays). A leg
+        whose *request* overruns never executes its handler; a leg
+        whose *reply* overruns already did.
         """
         legs = [c if isinstance(c, RpcCall) else RpcCall(*c) for c in calls]
         if not legs:
             return []
         if src not in self._addresses:
             raise UnreachableError(f"source node {src!r} not attached")
+        health = self.health
         outcomes: list[RpcOutcome] = []
         max_delay = 0.0
         with maybe_span(self.tracer, "net.batch", src, legs=len(legs)) as batch:
+            start = self.clock.now()
+            remaining = None if deadline is None else max(0.0, deadline - start)
             for call in legs:
                 dedup = call.dedup if call.dedup is not None else self.next_dedup(src, call.dst)
                 with maybe_span(
@@ -420,14 +742,37 @@ class Transport:
                         call.payload,
                         dedup=dedup,
                         trace=self._trace_ctx(),
+                        deadline=deadline,
                     )
                     try:
                         delay = self._deliver(msg, advance=False)
                     except (UnreachableError, MessageDropped) as exc:
                         span.set(outcome="undeliverable")
+                        if health is not None:
+                            health.record_failure(call.dst)
                         outcomes.append(RpcOutcome(call.dst, False, error=exc))
                         continue
                     span.set(bytes=msg.size_bytes)
+                    if remaining is not None and delay > remaining:
+                        # The caller stops waiting while the request is
+                        # still in flight: the handler never runs.
+                        span.set(outcome="deadline", delay=round(remaining, 9))
+                        if health is not None:
+                            health.record_failure(call.dst)
+                        outcomes.append(
+                            RpcOutcome(
+                                call.dst,
+                                False,
+                                error=DeadlineExceeded(
+                                    remaining,
+                                    remaining,
+                                    detail=f"request leg rpc:{call.kind} to {call.dst}",
+                                ),
+                                delay=remaining,
+                            )
+                        )
+                        max_delay = max(max_delay, remaining)
+                        continue
                     try:
                         result = self._handlers[call.dst](msg)
                     except ReproError as exc:
@@ -442,6 +787,13 @@ class Transport:
                             )
                         except NetworkError as loss:
                             error = loss
+                        if remaining is not None and delay > remaining:
+                            error = DeadlineExceeded(
+                                remaining,
+                                remaining,
+                                detail=f"reply leg rpc:{call.kind} from {call.dst}",
+                            )
+                            delay = remaining
                         span.set(outcome="remote_error", delay=round(delay, 9))
                         outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
                     except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
@@ -452,6 +804,13 @@ class Transport:
                             )
                         except NetworkError as loss:
                             error = loss
+                        if remaining is not None and delay > remaining:
+                            error = DeadlineExceeded(
+                                remaining,
+                                remaining,
+                                detail=f"reply leg rpc:{call.kind} from {call.dst}",
+                            )
+                            delay = remaining
                         span.set(outcome="remote_error", delay=round(delay, 9))
                         outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
                     else:
@@ -466,11 +825,35 @@ class Transport:
                                 RpcOutcome(call.dst, False, error=loss, delay=delay)
                             )
                         else:
-                            span.set(outcome="ok", delay=round(delay, 9))
-                            outcomes.append(
-                                RpcOutcome(call.dst, True, value=result, delay=delay)
-                            )
+                            if remaining is not None and delay > remaining:
+                                span.set(outcome="deadline", delay=round(remaining, 9))
+                                if health is not None:
+                                    health.record_failure(call.dst)
+                                outcomes.append(
+                                    RpcOutcome(
+                                        call.dst,
+                                        False,
+                                        error=DeadlineExceeded(
+                                            remaining,
+                                            remaining,
+                                            detail=(
+                                                f"reply leg rpc:{call.kind} "
+                                                f"from {call.dst}"
+                                            ),
+                                        ),
+                                        delay=remaining,
+                                    )
+                                )
+                            else:
+                                span.set(outcome="ok", delay=round(delay, 9))
+                                if health is not None:
+                                    health.record_success(call.dst, delay)
+                                outcomes.append(
+                                    RpcOutcome(call.dst, True, value=result, delay=delay)
+                                )
                     max_delay = max(max_delay, delay)
+            if remaining is not None:
+                max_delay = min(max_delay, remaining)
             self.clock.advance(max_delay)
             batch.set(max_delay=round(max_delay, 9))
         self.stats.record_batch(len(legs), max_delay)
@@ -497,11 +880,16 @@ class Transport:
         kind: str,
         payload: dict[str, Any],
         dedup: tuple[str, int, int] | None = None,
+        deadline: float | None = None,
     ) -> dict[str, Any]:
         """Allocation-lean :meth:`rpc` for the tracing-off, no-fault window."""
         tracer = self.tracer
-        if (tracer is not None and tracer.enabled) or self.faults.active:
-            return Transport.rpc(self, src, dst, kind, payload, dedup)
+        if (
+            (tracer is not None and tracer.enabled)
+            or self.faults.active
+            or deadline is not None
+        ):
+            return Transport.rpc(self, src, dst, kind, payload, dedup, deadline)
         # Id/seq allocation strictly precedes the reachability checks, as in
         # the default path — an unreachable call must consume the same
         # dedup seq and message id in both modes.
@@ -520,6 +908,8 @@ class Transport:
         handler = self._handlers.get(dst)
         if handler is None:
             stats.record_unreachable()
+            if self.health is not None:
+                self.health.record_failure(dst)
             raise UnreachableError(f"node {dst!r} is not attached to the network")
         flat = self._flat_delay
         delay = flat if flat is not None else self.latency.delay(
@@ -542,13 +932,15 @@ class Transport:
             result = {}
         # No duplicate-delivery probe: an inert fault plan has no dup rules.
         reply = Message(("msg", ids.next_num("msg")), dst, src, kind, result, is_reply=True)
-        delay = flat if flat is not None else self.latency.delay(
+        rdelay = flat if flat is not None else self.latency.delay(
             addresses[dst], addresses[src], reply
         )
-        clock.advance(delay)
-        stats.record_delivery(kind, reply.size_bytes, delay, True)
+        clock.advance(rdelay)
+        stats.record_delivery(kind, reply.size_bytes, rdelay, True)
         for tap in self.taps:
             tap(reply)
+        if self.health is not None:
+            self.health.record_success(dst, delay + rdelay)
         return result
 
     def _send_fast(self, src: str, dst: str, kind: str, payload: dict[str, Any]) -> None:
@@ -579,12 +971,19 @@ class Transport:
             self.stats.record_send_failure()
 
     def _rpc_many_fast(
-        self, src: str, calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]]
+        self,
+        src: str,
+        calls: Sequence[RpcCall | tuple[str, str, dict[str, Any]]],
+        deadline: float | None = None,
     ) -> list[RpcOutcome]:
         """Allocation-lean :meth:`rpc_many` for the tracing-off, no-fault window."""
         tracer = self.tracer
-        if (tracer is not None and tracer.enabled) or self.faults.active:
-            return Transport.rpc_many(self, src, calls)
+        if (
+            (tracer is not None and tracer.enabled)
+            or self.faults.active
+            or deadline is not None
+        ):
+            return Transport.rpc_many(self, src, calls, deadline)
         legs = [c if isinstance(c, RpcCall) else RpcCall(*c) for c in calls]
         if not legs:
             return []
@@ -615,6 +1014,8 @@ class Transport:
             handler = handlers.get(dst)
             if handler is None:
                 stats.record_unreachable()
+                if self.health is not None:
+                    self.health.record_failure(dst)
                 outcomes.append(
                     RpcOutcome(
                         dst,
@@ -656,6 +1057,8 @@ class Transport:
                 stats.record_delivery(call.kind, reply.size_bytes, rdelay, True)
                 for tap in taps:
                     tap(reply)
+                if self.health is not None:
+                    self.health.record_success(dst, delay)
                 outcomes.append(RpcOutcome(dst, True, value=result, delay=delay))
             if delay > max_delay:
                 max_delay = delay
@@ -748,6 +1151,15 @@ class Transport:
         delay = self.latency.delay(
             self._addresses[request.dst], self._addresses[request.src], reply
         )
+        if self.faults.active:
+            # Gray inflation on the reply leg, plus the stall penalty: a
+            # stalled node executed the handler (side effects landed, it
+            # looks alive to liveness probes) but its reply crawls home.
+            # Loopback is exempt (like gray_delay): a self-invocation
+            # never traverses the wedged network-facing reply path.
+            delay += self.faults.gray_delay(request.dst, request.src)
+            if request.dst != request.src:
+                delay += self.faults.stall_delay(request.dst)
         if advance:
             self.clock.advance(delay)
         self.stats.record_delivery(reply.kind, reply.size_bytes, delay, True)

@@ -64,7 +64,12 @@ from enum import Enum
 from typing import Any, Callable
 
 from repro.kernel.engine import CallOutcome, CallSpec, SyDEngine
-from repro.util.errors import CoordinatorCrashed, NetworkError, ReproError
+from repro.util.errors import (
+    CoordinatorCrashed,
+    NetworkError,
+    Overloaded,
+    ReproError,
+)
 from repro.util.trace import Tracer
 
 
@@ -179,6 +184,8 @@ class NegotiationCoordinator:
         engine: SyDEngine,
         tracer: Tracer | None = None,
         intent_log=None,
+        metrics=None,
+        metrics_node: str = "",
     ):
         from repro.txn.log import IntentLog
 
@@ -186,6 +193,27 @@ class NegotiationCoordinator:
         self.tracer = tracer or Tracer()
         #: durable (or, without a store, volatile) BEGIN/DECIDE/END log
         self.intents = intent_log if intent_log is not None else IntentLog()
+        #: optional MetricsRegistry sink (txn.shed, txn.lease_overrun)
+        self.metrics = metrics
+        self.metrics_node = metrics_node
+        #: the participants' lock-lease length this coordinator must stay
+        #: inside — a completed (non-crashed) negotiation that held marks
+        #: longer is recorded in ``lease_overruns`` (the
+        #: ``no_lease_overrun`` invariant audits the list)
+        self.lease_limit = 20.0
+        #: per-negotiation deadline budget in seconds (None = unbudgeted).
+        #: The world derives it from the lease when adaptive robustness is
+        #: on, so a gray participant's stalled replies cannot make this
+        #: coordinator hold locks past the participants' own lease.
+        self.lease_budget: float | None = None
+        #: bounded admission: re-entrant negotiations stacked past this
+        #: depth are shed with a retryable :class:`Overloaded` instead of
+        #: growing the busy/defer path without bound
+        self.admission_limit = 4
+        self.shed = 0
+        #: (txn_id, held_seconds, lease_limit) for every completed
+        #: negotiation that outheld the lease
+        self.lease_overruns: list[tuple[str, float, float]] = []
         self._txn_counter = 0
         self._depth = 0
         #: txn ids currently on the execute stack (recovery must not touch
@@ -268,12 +296,30 @@ class NegotiationCoordinator:
         where *every* group's constraint must hold before anything
         changes. ``execute`` is the single-group special case.
         """
+        # Bounded admission: shedding early (with a typed, retryable
+        # error) beats stacking re-entrant negotiations whose backoffs
+        # pump yet more deferred work onto the same coordinator.
+        if self._depth >= self.admission_limit:
+            self.shed += 1
+            if self.metrics is not None:
+                self.metrics.inc(self.metrics_node, "txn.shed")
+            raise Overloaded(
+                f"coordinator {self.engine.node_id}: {self._depth} negotiations "
+                f"in flight (admission limit {self.admission_limit})"
+            )
         txn_id = self._next_txn_id()
         described = " & ".join(c.describe() for _, c in groups) or "and"
         result = NegotiationResult(ok=False, constraint=described, txn_id=txn_id)
         self.executed += 1
         trace = self.tracer
         all_targets = [t for targets, _constraint in groups for t in targets]
+        clock = self.engine.transport.clock
+        t0 = clock.now()
+        # Per-phase deadline budget, derived from the participants' lock
+        # lease: every pre-decide wave (and its retry backoffs) is capped
+        # by one absolute deadline, so a stalled participant can delay
+        # this negotiation by at most the budget — never past the lease.
+        deadline = t0 + self.lease_budget if self.lease_budget is not None else None
 
         # The whole protocol runs under one span (closed in the finally
         # block, after the unlock epilogue). Its trace id is remembered in
@@ -321,7 +367,7 @@ class NegotiationCoordinator:
         try:
             # Step 1: Mark A for change and Lock A.
             trace.record(initiator.user, "mark", entity=initiator.entity, txn=txn_id)
-            initiator_marked, initiator_unknown = self._mark(initiator, txn_id)
+            initiator_marked, initiator_unknown = self._mark(initiator, txn_id, deadline)
             if not initiator_marked:
                 result.failure_reason = f"initiator {initiator.user} could not be marked"
                 trace.record(initiator.user, "abort", reason="initiator-mark-failed")
@@ -338,6 +384,7 @@ class NegotiationCoordinator:
                 lambda t: CallSpec(
                     t.user, t.service, t.mark_method, (t.entity, txn_id, *t.mark_args)
                 ),
+                deadline=deadline,
             )
             protocol_error: Exception | None = None
             outcome_iter = iter(mark_outcomes)
@@ -378,6 +425,18 @@ class NegotiationCoordinator:
                     trace.record(initiator.user, "abort", reason=result.failure_reason)
                     return result
 
+            # Budget gate: aborting is only safe *before* the durable
+            # commit decision. A mark phase that burned the whole budget
+            # (gray participants, retry storms) aborts here rather than
+            # carrying exhausted deadlines into the commit waves.
+            if deadline is not None and clock.now() >= deadline:
+                result.failure_reason = (
+                    f"deadline budget exhausted before decide "
+                    f"({clock.now() - t0:.3f}s of {self.lease_budget:.3f}s)"
+                )
+                trace.record(initiator.user, "abort", reason="budget-exhausted")
+                return result
+
             # DECIDE(commit) goes durable *before* the first change leg:
             # once any participant may have applied the change, a restarted
             # coordinator (and any participant's txn_status query) must
@@ -387,9 +446,17 @@ class NegotiationCoordinator:
             )
             self._maybe_crash("after-decide", txn_id)
 
+            # Post-decide waves get a fresh grace window (not the leftover
+            # mark-phase budget): the commit point is already durable, so
+            # starving the change legs would only manufacture split
+            # outcomes for recovery to mop up.
+            post_deadline = (
+                clock.now() + 0.2 * self.lease_limit if deadline is not None else None
+            )
+
             # Step 4: Change A; change the locked entities (one batch).
             trace.record(initiator.user, "change", entity=initiator.entity, txn=txn_id)
-            self._change(initiator, txn_id, change)
+            self._change(initiator, txn_id, change, post_deadline)
             result.changed.append(initiator.user)
             self._maybe_crash("after-partial-change", txn_id)
             for target in locked:
@@ -399,6 +466,7 @@ class NegotiationCoordinator:
                 lambda t: CallSpec(
                     t.user, t.service, t.change_method, (t.entity, txn_id, change)
                 ),
+                deadline=post_deadline,
             )
             change_error: Exception | None = None
             for target, outcome in zip(locked, change_outcomes):
@@ -428,7 +496,13 @@ class NegotiationCoordinator:
                 # whose *mark* leg failed with a network error ride along:
                 # their lock may have landed with only the reply lost, and
                 # unmark is owner-checked so the compensation is a no-op
-                # where it did not.
+                # where it did not. Under a budget the epilogue gets its
+                # own short grace window — an unmark a gray participant
+                # cannot absorb in time is abandoned to its lease-based
+                # termination protocol rather than held open.
+                ep_deadline = (
+                    clock.now() + 0.2 * self.lease_limit if deadline is not None else None
+                )
                 for target in locked:
                     trace.record(target.user, "unlock", entity=target.entity, txn=txn_id)
                 if locked or unknown_marks:
@@ -437,21 +511,42 @@ class NegotiationCoordinator:
                         lambda t: CallSpec(
                             t.user, t.service, t.unmark_method, (t.entity, txn_id)
                         ),
+                        deadline=ep_deadline,
                     )
+                # The remote batch may have spent the whole grace against
+                # a stalled participant; the initiator's own unmark is
+                # loopback-cheap and must never be starved by it — it
+                # gets a fresh sliver (the lease audit still bounds the
+                # total).
+                ep_deadline = (
+                    clock.now() + 0.2 * self.lease_limit if deadline is not None else None
+                )
                 if initiator_marked:
                     trace.record(
                         initiator.user, "unlock", entity=initiator.entity, txn=txn_id
                     )
-                    self._unmark(initiator, txn_id)
+                    self._unmark(initiator, txn_id, ep_deadline)
                 elif initiator_unknown:
                     # The initiator's mark leg failed with a network error
                     # after retries: it may have applied remotely with only
                     # the reply lost. Compensate with a best-effort unmark
                     # (owner-checked and idempotent, so harmless if the
                     # mark never landed).
-                    self._unmark(initiator, txn_id)
+                    self._unmark(initiator, txn_id, ep_deadline)
                 # END closes the durable record: recovery skips this txn.
                 self.intents.end(txn_id, "commit" if result.ok else "abort")
+                # Lease audit: a completed negotiation that held its marks
+                # longer than the participants' lease broke the contract
+                # the termination protocol is built on. (Crashed
+                # coordinators are exempt — their leftovers are resolved
+                # by recovery/lease expiry by design.)
+                held = clock.now() - t0
+                if held > self.lease_limit:
+                    self.lease_overruns.append(
+                        (txn_id, round(held, 3), self.lease_limit)
+                    )
+                    if self.metrics is not None:
+                        self.metrics.inc(self.metrics_node, "txn.lease_overrun")
             span.set(
                 ok=result.ok,
                 locked=len(result.locked),
@@ -587,11 +682,20 @@ class NegotiationCoordinator:
 
     # -- protocol verbs over the engine ------------------------------------------
 
-    def _batch(self, participants: list[Participant], spec) -> list[CallOutcome]:
+    def _batch(
+        self,
+        participants: list[Participant],
+        spec,
+        deadline: float | None = None,
+    ) -> list[CallOutcome]:
         """One scatter-gather wave of the same verb at every participant."""
-        return self.engine.execute_calls([spec(p) for p in participants])
+        return self.engine.execute_calls(
+            [spec(p) for p in participants], deadline=deadline
+        )
 
-    def _mark(self, p: Participant, txn_id: str) -> tuple[bool, bool]:
+    def _mark(
+        self, p: Participant, txn_id: str, deadline: float | None = None
+    ) -> tuple[bool, bool]:
         """Mark+lock one participant.
 
         Returns ``(locked, unknown)``: a refusal is a definite no; a
@@ -603,7 +707,13 @@ class NegotiationCoordinator:
             return (
                 bool(
                     self.engine.execute(
-                        p.user, p.service, p.mark_method, p.entity, txn_id, *p.mark_args
+                        p.user,
+                        p.service,
+                        p.mark_method,
+                        p.entity,
+                        txn_id,
+                        *p.mark_args,
+                        deadline=deadline,
                     )
                 ),
                 False,
@@ -611,12 +721,22 @@ class NegotiationCoordinator:
         except NetworkError:
             return False, True
 
-    def _change(self, p: Participant, txn_id: str, change: Any) -> None:
-        self.engine.execute(p.user, p.service, p.change_method, p.entity, txn_id, change)
+    def _change(
+        self, p: Participant, txn_id: str, change: Any, deadline: float | None = None
+    ) -> None:
+        self.engine.execute(
+            p.user, p.service, p.change_method, p.entity, txn_id, change,
+            deadline=deadline,
+        )
 
-    def _unmark(self, p: Participant, txn_id: str) -> None:
+    def _unmark(
+        self, p: Participant, txn_id: str, deadline: float | None = None
+    ) -> None:
         try:
-            self.engine.execute(p.user, p.service, p.unmark_method, p.entity, txn_id)
+            self.engine.execute(
+                p.user, p.service, p.unmark_method, p.entity, txn_id,
+                deadline=deadline,
+            )
         except ReproError:
             # Unlock is best effort: a participant that vanished after
             # locking will drop its locks at reconnect (release_all).

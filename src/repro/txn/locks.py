@@ -41,12 +41,19 @@ class LockManager:
         default_lease: float = 20.0,
         metrics=None,
         metrics_node: str = "",
+        skew=None,
     ) -> None:
         self._locks: dict[Any, tuple[str, int]] = {}  # entity -> (owner, depth)
         self._deadlines: dict[Any, float] = {}  # entity -> lease deadline
         self._acquired_at: dict[Any, float] = {}  # entity -> first-acquire time
         self._clock = clock
         self.default_lease = default_lease
+        #: optional zero-arg callable returning this node's clock-skew
+        #: offset (gray fault model): lease deadlines are stamped against
+        #: the node's *perceived* time, so a skewed device's leases drift
+        #: against the termination sweeps that read honest time. The
+        #: simulation clock itself is never touched.
+        self.skew = skew
         #: optional MetricsRegistry sink (txn.lock_* counters, hold-time hist)
         self._metrics = metrics
         self._metrics_node = metrics_node
@@ -228,4 +235,5 @@ class LockManager:
 
     def _stamp(self, key: Any) -> None:
         if self._clock is not None:
-            self._deadlines[key] = self._clock.now() + self.default_lease
+            offset = self.skew() if self.skew is not None else 0.0
+            self._deadlines[key] = self._clock.now() + offset + self.default_lease

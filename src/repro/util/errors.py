@@ -54,6 +54,41 @@ class StaleMessageError(NetworkError):
     """
 
 
+class DeadlineExceeded(NetworkError):
+    """A deadline budget ran out before the call chain could finish.
+
+    Raised by the retry layer when the remaining budget cannot cover
+    another attempt, and by the transport when a request arrives with an
+    already-expired budget. Carries the spent and total budget so the
+    caller can tell a tight budget from a gray participant.
+    """
+
+    def __init__(self, spent: float | str = 0.0, total: float = 0.0, detail: str = ""):
+        # Typed errors are rebuilt from their message when they cross the
+        # network (``cls(message)`` / ``type(exc)(*exc.args)``), so a
+        # single pre-formatted string must round-trip unchanged.
+        if isinstance(spent, str):
+            super().__init__(spent)
+            self.spent = 0.0
+            self.total = 0.0
+            return
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"deadline exceeded: spent {spent:.3f}s of {total:.3f}s budget{suffix}"
+        )
+        self.spent = spent
+        self.total = total
+
+
+class Overloaded(NetworkError):
+    """The callee shed this request under backpressure; retry later.
+
+    Raised by bounded admission queues (e.g. the negotiation
+    coordinator) when accepting more work would only grow an unbounded
+    defer queue. Retryable by design: the condition is transient.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Directory / naming
 # ---------------------------------------------------------------------------

@@ -69,6 +69,8 @@ class SyDWorld:
         fast: bool = False,
         directory_shards: int = 1,
         directory_replicas: int = 1,
+        health: bool = False,
+        hedge: bool | None = None,
     ):
         self.clock = VirtualClock()
         self.scheduler = EventScheduler(self.clock)
@@ -158,10 +160,60 @@ class SyDWorld:
             self.directory_service = self.directory_topology
             self.directory_listener = None
             self._directory_listener = None
+        #: adaptive robustness layer (off by default — zero hot-path cost
+        #: when ``transport.health is None``): a phi-accrual
+        #: HealthMonitor fed by piggybacked RPC outcomes and message-free
+        #: heartbeat sweeps, plus lease-derived deadline budgets on every
+        #: coordinator. ``hedge`` additionally turns on hedged directory
+        #: reads (defaults to follow ``health``).
+        self.health = None
+        self.hedge = bool(hedge) if hedge is not None else health
+        if health:
+            from repro.net.health import HealthMonitor
+
+            self.health = HealthMonitor(self.clock, metrics=self.metrics)
+            self.transport.health = self.health
+            self._health_rng = self.random.get("health")
+            self._schedule_health_sweep()
         self._directory_cache_enabled = False
         self._retry_template: RetryPolicy | None = None
         if directory_cache:
             self.enable_directory_cache()
+
+    # -- adaptive health ----------------------------------------------------------
+
+    #: heartbeat sweep cadence in simulated seconds (plus seeded jitter)
+    HEARTBEAT_INTERVAL = 2.0
+
+    def _schedule_health_sweep(self) -> None:
+        # Per-tick seeded jitter so sweeps never phase-lock with workload
+        # events; the stream is private, so adding it cannot perturb any
+        # existing seeded schedule.
+        delay = self.HEARTBEAT_INTERVAL + self._health_rng.uniform(0.0, 0.5)
+        self.scheduler.schedule(delay, self._health_sweep)
+
+    def _health_sweep(self) -> None:
+        """One message-free heartbeat round over every known node.
+
+        Probes read transport-level liveness ground truth: a *down* node
+        fails its probe, but a stalled or slow one passes — it is alive
+        to binary pings and useless to callers, which is exactly the
+        gray trap the phi detector's RPC-fed signals compensate for.
+        Heartbeats move no simulated messages, so enabling health never
+        changes traffic counts.
+        """
+        faults = self.transport.faults
+        probes = [
+            (node.node_id, not faults.is_down(node.node_id))
+            for _user, node in sorted(self.nodes.items())
+        ]
+        if self.directory_topology is not None:
+            probes.extend(
+                (node_id, not faults.is_down(node_id))
+                for node_id in self.directory_topology.all_shard_nodes()
+            )
+        self.health.sweep(probes)
+        self._schedule_health_sweep()
 
     # -- retry policy -------------------------------------------------------------
 
@@ -224,7 +276,13 @@ class SyDWorld:
         if self.directory_topology is not None:
             from repro.kernel.sharding import ShardedDirectoryClient
 
-            return ShardedDirectoryClient(node_id, self.transport, self.directory_topology)
+            client = ShardedDirectoryClient(
+                node_id, self.transport, self.directory_topology
+            )
+            if self.health is not None:
+                client.health = self.health
+                client.hedge = self.hedge
+            return client
         from repro.kernel.directory import DirectoryClient
 
         return DirectoryClient(node_id, self.transport, self.directory_node)
@@ -271,6 +329,8 @@ class SyDWorld:
         shard = topology.shards[name]
         shard.listener.restart()
         self.transport.faults.set_up(shard.node_id)
+        if self.health is not None:
+            self.health.forget(shard.node_id)
         return topology.repair_shard(name)
 
     def directory_shard_is_up(self, name: str) -> bool:
@@ -321,6 +381,14 @@ class SyDWorld:
             directory_factory=self._make_directory_client,
         )
         self.nodes[user] = node
+        if self.health is not None:
+            # Failover ordering + outright-quarantine audit for this
+            # node's outgoing calls, and the lease-derived deadline
+            # budget on its coordinator (half the lease for the
+            # pre-decide phases; post-decide/epilogue waves take their
+            # grace windows from the remainder — see coordinator docs).
+            node.engine.health = self.health
+            node.coordinator.lease_budget = 0.5 * node.coordinator.lease_limit
         if self._directory_cache_enabled:
             node.directory.attach_cache(self._new_directory_cache(user))
         if self._retry_template is not None:
@@ -382,6 +450,10 @@ class SyDWorld:
         node.listener.restart()
         self.transport.bump_incarnation(node.node_id)
         self.transport.faults.set_up(node.node_id)
+        if self.health is not None:
+            # A restarted node's arrival rhythm is void; start fresh so
+            # stale suspicion never shadows the new incarnation.
+            self.health.forget(node.node_id)
         if self.recovery:
             node.coordinator.recover()
         else:

@@ -1,0 +1,128 @@
+"""Gray-failure chaos: schedule generation for the ``gray`` profile,
+small campaigns with and without the health/budget machinery, and the
+two new invariant checkers (``no_lease_overrun``, ``no_false_deaths``)."""
+
+import random
+
+import pytest
+
+from repro.chaos.campaign import ChaosCampaign, ChaosConfig
+from repro.chaos.invariants import (
+    check_lease_overrun,
+    check_no_false_deaths,
+)
+from repro.chaos.schedule import KINDS, FaultSchedule, generate_schedule
+from repro.world import SyDWorld
+
+USERS = [f"u{i}" for i in range(5)]
+
+GRAY_KINDS = {
+    "slow_start", "slow_stop",
+    "degrade_start", "degrade_stop",
+    "stall_start", "stall_stop",
+    "skew_start", "skew_stop",
+}
+
+
+def gray_schedule(seed=4, intensity=3.0):
+    return generate_schedule(
+        random.Random(seed), USERS, 120.0, intensity, profile="gray"
+    )
+
+
+class TestGraySchedule:
+    def test_gray_kinds_are_registered(self):
+        assert GRAY_KINDS <= set(KINDS)
+
+    def test_gray_profile_draws_gray_kinds(self):
+        kinds = {e.kind for e in gray_schedule().events}
+        assert kinds <= GRAY_KINDS | {"crash", "restart"}
+        # With intensity 3 the mix reliably includes gray windows.
+        assert kinds & GRAY_KINDS
+
+    def test_starts_and_stops_pair_up(self):
+        kinds = [e.kind for e in gray_schedule(seed=9).events]
+        for fam in ("slow", "degrade", "stall", "skew"):
+            assert kinds.count(f"{fam}_start") == kinds.count(f"{fam}_stop")
+
+    def test_skew_offsets_stay_inside_the_settle_safe_band(self):
+        for seed in range(12):
+            for e in gray_schedule(seed=seed).events:
+                if e.kind == "skew_start":
+                    assert -6.0 <= e.params["offset"] <= 6.0
+
+    def test_stall_delays_dwarf_any_sane_timeout(self):
+        for seed in range(12):
+            for e in gray_schedule(seed=seed).events:
+                if e.kind == "stall_start":
+                    assert e.params["delay"] >= 30.0
+
+    def test_json_roundtrip_preserves_gray_events(self):
+        schedule = gray_schedule(seed=2)
+        again = FaultSchedule.from_json(schedule.to_json())
+        assert again == schedule
+
+    def test_generation_is_deterministic(self):
+        assert gray_schedule(seed=6) == gray_schedule(seed=6)
+        assert gray_schedule(seed=6) != gray_schedule(seed=7)
+
+
+class TestGrayCampaign:
+    def test_small_gray_campaign_is_clean_and_reproducible(self):
+        cfg = dict(seed=7, episodes=3, users=6, ops=30, profile="gray",
+                   shrink=False)
+        a = ChaosCampaign(ChaosConfig(**cfg)).run()
+        b = ChaosCampaign(ChaosConfig(**cfg)).run()
+        assert a.ok
+        assert a.log_lines() == b.log_lines()
+
+    def test_no_health_ablation_config_is_part_of_the_log_header(self):
+        campaign = ChaosCampaign(
+            ChaosConfig(seed=7, episodes=1, users=4, ops=10,
+                        profile="gray", health=False, shrink=False)
+        )
+        result = campaign.run()
+        assert any("no-health" in line for line in result.log_lines())
+        schedule = gray_schedule(seed=7, intensity=1.0)
+        assert "--no-health" in campaign.repro_command(0, schedule)
+
+    def test_no_hedge_ablation_flag_round_trips(self):
+        campaign = ChaosCampaign(
+            ChaosConfig(seed=7, episodes=1, users=4, ops=10,
+                        profile="gray", hedge=False, shrink=False)
+        )
+        schedule = gray_schedule(seed=7, intensity=1.0)
+        assert "--no-hedge" in campaign.repro_command(0, schedule)
+
+
+class TestGrayInvariantCheckers:
+    def test_lease_overrun_checker_flags_the_audit_trail(self):
+        world = SyDWorld(seed=3)
+        node = world.add_node("a")
+        assert check_lease_overrun(world) == []
+        node.coordinator.lease_overruns.append(("txn-node-a-1", 33.25, 20.0))
+        found = check_lease_overrun(world)
+        assert len(found) == 1
+        v = found[0]
+        assert v.check == "no_lease_overrun"
+        assert v.user == "a"
+        assert "33.250" in v.detail and "20.0" in v.detail
+
+    def test_false_death_checker_needs_ground_truth_disagreement(self):
+        world = SyDWorld(seed=3, health=True)
+        world.add_node("a")
+        assert check_no_false_deaths(world) == []
+        # A verdict on a genuinely dead node is fine...
+        world.health.record_verdict("a", actually_healthy=False)
+        assert check_no_false_deaths(world) == []
+        # ...quarantining a *healthy* node is the violation.
+        world.health.record_verdict("a", actually_healthy=True)
+        found = check_no_false_deaths(world)
+        assert [v.check for v in found] == ["no_false_deaths"]
+        assert found[0].user == "a"
+
+    def test_false_death_checker_is_inert_without_health(self):
+        world = SyDWorld(seed=3, health=False)
+        world.add_node("a")
+        assert world.health is None
+        assert check_no_false_deaths(world) == []

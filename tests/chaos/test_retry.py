@@ -144,6 +144,66 @@ class TestRpcManyWithRetry:
         assert len(transport.batches) == 1
 
 
+class TestPerLegMessageCounts:
+    """Regression: retry waves resend exactly the failed legs, re-using
+    their pre-stamped idempotency keys — never the survivors."""
+
+    def _transport(self):
+        from repro.net.address import DeviceClass, NodeAddress
+        from repro.net.latency import ConstantLatency
+        from repro.net.transport import Transport
+
+        t = Transport(latency=ConstantLatency(0.01))
+        for n in ("src", "b", "c", "d"):
+            t.register(
+                NodeAddress(n, DeviceClass.WORKSTATION), lambda msg: {"ok": True}
+            )
+        return t
+
+    def test_retry_wave_resends_only_failed_legs_with_same_keys(self):
+        t = self._transport()
+        seen = []
+        t.taps.append(
+            lambda m: seen.append((m.dst, m.dedup))
+            if not m.is_reply and m.kind == "invoke"
+            else None
+        )
+        # Lose b's first *reply*: the handler ran, the acknowledgement
+        # vanished — the classic duplicate-producing gray fault.
+        flaky = {"left": 1}
+        t.faults.add_drop_rule(
+            lambda m: m.is_reply
+            and m.src == "b"
+            and flaky.pop("left", None) is not None
+        )
+        policy = RetryPolicy(max_attempts=4, jitter=0.0, sleep=lambda d: None)
+        from repro.net.transport import RpcCall
+
+        outcomes = rpc_many_with_retry(
+            t,
+            "src",
+            [RpcCall(n, "invoke", {"object": "x", "method": "m", "args": []})
+             for n in ("b", "c", "d")],
+            policy,
+        )
+        assert [o.ok for o in outcomes] == [True, True, True]
+        sends = {}
+        for dst, dedup in seen:
+            sends.setdefault(dst, []).append(dedup)
+        # Survivors went out exactly once; the flaky leg twice — with
+        # one and the same idempotency key across both attempts (that
+        # reuse is what lets the receiver's dedup table replay instead
+        # of re-executing).
+        assert len(sends["c"]) == 1 and len(sends["d"]) == 1
+        assert len(sends["b"]) == 2
+        assert sends["b"][0] == sends["b"][1]
+        assert sends["b"][0] is not None
+        # Exact delivered-message count: wave 1 = 3 requests + 2 replies
+        # (b's was lost), wave 2 = 1 request + 1 reply. Nothing else.
+        assert t.stats.messages == 7
+        assert t.stats.reply_lost == 1
+
+
 class TestEngineWiring:
     def _world_pair(self):
         from repro.device.resource import ResourceObject

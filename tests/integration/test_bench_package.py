@@ -96,7 +96,7 @@ class TestHarness:
     def test_experiment_registry_complete(self):
         assert set(ALL_EXPERIMENTS) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E8B", "E9",
-            "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+            "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
         }
 
     @pytest.mark.parametrize("exp_id", ["E1", "E3", "E8B"])
@@ -105,3 +105,16 @@ class TestHarness:
         assert table["rows"]
         assert len(table["columns"]) == len(table["rows"][0])
         assert table["id"].upper() == exp_id
+
+    def test_e17_shape_and_gates(self):
+        table = run_experiment("E17", fast=True)
+        assert table["artifact"] == "BENCH_e17.json"
+        assert [r[0] for r in table["rows"]] == ["hedged", "no-hedge", "no-health"]
+        assert len(table["columns"]) == len(table["rows"][0])
+        by_mode = {row[0]: row for row in table["rows"]}
+        hedges_col = table["columns"].index("hedges")
+        assert by_mode["hedged"][hedges_col] > 0
+        assert by_mode["no-hedge"][hedges_col] == 0
+        # The headline claims hold even at the reduced fast sweep.
+        assert table["meta"]["hedged_p99_2x"] is True
+        assert table["meta"]["msgs_within_1p15"] is True

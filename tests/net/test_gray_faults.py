@@ -1,0 +1,164 @@
+"""Tests for the FaultPlan's gray-failure rules (slow/degrade/stall/skew)."""
+
+import random
+
+import pytest
+
+from repro.net.address import DeviceClass, NodeAddress
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.net.transport import Transport
+from repro.util.errors import MessageDropped
+
+
+def make_transport(latency=0.01):
+    return Transport(latency=ConstantLatency(latency))
+
+
+def attach(transport, node_id):
+    transport.register(
+        NodeAddress(node_id, DeviceClass.WORKSTATION), lambda msg: {"ok": True}
+    )
+
+
+class TestSlowNode:
+    def test_inflates_round_trips_heavy_tailed(self):
+        t = make_transport()
+        attach(t, "a")
+        attach(t, "b")
+        t.rpc("a", "b", "ping", {})
+        clean = t.clock.now()
+        t.faults.slow_node("b", rng=random.Random(3), scale=0.4, shape=1.5)
+        t.rpc("a", "b", "ping", {})
+        assert t.clock.now() - clean > 2 * clean
+
+    def test_remover_restores_clean_latency(self):
+        t = make_transport()
+        attach(t, "a")
+        attach(t, "b")
+        remove = t.faults.slow_node("b", rng=random.Random(3))
+        remove()
+        before = t.clock.now()
+        t.rpc("a", "b", "ping", {})
+        assert t.clock.now() - before == pytest.approx(0.02)
+
+    def test_marks_plan_active(self):
+        plan = FaultPlan()
+        assert not plan.active
+        remove = plan.slow_node("b", rng=random.Random(1))
+        assert plan.active
+        assert plan.slow_nodes() == {"b"}
+        remove()
+        assert not plan.active
+
+    def test_draws_are_seeded(self):
+        def run(seed):
+            t = make_transport()
+            attach(t, "a")
+            attach(t, "b")
+            t.faults.slow_node("b", rng=random.Random(seed))
+            for _ in range(5):
+                t.rpc("a", "b", "ping", {})
+            return t.clock.now()
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestDegradedLink:
+    def test_losses_and_jitter_on_the_pair_only(self):
+        t = make_transport()
+        for n in ("a", "b", "c"):
+            attach(t, n)
+        t.faults.degrade_link("a", "b", rng=random.Random(2), loss=1.0)
+        with pytest.raises(MessageDropped):
+            t.rpc("a", "b", "ping", {})
+        assert t.rpc("a", "c", "ping", {}) == {"ok": True}
+
+    def test_last_registration_wins_per_pair(self):
+        plan = FaultPlan()
+        plan.degrade_link("a", "b", rng=random.Random(1), loss=1.0)
+        plan.degrade_link("a", "b", rng=random.Random(2), loss=0.0)
+        assert plan.degraded_pairs() == {frozenset(("a", "b"))}
+        # The second registration replaced the first: nothing drops.
+        assert not plan.gray_drop("a", "b")
+        plan.degrade_link("a", "c", rng=random.Random(3), loss=0.5)
+        assert plan.degraded_pairs() == {
+            frozenset(("a", "b")),
+            frozenset(("a", "c")),
+        }
+
+    def test_jitter_slows_the_pair(self):
+        t = make_transport()
+        attach(t, "a")
+        attach(t, "b")
+        t.faults.degrade_link("a", "b", rng=random.Random(4), loss=0.0, jitter=0.5)
+        before = t.clock.now()
+        t.rpc("a", "b", "ping", {})
+        assert t.clock.now() - before > 0.02
+
+
+class TestStall:
+    def test_replies_stall_but_handler_runs(self):
+        t = make_transport()
+        attach(t, "a")
+        attach(t, "b")
+        t.faults.stall_node("b", delay=45.0)
+        before = t.clock.now()
+        assert t.rpc("a", "b", "ping", {}) == {"ok": True}
+        assert t.clock.now() - before > 45.0
+
+    def test_stalled_node_is_alive_to_reachability(self):
+        plan = FaultPlan()
+        plan.stall_node("b", delay=45.0)
+        assert plan.reachable("a", "b")
+        assert plan.stalled_nodes() == {"b"}
+        assert plan.stall_delay("b") == 45.0
+        assert plan.stall_delay("a") == 0.0
+
+
+class TestClockSkew:
+    def test_skew_recorded_and_removable(self):
+        plan = FaultPlan()
+        remove = plan.set_clock_skew("b", 4.5)
+        assert plan.clock_skew_of("b") == 4.5
+        assert plan.clock_skew_of("a") == 0.0
+        remove()
+        assert plan.clock_skew_of("b") == 0.0
+
+    def test_skew_bends_lease_stamps_not_the_clock(self):
+        from repro.txn.locks import LockManager
+        from repro.util.clock import VirtualClock
+
+        clock = VirtualClock()
+        plan = FaultPlan()
+        plan.set_clock_skew("b", -5.0)
+        locks = LockManager(clock=clock, skew=lambda: plan.clock_skew_of("b"))
+        assert locks.try_lock("slot", "txn-1")
+        # The lease was stamped 5s in the past: it expires 5s early by
+        # honest time.
+        clock.advance(locks.default_lease - 4.0)
+        assert locks.expired(clock.now())
+        assert clock.now() == locks.default_lease - 4.0  # sim clock untouched
+
+
+class TestHealGray:
+    def test_heal_gray_clears_everything(self):
+        plan = FaultPlan()
+        plan.slow_node("b", rng=random.Random(1))
+        plan.degrade_link("a", "b", rng=random.Random(2))
+        plan.stall_node("c")
+        plan.set_clock_skew("d", 3.0)
+        assert plan.active
+        plan.heal_gray()
+        assert not plan.active
+        assert plan.slow_nodes() == set()
+        assert plan.degraded_pairs() == set()
+        assert plan.stalled_nodes() == set()
+        assert plan.clock_skew_of("d") == 0.0
+
+    def test_loopback_exempt_from_gray_delay(self):
+        plan = FaultPlan()
+        plan.slow_node("b", rng=random.Random(1), scale=10.0)
+        assert plan.gray_delay("b", "b") == 0.0
+        assert not plan.gray_drop("b", "b")

@@ -1,0 +1,157 @@
+"""Tests for the phi-accrual health monitor (gray-failure detection)."""
+
+import pytest
+
+from repro.net.health import HealthMonitor
+from repro.util.clock import VirtualClock
+
+
+def fed_monitor(clock, node="b", beats=8, interval=2.0, **kwargs):
+    """A monitor that has watched ``node`` heartbeat regularly."""
+    monitor = HealthMonitor(clock, **kwargs)
+    for _ in range(beats):
+        monitor.record_heartbeat(node, True)
+        clock.advance(interval)
+    return monitor
+
+
+class TestSuspicion:
+    def test_unknown_node_has_zero_suspicion(self):
+        monitor = HealthMonitor(VirtualClock())
+        assert monitor.suspicion("ghost") == 0.0
+
+    def test_regular_heartbeats_keep_phi_low(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        assert monitor.suspicion("b") < 1.0
+
+    def test_phi_grows_as_arrivals_stop(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        quiet = monitor.suspicion("b")
+        clock.advance(1.0)
+        late = monitor.suspicion("b")
+        clock.advance(1.0)
+        very_late = monitor.suspicion("b")
+        assert quiet < late < very_late
+        clock.advance(60.0)
+        # ... and saturates finite (the p floor caps phi at 12).
+        assert monitor.suspicion("b") == pytest.approx(12.0)
+
+    def test_failure_streak_raises_phi_between_heartbeats(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        base = monitor.suspicion("b")
+        for _ in range(3):
+            monitor.record_failure("b")
+        assert monitor.suspicion("b") == pytest.approx(
+            base + 3 * monitor.fail_weight
+        )
+
+    def test_success_clears_failure_streak(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        for _ in range(5):
+            monitor.record_failure("b")
+        clock.advance(0.5)
+        monitor.record_success("b", 0.01)
+        assert monitor.suspicion("b") < monitor.fail_weight
+
+    def test_rtt_degradation_is_gray_evidence(self):
+        """A node that still answers — ever more slowly — grows suspect
+        even though every probe and every RPC 'succeeds'."""
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        for _ in range(6):
+            monitor.record_success("b", 0.01)
+            clock.advance(2.0)
+        healthy = monitor.suspicion("b")
+        for _ in range(12):
+            monitor.record_success("b", 2.5)
+            clock.advance(2.0)
+        assert monitor.suspicion("b") > healthy
+
+    def test_forget_drops_history(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        clock.advance(60.0)
+        assert monitor.suspicion("b") > 1.0
+        monitor.forget("b")
+        assert monitor.suspicion("b") == 0.0
+
+
+class TestRankingAndQuarantine:
+    def test_rank_orders_healthiest_first(self):
+        clock = VirtualClock()
+        monitor = HealthMonitor(clock)
+        for _ in range(8):
+            monitor.record_heartbeat("a", True)
+            monitor.record_heartbeat("b", True)
+            clock.advance(2.0)
+        for _ in range(4):
+            monitor.record_failure("a")
+        assert monitor.rank(["a", "b"]) == ["b", "a"]
+
+    def test_rank_is_stable_on_ties(self):
+        monitor = HealthMonitor(VirtualClock())
+        assert monitor.rank(["z", "a", "m"]) == ["z", "a", "m"]
+
+    def test_quarantine_needs_the_hard_bar(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        assert not monitor.is_quarantined("b")
+        for _ in range(30):
+            monitor.record_failure("b")
+        assert monitor.is_quarantined("b")
+
+    def test_verdicts_are_recorded_with_ground_truth(self):
+        clock = VirtualClock()
+        monitor = HealthMonitor(clock)
+        clock.advance(7.5)
+        monitor.record_verdict("b", actually_healthy=True)
+        monitor.record_verdict("c", actually_healthy=False)
+        assert [(v[1], v[3]) for v in monitor.verdicts] == [
+            ("b", True),
+            ("c", False),
+        ]
+        assert monitor.verdicts[0][0] == pytest.approx(7.5)
+
+
+class TestHedgeDelay:
+    def test_clean_node_keeps_full_delay(self):
+        monitor = HealthMonitor(VirtualClock())
+        assert monitor.hedge_delay("b", 0.25) == pytest.approx(0.25)
+
+    def test_suspect_node_is_hedged_sooner(self):
+        clock = VirtualClock()
+        monitor = fed_monitor(clock)
+        full = monitor.hedge_delay("b", 0.25)
+        for _ in range(6):
+            monitor.record_failure("b")
+        assert monitor.hedge_delay("b", 0.25) < full / 2
+
+
+class TestSweep:
+    def test_sweep_records_arrivals_and_publishes_gauges(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        clock = VirtualClock()
+        metrics = MetricsRegistry()
+        monitor = HealthMonitor(clock, metrics=metrics)
+        for _ in range(5):
+            monitor.sweep([("a", True), ("b", False)])
+            clock.advance(2.0)
+        assert monitor.suspicion("b") > monitor.suspicion("a")
+        assert metrics.gauge("b", "health.phi") == pytest.approx(
+            monitor.suspicion("b"), abs=1e-3
+        )
+
+    def test_determinism(self):
+        def run():
+            clock = VirtualClock()
+            monitor = fed_monitor(clock, beats=12)
+            monitor.record_failure("b")
+            clock.advance(11.0)
+            return monitor.snapshot()
+
+        assert run() == run()

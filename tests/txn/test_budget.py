@@ -1,0 +1,113 @@
+"""Deadline budgets, lease-overrun audit and backpressure on the
+NegotiationCoordinator (gray-failure robustness)."""
+
+import pytest
+
+from repro.device.resource import ResourceObject
+from repro.net.retry import RetryPolicy
+from repro.txn.coordinator import AND, Participant
+from repro.util.errors import Overloaded
+from repro.world import SyDWorld
+
+
+def build_trio(health):
+    world = SyDWorld(seed=7, health=health)
+    nodes = {}
+    for user in ["a", "b", "c"]:
+        node = world.add_node(user)
+        obj = ResourceObject(f"{user}_res", node.store, node.locks)
+        node.listener.publish_object(obj, user_id=user, service="res")
+        obj.add("slot1")
+        nodes[user] = node
+    world.set_retry_policy(
+        RetryPolicy(max_attempts=4, base_delay=0.2, max_delay=2.0, jitter=0.5)
+    )
+    return world, nodes
+
+
+def part(user):
+    return Participant(user, "slot1", "res")
+
+
+class TestLeaseBudget:
+    def test_world_derives_budget_from_the_lease(self):
+        world, nodes = build_trio(health=True)
+        coord = nodes["a"].coordinator
+        assert coord.lease_budget == pytest.approx(0.5 * coord.lease_limit)
+
+    def test_no_health_means_no_budget(self):
+        world, nodes = build_trio(health=False)
+        assert nodes["a"].coordinator.lease_budget is None
+
+    def test_healthy_negotiation_commits_under_budget(self):
+        world, nodes = build_trio(health=True)
+        result = nodes["a"].coordinator.execute(part("a"), [part("b")], AND)
+        assert result.ok
+        assert nodes["a"].coordinator.lease_overruns == []
+
+    def test_retry_storm_against_stalled_participant_gives_up_before_lease(self):
+        """Satellite (c): a 45s stall must not hold the protocol hostage —
+        with budgets on, the whole negotiation (retries, epilogue and
+        all) resolves before one default lease (20s) elapses."""
+        world, nodes = build_trio(health=True)
+        coord = nodes["a"].coordinator
+        world.transport.faults.stall_node(nodes["b"].node_id, delay=45.0)
+        t0 = world.clock.now()
+        result = coord.execute(part("a"), [part("b"), part("c")], AND)
+        held = world.clock.now() - t0
+        assert not result.ok
+        # The stalled mark surfaces as a refusal (its deadline ran out),
+        # so the AND aborts — well inside the lease.
+        assert "b" in result.refused
+        assert held < coord.lease_limit
+        assert coord.lease_overruns == []
+        # Locks were not stranded: the epilogue's compensating unmarks
+        # were *delivered* (only their replies stalled).
+        for node in nodes.values():
+            assert node.locks.locked_count() == 0
+
+    def test_without_budgets_the_stall_overruns_and_is_audited(self):
+        world, nodes = build_trio(health=False)
+        coord = nodes["a"].coordinator
+        world.transport.faults.stall_node(nodes["b"].node_id, delay=45.0)
+        result = coord.execute(part("a"), [part("b"), part("c")], AND)
+        assert result.ok  # the stall only slows it; nothing fails
+        assert len(coord.lease_overruns) == 1
+        txn_id, held, limit = coord.lease_overruns[0]
+        assert held > limit == coord.lease_limit
+
+    def test_budget_abort_is_durable_abort_not_limbo(self):
+        world, nodes = build_trio(health=True)
+        coord = nodes["a"].coordinator
+        world.transport.faults.stall_node(nodes["b"].node_id, delay=45.0)
+        result = coord.execute(part("a"), [part("b")], AND)
+        assert not result.ok
+        assert not coord.intents.has_commit(result.txn_id)
+        # Nothing changed anywhere.
+        assert nodes["b"].store.get("resources", "slot1")["status"] == "free"
+
+
+class TestBackpressure:
+    def test_admission_limit_sheds_with_typed_retryable_error(self):
+        world, nodes = build_trio(health=True)
+        coord = nodes["a"].coordinator
+        coord.admission_limit = 0
+        with pytest.raises(Overloaded, match="admission limit"):
+            coord.execute(part("a"), [part("b")], AND)
+        assert coord.shed == 1
+        assert world.metrics.counter(nodes["a"].node_id, "txn.shed") == 1
+
+    def test_shed_request_left_no_protocol_traffic(self):
+        world, nodes = build_trio(health=True)
+        coord = nodes["a"].coordinator
+        coord.admission_limit = 0
+        before = world.stats.messages
+        with pytest.raises(Overloaded):
+            coord.execute(part("a"), [part("b")], AND)
+        assert world.stats.messages == before
+        assert coord.executed == 0
+
+    def test_overloaded_is_a_network_error(self):
+        from repro.util.errors import NetworkError
+
+        assert issubclass(Overloaded, NetworkError)
