@@ -1,0 +1,86 @@
+"""E18 — the gray tail is made of stall, the classic tail of backoff.
+
+Two layers, mirroring the other bench suites: a reduced live run (the
+experiment code and its gates exercised in CI) and schema/claim
+validation of the committed ``BENCH_e18.json`` artifact from the full
+sweep.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import exp_e18_attribution
+from repro.bench.metrics import format_table
+
+COLUMNS = [
+    "profile",
+    "quantile",
+    "schedules",
+    "elapsed (sim ms)",
+    "net.transit %",
+    "retry.backoff %",
+    "stall %",
+    "other %",
+    "coverage %",
+]
+ELAPSED, TRANSIT, BACKOFF, STALL, COVERAGE = 3, 4, 5, 6, 8
+
+
+def _by_key(rows):
+    return {(row[0], row[1]): row for row in rows}
+
+
+def test_e18_live_run_shape_and_gates():
+    table = exp_e18_attribution(ops=20, duration=60.0, population=120, lookups=120)
+    print("\n" + format_table(table["title"], table["columns"], table["rows"]))
+    assert table["id"] == "E18"
+    assert table["columns"] == COLUMNS
+    by_key = _by_key(table["rows"])
+    # Every configuration contributes a p50 and a p99 row.
+    for mode in ("classic", "gray", "slow-shard hedged", "slow-shard no-hedge"):
+        assert (mode, "p50") in by_key and (mode, "p99") in by_key
+    # The partition is exact: every picked operation fully attributed.
+    for row in table["rows"]:
+        assert abs(row[COVERAGE] - 100.0) <= 0.1, row
+    # Headline gates.
+    assert table["meta"]["tail_is_waiting"] is True, table["meta"]
+    assert table["meta"]["hedge_removes_slow_shard_tail"] is True, table["meta"]
+
+
+def test_e18_committed_artifact():
+    path = Path(__file__).resolve().parent.parent / "BENCH_e18.json"
+    payload = json.loads(path.read_text())
+    assert payload["id"] == "E18"
+    assert payload["columns"] == COLUMNS
+    by_key = _by_key(payload["rows"])
+    # Exact partition on the full-size runs too.
+    for row in payload["rows"]:
+        assert abs(row[COVERAGE] - 100.0) <= 0.1, row
+    # The classic p99 tail is dominated by retry backoff: the caller
+    # sleeping between attempts at crashed/partitioned destinations.
+    assert by_key[("classic", "p99")][BACKOFF] >= 50.0
+    assert by_key[("classic", "p50")][BACKOFF] <= by_key[("classic", "p99")][BACKOFF]
+    # The gray p99 tail has no backoff at all — the destination is
+    # alive, so retries never fire; the time is stalled replies plus
+    # gray-inflated transit.
+    assert by_key[("gray", "p99")][STALL] > 0.0
+    assert (
+        by_key[("gray", "p99")][STALL] + by_key[("gray", "p99")][BACKOFF]
+        >= by_key[("gray", "p50")][STALL] + by_key[("gray", "p50")][BACKOFF]
+    )
+    # Hedging does not shrink the slow shard's inflation — it removes
+    # it from the critical path: the p99 collapses by an order of
+    # magnitude while the p50 (healthy primaries) is untouched.
+    assert (
+        by_key[("slow-shard hedged", "p99")][ELAPSED] * 10
+        <= by_key[("slow-shard no-hedge", "p99")][ELAPSED]
+    )
+    assert (
+        abs(
+            by_key[("slow-shard hedged", "p50")][ELAPSED]
+            - by_key[("slow-shard no-hedge", "p50")][ELAPSED]
+        )
+        <= 1.0
+    )
+    assert payload["meta"]["tail_is_waiting"] is True
+    assert payload["meta"]["hedge_removes_slow_shard_tail"] is True

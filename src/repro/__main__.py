@@ -199,6 +199,81 @@ def obs_main(args: argparse.Namespace) -> int:
         tree_path.write_text(tree + "\n")
         print(f"span tree: {tree_path}")
         print(tree)
+    if args.critical_path:
+        from repro.obs import (
+            attribute,
+            critical_path,
+            find_root,
+            render_attribution,
+            render_path,
+        )
+
+        try:
+            root = find_root(spans, args.critical_path)
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+        print(f"critical path of {args.critical_path}:")
+        print(render_path(critical_path(spans, root)))
+        print(render_attribution(attribute(spans, root)))
+    if args.attribute:
+        import json
+
+        from repro.obs import CATEGORIES, attribute, linked_roots
+
+        roots = sorted(
+            (s for s in spans if s.parent_id is None and s.end is not None),
+            key=lambda s: (s.trace_id, s.span_id),
+        )
+        reports = []
+        totals = {cat: 0.0 for cat in CATEGORIES}
+        elapsed_total = 0.0
+        worst_coverage = 1.0
+        for root in roots:
+            attr = attribute(spans, root)
+            entry = attr.to_dict()
+            links = linked_roots(spans, root.trace_id)
+            if links:
+                entry["linked"] = [
+                    attribute(spans, link).to_dict() for link in links
+                ]
+            reports.append(entry)
+            for cat in CATEGORIES:
+                totals[cat] += attr.categories.get(cat, 0.0)
+            elapsed_total += attr.elapsed
+            if attr.elapsed > 0 and attr.coverage < worst_coverage:
+                worst_coverage = attr.coverage
+        doc = {
+            "label": label,
+            "roots": reports,
+            "totals": {cat: round(totals[cat], 9) for cat in CATEGORIES},
+            "elapsed_total": round(elapsed_total, 9),
+            "coverage": round(
+                sum(totals.values()) / elapsed_total if elapsed_total else 1.0, 6
+            ),
+        }
+        attr_path = out / "attribution.json"
+        attr_path.write_text(
+            json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        share = {
+            cat: (totals[cat] / elapsed_total if elapsed_total else 0.0)
+            for cat in CATEGORIES
+        }
+        print(
+            f"attribution: {attr_path} ({len(reports)} roots, "
+            f"coverage {doc['coverage'] * 100:.2f}%, "
+            f"worst root {worst_coverage * 100:.2f}%)"
+        )
+        for cat in CATEGORIES:
+            print(
+                f"  {cat:<14} {totals[cat] * 1e3:>14.3f} ms  "
+                f"{share[cat] * 100:>6.2f}%"
+            )
+    if args.slo:
+        from repro.obs import evaluate, render_report
+
+        print(render_report(evaluate(world.metrics)))
     if args.metrics:
         print(world.metrics.render())
     return 0
@@ -297,6 +372,19 @@ def main(argv: list[str] | None = None) -> int:
                      help="also write and print the plain-text span tree")
     obs.add_argument("--metrics", action="store_true",
                      help="print the per-node metrics registry")
+    obs.add_argument("--critical-path", type=str, default=None,
+                     metavar="TRACE_ID",
+                     help="print the critical path (chain of latest-ending "
+                          "children) and per-category attribution for this "
+                          "trace, e.g. t0007")
+    obs.add_argument("--attribute", action="store_true",
+                     help="attribute every root span's elapsed time to "
+                          "closed categories (net.transit, handler, "
+                          "retry.backoff, lock.wait, stall, queue, other) "
+                          "and write attribution.json")
+    obs.add_argument("--slo", action="store_true",
+                     help="evaluate the default per-operation SLOs against "
+                          "the recorded latency digests and print the report")
     obs.add_argument("--episode", type=int, default=None,
                      help="replay this chaos episode index instead of the "
                           "scenario (combine with the chaos knobs below)")

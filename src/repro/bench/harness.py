@@ -1375,6 +1375,225 @@ def exp_e17_hedging(
     }
 
 
+def exp_e18_attribution(
+    users: int = 6,
+    ops: int = 40,
+    duration: float = 120.0,
+    seed: int = 7,
+    shards: int = 4,
+    replicas: int = 2,
+    population: int = 240,
+    lookups: int = 400,
+    slow_seed: int = 17,
+) -> dict[str, Any]:
+    """E18 — where the tail goes: latency attribution of ``cal.schedule``.
+
+    Replays one traced chaos episode per configuration — ``classic``
+    (crash/partition/loss faults), ``gray`` (stalled-but-alive nodes)
+    and ``gray`` with hedged reads disabled — then runs the exact
+    interval-partition attribution (:mod:`repro.obs.critical`) over
+    every closed ``cal.schedule`` span and reports the p50 and p99
+    operations' per-category breakdown.
+
+    The claim quantified here: the two fault families build their tails
+    out of *different* time. The classic tail is retry backoff (the
+    caller sleeping between attempts at a dead destination); the gray
+    tail is stall (a live destination answering late) plus the inflated
+    transit itself.
+
+    The second half reruns E17's slow-but-alive-shard setup under full
+    tracing and attributes directory lookups: with hedging off the p99
+    lookup is one long stalled transit; with hedging on the same
+    quantile collapses to roughly the hedge delay plus a healthy round
+    trip — hedging doesn't shrink the slow replica's stall, it removes
+    it from the critical path.
+
+    Gates (``meta``): the attribution must cover ~100% of each picked
+    operation's elapsed time; stall+backoff must own a larger share of
+    each profile's p99 than its p50 (the tail is *made of* waiting);
+    and the no-hedge slow-shard p99 must be slower than the hedged one.
+    """
+    from repro.chaos import ChaosCampaign, ChaosConfig
+    from repro.obs import CATEGORIES, attribute
+
+    def run_mode(mode: str, profile: str, hedge: bool) -> list[list[Any]]:
+        config = ChaosConfig(
+            seed=seed,
+            users=users,
+            ops=ops,
+            duration=duration,
+            profile=profile,
+            hedge=hedge,
+            directory_shards=shards,
+            directory_replicas=replicas,
+            shrink=False,
+        )
+        campaign = ChaosCampaign(config)
+        campaign.run_episode(0, quiet=True)
+        spans = campaign.last_world.tracer.spans()
+        schedules = sorted(
+            (s for s in spans if s.name == "cal.schedule" and s.end is not None),
+            key=lambda s: (s.end - s.start, s.span_id),
+        )
+        if not schedules:
+            return []
+        attrs = [attribute(spans, s) for s in schedules]
+        items = [(a.elapsed, dict(a.categories), a.coverage) for a in attrs]
+        return quantile_rows(mode, items)
+
+    def quantile_rows(
+        mode: str, items: list[tuple[float, dict[str, float], float]]
+    ) -> list[list[Any]]:
+        """p50/p99 rows (nearest rank by elapsed) for one configuration."""
+        items = sorted(items, key=lambda it: it[0])
+        rows = []
+        for quantile in ("p50", "p99"):
+            rank = (len(items) + 1) // 2 if quantile == "p50" else len(items)
+            elapsed, categories, coverage = items[max(0, rank - 1)]
+            share = lambda cat: (  # noqa: E731
+                categories.get(cat, 0.0) / elapsed if elapsed > 0 else 0.0
+            )
+            rows.append(
+                [
+                    mode,
+                    quantile,
+                    len(items),
+                    round(elapsed * 1000.0, 2),
+                    round(share("net.transit") * 100.0, 1),
+                    round(share("retry.backoff") * 100.0, 1),
+                    round(share("stall") * 100.0, 1),
+                    round(
+                        sum(
+                            share(c)
+                            for c in CATEGORIES
+                            if c not in ("net.transit", "retry.backoff", "stall")
+                        )
+                        * 100.0,
+                        1,
+                    ),
+                    round(coverage * 100.0, 2),
+                ]
+            )
+        return rows
+
+    def run_slow_shard(mode: str, hedge: bool) -> list[list[Any]]:
+        """E17's slow-but-alive shard, traced, lookups attributed."""
+        world = SyDWorld(
+            seed=slow_seed,
+            tracing=True,
+            health=True,
+            hedge=hedge,
+            directory_shards=8,
+            directory_replicas=2,
+        )
+        topology = world.directory_topology
+        shard_stores = {s.name: s.service.store for s in topology.shard_list()}
+        for i in range(population):
+            uid = f"u{i:07d}"
+            for name in topology.ring.owners(f"u:{uid}"):
+                shard_stores[name].insert(
+                    "users",
+                    {
+                        "user_id": uid,
+                        "node_id": f"{uid}-dev",
+                        "proxy_node": None,
+                        "online": True,
+                        "info": None,
+                    },
+                )
+        world.add_node("probe")
+        probe = world.node("probe").directory
+        slow = topology.shard_list()[0].node_id
+        world.transport.faults.slow_node(
+            slow,
+            rng=__import__("random").Random(slow_seed + 1),
+            scale=0.4,
+            shape=1.5,
+        )
+        rng = __import__("random").Random(slow_seed + 2)
+        targets = [f"u{rng.randrange(population):07d}" for _ in range(lookups)]
+        marks: list[tuple[int, int, float]] = []
+        for uid in targets:
+            i0 = len(world.tracer.spans())
+            t0 = world.clock.now()
+            probe.lookup_user(uid)
+            marks.append((i0, len(world.tracer.spans()), world.clock.now() - t0))
+        spans = world.tracer.spans()
+        items = []
+        for i0, i1, elapsed in marks:
+            categories: dict[str, float] = {}
+            coverage_num = 0.0
+            for span in spans[i0:i1]:
+                if span.parent_id is not None or span.end is None:
+                    continue
+                attr = attribute(spans, span)
+                for cat, value in attr.categories.items():
+                    categories[cat] = categories.get(cat, 0.0) + value
+                coverage_num += attr.total
+            items.append(
+                (elapsed, categories, coverage_num / elapsed if elapsed > 0 else 1.0)
+            )
+        return quantile_rows(mode, items)
+
+    rows = [
+        *run_mode("classic", "classic", hedge=True),
+        *run_mode("gray", "gray", hedge=True),
+        *run_slow_shard("slow-shard hedged", hedge=True),
+        *run_slow_shard("slow-shard no-hedge", hedge=False),
+    ]
+    by_key = {(row[0], row[1]): row for row in rows}
+    elapsed, backoff, stall = 3, 5, 6
+
+    def wait_share(key: tuple[str, str]) -> float:
+        row = by_key[key]
+        return row[backoff] + row[stall]
+
+    tail_is_waiting = all(
+        wait_share((mode, "p99")) >= wait_share((mode, "p50"))
+        for mode in ("classic", "gray", "slow-shard no-hedge")
+        if (mode, "p99") in by_key
+    )
+    hedge_helps = (
+        by_key[("slow-shard no-hedge", "p99")][elapsed]
+        > by_key[("slow-shard hedged", "p99")][elapsed]
+        if ("slow-shard no-hedge", "p99") in by_key
+        and ("slow-shard hedged", "p99") in by_key
+        else False
+    )
+    return {
+        "id": "E18",
+        "title": "E18 — latency attribution of cal.schedule p50/p99 by fault profile",
+        "columns": [
+            "profile",
+            "quantile",
+            "schedules",
+            "elapsed (sim ms)",
+            "net.transit %",
+            "retry.backoff %",
+            "stall %",
+            "other %",
+            "coverage %",
+        ],
+        "rows": rows,
+        "meta": {
+            "tail_is_waiting": tail_is_waiting,
+            "hedge_removes_slow_shard_tail": hedge_helps,
+            "gray_p99_stall_share": by_key[("gray", "p99")][stall]
+            if ("gray", "p99") in by_key
+            else None,
+            "classic_p99_backoff_share": by_key[("classic", "p99")][backoff]
+            if ("classic", "p99") in by_key
+            else None,
+            "hedged_p99_ms": by_key[("slow-shard hedged", "p99")][elapsed]
+            if ("slow-shard hedged", "p99") in by_key
+            else None,
+            "no_hedge_p99_ms": by_key[("slow-shard no-hedge", "p99")][elapsed]
+            if ("slow-shard no-hedge", "p99") in by_key
+            else None,
+        },
+    }
+
+
 ALL_EXPERIMENTS = {
     "E1": exp_e1_kernel_ops,
     "E2": exp_e2_negotiation,
@@ -1394,6 +1613,7 @@ ALL_EXPERIMENTS = {
     "E15": exp_e15_throughput,
     "E16": exp_e16_scale,
     "E17": exp_e17_hedging,
+    "E18": exp_e18_attribution,
 }
 
 FAST_OVERRIDES: dict[str, dict[str, Any]] = {
@@ -1411,6 +1631,7 @@ FAST_OVERRIDES: dict[str, dict[str, Any]] = {
     "E15": {"rpc_calls": 4000, "batches": 40, "engine_calls": 100, "chaos_ops": 8},
     "E16": {"populations": (1_000, 10_000), "big_population": 0, "lookups": 120, "batches": 4},
     "E17": {"population": 120, "lookups": 120},
+    "E18": {"ops": 20, "duration": 60.0},
 }
 
 

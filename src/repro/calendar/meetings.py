@@ -54,21 +54,40 @@ CAL_SERVICE = "calendar"
 
 
 def _traced(name: str, key: str | None = None):
-    """Wrap a MeetingManager entry point in a span.
+    """Wrap a MeetingManager entry point in a span and an SLO record.
 
     These are the application's top-level operations: when nothing else
     is open (direct API use) the span roots a fresh trace; under a
     workload driver it nests below the driver's step span. ``key`` names
     the span attribute for the first positional argument (meeting id or
     title).
+
+    Every invocation also records its virtual-time latency into the
+    node's per-op quantile digest (``op.<name>``) and bumps the
+    ``op.<name>.calls`` / ``op.<name>.errors`` counters — the raw
+    material :mod:`repro.obs.slo` evaluates, with or without tracing.
     """
 
     def deco(fn):
         @functools.wraps(fn)
         def wrapper(self, *args, **kwargs):
             attrs = {key: args[0]} if key is not None and args else {}
-            with self.node.tracer.span(name, self.user, **attrs):
-                return fn(self, *args, **kwargs)
+            metrics = self.node.metrics
+            clock = self.node.transport.clock
+            start = clock.now()
+            try:
+                with self.node.tracer.span(name, self.user, **attrs):
+                    result = fn(self, *args, **kwargs)
+            except ReproError:
+                if metrics is not None:
+                    metrics.inc(self.user, f"op.{name}.calls")
+                    metrics.inc(self.user, f"op.{name}.errors")
+                    metrics.record_value(self.user, f"op.{name}", clock.now() - start)
+                raise
+            if metrics is not None:
+                metrics.inc(self.user, f"op.{name}.calls")
+                metrics.record_value(self.user, f"op.{name}", clock.now() - start)
+            return result
 
         return wrapper
 

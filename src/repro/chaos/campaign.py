@@ -26,6 +26,7 @@ from repro.chaos.workload import Workload
 from repro.datastore.snapshot import export_store
 from repro.datastore.wal import ChangeJournal, attach_journal
 from repro.net.retry import RetryPolicy
+from repro.obs.slo import SloResult, evaluate as evaluate_slos
 from repro.util.errors import ReproError
 from repro.world import SyDWorld
 
@@ -124,6 +125,11 @@ class EpisodeResult:
     #: Perfetto timeline written for this episode (failures only)
     trace_path: str | None = None
     log: list[str] = field(default_factory=list)
+    #: per-operation SLO evaluation over the episode's merged digests.
+    #: Reported, never enforced: a gray episode is *expected* to breach
+    #: latency budgets — that is the profile doing its job — so SLO
+    #: breaches do not fail an episode the way invariant violations do.
+    slo: list[SloResult] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -653,6 +659,12 @@ class ChaosCampaign:
         violations = run_invariant_checks(app, world, baselines, journals)
         for violation in violations:
             log(f"VIOLATION {violation}")
+        # SLO evaluation over the episode's merged per-op digests —
+        # deterministic (sorted merges, fixed spec order), so the lines
+        # are part of the byte-identical episode log.
+        slo_results = evaluate_slos(world.metrics)
+        for slo_result in slo_results:
+            log(slo_result.render())
         trace_path: str | None = None
         if violations and cfg.trace_dir and cfg.tracing:
             from pathlib import Path
@@ -702,6 +714,7 @@ class ChaosCampaign:
             terminations=terminations,
             trace_path=trace_path,
             log=log_lines,
+            slo=slo_results,
         )
 
     # -- campaign -------------------------------------------------------------

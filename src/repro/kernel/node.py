@@ -102,7 +102,10 @@ class SyDNode:
         # Leased locks: a mark that outlives its lease triggers the
         # participant-driven termination protocol (txn_status query).
         self.locks = LockManager(
-            clock=transport.clock, metrics=metrics, metrics_node=self.node_id
+            clock=transport.clock,
+            metrics=metrics,
+            metrics_node=self.node_id,
+            tracer=self.tracer,
         )
         self.links = SyDLinks(user, store, self.engine, transport.clock, self.events.bus)
         self.links_service = SyDLinksService(self.links)

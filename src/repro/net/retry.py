@@ -107,6 +107,7 @@ def retry_call(
     attempt, numbered by its ``attempt`` attribute.
     """
     attempt = 1
+    backoff_total = 0.0
     started = clock.now() if (clock is not None and deadline is not None) else None
     with maybe_span(tracer, "net.call", node) as call_span:
         while True:
@@ -120,16 +121,21 @@ def retry_call(
                     or not policy.retryable(exc)
                 ):
                     call_span.set(attempts=attempt, exhausted=policy is not None)
+                    if backoff_total:
+                        call_span.set(backoff_total=round(backoff_total, 9))
                     raise
                 backoff = policy.backoff(attempt)
                 if started is not None and clock.now() + backoff >= deadline:
                     call_span.set(attempts=attempt, budget_exhausted=True)
+                    if backoff_total:
+                        call_span.set(backoff_total=round(backoff_total, 9))
                     raise DeadlineExceeded(
                         clock.now() - started,
                         deadline - started,
                         detail=f"retry budget for {node or 'call'}",
                     ) from exc
                 policy.pause_for(backoff)
+                backoff_total += backoff
                 if stats is not None:
                     stats.record_retry()
                 attempt += 1
@@ -137,6 +143,8 @@ def retry_call(
                 if attempt > 1 and stats is not None:
                     stats.record_retry_success()
                 call_span.set(attempts=attempt)
+                if backoff_total:
+                    call_span.set(backoff_total=round(backoff_total, 9))
                 return value
 
 
@@ -189,14 +197,21 @@ def rpc_many_with_retry(
         backoff = policy.backoff(attempt)
         if deadline is not None and transport.clock.now() + backoff >= deadline:
             break
-        policy.pause_for(backoff)
-        transport.stats.record_retry(len(pending))
         # Re-send waves join the trace of the original batch's caller;
         # each wave is one span so the timeline shows scatter-gather
-        # shrinking toward the stragglers.
+        # shrinking toward the stragglers. The backoff sleep happens
+        # *inside* the wave span (stamped as ``backoff``) so latency
+        # attribution charges it to retry.backoff, not to the caller.
         with maybe_span(
-            tracer, "net.retry_wave", src, attempt=attempt + 1, legs=len(pending)
+            tracer,
+            "net.retry_wave",
+            src,
+            attempt=attempt + 1,
+            legs=len(pending),
+            backoff=round(backoff, 9),
         ):
+            policy.pause_for(backoff)
+            transport.stats.record_retry(len(pending))
             wave = [legs[i] for i in pending]
             redone = (
                 transport.rpc_many(src, wave)

@@ -167,6 +167,12 @@ class Transport:
         #: the latency model's endpoint-independent constant, probed once —
         #: None means the model must be consulted per message
         self._flat_delay = self.latency.flat_delay()
+        #: stall component of the most recent reply leg accounted by
+        #: :meth:`_account_reply` — callers holding the rpc span read it
+        #: right after accounting to stamp a ``stall`` attribute, so
+        #: latency attribution can carve the stalled-destination share
+        #: out of wire transit (repro.obs.critical).
+        self._last_reply_stall = 0.0
         if fast:
             self.rpc = self._rpc_fast  # type: ignore[method-assign]
             self.rpc_many = self._rpc_many_fast  # type: ignore[method-assign]
@@ -391,15 +397,21 @@ class Transport:
                 error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
                 span.set(outcome="remote_error")
                 self._account_reply(msg, {"error": str(exc)})
+                if self._last_reply_stall:
+                    span.set(stall=round(self._last_reply_stall, 9))
                 raise error
             except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
                 span.set(outcome="remote_error")
                 self._account_reply(msg, {"error": str(exc)})
+                if self._last_reply_stall:
+                    span.set(stall=round(self._last_reply_stall, 9))
                 raise RemoteError(type(exc).__name__, str(exc)) from exc
             if result is None:
                 result = {}
             self._maybe_duplicate(msg)
             rpl = self._account_reply(msg, result)
+            if self._last_reply_stall:
+                span.set(stall=round(self._last_reply_stall, 9))
             if health is not None:
                 health.record_success(dst, dlv + rpl)
             span.set(outcome="ok", delay=round(self.clock.now() - start, 9))
@@ -465,17 +477,23 @@ class Transport:
                 error = type(exc)(*exc.args) if type(exc).__name__ in ERRORS_BY_NAME else exc
                 span.set(outcome="remote_error")
                 rpl = self._account_reply(msg, {"error": str(exc)}, advance=False)
+                if self._last_reply_stall:
+                    span.set(stall=round(self._last_reply_stall, 9))
                 self._advance_within(rpl, start, deadline, span, health, dst, kind)
                 raise error
             except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
                 span.set(outcome="remote_error")
                 rpl = self._account_reply(msg, {"error": str(exc)}, advance=False)
+                if self._last_reply_stall:
+                    span.set(stall=round(self._last_reply_stall, 9))
                 self._advance_within(rpl, start, deadline, span, health, dst, kind)
                 raise RemoteError(type(exc).__name__, str(exc)) from exc
             if result is None:
                 result = {}
             self._maybe_duplicate(msg)
             rpl = self._account_reply(msg, result, advance=False)
+            if self._last_reply_stall:
+                span.set(stall=round(self._last_reply_stall, 9))
             self._advance_within(rpl, start, deadline, span, health, dst, kind)
             if health is not None:
                 health.record_success(dst, dlv + rpl)
@@ -548,6 +566,7 @@ class Transport:
             p_result: dict[str, Any] | None = None
             p_error: Exception | None = None
             p_total: float | None = None  # None = reply lost, never completes
+            p_stall = b_stall = 0.0  # reply-leg stall per leg, for attribution
             try:
                 dlv = self._deliver(msg, advance=False)
             except (UnreachableError, MessageDropped):
@@ -586,6 +605,7 @@ class Transport:
                     p_error, p_total = loss, None
                 else:
                     p_result = result
+                    p_stall = self._last_reply_stall
             if p_total is not None and p_total <= hedge_delay:
                 # The primary answered (or errored) before the hedge
                 # timer: no second leg is ever sent.
@@ -595,6 +615,8 @@ class Transport:
                     raise p_error
                 if health is not None:
                     health.record_success(primary, p_total)
+                if p_stall:
+                    span.set(stall=round(p_stall, 9))
                 span.set(outcome="ok", delay=round(p_total, 9))
                 return p_result  # type: ignore[return-value]
 
@@ -654,6 +676,7 @@ class Transport:
                         b_error, b_total = loss, None
                     else:
                         b_result = bres
+                        b_stall = self._last_reply_stall
 
             # First successful reply wins; ties favor the primary.
             winners = []
@@ -670,11 +693,17 @@ class Transport:
                         health.record_success(primary, p_total)
                     if b_result is not None and b_total is not None:
                         health.record_success(backup, b_total - hedge_delay)
+                # The winner's reply is the one the caller's elapsed time
+                # followed, so its stall is the span's stall; the loser's
+                # reply was discarded (its stall cost nobody anything).
+                win_stall = b_stall if which == 1 else p_stall
+                if win_stall:
+                    span.set(stall=round(min(win_stall, total), 9))
                 if which == 1:
                     self.stats.record_hedge_win()
-                    span.set(outcome="hedge_win", delay=round(total, 9))
+                    span.set(winner="backup", outcome="hedge_win", delay=round(total, 9))
                     return b_result  # type: ignore[return-value]
-                span.set(outcome="ok", delay=round(total, 9))
+                span.set(winner="primary", outcome="ok", delay=round(total, 9))
                 return p_result  # type: ignore[return-value]
 
             # Neither leg produced a result: the caller learns of the
@@ -726,10 +755,15 @@ class Transport:
         health = self.health
         outcomes: list[RpcOutcome] = []
         max_delay = 0.0
+        #: stall component of the leg that currently owns ``max_delay`` —
+        #: the batch's clock advance is that leg's round trip, so its
+        #: stall is the batch tail's stall (stamped on the batch span).
+        batch_stall = 0.0
         with maybe_span(self.tracer, "net.batch", src, legs=len(legs)) as batch:
             start = self.clock.now()
             remaining = None if deadline is None else max(0.0, deadline - start)
             for call in legs:
+                leg_stall = 0.0
                 dedup = call.dedup if call.dedup is not None else self.next_dedup(src, call.dst)
                 with maybe_span(
                     self.tracer, f"rpc:{call.kind}", src, dst=call.dst
@@ -771,7 +805,11 @@ class Transport:
                                 delay=remaining,
                             )
                         )
-                        max_delay = max(max_delay, remaining)
+                        if remaining > max_delay:
+                            # An abandoned wait is a stall from the
+                            # caller's seat, whatever the wire was doing.
+                            max_delay = remaining
+                            batch_stall = remaining
                         continue
                     try:
                         result = self._handlers[call.dst](msg)
@@ -787,6 +825,7 @@ class Transport:
                             )
                         except NetworkError as loss:
                             error = loss
+                        leg_stall = self._last_reply_stall
                         if remaining is not None and delay > remaining:
                             error = DeadlineExceeded(
                                 remaining,
@@ -794,6 +833,9 @@ class Transport:
                                 detail=f"reply leg rpc:{call.kind} from {call.dst}",
                             )
                             delay = remaining
+                            leg_stall = min(leg_stall, delay)
+                        if leg_stall:
+                            span.set(stall=round(leg_stall, 9))
                         span.set(outcome="remote_error", delay=round(delay, 9))
                         outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
                     except Exception as exc:  # noqa: BLE001 - marshal arbitrary remote failure
@@ -804,6 +846,7 @@ class Transport:
                             )
                         except NetworkError as loss:
                             error = loss
+                        leg_stall = self._last_reply_stall
                         if remaining is not None and delay > remaining:
                             error = DeadlineExceeded(
                                 remaining,
@@ -811,6 +854,9 @@ class Transport:
                                 detail=f"reply leg rpc:{call.kind} from {call.dst}",
                             )
                             delay = remaining
+                            leg_stall = min(leg_stall, delay)
+                        if leg_stall:
+                            span.set(stall=round(leg_stall, 9))
                         span.set(outcome="remote_error", delay=round(delay, 9))
                         outcomes.append(RpcOutcome(call.dst, False, error=error, delay=delay))
                     else:
@@ -825,7 +871,12 @@ class Transport:
                                 RpcOutcome(call.dst, False, error=loss, delay=delay)
                             )
                         else:
+                            leg_stall = self._last_reply_stall
                             if remaining is not None and delay > remaining:
+                                # The caller abandons the wait at the
+                                # deadline: from its seat the whole
+                                # remaining budget was a stall.
+                                leg_stall = remaining
                                 span.set(outcome="deadline", delay=round(remaining, 9))
                                 if health is not None:
                                     health.record_failure(call.dst)
@@ -845,17 +896,23 @@ class Transport:
                                     )
                                 )
                             else:
+                                if leg_stall:
+                                    span.set(stall=round(min(leg_stall, delay), 9))
                                 span.set(outcome="ok", delay=round(delay, 9))
                                 if health is not None:
                                     health.record_success(call.dst, delay)
                                 outcomes.append(
                                     RpcOutcome(call.dst, True, value=result, delay=delay)
                                 )
-                    max_delay = max(max_delay, delay)
+                    if delay > max_delay:
+                        max_delay = delay
+                        batch_stall = leg_stall
             if remaining is not None:
                 max_delay = min(max_delay, remaining)
             self.clock.advance(max_delay)
             batch.set(max_delay=round(max_delay, 9))
+            if batch_stall:
+                batch.set(stall=round(min(batch_stall, max_delay), 9))
         self.stats.record_batch(len(legs), max_delay)
         return outcomes
 
@@ -1098,8 +1155,14 @@ class Transport:
         activate = (
             self.tracer.activate(msg.trace) if self.tracer is not None else nullcontext()
         )
+        # ``deferred`` marks the span as temporally detached from its
+        # parent: a scheduler-fired redelivery lands long after the
+        # original rpc span closed, so the chrome-trace containment
+        # validator (and the attribution partition) must not expect it
+        # inside the parent's interval.
         with activate, maybe_span(
-            self.tracer, "net.redeliver", msg.src, dst=msg.dst, kind=msg.kind
+            self.tracer, "net.redeliver", msg.src, dst=msg.dst, kind=msg.kind,
+            deferred=True,
         ):
             try:
                 result = self._handlers[msg.dst](msg)
@@ -1126,6 +1189,7 @@ class Transport:
         meaning "request legs that failed") and reply-loss taps fire so
         chaos can queue both endpoints for reconciliation.
         """
+        self._last_reply_stall = 0.0
         reply = Message(
             ("msg", self._ids.next_num("msg")),
             request.dst,
@@ -1151,6 +1215,7 @@ class Transport:
         delay = self.latency.delay(
             self._addresses[request.dst], self._addresses[request.src], reply
         )
+        stall = 0.0
         if self.faults.active:
             # Gray inflation on the reply leg, plus the stall penalty: a
             # stalled node executed the handler (side effects landed, it
@@ -1159,7 +1224,9 @@ class Transport:
             # never traverses the wedged network-facing reply path.
             delay += self.faults.gray_delay(request.dst, request.src)
             if request.dst != request.src:
-                delay += self.faults.stall_delay(request.dst)
+                stall = self.faults.stall_delay(request.dst)
+                delay += stall
+        self._last_reply_stall = stall
         if advance:
             self.clock.advance(delay)
         self.stats.record_delivery(reply.kind, reply.size_bytes, delay, True)

@@ -89,8 +89,24 @@ def write_timeline(path: str, spans: Iterable[Span], *, label: str = "repro") ->
     return path
 
 
+#: slack for containment checks — ts/dur are rounded to 3 decimals (µs),
+#: so parent/child endpoints can disagree by up to one rounding step each
+_ROUNDING_EPS = 0.002
+
+
 def validate_chrome_trace(doc: dict[str, Any]) -> None:
-    """Minimal schema check for the ``trace_event`` JSON we emit.
+    """Structural check for the ``trace_event`` JSON we emit.
+
+    Beyond the Perfetto schema basics, two structural invariants:
+
+    * **containment** — a child span's ``[ts, ts+dur]`` lies inside its
+      parent's (within rounding slack), for every ``args.parent`` that
+      names a span present in the document. Spans marked
+      ``args.deferred`` are exempt: a scheduler-fired redelivery
+      legitimately re-enters a trace whose spans closed long ago.
+    * **lane monotonicity** — within each ``tid``, events appear in
+      non-decreasing ``ts`` order (the exporter's global sort implies
+      it; this guards the exporter).
 
     Raises ``ValueError`` on the first problem — used by the CI
     ``obs-smoke`` job as a cheap Perfetto-compatibility guard.
@@ -100,6 +116,10 @@ def validate_chrome_trace(doc: dict[str, Any]) -> None:
     events = doc["traceEvents"]
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
+    #: span_id -> (ts, ts+dur) for containment checks
+    intervals: dict[str, tuple[float, float]] = {}
+    #: tid -> last seen ts for monotonicity checks
+    last_ts: dict[int, float] = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"event {i}: not an object")
@@ -118,6 +138,35 @@ def validate_chrome_trace(doc: dict[str, Any]) -> None:
                 raise ValueError(f"event {i}: negative dur")
             if not isinstance(ev.get("args"), dict):
                 raise ValueError(f"event {i}: args must be an object")
+            tid = ev["tid"]
+            prev = last_ts.get(tid)
+            if prev is not None and ev["ts"] < prev:
+                raise ValueError(
+                    f"event {i}: ts {ev['ts']} goes backwards in lane "
+                    f"tid={tid} (previous {prev})"
+                )
+            last_ts[tid] = ev["ts"]
+            span_id = ev["args"].get("span_id")
+            if isinstance(span_id, str):
+                intervals[span_id] = (ev["ts"], ev["ts"] + ev["dur"])
+    for i, ev in enumerate(events):
+        if ev.get("ph") != "X":
+            continue
+        args = ev["args"]
+        parent = args.get("parent")
+        if parent is None or args.get("deferred"):
+            continue
+        bounds = intervals.get(parent)
+        if bounds is None:
+            # Cross-trace or sampled-out parent: nothing to check against.
+            continue
+        lo, hi = bounds
+        ts, end = ev["ts"], ev["ts"] + ev["dur"]
+        if ts < lo - _ROUNDING_EPS or end > hi + _ROUNDING_EPS:
+            raise ValueError(
+                f"event {i}: span {args.get('span_id')} "
+                f"[{ts}, {end}] escapes parent {parent} [{lo}, {hi}]"
+            )
 
 
 def render_span_tree(spans: Iterable[Span], *, attrs: bool = True) -> str:

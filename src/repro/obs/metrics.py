@@ -26,11 +26,15 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.digest import QuantileDigest
 from repro.util.clock import VirtualClock
 
 
 #: interned bucket labels, keyed by power-of-two exponent
 _BUCKET_LABELS: dict[int, str] = {}
+
+#: virtual seconds per quantile-digest window
+DIGEST_WINDOW = 60.0
 
 
 def latency_bucket(delay: float) -> str:
@@ -60,6 +64,10 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, str], float] = {}
         self._gauges: dict[tuple[str, str], float] = {}
         self._hists: dict[tuple[str, str], dict[str, Any]] = {}
+        #: quantile sketches per (node, name): window index -> digest
+        self._digests: dict[tuple[str, str], dict[int, QuantileDigest]] = {}
+        #: virtual seconds per digest window
+        self.digest_window = DIGEST_WINDOW
 
     # -- writers ---------------------------------------------------------
 
@@ -87,13 +95,41 @@ class MetricsRegistry:
         """Record one sample into histogram ``name`` on ``node``.
 
         ``value`` is in seconds; buckets are power-of-two milliseconds.
+        Exact ``min``/``max`` ride along so the tails survive the lossy
+        bucketing — a 1.7 s and a 2.0 s sample are both ``<=2048ms``,
+        but snapshots still report the true extremes.
         """
-        hist = self._hists.setdefault(
-            (node, name), {"count": 0, "sum": 0.0, "buckets": Counter()}
-        )
+        hist = self._hists.get((node, name))
+        if hist is None:
+            hist = self._hists[(node, name)] = {
+                "count": 0,
+                "sum": 0.0,
+                "min": math.inf,
+                "max": -math.inf,
+                "buckets": Counter(),
+            }
         hist["count"] += 1
         hist["sum"] += value
+        if value < hist["min"]:
+            hist["min"] = value
+        if value > hist["max"]:
+            hist["max"] = value
         hist["buckets"][latency_bucket(value)] += 1
+
+    def record_value(self, node: str, name: str, value: float) -> None:
+        """Record one sample into the quantile digest for ``(node, name)``.
+
+        Samples land in the virtual-time window containing *now*
+        (``digest_window`` seconds wide); windows merge exactly, so any
+        span of windows — or the whole series — reports quantiles with
+        the digest's fixed relative-error bound.
+        """
+        windows = self._digests.setdefault((node, name), {})
+        index = int(self._clock.now() // self.digest_window)
+        digest = windows.get(index)
+        if digest is None:
+            digest = windows[index] = QuantileDigest()
+        digest.add(value)
 
     @contextmanager
     def timer(self, node: str, name: str) -> Iterator[None]:
@@ -115,15 +151,52 @@ class MetricsRegistry:
         return self._gauges.get((node, name))
 
     def histogram(self, node: str, name: str) -> dict[str, Any]:
-        """``{"count", "sum", "buckets"}`` for a histogram (zeroes if unset)."""
+        """``{"count", "sum", "min", "max", "buckets"}`` (zeroes if unset)."""
         hist = self._hists.get((node, name))
         if hist is None:
-            return {"count": 0, "sum": 0.0, "buckets": Counter()}
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": Counter()}
         return {
             "count": hist["count"],
             "sum": hist["sum"],
+            "min": hist["min"],
+            "max": hist["max"],
             "buckets": Counter(hist["buckets"]),
         }
+
+    def digest(self, node: str, name: str) -> QuantileDigest:
+        """Merged quantile digest across every window of ``(node, name)``.
+
+        Returns an empty digest when nothing was recorded.
+        """
+        merged = QuantileDigest()
+        for _, digest in sorted(self._digests.get((node, name), {}).items()):
+            merged.merge(digest)
+        return merged
+
+    def digest_windows(self, node: str, name: str) -> list[tuple[float, QuantileDigest]]:
+        """``(window_start_seconds, digest)`` pairs, oldest first."""
+        windows = self._digests.get((node, name), {})
+        return [
+            (index * self.digest_window, windows[index]) for index in sorted(windows)
+        ]
+
+    def merged_digest(self, name: str) -> QuantileDigest:
+        """One digest for ``name`` merged across *all* nodes and windows.
+
+        This is the fleet view an SLO evaluates against: per-user op
+        latencies recorded on every node, folded into one sketch.
+        """
+        merged = QuantileDigest()
+        for (node, metric), windows in sorted(self._digests.items()):
+            if metric != name:
+                continue
+            for _, digest in sorted(windows.items()):
+                merged.merge(digest)
+        return merged
+
+    def digest_names(self) -> list[str]:
+        """Sorted distinct metric names that have digests recorded."""
+        return sorted({name for (_, name) in self._digests})
 
     def snapshot(self) -> dict[str, Any]:
         """Deterministically ordered, JSON-able copy of every metric."""
@@ -139,11 +212,26 @@ class MetricsRegistry:
             f"{node}/{name}": {
                 "count": h["count"],
                 "sum": round(h["sum"], 9),
+                "min": round(h["min"], 9),
+                "max": round(h["max"], 9),
                 "buckets": dict(sorted(h["buckets"].items())),
             }
             for (node, name), h in sorted(self._hists.items())
         }
-        return {"counters": counters, "gauges": gauges, "histograms": hists}
+        digests = {}
+        for (node, name), windows in sorted(self._digests.items()):
+            merged = QuantileDigest()
+            for _, digest in sorted(windows.items()):
+                merged.merge(digest)
+            entry = merged.to_dict()
+            entry["windows"] = len(windows)
+            digests[f"{node}/{name}"] = entry
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+            "digests": digests,
+        }
 
     def render(self) -> str:
         """Human-readable dump, one metric per line, sorted."""
@@ -156,13 +244,22 @@ class MetricsRegistry:
         for key, h in snap["histograms"].items():
             buckets = " ".join(f"{b}:{n}" for b, n in h["buckets"].items())
             lines.append(
-                f"hist    {key} count={h['count']} sum={h['sum']:.6f} {buckets}"
+                f"hist    {key} count={h['count']} sum={h['sum']:.6f} "
+                f"min={h['min']:.6f} max={h['max']:.6f} {buckets}"
+            )
+        for (node, name), windows in sorted(self._digests.items()):
+            merged = self.digest(node, name)
+            lines.append(
+                f"digest  {node}/{name} count={merged.count} "
+                f"min={merged.min:.6f} p50={merged.quantile(0.5):.6f} "
+                f"p99={merged.quantile(0.99):.6f} max={merged.max:.6f} "
+                f"windows={len(windows)}"
             )
         return "\n".join(lines)
 
     def reset_node(self, node: str) -> None:
         """Drop every metric recorded under ``node``."""
-        for store in (self._counters, self._gauges, self._hists):
+        for store in (self._counters, self._gauges, self._hists, self._digests):
             for key in [k for k in store if k[0] == node]:
                 del store[key]
 
@@ -171,3 +268,4 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._hists.clear()
+        self._digests.clear()

@@ -1,0 +1,156 @@
+"""Declarative per-operation SLOs, evaluated from the metrics registry.
+
+The calendar's top-level operations record their virtual-time latency
+into per-``(node, op)`` quantile digests and ``op.<name>.calls`` /
+``op.<name>.errors`` counters (see ``MeetingManager``). An
+:class:`SloSpec` states the bound a fleet owes its users — e.g.
+``cal.schedule: p99 <= 2.5 s, error rate <= 1%`` — and :func:`evaluate`
+checks every spec against the merged digests.
+
+SLO results are *reported*, not enforced: a chaos episode under the
+``gray`` profile legitimately blows the latency budget (that is what the
+profile is for), so :class:`ChaosCampaign` prints the evaluation next to
+the invariant verdict instead of failing the episode. The enforcement
+surface for performance is ``python -m repro.bench.regress``, which
+gates committed artifact trajectories in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One operation's service-level objective.
+
+    ``op`` names the operation family (the digest is ``op.<op>``);
+    ``latency`` bounds the ``quantile``-th latency in virtual seconds;
+    ``error_rate`` bounds ``errors / calls``.
+    """
+
+    op: str
+    quantile: float = 0.99
+    latency: float = 2.5
+    error_rate: float = 0.01
+
+    def describe(self) -> str:
+        q = f"p{self.quantile * 100:g}"
+        return (
+            f"{self.op}: {q} <= {self.latency:g}s, "
+            f"error_rate <= {self.error_rate * 100:g}%"
+        )
+
+
+#: the calendar application's default objectives. Mutating writes that
+#: run a full negotiation get the paper's interactive budget (2.5 s at
+#: p99); the cheaper acks get a tighter one. Error budgets are 1%
+#: across the board — chaos profiles that exceed them are *supposed* to
+#: show up as SLO breaches in the episode report.
+DEFAULT_SLOS: tuple[SloSpec, ...] = (
+    SloSpec("cal.schedule", quantile=0.99, latency=2.5, error_rate=0.01),
+    SloSpec("cal.move", quantile=0.99, latency=2.5, error_rate=0.01),
+    SloSpec("cal.cancel", quantile=0.99, latency=1.5, error_rate=0.01),
+    SloSpec("cal.confirm", quantile=0.99, latency=1.5, error_rate=0.01),
+    SloSpec("cal.drop_out", quantile=0.99, latency=1.5, error_rate=0.01),
+    SloSpec("cal.reconcile", quantile=0.99, latency=2.5, error_rate=0.01),
+)
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """Outcome of evaluating one spec against one registry."""
+
+    spec: SloSpec
+    calls: int
+    errors: int
+    observed_latency: float
+    observed_error_rate: float
+
+    @property
+    def latency_ok(self) -> bool:
+        return self.calls == 0 or self.observed_latency <= self.spec.latency
+
+    @property
+    def error_rate_ok(self) -> bool:
+        return self.calls == 0 or self.observed_error_rate <= self.spec.error_rate
+
+    @property
+    def ok(self) -> bool:
+        return self.latency_ok and self.error_rate_ok
+
+    def render(self) -> str:
+        """One deterministic report line (byte-stable across runs)."""
+        if self.calls == 0:
+            return f"slo {self.spec.op} ok (no traffic)"
+        q = f"p{self.spec.quantile * 100:g}"
+        verdict = "ok" if self.ok else "BREACH"
+        breaches = []
+        if not self.latency_ok:
+            breaches.append(f"{q} {self.observed_latency:.3f}s > {self.spec.latency:g}s")
+        if not self.error_rate_ok:
+            breaches.append(
+                f"errors {self.observed_error_rate * 100:.2f}% > "
+                f"{self.spec.error_rate * 100:g}%"
+            )
+        detail = (
+            f"{q}={self.observed_latency:.3f}s "
+            f"errors={self.errors}/{self.calls}"
+        )
+        line = f"slo {self.spec.op} {verdict} {detail}"
+        if breaches:
+            line += " [" + "; ".join(breaches) + "]"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.spec.op,
+            "quantile": self.spec.quantile,
+            "latency_bound": self.spec.latency,
+            "error_rate_bound": self.spec.error_rate,
+            "calls": self.calls,
+            "errors": self.errors,
+            "observed_latency": round(self.observed_latency, 9),
+            "observed_error_rate": round(self.observed_error_rate, 9),
+            "ok": self.ok,
+        }
+
+
+def evaluate(
+    metrics: MetricsRegistry, specs: Sequence[SloSpec] = DEFAULT_SLOS
+) -> list[SloResult]:
+    """Check every spec against the registry's merged op digests.
+
+    Digests and counters are merged across all nodes — an SLO is a
+    fleet-level promise, not a per-device one. Deterministic: digest
+    merges iterate sorted keys and specs are evaluated in given order.
+    """
+    results: list[SloResult] = []
+    for spec in specs:
+        digest = metrics.merged_digest(f"op.{spec.op}")
+        calls = errors = 0
+        for (node, name), value in sorted(metrics.counter_map().items()):
+            if name == f"op.{spec.op}.calls":
+                calls += int(value)
+            elif name == f"op.{spec.op}.errors":
+                errors += int(value)
+        observed = digest.quantile(spec.quantile) if digest.count else 0.0
+        rate = errors / calls if calls else 0.0
+        results.append(
+            SloResult(
+                spec=spec,
+                calls=calls,
+                errors=errors,
+                observed_latency=observed,
+                observed_error_rate=rate,
+            )
+        )
+    return results
+
+
+def render_report(results: Sequence[SloResult]) -> str:
+    """Multi-line deterministic report, one line per spec."""
+    return "\n".join(result.render() for result in results)

@@ -299,6 +299,13 @@ class NegotiationCoordinator:
         # Bounded admission: shedding early (with a typed, retryable
         # error) beats stacking re-entrant negotiations whose backoffs
         # pump yet more deferred work onto the same coordinator.
+        # ``admit_t`` is taken before the check so the span below can
+        # report the admission-queue wait honestly — structurally 0.0
+        # under this shed-immediately policy (nothing ever queues), but
+        # measured, not assumed, so a future queued-admission policy
+        # feeds the ``queue`` attribution category with no further work.
+        admit_t = self.engine.transport.clock.now()
+        admit_depth = self._depth
         if self._depth >= self.admission_limit:
             self.shed += 1
             if self.metrics is not None:
@@ -329,6 +336,11 @@ class NegotiationCoordinator:
         span = trace.start_span(
             "txn.negotiate", self.engine.node_id, txn=txn_id, constraint=described
         )
+        if admit_depth:
+            span.set(admission_depth=admit_depth)
+        admission_wait = t0 - admit_t
+        if admission_wait > 0.0:
+            span.set(admission_wait=round(admission_wait, 9))
         ctx = trace.current_context()
         if ctx is not None:
             self.txn_traces[txn_id] = ctx[0]

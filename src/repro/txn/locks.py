@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.util.trace import maybe_span
+
 
 def _canon(entity: Any) -> Any:
     """Normalize an entity id so JSON-ish values can key a dict."""
@@ -42,11 +44,20 @@ class LockManager:
         metrics=None,
         metrics_node: str = "",
         skew=None,
+        tracer=None,
     ) -> None:
         self._locks: dict[Any, tuple[str, int]] = {}  # entity -> (owner, depth)
         self._deadlines: dict[Any, float] = {}  # entity -> lease deadline
         self._acquired_at: dict[Any, float] = {}  # entity -> first-acquire time
+        #: (entity, owner) -> virtual time of the owner's *first* refusal,
+        #: so a later successful acquisition can report how long the
+        #: owner waited (across its retries) for the entity to free up
+        self._refused_at: dict[tuple[Any, str], float] = {}
         self._clock = clock
+        #: optional Tracer: acquisitions/refusals emit zero-duration
+        #: ``txn.lock`` spans carrying the wait time, the raw material
+        #: for the ``lock.wait`` attribution category (repro.obs.critical)
+        self._tracer = tracer
         self.default_lease = default_lease
         #: optional zero-arg callable returning this node's clock-skew
         #: offset (gray fault model): lease deadlines are stamped against
@@ -84,18 +95,41 @@ class LockManager:
         """Acquire if free or already ours; False when held by another.
 
         Each (re)acquisition refreshes the lease deadline when the
-        manager has a clock.
+        manager has a clock. With a tracer attached, the attempt lands
+        as a zero-duration ``txn.lock`` span whose ``wait`` attribute is
+        the virtual time between this owner's *first* refusal for the
+        entity and the acquisition that finally succeeded — the
+        try-lock analogue of blocking lock wait.
         """
         key = _canon(entity)
         held = self._locks.get(key)
         if held is None:
             self._locks[key] = (owner, 1)
             self._stamp(key)
+            wait = 0.0
             if self._clock is not None:
-                self._acquired_at[key] = self._clock.now()
+                now = self._clock.now()
+                self._acquired_at[key] = now
+                refused = self._refused_at.pop((key, owner), None)
+                if refused is not None:
+                    wait = now - refused
+                    if self._metrics is not None and wait > 0.0:
+                        self._metrics.observe(
+                            self._metrics_node, "txn.lock_wait", wait
+                        )
             self.acquisitions += 1
             self._metric("txn.lock_acquisitions")
             self._note_held()
+            with maybe_span(
+                self._tracer,
+                "txn.lock",
+                self._metrics_node,
+                entity=str(key),
+                owner=owner,
+                outcome="acquired",
+            ) as span:
+                if wait > 0.0:
+                    span.set(wait=round(wait, 9))
             return True
         if held[0] == owner:
             self._locks[key] = (owner, held[1] + 1)
@@ -105,6 +139,18 @@ class LockManager:
             return True
         self.refusals += 1
         self._metric("txn.lock_refusals")
+        if self._clock is not None:
+            self._refused_at.setdefault((key, owner), self._clock.now())
+        with maybe_span(
+            self._tracer,
+            "txn.lock",
+            self._metrics_node,
+            entity=str(key),
+            owner=owner,
+            outcome="refused",
+            holder=held[0],
+        ):
+            pass
         return False
 
     def lock(self, entity: Any, owner: str) -> None:
@@ -225,8 +271,10 @@ class LockManager:
         self._locks.clear()
         self._deadlines.clear()
         # A crash loses hold-time baselines without observing them: the
-        # lock did not end, the node did.
+        # lock did not end, the node did. Pending wait baselines go the
+        # same way — the waiting transactions died with the node.
         self._acquired_at.clear()
+        self._refused_at.clear()
         self._note_held()
         return count
 

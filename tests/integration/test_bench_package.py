@@ -96,7 +96,7 @@ class TestHarness:
     def test_experiment_registry_complete(self):
         assert set(ALL_EXPERIMENTS) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E8B", "E9",
-            "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+            "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
         }
 
     @pytest.mark.parametrize("exp_id", ["E1", "E3", "E8B"])

@@ -1,0 +1,262 @@
+"""Critical-path extraction and exact latency attribution.
+
+Synthetic span forests pin the algorithm (partition exactness, category
+carves, retry/hedge path resolution); one live traced chaos episode
+pins the integration (every root fully attributed, categories closed).
+"""
+
+import pytest
+
+from repro.obs.critical import (
+    CATEGORIES,
+    attribute,
+    attribute_trace,
+    category_of,
+    critical_path,
+    find_root,
+    linked_roots,
+    self_times,
+)
+from repro.util.trace import Span
+
+
+def mk(span_id, trace_id, parent, name, start, end, node="n", **attrs):
+    return Span(
+        span_id=span_id,
+        trace_id=trace_id,
+        parent_id=parent,
+        name=name,
+        node=node,
+        start=start,
+        end=end,
+        attrs=attrs,
+    )
+
+
+class TestPartition:
+    def test_self_times_cover_the_root_exactly(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 10.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 1.0, 4.0),
+            mk("s3", "t1", "s1", "rpc:invoke", 5.0, 9.0),
+            mk("s4", "t1", "s3", "handle:x", 6.0, 8.0),
+        ]
+        acc = self_times(spans, spans[0])
+        assert acc["s1"] == pytest.approx(3.0)  # 0-1, 4-5, 9-10
+        assert acc["s2"] == pytest.approx(3.0)
+        assert acc["s3"] == pytest.approx(2.0)  # 5-6, 8-9
+        assert acc["s4"] == pytest.approx(2.0)
+        assert sum(acc.values()) == pytest.approx(10.0)
+
+    def test_attribution_sums_to_elapsed(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 10.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 1.0, 4.0),
+            mk("s3", "t1", "s1", "net.call", 4.0, 9.0),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.elapsed == pytest.approx(10.0)
+        assert attr.total == pytest.approx(10.0)
+        assert abs(attr.coverage - 1.0) <= 1e-3
+        assert set(attr.categories) == set(CATEGORIES)
+
+    def test_async_straggler_outside_parent_contributes_nothing(self):
+        # A redelivery re-entering the trace after the root closed owns
+        # none of the root's elapsed time.
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 5.0),
+            mk("s2", "t1", "s1", "net.redeliver", 20.0, 21.0, deferred=True),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.total == pytest.approx(5.0)
+        assert attr.categories["handler"] == pytest.approx(5.0)
+        assert attr.categories["net.transit"] == 0.0
+
+    def test_open_children_are_ignored(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 5.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 1.0, None),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.categories["handler"] == pytest.approx(5.0)
+
+
+class TestCategories:
+    def test_category_table(self):
+        cases = {
+            "rpc:invoke": "net.transit",
+            "send:event": "net.transit",
+            "net.batch": "net.transit",
+            "net.redeliver": "net.transit",
+            "net.attempt": "net.transit",
+            "net.call": "retry.backoff",
+            "net.retry_wave": "retry.backoff",
+            "txn.lock": "lock.wait",
+            "txn.admission": "queue",
+            "handle:x": "handler",
+            "cal.schedule": "handler",
+            "txn.negotiate": "handler",
+            "chaos.step": "handler",
+            "mystery": "other",
+        }
+        for name, want in cases.items():
+            assert category_of(mk("s", "t", None, name, 0, 1)) == want
+
+    def test_stall_attr_is_carved_out_of_transit(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 10.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 0.0, 10.0, stall=4.0),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.categories["stall"] == pytest.approx(4.0)
+        assert attr.categories["net.transit"] == pytest.approx(6.0)
+        assert attr.total == pytest.approx(10.0)
+
+    def test_deadline_outcome_is_all_stall(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 10.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 0.0, 10.0,
+               outcome="deadline", stall=1.0),
+        ]
+        attr = attribute_trace(spans, "t1")
+        # The caller sat out its whole budget: the entire wire self
+        # time is stall, not just the stamped stall slice.
+        assert attr.categories["stall"] == pytest.approx(10.0)
+        assert attr.categories["net.transit"] == 0.0
+
+    def test_admission_wait_is_carved_out_of_negotiate(self):
+        spans = [
+            mk("s1", "t1", None, "txn.negotiate", 0.0, 10.0, admission_wait=3.0),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.categories["queue"] == pytest.approx(3.0)
+        assert attr.categories["handler"] == pytest.approx(7.0)
+
+    def test_lock_spans_land_in_lock_wait(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 10.0),
+            mk("s2", "t1", "s1", "txn.lock", 2.0, 5.0, outcome="acquired"),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.categories["lock.wait"] == pytest.approx(3.0)
+
+
+def retry_wave_forest():
+    """cal.schedule -> net.call with three attempts and backoff gaps."""
+    return [
+        mk("s1", "t1", None, "cal.schedule", 0.0, 10.0),
+        mk("s2", "t1", "s1", "net.call", 0.0, 10.0, backoff_total=3.0),
+        mk("s3", "t1", "s2", "net.attempt", 0.0, 2.0, attempt=1),
+        mk("s4", "t1", "s2", "net.attempt", 3.0, 5.0, attempt=2),
+        mk("s5", "t1", "s2", "net.attempt", 6.0, 10.0, attempt=3),
+        mk("s6", "t1", "s5", "rpc:invoke", 6.0, 10.0),
+    ]
+
+
+def hedged_forest():
+    """Two hedge legs; the later-ending winner leg decides the parent."""
+    return [
+        mk("s1", "t1", None, "cal.schedule", 0.0, 5.0),
+        mk("s2", "t1", "s1", "rpc:lookup", 0.0, 5.0,
+           hedge="shard-b", winner="backup", outcome="hedge_win"),
+        # Both leg handlers ran instantaneously at their send times —
+        # the backup (winner) leg's handler started later.
+        mk("s3", "t1", "s2", "handle:lookup", 0.5, 0.5, node="shard-a"),
+        mk("s4", "t1", "s2", "handle:lookup", 2.0, 2.0, node="shard-b"),
+    ]
+
+
+class TestCriticalPath:
+    def test_retry_path_goes_through_the_last_attempt(self):
+        path = critical_path(retry_wave_forest(), find_root(retry_wave_forest(), "t1"))
+        assert [step.span_id for step in path] == ["s1", "s2", "s5", "s6"]
+        assert [step.depth for step in path] == [0, 1, 2, 3]
+        # Backoff sleeps are the net.call hop's self time.
+        attr = attribute_trace(retry_wave_forest(), "t1")
+        assert attr.categories["retry.backoff"] == pytest.approx(2.0)  # 2-3, 5-6
+        assert attr.categories["net.transit"] == pytest.approx(8.0)
+
+    def test_hedged_path_follows_the_winner_leg(self):
+        spans = hedged_forest()
+        path = critical_path(spans, find_root(spans, "t1"))
+        # The path descends into the later-ending (winner) leg handler.
+        assert [step.span_id for step in path] == ["s1", "s2", "s4"]
+        assert path[-1].node == "shard-b"
+
+    def test_children_starting_after_parent_end_are_excluded(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 5.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 1.0, 4.0),
+            mk("s3", "t1", "s1", "net.redeliver", 20.0, 21.0, deferred=True),
+        ]
+        path = critical_path(spans, find_root(spans, "t1"))
+        assert [step.span_id for step in path] == ["s1", "s2"]
+
+    def test_dedup_replay_verdict_tree_attributes_cleanly(self):
+        # A replayed duplicate: the handler short-circuits (zero self
+        # time) and the wire hop owns the window.
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 4.0),
+            mk("s2", "t1", "s1", "rpc:invoke", 0.0, 4.0),
+            mk("s3", "t1", "s2", "handle:confirm", 2.0, 2.0, verdict="REPLAY"),
+        ]
+        attr = attribute_trace(spans, "t1")
+        assert attr.categories["net.transit"] == pytest.approx(4.0)
+        assert attr.categories["handler"] == 0.0
+        path = critical_path(spans, find_root(spans, "t1"))
+        assert [step.name for step in path] == [
+            "cal.schedule", "rpc:invoke", "handle:confirm"
+        ]
+
+
+class TestLinkedRoots:
+    def test_origin_trace_links_replay_trees(self):
+        spans = [
+            mk("s1", "t1", None, "cal.schedule", 0.0, 5.0),
+            mk("s2", "t2", None, "txn.replay", 30.0, 32.0, origin_trace="t1"),
+            mk("s3", "t3", None, "txn.replay", 40.0, 41.0, origin_trace="t9"),
+        ]
+        links = linked_roots(spans, "t1")
+        assert [s.span_id for s in links] == ["s2"]
+        # The linked tree is attributed as its own root, never folded in.
+        attr = attribute(spans, links[0])
+        assert attr.elapsed == pytest.approx(2.0)
+
+
+class TestLiveEpisode:
+    @pytest.fixture(scope="class")
+    def gray_spans(self):
+        from repro.chaos import ChaosCampaign, ChaosConfig
+
+        # Full-size episode: the reduced sweeps don't reliably land a
+        # stall fault on a traced path, and this class asserts they do.
+        config = ChaosConfig(seed=7, profile="gray", shrink=False)
+        campaign = ChaosCampaign(config)
+        campaign.run_episode(0, quiet=True)
+        return campaign.last_world.tracer.spans()
+
+    def test_every_root_is_fully_attributed(self, gray_spans):
+        roots = [s for s in gray_spans if s.parent_id is None and s.end is not None]
+        assert roots
+        for root in roots:
+            attr = attribute(gray_spans, root)
+            if attr.elapsed > 0:
+                assert abs(attr.coverage - 1.0) <= 1e-3, (
+                    f"{root.trace_id}/{root.name}: coverage {attr.coverage}"
+                )
+
+    def test_gray_tail_contains_stall_time(self, gray_spans):
+        roots = [s for s in gray_spans if s.parent_id is None and s.end is not None]
+        total_stall = sum(
+            attribute(gray_spans, root).categories["stall"] for root in roots
+        )
+        assert total_stall > 0.0
+
+    def test_critical_path_is_well_formed_on_the_slowest_trace(self, gray_spans):
+        roots = [s for s in gray_spans if s.parent_id is None and s.end is not None]
+        slowest = max(roots, key=lambda s: s.end - s.start)
+        path = critical_path(gray_spans, slowest)
+        assert path[0].span_id == slowest.span_id
+        for prev, step in zip(path, path[1:]):
+            assert step.depth == prev.depth + 1
+            assert step.end <= prev.end + 1e-9

@@ -1,0 +1,106 @@
+"""QuantileDigest: relative-error bounds, exact extremes, merge, determinism."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.digest import DEFAULT_ALPHA, QuantileDigest
+
+
+class TestAccuracy:
+    def test_quantiles_within_relative_error(self):
+        rng = random.Random(42)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        digest = QuantileDigest()
+        for v in values:
+            digest.add(v)
+        values.sort()
+        for q in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999):
+            # Same nearest-rank convention as QuantileDigest.quantile.
+            rank = max(1, math.ceil(q * len(values)))
+            exact = values[rank - 1]
+            got = digest.quantile(q)
+            assert abs(got - exact) <= 2.0 * DEFAULT_ALPHA * exact + 1e-12, (
+                f"q={q}: exact={exact} got={got}"
+            )
+
+    def test_extremes_and_sum_are_exact(self):
+        digest = QuantileDigest()
+        values = [3.5, 0.001, 700.25, 41.0]
+        for v in values:
+            digest.add(v)
+        assert digest.min == min(values)
+        assert digest.max == max(values)
+        assert digest.sum == pytest.approx(sum(values))
+        assert digest.count == len(values)
+        assert digest.mean == pytest.approx(sum(values) / len(values))
+        # Quantiles never escape the observed range.
+        assert digest.min <= digest.quantile(0.0) <= digest.max
+        assert digest.min <= digest.quantile(1.0) <= digest.max
+
+    def test_zero_and_negative_values_use_the_zero_bucket(self):
+        digest = QuantileDigest()
+        digest.add(0.0)
+        digest.add(-1.0)
+        digest.add(10.0)
+        assert digest.count == 3
+        assert digest.min == -1.0
+        assert digest.quantile(0.3) <= 0.0
+        assert digest.quantile(0.99) == pytest.approx(10.0, rel=0.05)
+
+    def test_empty_digest(self):
+        digest = QuantileDigest()
+        assert digest.count == 0
+        assert digest.quantile(0.5) == 0.0
+        assert digest.mean == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        rng = random.Random(7)
+        a_vals = [rng.expovariate(1.0) for _ in range(800)]
+        b_vals = [rng.expovariate(0.2) for _ in range(800)]
+        a, b, u = QuantileDigest(), QuantileDigest(), QuantileDigest()
+        for v in a_vals:
+            a.add(v)
+            u.add(v)
+        for v in b_vals:
+            b.add(v)
+            u.add(v)
+        merged = QuantileDigest()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.count == u.count
+        assert merged.sum == pytest.approx(u.sum)
+        assert merged.min == u.min and merged.max == u.max
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert merged.quantile(q) == pytest.approx(u.quantile(q))
+
+    def test_merge_requires_same_alpha(self):
+        a = QuantileDigest(alpha=0.01)
+        b = QuantileDigest(alpha=0.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        digest = QuantileDigest()
+        for v in (0.5, 1.5, 1.5, 200.0, 0.0):
+            digest.add(v)
+        clone = QuantileDigest.from_dict(digest.to_dict())
+        assert clone.count == digest.count
+        assert clone.min == digest.min and clone.max == digest.max
+        assert clone.sum == pytest.approx(digest.sum)
+        for q in (0.25, 0.5, 0.99):
+            assert clone.quantile(q) == digest.quantile(q)
+
+    def test_to_dict_is_insertion_order_independent(self):
+        a, b = QuantileDigest(), QuantileDigest()
+        values = [5.0, 0.01, 300.0, 5.0, 42.0]
+        for v in values:
+            a.add(v)
+        for v in reversed(values):
+            b.add(v)
+        assert a.to_dict() == b.to_dict()

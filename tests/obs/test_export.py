@@ -94,6 +94,53 @@ class TestValidate:
         with pytest.raises(ValueError, match=match):
             validate_chrome_trace(doc)
 
+    @staticmethod
+    def _slice(span_id, ts, dur, tid=1, parent=None, **extra):
+        args = {"span_id": span_id, "trace_id": "t1", "status": "ok", **extra}
+        if parent is not None:
+            args["parent"] = parent
+        return {"ph": "X", "pid": 1, "tid": tid, "name": span_id,
+                "cat": "t1", "ts": ts, "dur": dur, "args": args}
+
+    def test_rejects_child_escaping_parent(self):
+        doc = {"traceEvents": [
+            self._slice("sA", 0.0, 100.0),
+            self._slice("sB", 50.0, 200.0, parent="sA"),
+        ]}
+        with pytest.raises(ValueError, match="escapes parent"):
+            validate_chrome_trace(doc)
+
+    def test_deferred_children_are_exempt_from_containment(self):
+        # Scheduler-fired redeliveries legitimately re-enter traces
+        # whose spans closed long ago; they carry args.deferred.
+        doc = {"traceEvents": [
+            self._slice("sA", 0.0, 100.0),
+            self._slice("sB", 5000.0, 10.0, parent="sA", deferred=True),
+        ]}
+        validate_chrome_trace(doc)
+
+    def test_containment_allows_rounding_slack(self):
+        doc = {"traceEvents": [
+            self._slice("sA", 0.0, 100.0),
+            self._slice("sB", -0.001, 100.002, parent="sA", tid=2),
+        ]}
+        validate_chrome_trace(doc)
+
+    def test_rejects_backwards_ts_within_a_lane(self):
+        doc = {"traceEvents": [
+            self._slice("sA", 50.0, 10.0),
+            self._slice("sB", 0.0, 10.0),
+        ]}
+        with pytest.raises(ValueError, match="goes backwards"):
+            validate_chrome_trace(doc)
+
+    def test_lanes_are_independent_for_monotonicity(self):
+        doc = {"traceEvents": [
+            self._slice("sA", 50.0, 10.0, tid=1),
+            self._slice("sB", 0.0, 10.0, tid=2),
+        ]}
+        validate_chrome_trace(doc)
+
 
 class TestSpanTree:
     def test_children_indent_under_parents(self):

@@ -76,6 +76,42 @@ class TestRegistry:
         assert latency_bucket(0.002) == "<=2ms"
         assert latency_bucket(0.1) == "<=128ms"
 
+    def test_histograms_keep_exact_min_max_below_bucket_resolution(self):
+        # Regression: two tails in the same power-of-two bucket used to
+        # be indistinguishable — 1.1s and 2.0s are both "<=2048ms". The
+        # exact min/max must expose the true extremes regardless.
+        reg = MetricsRegistry()
+        for delay in (1.1, 1.7, 2.0):
+            reg.observe("a", "net.rpc", delay)
+        hist = reg.histogram("a", "net.rpc")
+        assert hist["buckets"] == Counter({"<=2048ms": 3})
+        assert hist["min"] == 1.1
+        assert hist["max"] == 2.0
+        # Unset histograms report None extremes, and the snapshot/render
+        # carry them alongside the buckets.
+        assert reg.histogram("a", "nope")["min"] is None
+        assert "min=1.1" in reg.render() and "max=2" in reg.render()
+
+    def test_record_value_windows_by_virtual_time(self):
+        clock = VirtualClock()
+        reg = MetricsRegistry(clock)
+        reg.record_value("a", "op.cal.schedule", 0.5)
+        clock.advance(reg.digest_window + 1.0)
+        reg.record_value("a", "op.cal.schedule", 3.0)
+        windows = reg.digest_windows("a", "op.cal.schedule")
+        assert len(windows) == 2
+        merged = reg.merged_digest("op.cal.schedule")
+        assert merged.count == 2
+        assert merged.min == 0.5 and merged.max == 3.0
+
+    def test_merged_digest_spans_nodes(self):
+        reg = MetricsRegistry()
+        reg.record_value("a", "op.cal.cancel", 0.2)
+        reg.record_value("b", "op.cal.cancel", 4.0)
+        merged = reg.merged_digest("op.cal.cancel")
+        assert merged.count == 2 and merged.max == 4.0
+        assert "op.cal.cancel" in reg.digest_names()
+
 
 class TestNetworkStatsView:
     def test_stats_land_in_the_shared_registry(self):

@@ -1,0 +1,110 @@
+"""SLO specs: evaluation against the registry, rendering, reporting."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_SLOS, SloSpec, evaluate, render_report
+from repro.util.clock import VirtualClock
+
+
+def registry_with(op, latencies, errors=0, node="n1"):
+    clock = VirtualClock()
+    metrics = MetricsRegistry(clock)
+    for latency in latencies:
+        metrics.record_value(node, f"op.{op}", latency)
+        metrics.inc(node, f"op.{op}.calls")
+    for _ in range(errors):
+        metrics.inc(node, f"op.{op}.calls")
+        metrics.inc(node, f"op.{op}.errors")
+        metrics.record_value(node, f"op.{op}", 0.1)
+    return metrics
+
+
+class TestEvaluate:
+    def test_within_budget_is_ok(self):
+        metrics = registry_with("cal.schedule", [0.2, 0.5, 1.0])
+        spec = SloSpec("cal.schedule", quantile=0.99, latency=2.5, error_rate=0.01)
+        (result,) = evaluate(metrics, [spec])
+        assert result.ok and result.latency_ok and result.error_rate_ok
+        assert result.calls == 3 and result.errors == 0
+
+    def test_latency_breach(self):
+        metrics = registry_with("cal.schedule", [0.2, 0.5, 9.0])
+        spec = SloSpec("cal.schedule", latency=2.5)
+        (result,) = evaluate(metrics, [spec])
+        assert not result.latency_ok and result.error_rate_ok
+        assert not result.ok
+        assert "BREACH" in result.render()
+        assert "> 2.5s" in result.render()
+
+    def test_error_rate_breach(self):
+        metrics = registry_with("cal.cancel", [0.2] * 9, errors=1)
+        spec = SloSpec("cal.cancel", latency=1.5, error_rate=0.01)
+        (result,) = evaluate(metrics, [spec])
+        assert result.latency_ok and not result.error_rate_ok
+        assert result.observed_error_rate == 0.1
+
+    def test_no_traffic_is_vacuously_ok(self):
+        clock = VirtualClock()
+        (result,) = evaluate(MetricsRegistry(clock), [SloSpec("cal.move")])
+        assert result.ok and result.calls == 0
+        assert result.render() == "slo cal.move ok (no traffic)"
+
+    def test_digests_merge_across_nodes(self):
+        clock = VirtualClock()
+        metrics = MetricsRegistry(clock)
+        # Fast calls on one node, the slow outlier on another: the SLO
+        # is a fleet-level promise, so the breach must still surface.
+        for _ in range(5):
+            metrics.record_value("n1", "op.cal.schedule", 0.2)
+            metrics.inc("n1", "op.cal.schedule.calls")
+        metrics.record_value("n2", "op.cal.schedule", 50.0)
+        metrics.inc("n2", "op.cal.schedule.calls")
+        (result,) = evaluate(metrics, [SloSpec("cal.schedule", latency=2.5)])
+        assert not result.latency_ok
+        assert result.calls == 6
+
+    def test_default_specs_cover_the_calendar_ops(self):
+        assert {spec.op for spec in DEFAULT_SLOS} == {
+            "cal.schedule", "cal.move", "cal.cancel",
+            "cal.confirm", "cal.drop_out", "cal.reconcile",
+        }
+
+
+class TestRendering:
+    def test_report_is_deterministic(self):
+        metrics = registry_with("cal.schedule", [0.2, 5.0], errors=1)
+        a = render_report(evaluate(metrics))
+        b = render_report(evaluate(metrics))
+        assert a == b
+        assert a.count("\n") == len(DEFAULT_SLOS) - 1
+
+    def test_to_dict_round_trips_the_verdict(self):
+        metrics = registry_with("cal.schedule", [9.0])
+        (result,) = evaluate(metrics, [SloSpec("cal.schedule", latency=2.5)])
+        doc = result.to_dict()
+        assert doc["ok"] is False
+        assert doc["calls"] == 1
+        assert doc["latency_bound"] == 2.5
+
+    def test_describe_states_the_budget(self):
+        spec = SloSpec("cal.schedule", quantile=0.99, latency=2.5, error_rate=0.01)
+        assert spec.describe() == "cal.schedule: p99 <= 2.5s, error_rate <= 1%"
+
+
+class TestLiveEpisodeReport:
+    def test_chaos_episode_carries_slo_results(self):
+        from repro.chaos import ChaosCampaign, ChaosConfig
+
+        config = ChaosConfig(
+            seed=7, users=4, ops=10, duration=40.0, profile="classic", shrink=False
+        )
+        campaign = ChaosCampaign(config)
+        episode = campaign.run_episode(0, quiet=True)
+        assert len(episode.slo) == len(DEFAULT_SLOS)
+        # Reported, never enforced: a breach must not fail the episode.
+        assert episode.ok or episode.violations
+        rendered = [r.render() for r in episode.slo]
+        assert all(line.startswith("slo ") for line in rendered)
+        # The lines also land in the episode log, in spec order.
+        log_text = "\n".join(episode.log)
+        for line in rendered:
+            assert line in log_text
